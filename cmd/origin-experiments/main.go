@@ -1,0 +1,60 @@
+// Command origin-experiments regenerates the paper's tables and figures on
+// the simulated machine.
+//
+// Usage:
+//
+//	origin-experiments [-run name] [-scale N] [-cachescale N] [-procs list] [-steps N] [-full]
+//
+// -run selects one experiment (table1, table2, table3, fig2, fig3, fig4,
+// fig5-8, fig9, fig10, sec61, sec63, sec71, sec72, all). -scale divides
+// problem sizes (default 8); -cachescale divides the 4MB cache by the same
+// factor unless overridden; -full runs the paper's input sizes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"origin2000/internal/experiments"
+)
+
+func main() {
+	var (
+		name       = flag.String("run", "all", "experiment to run: "+strings.Join(experiments.Names(), ", "))
+		scale      = flag.Int("scale", 8, "divide problem sizes by this factor")
+		cacheScale = flag.Int("cachescale", 0, "divide the cache by this factor (default: same as -scale)")
+		procsList  = flag.String("procs", "", "comma-separated processor counts (default: the paper's)")
+		steps      = flag.Int("steps", 0, "override timesteps/frames (0 = app defaults)")
+		seed       = flag.Int64("seed", 42, "input generation seed")
+		full       = flag.Bool("full", false, "run at the paper's input sizes (expensive)")
+	)
+	flag.Parse()
+
+	s := experiments.Scale{Div: *scale, CacheDiv: *cacheScale, Steps: *steps, Seed: *seed}
+	if s.CacheDiv == 0 {
+		s.CacheDiv = s.Div
+	}
+	if *full {
+		s.Div, s.CacheDiv = 1, 1
+	}
+	if *procsList != "" {
+		for _, tok := range strings.Split(*procsList, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(tok))
+			if err != nil || v < 1 {
+				fmt.Fprintf(os.Stderr, "bad -procs entry %q\n", tok)
+				os.Exit(2)
+			}
+			s.Procs = append(s.Procs, v)
+		}
+	}
+	se := experiments.NewSession(s)
+	fmt.Printf("origin2000 experiments: %s (size scale 1/%d, cache scale 1/%d)\n\n",
+		*name, se.Scale.Div, se.Scale.CacheDiv)
+	if err := experiments.Run(*name, se, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,18 @@
+// Command origin-latency reproduces the paper's Table 1: local and remote
+// read-miss latencies for the five CC-NUMA machine presets, measured with
+// pointer-probe microbenchmarks on the simulator.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"origin2000/internal/experiments"
+)
+
+func main() {
+	if err := experiments.Table1(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+}

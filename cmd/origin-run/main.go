@@ -1,0 +1,140 @@
+// Command origin-run executes one application on the simulated machine and
+// prints its speedup and execution-time breakdown.
+//
+// Usage:
+//
+//	origin-run -app FFT [-procs 64] [-size 1048576] [-variant ""] [-prefetch]
+//	           [-scale 8] [-breakdown] [-ppn 2] [-mapping linear|random|gray|split]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"origin2000/internal/core"
+	"origin2000/internal/experiments"
+	"origin2000/internal/perf"
+	"origin2000/internal/topology"
+)
+
+func main() {
+	var (
+		appName   = flag.String("app", "FFT", "application name (see -list)")
+		list      = flag.Bool("list", false, "list applications and variants")
+		procs     = flag.Int("procs", 64, "processor count")
+		size      = flag.Int("size", 0, "problem size in app units (0 = basic size)")
+		variant   = flag.String("variant", "", "algorithm variant")
+		prefetch  = flag.Bool("prefetch", false, "enable remote-data prefetching")
+		scale     = flag.Int("scale", 8, "divide problem sizes and cache by this factor")
+		steps     = flag.Int("steps", 0, "timesteps/frames (0 = app default)")
+		seed      = flag.Int64("seed", 42, "input seed")
+		breakdown = flag.Bool("breakdown", false, "print the per-processor breakdown figure")
+		arrays    = flag.Bool("arrays", false, "attribute misses to named allocations (the tooling the paper wished the Origin had)")
+		phases    = flag.Bool("phases", false, "print the per-phase time breakdown (instrumented apps)")
+		ppn       = flag.Int("ppn", 2, "processors per node (Section 7.2)")
+		mapping   = flag.String("mapping", "linear", "process mapping: linear, random, gray, split")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, a := range experiments.Apps() {
+			fmt.Printf("%-16s unit=%-12s basic=%-8d variants=%q\n",
+				a.Name(), a.Unit(), a.BasicSize(), a.Variants())
+		}
+		return
+	}
+	app := experiments.AppByName(*appName)
+	if app == nil {
+		fmt.Fprintf(os.Stderr, "unknown app %q; use -list\n", *appName)
+		os.Exit(2)
+	}
+	s := experiments.Scale{Div: *scale, CacheDiv: *scale, Steps: *steps, Seed: *seed}
+	se := experiments.NewSession(s)
+	paperSize := *size
+	if paperSize == 0 {
+		paperSize = app.BasicSize()
+	}
+	params := se.Scale.Params(app, paperSize, *variant)
+	params.Prefetch = *prefetch
+
+	cfg := se.Scale.Machine(*procs)
+	cfg.ProcsPerNode = *ppn
+	switch strings.ToLower(*mapping) {
+	case "linear", "":
+	case "random":
+		cfg.Mapping = topology.Random(*procs, *seed)
+	case "gray":
+		cfg.Mapping = topology.GrayPairs(*procs, cfg.ProcsPerNode, cfg.NodesPerRouter)
+	case "split":
+		cfg.Mapping = topology.SplitPairs(*procs)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown mapping %q\n", *mapping)
+		os.Exit(2)
+	}
+
+	seq, err := se.Sequential(app, paperSize)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sequential run:", err)
+		os.Exit(1)
+	}
+	m := core.New(cfg)
+	if *arrays {
+		m.EnableArrayStats()
+	}
+	if err := app.Run(m, params); err != nil {
+		fmt.Fprintln(os.Stderr, "parallel run:", err)
+		os.Exit(1)
+	}
+	r := m.Result()
+	avg := r.Average()
+	busy, mem, sync := avg.Fractions()
+	fmt.Printf("%s size=%d variant=%q procs=%d (scale 1/%d)\n",
+		app.Name(), params.Size, params.Variant, *procs, se.Scale.Div)
+	fmt.Printf("sequential: %10.3f ms\n", seq.Milliseconds())
+	fmt.Printf("parallel:   %10.3f ms   speedup %.1f   efficiency %.1f%%\n",
+		m.Elapsed().Milliseconds(),
+		perf.Speedup(seq, m.Elapsed()),
+		100*perf.Efficiency(seq, m.Elapsed(), *procs))
+	fmt.Printf("breakdown:  busy %.1f%%  memory %.1f%%  sync %.1f%%\n", 100*busy, 100*mem, 100*sync)
+	c := r.Counters
+	fmt.Printf("misses:     local %d  remote-clean %d  remote-dirty %d  (hits %d)\n",
+		c.LocalMisses, c.RemoteClean, c.RemoteDirty, c.Hits)
+	fmt.Printf("traffic:    invalidations %d  writebacks %d  prefetches %d  fetch&ops %d\n",
+		c.Invalidations, c.Writebacks, c.Prefetches, c.FetchOps)
+	fmt.Printf("contention: hub queueing %.3f ms  memory queueing %.3f ms\n",
+		r.HubQueued.Milliseconds(), r.MemQueued.Milliseconds())
+	if *breakdown {
+		fmt.Println()
+		fmt.Println(perf.Continuum(r.PerProc, 64, 12))
+	}
+	if *arrays {
+		fmt.Println()
+		fmt.Println(perf.Table(m.ArrayReport()))
+	}
+	if *phases {
+		ph := m.PhaseBreakdowns()
+		if len(ph) == 0 {
+			fmt.Println()
+			fmt.Println("(no phase labels: this application is not phase-instrumented)")
+		} else {
+			rows := [][]string{{"Phase", "Busy (ms)", "Memory (ms)", "Sync (ms)", "Share"}}
+			var total float64
+			for _, b := range ph {
+				total += float64(b.Total())
+			}
+			for _, b := range ph {
+				rows = append(rows, []string{
+					b.Name,
+					fmt.Sprintf("%.2f", b.Busy.Milliseconds()),
+					fmt.Sprintf("%.2f", b.Memory.Milliseconds()),
+					fmt.Sprintf("%.2f", b.Sync.Milliseconds()),
+					fmt.Sprintf("%.1f%%", 100*float64(b.Total())/total),
+				})
+			}
+			fmt.Println()
+			fmt.Println(perf.Table(rows))
+		}
+	}
+}

@@ -1,0 +1,79 @@
+// Command origin-sweep plots parallel efficiency versus problem size for
+// one application, like one panel of the paper's Figure 4/9.
+//
+// Usage:
+//
+//	origin-sweep -app Barnes [-procs 32,64,128] [-variant spatial] [-scale 8]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"origin2000/internal/experiments"
+	"origin2000/internal/perf"
+)
+
+func main() {
+	var (
+		appName   = flag.String("app", "Barnes", "application name")
+		procsList = flag.String("procs", "32,64,128", "comma-separated processor counts")
+		variant   = flag.String("variant", "", "also plot this variant against the original")
+		scale     = flag.Int("scale", 8, "divide problem sizes and cache by this factor")
+		seed      = flag.Int64("seed", 42, "input seed")
+	)
+	flag.Parse()
+
+	app := experiments.AppByName(*appName)
+	if app == nil {
+		fmt.Fprintf(os.Stderr, "unknown app %q\n", *appName)
+		os.Exit(2)
+	}
+	var procs []int
+	for _, tok := range strings.Split(*procsList, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(tok))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad -procs entry %q\n", tok)
+			os.Exit(2)
+		}
+		procs = append(procs, v)
+	}
+	se := experiments.NewSession(experiments.Scale{Div: *scale, CacheDiv: *scale, Seed: *seed})
+
+	variants := []string{""}
+	if *variant != "" {
+		variants = append(variants, *variant)
+	}
+	markers := []byte{'a', 'b', 'c', 'A', 'B', 'C'}
+	var series []perf.Series
+	mi := 0
+	for _, v := range variants {
+		for _, p := range procs {
+			if p > app.MaxProcs() {
+				continue
+			}
+			label := fmt.Sprintf("%d procs", p)
+			if v != "" {
+				label += " " + v
+			}
+			s := perf.Series{Label: label, Marker: markers[mi%len(markers)]}
+			mi++
+			for _, size := range app.SweepSizes() {
+				eff, _, err := se.Efficiency(app, p, size, v)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "error:", err)
+					os.Exit(1)
+				}
+				s.X = append(s.X, float64(se.Scale.Size(app, size)))
+				s.Y = append(s.Y, eff)
+			}
+			series = append(series, s)
+		}
+	}
+	fmt.Printf("%s efficiency vs problem size (x = %s, scale 1/%d)\n\n",
+		app.Name(), app.Unit(), se.Scale.Div)
+	fmt.Println(perf.Curves(series, 64, 14, 1.2))
+}

@@ -1,0 +1,55 @@
+// FFT transpose mapping study (the paper's Section 7.1): with a linear
+// mapping and the default +1 transpose stagger, one processor of each node
+// starts transposing from its node-mate — the bad case. A random mapping,
+// or reordering the transpose so both processors start off-node, fixes it.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	origin2000 "origin2000"
+)
+
+func main() {
+	app := origin2000.App("FFT")
+	const points = 1 << 16
+	const procs = 64
+	params := origin2000.Params{Size: points, Seed: 1}
+
+	type study struct {
+		label   string
+		variant string
+		mapping origin2000.Mapping
+	}
+	cases := []study{
+		{"linear mapping, +1 stagger (on-node first partner)", "", origin2000.LinearMapping(procs)},
+		{"random mapping", "", origin2000.RandomMapping(procs, 7)},
+		{"linear mapping, off-node transpose order", "offnode", origin2000.LinearMapping(procs)},
+	}
+	fmt.Printf("FFT, %d points, %d processors: staggered transpose orderings\n\n", points, procs)
+	for _, c := range cases {
+		cfg := origin2000.Origin2000Config(procs)
+		cfg.Mapping = c.mapping
+		m := origin2000.NewMachine(cfg)
+		p := params
+		p.Variant = c.variant
+		if err := app.Run(m, p); err != nil {
+			log.Fatal(err)
+		}
+		r := m.Result()
+		fmt.Printf("%-52s %8.3f ms  (hub queueing %6.1f us)\n",
+			c.label, m.Elapsed().Milliseconds(),
+			1000*r.HubQueued.Milliseconds())
+	}
+	fmt.Println("\nPrefetching the transpose (Section 6.1):")
+	for _, pre := range []bool{false, true} {
+		m := origin2000.NewMachine(origin2000.Origin2000Config(procs))
+		p := params
+		p.Prefetch = pre
+		if err := app.Run(m, p); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  prefetch=%-5v %8.3f ms\n", pre, m.Elapsed().Milliseconds())
+	}
+}

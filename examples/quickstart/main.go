@@ -1,0 +1,38 @@
+// Quickstart: run one application on the simulated 64-processor
+// Origin2000 and print its speedup and execution-time breakdown — the
+// paper's basic measurement loop in a dozen lines.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	origin2000 "origin2000"
+)
+
+func main() {
+	app := origin2000.App("FFT")
+	params := origin2000.Params{Size: 1 << 16, Seed: 1}
+
+	// Sequential reference on a one-processor machine.
+	seq := origin2000.NewMachine(origin2000.Origin2000Config(1))
+	if err := app.Run(seq, params); err != nil {
+		log.Fatal(err)
+	}
+
+	// Parallel run on 64 processors.
+	par := origin2000.NewMachine(origin2000.Origin2000Config(64))
+	if err := app.Run(par, params); err != nil {
+		log.Fatal(err)
+	}
+
+	speedup := float64(seq.Elapsed()) / float64(par.Elapsed())
+	avg := par.Result().Average()
+	busy, mem, sync := avg.Fractions()
+	fmt.Printf("FFT, %d points, 64 processors\n", params.Size)
+	fmt.Printf("  sequential: %8.3f ms\n", seq.Elapsed().Milliseconds())
+	fmt.Printf("  parallel:   %8.3f ms\n", par.Elapsed().Milliseconds())
+	fmt.Printf("  speedup:    %8.1f   (efficiency %.0f%%)\n", speedup, 100*speedup/64)
+	fmt.Printf("  breakdown:  busy %.0f%%, memory %.0f%%, sync %.0f%%\n",
+		100*busy, 100*mem, 100*sync)
+}

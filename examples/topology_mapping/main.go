@@ -1,0 +1,65 @@
+// Topology walkthrough: build machines at the paper's four sizes, show the
+// interconnect each one gets (hypercube or hypercube modules joined by
+// metarouters, Figure 1), and measure how the remote-latency distribution
+// stretches with scale — the underlying reason several applications stop
+// scaling past 64 processors.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	origin2000 "origin2000"
+	"origin2000/internal/core"
+	"origin2000/internal/sim"
+)
+
+func main() {
+	for _, procs := range []int{32, 64, 96, 128} {
+		cfg := origin2000.Origin2000Config(procs)
+		m := origin2000.NewMachine(cfg)
+		f := m.Fabric()
+		kind := "full hypercube"
+		if f.HasMetarouters() {
+			kind = fmt.Sprintf("%d hypercube modules + %d metarouters",
+				f.NumModules(), f.NumMetarouters())
+		}
+		fmt.Printf("%3d processors: %2d nodes, %2d routers (%s), diameter %d hops, avg %.2f\n",
+			procs, m.NumNodes(), f.NumRouters(), kind, f.MaxHops(), f.AverageHops())
+
+		// Probe a remote read from processor 0 to every other node.
+		var minL, maxL, sum sim.Time
+		samples := 0
+		for home := 1; home < m.NumNodes(); home++ {
+			lat := probeRemote(procs, home)
+			if samples == 0 || lat < minL {
+				minL = lat
+			}
+			if lat > maxL {
+				maxL = lat
+			}
+			sum += lat
+			samples++
+		}
+		fmt.Printf("     remote clean read latency: min %.0f ns, avg %.0f ns, max %.0f ns\n\n",
+			minL.Nanoseconds(), (sum / sim.Time(samples)).Nanoseconds(), maxL.Nanoseconds())
+	}
+	fmt.Println("Past 64 processors the metarouter crossing adds hops and latency,")
+	fmt.Println("and communication-heavy programs feel it first.")
+}
+
+func probeRemote(procs, home int) sim.Time {
+	m := origin2000.NewMachine(origin2000.Origin2000Config(procs))
+	arr := m.Alloc("probe", 64, 8)
+	arr.PlaceAtNode(home)
+	var lat sim.Time
+	err := m.RunOne(func(p *core.Proc) {
+		before := p.Now()
+		p.Read(arr.Addr(0))
+		lat = p.Now() - before
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return lat
+}

@@ -1,0 +1,3 @@
+module origin2000
+
+go 1.22

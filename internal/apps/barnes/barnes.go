@@ -1,0 +1,661 @@
+package barnes
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"origin2000/internal/core"
+	"origin2000/internal/synchro"
+	"origin2000/internal/workload"
+)
+
+const (
+	bodyBytes         = core.BlockBytes
+	cellBytes         = core.BlockBytes
+	interactionCycles = 180 // one body-body or body-cell force evaluation
+	openCycles        = 15  // opening-criterion test per visited cell
+	insertCycles      = 12  // per level descended during tree build
+	comCycles         = 30  // center-of-mass combine per cell
+	updateCyclesB     = 60  // leapfrog integration per body
+	theta             = 1.0 // opening criterion
+	defaultSteps      = 2
+	lockPoolSize      = 1024
+)
+
+// App is the Barnes-Hut workload.
+type App struct{}
+
+// New returns the application.
+func New() *App { return &App{} }
+
+// Name implements workload.App.
+func (*App) Name() string { return "Barnes" }
+
+// Unit implements workload.App.
+func (*App) Unit() string { return "bodies" }
+
+// BasicSize implements workload.App: 16K bodies.
+func (*App) BasicSize() int { return 16 << 10 }
+
+// SweepSizes implements workload.App.
+func (*App) SweepSizes() []int { return []int{4 << 10, 16 << 10, 64 << 10, 256 << 10, 512 << 10} }
+
+// Variants implements workload.App: the original locking tree build, the
+// MergeTree restructuring, and the Spatial restructuring (Section 5).
+func (*App) Variants() []string { return []string{"", "merge", "spatial"} }
+
+// MaxProcs implements workload.App.
+func (*App) MaxProcs() int { return 128 }
+
+// Run implements workload.App.
+func (*App) Run(m *core.Machine, p workload.Params) error {
+	b, err := build(m, p)
+	if err != nil {
+		return err
+	}
+	if err := m.Run(b.body); err != nil {
+		return err
+	}
+	return b.verify()
+}
+
+type run struct {
+	m       *core.Machine
+	n       int
+	steps   int
+	variant string
+
+	pos   [][3]float64
+	vel   [][3]float64
+	mass  []float64
+	force [][3]float64
+
+	t        *tree
+	arrBody  *core.Array
+	arrCell  *core.Array
+	arrBox   *core.Array // per-proc bounding-box lines
+	arrRoot  *core.Array // root pointer line
+	locks    []*synchro.Lock
+	rootLock *synchro.Lock
+	barrier  *synchro.Barrier
+
+	boxMin, boxMax [3]float64
+	boxes          [][2][3]float64 // per-proc bounding-box scratch
+	localRoots     []int32         // merge variant: per-proc local tree roots
+	superLevel     int32           // spatial variant: subspace level
+	levelCells     [][]int32
+
+	totalMass  float64
+	treeTimeNS []float64 // per-proc virtual time spent in tree build
+}
+
+func build(m *core.Machine, p workload.Params) (*run, error) {
+	n := p.Size
+	if n < 8 {
+		return nil, fmt.Errorf("barnes: %d bodies too few", n)
+	}
+	np := m.NumProcs()
+	capacity := 4*n + 4096*np
+	b := &run{
+		m:          m,
+		n:          n,
+		steps:      p.Steps,
+		variant:    p.Variant,
+		pos:        make([][3]float64, n),
+		vel:        make([][3]float64, n),
+		mass:       make([]float64, n),
+		force:      make([][3]float64, n),
+		t:          newTree(capacity, np),
+		arrBody:    m.Alloc("barnes.bodies", n, bodyBytes),
+		arrCell:    m.Alloc("barnes.cells", capacity, cellBytes),
+		arrBox:     m.Alloc("barnes.box", np, core.BlockBytes),
+		arrRoot:    m.Alloc("barnes.root", 1, core.BlockBytes),
+		locks:      make([]*synchro.Lock, lockPoolSize),
+		rootLock:   synchro.NewLock(m, p.Lock),
+		barrier:    synchro.NewBarrier(m, np, p.Barrier),
+		boxes:      make([][2][3]float64, np),
+		localRoots: make([]int32, np),
+		treeTimeNS: make([]float64, np),
+	}
+	if b.steps <= 0 {
+		b.steps = defaultSteps
+	}
+	for i := range b.locks {
+		b.locks[i] = synchro.NewLock(m, p.Lock)
+	}
+	for b.superLevel = 1; 1<<(3*b.superLevel) < 2*np; b.superLevel++ {
+	}
+	b.generatePlummer(p.Seed)
+	// Bodies are assigned to processors in Morton order so each owns a
+	// spatially contiguous chunk (approximating costzones locality).
+	b.arrBody.PlaceElemBlocked(np)
+	b.arrCell.PlaceElemBlocked(np)
+	return b, nil
+}
+
+// generatePlummer samples a Plummer sphere and orders bodies along the
+// Morton curve.
+func (b *run) generatePlummer(seed int64) {
+	rng := workload.NewRand(seed)
+	type bk struct {
+		pos [3]float64
+		key uint64
+	}
+	bodies := make([]bk, b.n)
+	for i := range bodies {
+		// Plummer radius, rejection-capped at 8.
+		var r float64
+		for {
+			x := rng.Float64()
+			if x == 0 {
+				continue
+			}
+			r = 1 / math.Sqrt(math.Pow(x, -2.0/3.0)-1)
+			if r < 8 {
+				break
+			}
+		}
+		cosT := 2*rng.Float64() - 1
+		sinT := math.Sqrt(1 - cosT*cosT)
+		phi := 2 * math.Pi * rng.Float64()
+		bodies[i].pos = [3]float64{
+			r * sinT * math.Cos(phi),
+			r * sinT * math.Sin(phi),
+			r * cosT,
+		}
+	}
+	for i := range bodies {
+		bodies[i].key = mortonKey(bodies[i].pos, 8.0)
+	}
+	sort.Slice(bodies, func(i, j int) bool { return bodies[i].key < bodies[j].key })
+	for i := range bodies {
+		b.pos[i] = bodies[i].pos
+		b.mass[i] = 1.0 / float64(b.n)
+		b.vel[i] = [3]float64{0, 0, 0}
+		b.totalMass += b.mass[i]
+	}
+}
+
+// mortonKey interleaves 16 bits per dimension of the position scaled into
+// [-scale, scale).
+func mortonKey(pos [3]float64, scale float64) uint64 {
+	var key uint64
+	for k := 0; k < 3; k++ {
+		v := (pos[k] + scale) / (2 * scale)
+		if v < 0 {
+			v = 0
+		}
+		if v >= 1 {
+			v = math.Nextafter(1, 0)
+		}
+		g := uint64(v * 65536)
+		for bit := 0; bit < 16; bit++ {
+			key |= ((g >> bit) & 1) << (3*bit + k)
+		}
+	}
+	return key
+}
+
+func (b *run) chunk(id int) (lo, hi int) {
+	np := b.m.NumProcs()
+	return id * b.n / np, (id + 1) * b.n / np
+}
+
+func (b *run) body(p *core.Proc) {
+	id := p.ID()
+	for step := 0; step < b.steps; step++ {
+		p.SetPhase("bounding-box")
+		b.boundingBox(p)
+		p.SetPhase("tree-build")
+		buildStart := p.Now()
+		switch b.variant {
+		case "merge":
+			b.buildMerge(p)
+		case "spatial":
+			b.buildSpatial(p)
+		default:
+			b.buildLocked(p)
+		}
+		b.barrier.Wait(p)
+		b.treeTimeNS[id] += (p.Now() - buildStart).Nanoseconds()
+		p.SetPhase("centers-of-mass")
+		b.centersOfMass(p)
+		p.SetPhase("force")
+		b.forces(p)
+		b.barrier.Wait(p)
+		p.SetPhase("update")
+		b.update(p)
+		b.barrier.Wait(p)
+	}
+	p.SetPhase("")
+}
+
+// boundingBox computes the global bounding cube via an all-to-all
+// reduction over per-processor lines.
+func (b *run) boundingBox(p *core.Proc) {
+	id := p.ID()
+	lo, hi := b.chunk(id)
+	mn := [3]float64{math.Inf(1), math.Inf(1), math.Inf(1)}
+	mx := [3]float64{math.Inf(-1), math.Inf(-1), math.Inf(-1)}
+	for i := lo; i < hi; i++ {
+		p.Read(b.arrBody.Addr(i))
+		for k := 0; k < 3; k++ {
+			mn[k] = math.Min(mn[k], b.pos[i][k])
+			mx[k] = math.Max(mx[k], b.pos[i][k])
+		}
+	}
+	p.ComputeCycles(int64(hi-lo) * 4)
+	b.boxes[id] = [2][3]float64{mn, mx}
+	p.Write(b.arrBox.Addr(id))
+	b.barrier.Wait(p)
+	gmn, gmx := b.boxes[0][0], b.boxes[0][1]
+	for q := 0; q < p.NumProcs(); q++ {
+		p.Read(b.arrBox.Addr(q))
+		for k := 0; k < 3; k++ {
+			gmn[k] = math.Min(gmn[k], b.boxes[q][0][k])
+			gmx[k] = math.Max(gmx[k], b.boxes[q][1][k])
+		}
+	}
+	b.boxMin, b.boxMax = gmn, gmx
+	// Everyone resets the tree identically; proc 0's values win (all equal).
+	if id == 0 {
+		b.t.reset()
+	}
+	b.barrier.Wait(p)
+}
+
+// rootGeometry returns the root cell cube enclosing the bounding box.
+func (b *run) rootGeometry() (center [3]float64, half float64) {
+	for k := 0; k < 3; k++ {
+		center[k] = (b.boxMin[k] + b.boxMax[k]) / 2
+		half = math.Max(half, (b.boxMax[k]-b.boxMin[k])/2)
+	}
+	return center, half * 1.0001
+}
+
+// --- LockTree: the original algorithm ---
+
+// lockedOps issues simulated traffic and uses the hashed lock pool.
+func (b *run) lockedOps(p *core.Proc) treeOps {
+	return treeOps{
+		read: func(c int32) {
+			p.Read(b.arrCell.Addr(int(c)))
+			p.ComputeCycles(insertCycles)
+		},
+		write:  func(c int32) { p.Write(b.arrCell.Addr(int(c))) },
+		lock:   func(c int32) { b.locks[int(c)%lockPoolSize].Acquire(p) },
+		unlock: func(c int32) { b.locks[int(c)%lockPoolSize].Release(p) },
+	}
+}
+
+// unlockedOps issues simulated traffic without locks, for tree regions
+// private to the building processor.
+func (b *run) unlockedOps(p *core.Proc) treeOps {
+	return treeOps{
+		read: func(c int32) {
+			p.Read(b.arrCell.Addr(int(c)))
+			p.ComputeCycles(insertCycles)
+		},
+		write:  func(c int32) { p.Write(b.arrCell.Addr(int(c))) },
+		lock:   func(int32) {},
+		unlock: func(int32) {},
+	}
+}
+
+func (b *run) buildLocked(p *core.Proc) {
+	id := p.ID()
+	if id == 0 {
+		center, half := b.rootGeometry()
+		b.t.root = b.t.alloc(0, center, half, 0)
+		p.Write(b.arrRoot.Addr(0))
+		p.Write(b.arrCell.Addr(int(b.t.root)))
+	}
+	b.barrier.Wait(p)
+	p.Read(b.arrRoot.Addr(0))
+	lo, hi := b.chunk(id)
+	ops := b.lockedOps(p)
+	for i := lo; i < hi; i++ {
+		p.Read(b.arrBody.Addr(i))
+		b.t.insert(id, b.t.root, int32(i), b.pos[i], b.pos, ops)
+	}
+}
+
+// --- MergeTree: independent local trees merged recursively ---
+
+func (b *run) buildMerge(p *core.Proc) {
+	id := p.ID()
+	center, half := b.rootGeometry()
+	// Phase 1: local tree over owned bodies, no locking, own cells.
+	local := b.t.alloc(id, center, half, 0)
+	p.Write(b.arrCell.Addr(int(local)))
+	lo, hi := b.chunk(id)
+	ops := b.unlockedOps(p)
+	for i := lo; i < hi; i++ {
+		p.Read(b.arrBody.Addr(i))
+		b.t.insert(id, local, int32(i), b.pos[i], b.pos, ops)
+	}
+	b.localRoots[id] = local
+	b.barrier.Wait(p)
+	// Phase 2: merge. The first processor to arrive just redirects the
+	// root pointer; later ones recursively merge, locking the global
+	// cells they modify — successively more work and communication.
+	b.rootLock.Acquire(p)
+	p.Read(b.arrRoot.Addr(0))
+	if b.t.root == childEmpty {
+		b.t.root = local
+		p.Write(b.arrRoot.Addr(0))
+		b.rootLock.Release(p)
+		return
+	}
+	root := b.t.root
+	b.rootLock.Release(p)
+	b.mergeCells(p, root, local)
+}
+
+// mergeCells merges local subtree l into global cell g.
+// mergeCells merges local subtree l into global cell g. Slot mutations
+// revalidate under the cell lock because acquisition can block while other
+// processors merge into the same region.
+func (b *run) mergeCells(p *core.Proc, g, l int32) {
+	ops := b.lockedOps(p)
+	ops.read(l)
+	for o := 0; o < 8; o++ {
+		lc := b.t.cells[l].children[o]
+		if lc == childEmpty {
+			continue
+		}
+		ops.read(g)
+		if gc := b.t.cells[g].children[o]; gc != childEmpty && !isBody(gc) && !isBody(lc) {
+			b.mergeCells(p, gc, lc)
+			continue
+		}
+		ops.lock(g)
+		gc := b.t.cells[g].children[o]
+		switch {
+		case gc == childEmpty:
+			b.t.cells[g].children[o] = lc
+			ops.write(g)
+			ops.unlock(g)
+		case !isBody(gc) && !isBody(lc):
+			ops.unlock(g)
+			b.mergeCells(p, gc, lc)
+		case !isBody(gc): // global cell, local body
+			ops.unlock(g)
+			bi := bodyIndex(lc)
+			b.t.insert(p.ID(), gc, bi, b.pos[bi], b.pos, ops)
+		case isBody(gc) && !isBody(lc): // global body, local cell
+			bi := bodyIndex(gc)
+			b.t.cells[g].children[o] = lc
+			ops.write(g)
+			ops.unlock(g)
+			b.t.insert(p.ID(), lc, bi, b.pos[bi], b.pos, ops)
+		default: // both bodies: split under a fresh cell
+			bg, bl := bodyIndex(gc), bodyIndex(lc)
+			cc, hh := childGeometry(b.t.cells[g].center, b.t.cells[g].half, o)
+			nc := b.t.alloc(p.ID(), cc, hh, b.t.cells[g].level+1)
+			og := octant(cc, b.pos[bg])
+			b.t.cells[nc].children[og] = bodyRef(bg)
+			ops.write(nc)
+			b.t.cells[g].children[o] = nc
+			ops.write(g)
+			ops.unlock(g)
+			b.t.insert(p.ID(), nc, bl, b.pos[bl], b.pos, ops)
+		}
+		p.ComputeCycles(insertCycles)
+	}
+}
+
+// --- Spatial: supertree + lock-free subtree attachment ---
+
+func (b *run) buildSpatial(p *core.Proc) {
+	id := p.ID()
+	np := p.NumProcs()
+	L := int(b.superLevel)
+	center, half := b.rootGeometry()
+	if id == 0 {
+		// Build the complete supertree down to level L-1; its level-L
+		// child slots are the subspace attachment points.
+		b.t.root = b.buildSuper(p, center, half, 0, L)
+		p.Write(b.arrRoot.Addr(0))
+	}
+	b.barrier.Wait(p)
+	p.Read(b.arrRoot.Addr(0))
+	// Partition bodies by level-L subspace; each processor builds the
+	// subtrees of the subspaces assigned to it (round-robin in Morton
+	// order) without any locking, then attaches them to unique slots.
+	nsub := 1 << (3 * L)
+	subBodies := make([][]int32, 0, 8)
+	mySubs := make([]int, 0, 8)
+	for s := id; s < nsub; s += np {
+		mySubs = append(mySubs, s)
+		subBodies = append(subBodies, nil)
+	}
+	subIndex := make(map[int]int, len(mySubs))
+	for i, s := range mySubs {
+		subIndex[s] = i
+	}
+	for i := 0; i < b.n; i++ {
+		s := b.subspaceOf(b.pos[i], center, half, L)
+		if idx, ok := subIndex[s]; ok {
+			subBodies[idx] = append(subBodies[idx], int32(i))
+		}
+	}
+	for i, s := range mySubs {
+		bodies := subBodies[i]
+		if len(bodies) == 0 {
+			continue
+		}
+		parent, slot, cc, hh := b.superSlot(s, center, half, L)
+		if len(bodies) == 1 {
+			// A single body attaches directly: canonical structure.
+			p.Read(b.arrBody.Addr(int(bodies[0])))
+			b.t.cells[parent].children[slot] = bodyRef(bodies[0])
+			p.Write(b.arrCell.Addr(int(parent)))
+			continue
+		}
+		sub := b.t.alloc(id, cc, hh, int32(L))
+		p.Write(b.arrCell.Addr(int(sub)))
+		ops := b.unlockedOps(p)
+		for _, bi := range bodies {
+			p.Read(b.arrBody.Addr(int(bi)))
+			b.t.insert(id, sub, bi, b.pos[bi], b.pos, ops)
+		}
+		// Attachment is lock-free: the slot is unique to this subspace.
+		b.t.cells[parent].children[slot] = sub
+		p.Write(b.arrCell.Addr(int(parent)))
+	}
+}
+
+// buildSuper recursively creates the complete supertree down to level L-1.
+func (b *run) buildSuper(p *core.Proc, center [3]float64, half float64, level, L int) int32 {
+	id := b.t.alloc(0, center, half, int32(level))
+	p.Write(b.arrCell.Addr(int(id)))
+	if level == L-1 {
+		return id
+	}
+	for o := 0; o < 8; o++ {
+		cc, hh := childGeometry(center, half, o)
+		b.t.cells[id].children[o] = b.buildSuper(p, cc, hh, level+1, L)
+	}
+	return id
+}
+
+// subspaceOf returns the Morton index of the level-L subspace holding pos.
+func (b *run) subspaceOf(pos [3]float64, center [3]float64, half float64, L int) int {
+	s := 0
+	c, h := center, half
+	for l := 0; l < L; l++ {
+		o := octant(c, pos)
+		s = s<<3 | o
+		c, h = childGeometry(c, h, o)
+	}
+	return s
+}
+
+// superSlot resolves subspace s to its parent supertree cell and child slot.
+func (b *run) superSlot(s int, center [3]float64, half float64, L int) (parent int32, slot int, cc [3]float64, hh float64) {
+	parent = b.t.root
+	c, h := center, half
+	for l := L - 1; l > 0; l-- {
+		o := (s >> (3 * l)) & 7
+		parent = b.t.cells[parent].children[o]
+		c, h = childGeometry(c, h, o)
+	}
+	slot = s & 7
+	cc, hh = childGeometry(c, h, slot)
+	return
+}
+
+// --- Centers of mass: level-by-level upward pass ---
+
+func (b *run) centersOfMass(p *core.Proc) {
+	id := p.ID()
+	// Bucket own cells by level (host-side bookkeeping).
+	own := map[int32][]int32{}
+	for c := b.t.regionLo[id]; c < b.t.next[id]; c++ {
+		own[b.t.cells[c].level] = append(own[b.t.cells[c].level], c)
+	}
+	for lvl := b.t.maxLevel; lvl >= 0; lvl-- {
+		for _, c := range own[lvl] {
+			for _, ch := range b.t.cells[c].children {
+				if ch != childEmpty && !isBody(ch) {
+					p.Read(b.arrCell.Addr(int(ch)))
+				}
+			}
+			b.t.computeCOM(c, b.pos, b.mass)
+			p.Write(b.arrCell.Addr(int(c)))
+			p.ComputeCycles(comCycles)
+		}
+		b.barrier.Wait(p)
+	}
+}
+
+// --- Force computation ---
+
+func (b *run) forces(p *core.Proc) {
+	lo, hi := b.chunk(p.ID())
+	var stack []int32
+	for i := lo; i < hi; i++ {
+		p.Read(b.arrBody.Addr(i))
+		f := [3]float64{}
+		stack = stack[:0]
+		if b.t.root != childEmpty {
+			stack = append(stack, b.t.root)
+		}
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if isBody(v) {
+				j := bodyIndex(v)
+				if int(j) != i {
+					p.Read(b.arrBody.Addr(int(j)))
+					addForce(&f, b.pos[i], b.pos[j], b.mass[j])
+					p.ComputeCycles(interactionCycles)
+				}
+				continue
+			}
+			c := &b.t.cells[v]
+			p.Read(b.arrCell.Addr(int(v)))
+			p.ComputeCycles(openCycles)
+			if c.mass == 0 {
+				continue
+			}
+			d2 := dist2(b.pos[i], c.com)
+			size := 2 * c.half
+			if size*size < theta*theta*d2 {
+				addForce(&f, b.pos[i], c.com, c.mass)
+				p.ComputeCycles(interactionCycles)
+				continue
+			}
+			for _, ch := range c.children {
+				if ch != childEmpty {
+					stack = append(stack, ch)
+				}
+			}
+		}
+		b.force[i] = f
+	}
+}
+
+func dist2(a, c [3]float64) float64 {
+	var d2 float64
+	for k := 0; k < 3; k++ {
+		d := a[k] - c[k]
+		d2 += d * d
+	}
+	return d2
+}
+
+// addForce accumulates the softened gravitational pull of (pos,mass) on a.
+func addForce(f *[3]float64, a, pos [3]float64, mass float64) {
+	const eps2 = 0.0025
+	d2 := dist2(a, pos) + eps2
+	inv := 1 / (d2 * math.Sqrt(d2))
+	for k := 0; k < 3; k++ {
+		f[k] += mass * (pos[k] - a[k]) * inv
+	}
+}
+
+func (b *run) update(p *core.Proc) {
+	lo, hi := b.chunk(p.ID())
+	const dt = 0.01
+	for i := lo; i < hi; i++ {
+		for k := 0; k < 3; k++ {
+			b.vel[i][k] += dt * b.force[i][k]
+			b.pos[i][k] += dt * b.vel[i][k]
+		}
+		p.Write(b.arrBody.Addr(i))
+	}
+	p.ComputeCycles(int64(hi-lo) * updateCyclesB)
+}
+
+func (b *run) verify() error {
+	if !b.t.checkMass(b.totalMass) {
+		return fmt.Errorf("barnes: root mass %g does not match total %g",
+			b.t.cells[b.t.root].mass, b.totalMass)
+	}
+	if got := b.t.countBodies(b.t.root); got != b.n {
+		return fmt.Errorf("barnes: tree holds %d bodies, want %d", got, b.n)
+	}
+	for i := range b.force {
+		for k := 0; k < 3; k++ {
+			if math.IsNaN(b.force[i][k]) || math.IsInf(b.force[i][k], 0) {
+				return fmt.Errorf("barnes: non-finite force on body %d", i)
+			}
+		}
+	}
+	return nil
+}
+
+// ForceChecksum returns an order-independent force checksum (test aid).
+func (b *run) ForceChecksum() float64 {
+	var s float64
+	for i := range b.force {
+		for k := 0; k < 3; k++ {
+			s += math.Abs(b.force[i][k])
+		}
+	}
+	return s
+}
+
+// RunForChecksum executes the app and returns the force checksum plus the
+// average fraction of virtual time spent building the tree.
+func RunForChecksum(m *core.Machine, p workload.Params) (float64, float64, error) {
+	b, err := build(m, p)
+	if err != nil {
+		return 0, 0, err
+	}
+	if err := m.Run(b.body); err != nil {
+		return 0, 0, err
+	}
+	if err := b.verify(); err != nil {
+		return 0, 0, err
+	}
+	var tt float64
+	for _, v := range b.treeTimeNS {
+		tt += v
+	}
+	total := m.Elapsed().Nanoseconds() * float64(m.NumProcs())
+	return b.ForceChecksum(), tt / total, nil
+}

@@ -1,0 +1,126 @@
+package barnes
+
+import (
+	"testing"
+
+	"origin2000/internal/core"
+	"origin2000/internal/workload"
+)
+
+func TestTreeInsertIsCanonical(t *testing.T) {
+	// The octree structure depends only on body positions, not on
+	// insertion order: inserting in two different orders must yield the
+	// same body count per subtree and root invariants.
+	positions := [][3]float64{
+		{0.1, 0.1, 0.1}, {0.9, 0.9, 0.9}, {0.11, 0.1, 0.1},
+		{0.5, 0.2, 0.8}, {0.3, 0.7, 0.4}, {0.95, 0.05, 0.5},
+	}
+	buildIn := func(order []int) *tree {
+		tr := newTree(256, 1)
+		tr.root = tr.alloc(0, [3]float64{0.5, 0.5, 0.5}, 0.51, 0)
+		for _, i := range order {
+			tr.insert(0, tr.root, int32(i), positions[i], positions, nopOps())
+		}
+		return tr
+	}
+	a := buildIn([]int{0, 1, 2, 3, 4, 5})
+	bTree := buildIn([]int{5, 3, 1, 0, 4, 2})
+	if a.countBodies(a.root) != 6 || bTree.countBodies(bTree.root) != 6 {
+		t.Fatal("trees dropped bodies")
+	}
+	if a.next[0] != bTree.next[0] {
+		t.Errorf("different cell counts: %d vs %d", a.next[0], bTree.next[0])
+	}
+}
+
+func TestAllVariantsComputeSameForces(t *testing.T) {
+	params := workload.Params{Size: 512, Seed: 13, Steps: 1}
+	var want float64
+	for vi, variant := range []string{"", "merge", "spatial"} {
+		for _, procs := range []int{1, 8} {
+			m := core.New(core.Origin2000(procs))
+			pp := params
+			pp.Variant = variant
+			got, _, err := RunForChecksum(m, pp)
+			if err != nil {
+				t.Fatalf("%q procs=%d: %v", variant, procs, err)
+			}
+			if vi == 0 && procs == 1 {
+				want = got
+				continue
+			}
+			if err := workload.CheckClose("force checksum "+variant, got, want, 1e-9); err != nil {
+				t.Errorf("procs=%d: %v", procs, err)
+			}
+		}
+	}
+}
+
+func TestTreeBuildPhaseShrinksWithRestructuring(t *testing.T) {
+	// Figure 10: at scale, the locking tree build consumes far more time
+	// than MergeTree or Spatial.
+	frac := func(variant string) float64 {
+		m := core.New(core.Origin2000(32))
+		_, f, err := RunForChecksum(m, workload.Params{Size: 2048, Seed: 13, Steps: 1, Variant: variant})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	lockF := frac("")
+	spatialF := frac("spatial")
+	if spatialF >= lockF {
+		t.Errorf("spatial tree-build fraction %.3f should be below locktree %.3f", spatialF, lockF)
+	}
+}
+
+func TestSpatialBeatsOriginalAtScale(t *testing.T) {
+	// The paper's Section 5.2: the Spatial build loses at moderate scale
+	// but wins at large scale. Check the large-scale side.
+	elapsed := func(variant string, procs int) float64 {
+		m := core.New(core.Origin2000(procs))
+		if err := New().Run(m, workload.Params{Size: 8192, Seed: 13, Steps: 1, Variant: variant}); err != nil {
+			t.Fatal(err)
+		}
+		return m.Elapsed().Milliseconds()
+	}
+	orig := elapsed("", 128)
+	spatial := elapsed("spatial", 128)
+	if spatial >= orig {
+		t.Errorf("spatial (%.2fms) should beat the locking build (%.2fms) at 128 procs", spatial, orig)
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	elapsed := func(procs int) float64 {
+		m := core.New(core.Origin2000(procs))
+		if err := New().Run(m, workload.Params{Size: 2048, Seed: 13, Steps: 1}); err != nil {
+			t.Fatal(err)
+		}
+		return m.Elapsed().Milliseconds()
+	}
+	seq := elapsed(1)
+	par := elapsed(16)
+	if sp := seq / par; sp < 6 {
+		t.Errorf("speedup at 16 procs = %.2f, want >= 6", sp)
+	}
+}
+
+func TestMortonKeyOrdersOctants(t *testing.T) {
+	low := mortonKey([3]float64{-7, -7, -7}, 8)
+	high := mortonKey([3]float64{7, 7, 7}, 8)
+	if low >= high {
+		t.Errorf("morton keys unordered: %d >= %d", low, high)
+	}
+	if mortonKey([3]float64{0, 0, 0}, 8) == 0 {
+		t.Error("center should not map to key 0")
+	}
+}
+
+func TestVerifyCatchesMassLoss(t *testing.T) {
+	tr := newTree(64, 1)
+	tr.root = tr.alloc(0, [3]float64{0, 0, 0}, 1, 0)
+	if tr.checkMass(1.0) {
+		t.Error("empty tree should not match nonzero mass")
+	}
+}

@@ -1,0 +1,247 @@
+// Package barnes implements the Barnes-Hut N-body application with the
+// three parallel tree-building algorithms the paper analyzes (Section 5):
+// the original globally-shared tree with per-cell locking (LockTree), the
+// MergeTree restructuring (independent local trees merged recursively), and
+// the Spatial restructuring (a supertree whose level-L subspaces are built
+// independently and attached without locking).
+package barnes
+
+import (
+	"math"
+)
+
+// Child-slot encoding inside a cell: empty, a body, or another cell.
+const (
+	childEmpty = int32(-1)
+)
+
+// bodyRef encodes body index b as a negative child value.
+func bodyRef(b int32) int32 { return -(b + 2) }
+
+// isBody reports whether a child value names a body.
+func isBody(v int32) bool { return v <= -2 }
+
+// bodyIndex decodes a bodyRef.
+func bodyIndex(v int32) int32 { return -v - 2 }
+
+// cell is one octree node. Geometry (center, half-width) is stored so the
+// force traversal can apply the opening criterion without passing it down.
+type cell struct {
+	children [8]int32
+	center   [3]float64
+	half     float64
+	com      [3]float64
+	mass     float64
+	level    int32
+	owner    int32 // allocating processor (placement + COM pass)
+}
+
+// tree is the shared octree: a global cell pool carved into per-processor
+// regions so each processor allocates from (and places) its own cells.
+type tree struct {
+	cells    []cell
+	next     []int32 // per-proc bump pointer into its region
+	regionLo []int32
+	regionHi []int32
+	root     int32
+	maxLevel int32
+}
+
+func newTree(capacity, nprocs int) *tree {
+	t := &tree{
+		cells:    make([]cell, capacity),
+		next:     make([]int32, nprocs),
+		regionLo: make([]int32, nprocs),
+		regionHi: make([]int32, nprocs),
+		root:     childEmpty,
+	}
+	for p := 0; p < nprocs; p++ {
+		t.regionLo[p] = int32(p * capacity / nprocs)
+		t.regionHi[p] = int32((p + 1) * capacity / nprocs)
+		t.next[p] = t.regionLo[p]
+	}
+	return t
+}
+
+func (t *tree) reset() {
+	for p := range t.next {
+		t.next[p] = t.regionLo[p]
+	}
+	t.root = childEmpty
+	t.maxLevel = 0
+}
+
+// alloc creates a cell from processor p's pool.
+func (t *tree) alloc(p int, center [3]float64, half float64, level int32) int32 {
+	if t.next[p] >= t.regionHi[p] {
+		panic("barnes: cell pool exhausted")
+	}
+	id := t.next[p]
+	t.next[p]++
+	c := &t.cells[id]
+	*c = cell{center: center, half: half, level: level, owner: int32(p)}
+	for i := range c.children {
+		c.children[i] = childEmpty
+	}
+	if level > t.maxLevel {
+		t.maxLevel = level
+	}
+	return id
+}
+
+// octant returns which child octant of (center) position pos falls in.
+func octant(center [3]float64, pos [3]float64) int {
+	o := 0
+	for k := 0; k < 3; k++ {
+		if pos[k] >= center[k] {
+			o |= 1 << k
+		}
+	}
+	return o
+}
+
+// childGeometry returns the center/half-width of child octant o.
+func childGeometry(center [3]float64, half float64, o int) ([3]float64, float64) {
+	h := half / 2
+	var c [3]float64
+	for k := 0; k < 3; k++ {
+		if o&(1<<k) != 0 {
+			c[k] = center[k] + h
+		} else {
+			c[k] = center[k] - h
+		}
+	}
+	return c, h
+}
+
+const maxDepth = 60
+
+// treeOps carries the simulated-traffic and locking hooks for tree
+// mutation. Lock/unlock may suspend the calling processor in virtual time,
+// so insert re-validates a child slot after acquiring its cell's lock —
+// exactly the discipline the real locking code needs.
+type treeOps struct {
+	read   func(cellID int32)
+	write  func(cellID int32)
+	lock   func(cellID int32)
+	unlock func(cellID int32)
+}
+
+// nopOps performs no simulated traffic (plain-Go test use).
+func nopOps() treeOps {
+	nop := func(int32) {}
+	return treeOps{read: nop, write: nop, lock: nop, unlock: nop}
+}
+
+// insert places body b (at pos) into the subtree rooted at cellID,
+// splitting leaves as needed. The resulting structure is canonical: it
+// depends only on the body positions, never on insertion order. insert
+// holds at most one cell lock at a time and never across recursion, so
+// hashed lock pools cannot self-deadlock.
+func (t *tree) insert(p int, cellID int32, b int32, pos [3]float64, positions [][3]float64, ops treeOps) {
+	id := cellID
+	for depth := 0; ; depth++ {
+		if depth > maxDepth {
+			panic("barnes: tree too deep (coincident bodies?)")
+		}
+		c := &t.cells[id]
+		ops.read(id)
+		o := octant(c.center, pos)
+		if ch := c.children[o]; ch != childEmpty && !isBody(ch) {
+			// Cell pointers are immutable once linked: descend lock-free.
+			id = ch
+			continue
+		}
+		// The slot holds empty or a body: mutate under the cell lock,
+		// re-reading the slot because the acquisition may have blocked.
+		ops.lock(id)
+		ch := c.children[o]
+		switch {
+		case ch == childEmpty:
+			c.children[o] = bodyRef(b)
+			ops.write(id)
+			ops.unlock(id)
+			return
+		case isBody(ch):
+			// Split: push the resident body down into a fresh cell.
+			other := bodyIndex(ch)
+			cc, hh := childGeometry(c.center, c.half, o)
+			nc := t.alloc(p, cc, hh, c.level+1)
+			oo := octant(cc, positions[other])
+			t.cells[nc].children[oo] = bodyRef(other)
+			ops.write(nc)
+			c.children[o] = nc
+			ops.write(id)
+			ops.unlock(id)
+			id = nc
+		default:
+			// Someone linked a cell while we were acquiring the lock.
+			ops.unlock(id)
+			id = ch
+		}
+	}
+}
+
+// computeCOM computes the center of mass of one cell from its (already
+// computed) children. Children are summed in octant order, so the result
+// is deterministic regardless of which processor runs it.
+func (t *tree) computeCOM(id int32, positions [][3]float64, masses []float64) {
+	c := &t.cells[id]
+	var m float64
+	var com [3]float64
+	for _, ch := range c.children {
+		switch {
+		case ch == childEmpty:
+		case isBody(ch):
+			b := bodyIndex(ch)
+			bm := masses[b]
+			m += bm
+			for k := 0; k < 3; k++ {
+				com[k] += bm * positions[b][k]
+			}
+		default:
+			cc := &t.cells[ch]
+			m += cc.mass
+			for k := 0; k < 3; k++ {
+				com[k] += cc.mass * cc.com[k]
+			}
+		}
+	}
+	c.mass = m
+	if m > 0 {
+		for k := 0; k < 3; k++ {
+			com[k] /= m
+		}
+	}
+	c.com = com
+}
+
+// checkMass verifies that the root's mass equals the total body mass — the
+// invariant every build algorithm must preserve.
+func (t *tree) checkMass(total float64) bool {
+	if t.root == childEmpty {
+		return total == 0
+	}
+	return math.Abs(t.cells[t.root].mass-total) <= 1e-9*math.Max(total, 1)
+}
+
+// countBodies walks the subtree and counts bodies (test aid).
+func (t *tree) countBodies(id int32) int {
+	if id == childEmpty {
+		return 0
+	}
+	if isBody(id) {
+		return 1
+	}
+	n := 0
+	for _, ch := range t.cells[id].children {
+		switch {
+		case ch == childEmpty:
+		case isBody(ch):
+			n++
+		default:
+			n += t.countBodies(ch)
+		}
+	}
+	return n
+}

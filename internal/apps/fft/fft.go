@@ -1,0 +1,366 @@
+// Package fft implements the SPLASH-2 style six-step 1D FFT: the n-point
+// dataset is a √n×√n complex matrix; row FFTs alternate with staggered
+// all-to-all matrix transposes, the communication pattern the paper uses to
+// stress the machine (Sections 4, 6.1 and 7.1).
+package fft
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"origin2000/internal/core"
+	"origin2000/internal/synchro"
+	"origin2000/internal/workload"
+)
+
+// Cost constants (processor cycles) calibrated against Table 2's sequential
+// time for 2^20 points.
+const (
+	butterflyCycles = 30
+	twiddleCycles   = 18
+	copyCycles      = 4
+)
+
+const elemBytes = 16 // complex128
+
+// App is the FFT workload.
+type App struct{}
+
+// New returns the FFT application.
+func New() *App { return &App{} }
+
+// Name implements workload.App.
+func (*App) Name() string { return "FFT" }
+
+// Unit implements workload.App.
+func (*App) Unit() string { return "points" }
+
+// BasicSize implements workload.App: 2^20 points.
+func (*App) BasicSize() int { return 1 << 20 }
+
+// SweepSizes implements workload.App.
+func (*App) SweepSizes() []int { return []int{1 << 16, 1 << 18, 1 << 20, 1 << 22, 1 << 24} }
+
+// Variants implements workload.App. "offnode" staggers the transpose so
+// both processors of a node start with off-node partners (Section 7.1);
+// "implicit" folds the first transpose into the row FFTs — the paper's
+// unsuccessful attempt to reduce communication burstiness (Section 5.1).
+func (*App) Variants() []string { return []string{"", "offnode", "implicit"} }
+
+// MaxProcs implements workload.App.
+func (*App) MaxProcs() int { return 128 }
+
+// Run implements workload.App.
+func (*App) Run(m *core.Machine, p workload.Params) error {
+	f, err := build(m, p)
+	if err != nil {
+		return err
+	}
+	if err := m.Run(f.body); err != nil {
+		return err
+	}
+	return f.verify()
+}
+
+type fftRun struct {
+	m        *core.Machine
+	dim      int // matrix dimension (√n)
+	a, b     []complex128
+	arrA     *core.Array
+	arrB     *core.Array
+	barrier  *synchro.Barrier
+	stagger  int
+	pre      bool
+	implicit bool
+	inPower  float64
+}
+
+func build(m *core.Machine, p workload.Params) (*fftRun, error) {
+	n := p.Size
+	dim := 1
+	for dim*dim < n {
+		dim <<= 1
+	}
+	if dim*dim != n {
+		return nil, fmt.Errorf("fft: size %d is not a square power of two", n)
+	}
+	np := m.NumProcs()
+	if dim%np != 0 && np > 1 {
+		// Pad processor ownership by ceiling division; require dim >= np.
+		if dim < np {
+			return nil, fmt.Errorf("fft: matrix dim %d smaller than %d processors", dim, np)
+		}
+	}
+	f := &fftRun{
+		m:       m,
+		dim:     dim,
+		a:       make([]complex128, n),
+		b:       make([]complex128, n),
+		arrA:    m.Alloc("fft.a", n, elemBytes),
+		arrB:    m.Alloc("fft.b", n, elemBytes),
+		barrier: synchro.NewBarrier(m, np, p.Barrier),
+		stagger: 1,
+		pre:     p.Prefetch,
+	}
+	if p.Variant == "offnode" {
+		f.stagger = 2
+	}
+	if p.Variant == "implicit" {
+		f.implicit = true
+	}
+	rng := workload.NewRand(p.Seed)
+	for i := range f.a {
+		f.a[i] = complex(rng.Float64()-0.5, rng.Float64()-0.5)
+		f.inPower += real(f.a[i])*real(f.a[i]) + imag(f.a[i])*imag(f.a[i])
+	}
+	// Manual placement: each processor's rows at its node.
+	f.arrA.PlaceElemBlocked(np)
+	f.arrB.PlaceElemBlocked(np)
+	return f, nil
+}
+
+// rowRange assigns rows in balanced contiguous chunks (sizes differ by at
+// most one), so non-power-of-two processor counts keep every processor busy.
+func (f *fftRun) rowRange(id int) (lo, hi int) {
+	np := f.m.NumProcs()
+	return id * f.dim / np, (id + 1) * f.dim / np
+}
+
+func (f *fftRun) body(p *core.Proc) {
+	lo, hi := f.rowRange(p.ID())
+	p.SetPhase("transpose+fft")
+	if f.implicit {
+		// Steps 1+2 fused: gather each row's elements column-wise from
+		// the source matrix while computing its FFT. The strided remote
+		// reads touch one block per element — less bursty than the
+		// explicit transpose, but far more of them, which is why the
+		// paper found this restructuring did not help.
+		f.gatherRows(p, lo, hi)
+		f.barrier.Wait(p)
+	} else {
+		// Step 1: transpose a -> b.
+		f.transpose(p, f.a, f.arrA, f.b, f.arrB)
+		f.barrier.Wait(p)
+		// Step 2: row FFTs on b.
+		f.rowFFTs(p, f.b, f.arrB, lo, hi)
+	}
+	// Step 3: twiddle multiply on b.
+	p.SetPhase("twiddle")
+	f.twiddle(p, lo, hi)
+	f.barrier.Wait(p)
+	// Step 4: transpose b -> a.
+	p.SetPhase("transpose")
+	f.transpose(p, f.b, f.arrB, f.a, f.arrA)
+	f.barrier.Wait(p)
+	// Step 5: row FFTs on a.
+	p.SetPhase("row-ffts")
+	f.rowFFTs(p, f.a, f.arrA, lo, hi)
+	f.barrier.Wait(p)
+	// Step 6: transpose a -> b (final ordering).
+	p.SetPhase("transpose")
+	f.transpose(p, f.a, f.arrA, f.b, f.arrB)
+	f.barrier.Wait(p)
+	p.SetPhase("")
+}
+
+// transpose writes dst[c][r] = src[r][c] for this processor's destination
+// rows c, reading source patches from partners in staggered order so no
+// home becomes a hot spot.
+func (f *fftRun) transpose(p *core.Proc, src []complex128, srcArr *core.Array, dst []complex128, dstArr *core.Array) {
+	np := p.NumProcs()
+	myLo, myHi := f.rowRange(p.ID())
+	if myLo >= myHi {
+		return
+	}
+	// The stagger shifts only the starting partner: the default (+1) makes
+	// process i transpose from i+1 first; "offnode" (+2) makes both
+	// processes of a node start with off-node partners (Section 7.1).
+	for s := 0; s < np; s++ {
+		q := (p.ID() + f.stagger + s) % np
+		qLo, qHi := f.rowRange(q)
+		for r := qLo; r < qHi; r++ {
+			// Read the run src[r][myLo:myHi] (contiguous, stride-one
+			// remote reads — the behaviour Section 5.1 contrasts with
+			// Radix's scattered writes).
+			base := r*f.dim + myLo
+			if f.pre && r+1 < qHi {
+				p.Prefetch(srcArr.Addr((r+1)*f.dim + myLo))
+			}
+			p.ReadBytes(srcArr.Addr(base), (myHi-myLo)*elemBytes)
+			for c := myLo; c < myHi; c++ {
+				dst[c*f.dim+r] = src[r*f.dim+c]
+			}
+			// Writes land in this processor's own rows, one block at a
+			// time as the column fills.
+			p.ComputeCycles(int64(myHi-myLo) * copyCycles)
+			p.WriteBytes(dstArr.Addr(myLo*f.dim+r), 1)
+			if myHi-myLo > 0 {
+				// Touch each destination row's element (strided writes).
+				for c := myLo + 1; c < myHi; c++ {
+					p.Write(dstArr.Addr(c*f.dim + r))
+				}
+			}
+		}
+	}
+}
+
+// gatherRows implements the implicit transpose: each owned destination
+// row is gathered element by element from the source matrix's column
+// (strided single-element remote reads), then transformed in place.
+func (f *fftRun) gatherRows(p *core.Proc, lo, hi int) {
+	dim := f.dim
+	for r := lo; r < hi; r++ {
+		for c := 0; c < dim; c++ {
+			if f.pre && c+1 < dim {
+				p.Prefetch(f.arrA.Addr((c+1)*dim + r))
+			}
+			p.Read(f.arrA.Addr(c*dim + r))
+			f.b[r*dim+c] = f.a[c*dim+r]
+		}
+		p.ComputeCycles(int64(dim) * copyCycles)
+		for x := 0; x < dim*elemBytes; x += core.BlockBytes {
+			p.Write(f.arrB.Addr(r*dim + x/elemBytes))
+		}
+	}
+	f.rowFFTs(p, f.b, f.arrB, lo, hi)
+}
+
+// rowFFTs performs an in-place iterative radix-2 FFT on each owned row.
+func (f *fftRun) rowFFTs(p *core.Proc, data []complex128, arr *core.Array, lo, hi int) {
+	dim := f.dim
+	for r := lo; r < hi; r++ {
+		row := data[r*dim : (r+1)*dim]
+		bitReverse(row)
+		for span := 2; span <= dim; span <<= 1 {
+			half := span / 2
+			ang := -2 * math.Pi / float64(span)
+			wStep := cmplx.Exp(complex(0, ang))
+			for start := 0; start < dim; start += span {
+				w := complex(1, 0)
+				for k := 0; k < half; k++ {
+					u := row[start+k]
+					v := row[start+k+half] * w
+					row[start+k] = u + v
+					row[start+k+half] = u - v
+					w *= wStep
+				}
+			}
+			// One pass over the row per stage: touch each block once.
+			for b := 0; b < dim*elemBytes; b += core.BlockBytes {
+				p.Write(arr.Addr(r*dim + b/elemBytes))
+			}
+			p.ComputeCycles(int64(dim/2) * butterflyCycles)
+		}
+	}
+}
+
+func bitReverse(row []complex128) {
+	n := len(row)
+	for i, j := 0, 0; i < n; i++ {
+		if i < j {
+			row[i], row[j] = row[j], row[i]
+		}
+		mask := n >> 1
+		for ; j&mask != 0; mask >>= 1 {
+			j &^= mask
+		}
+		j |= mask
+	}
+}
+
+// twiddle multiplies b[r][c] by W^(r*c).
+func (f *fftRun) twiddle(p *core.Proc, lo, hi int) {
+	n := float64(f.dim * f.dim)
+	for r := lo; r < hi; r++ {
+		for c := 0; c < f.dim; c++ {
+			ang := -2 * math.Pi * float64(r) * float64(c) / n
+			f.b[r*f.dim+c] *= cmplx.Exp(complex(0, ang))
+			if c%8 == 0 {
+				p.Write(f.arrB.Addr(r*f.dim + c))
+			}
+		}
+		p.ComputeCycles(int64(f.dim) * twiddleCycles)
+	}
+}
+
+// verify checks Parseval's identity: the output power must equal n times
+// the input power (for an unnormalized DFT).
+func (f *fftRun) verify() error {
+	var outPower float64
+	for _, v := range f.b {
+		outPower += real(v)*real(v) + imag(v)*imag(v)
+	}
+	n := float64(f.dim * f.dim)
+	return workload.CheckClose("fft parseval", outPower, n*f.inPower, 1e-9)
+}
+
+// Reference computes the DFT of x directly in O(n^2) (test aid).
+func Reference(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var sum complex128
+		for j := 0; j < n; j++ {
+			ang := -2 * math.Pi * float64(k) * float64(j) / float64(n)
+			sum += x[j] * cmplx.Exp(complex(0, ang))
+		}
+		out[k] = sum
+	}
+	return out
+}
+
+// Transform runs the six-step FFT sequentially in plain Go (no machine) and
+// returns the transform of x; tests compare it with Reference.
+func Transform(x []complex128) []complex128 {
+	n := len(x)
+	dim := 1
+	for dim*dim < n {
+		dim <<= 1
+	}
+	if dim*dim != n {
+		panic("fft: size must be a square power of two")
+	}
+	a := make([]complex128, n)
+	copy(a, x)
+	b := make([]complex128, n)
+	tr := func(src, dst []complex128) {
+		for r := 0; r < dim; r++ {
+			for c := 0; c < dim; c++ {
+				dst[c*dim+r] = src[r*dim+c]
+			}
+		}
+	}
+	rowFFT := func(data []complex128) {
+		for r := 0; r < dim; r++ {
+			row := data[r*dim : (r+1)*dim]
+			bitReverse(row)
+			for span := 2; span <= dim; span <<= 1 {
+				half := span / 2
+				wStep := cmplx.Exp(complex(0, -2*math.Pi/float64(span)))
+				for start := 0; start < dim; start += span {
+					w := complex(1, 0)
+					for k := 0; k < half; k++ {
+						u := row[start+k]
+						v := row[start+k+half] * w
+						row[start+k] = u + v
+						row[start+k+half] = u - v
+						w *= wStep
+					}
+				}
+			}
+		}
+	}
+	tr(a, b)
+	rowFFT(b)
+	for r := 0; r < dim; r++ {
+		for c := 0; c < dim; c++ {
+			ang := -2 * math.Pi * float64(r) * float64(c) / float64(n)
+			b[r*dim+c] *= cmplx.Exp(complex(0, ang))
+		}
+	}
+	tr(b, a)
+	rowFFT(a)
+	tr(a, b)
+	return b
+}

@@ -1,0 +1,125 @@
+package fft
+
+import (
+	"math/cmplx"
+	"testing"
+
+	"origin2000/internal/core"
+	"origin2000/internal/workload"
+)
+
+func TestTransformMatchesDirectDFT(t *testing.T) {
+	for _, n := range []int{4, 16, 64, 256} {
+		rng := workload.NewRand(7)
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.Float64()-0.5, rng.Float64()-0.5)
+		}
+		got := Transform(x)
+		want := Reference(x)
+		for i := range want {
+			if d := cmplx.Abs(got[i] - want[i]); d > 1e-9*float64(n) {
+				t.Fatalf("n=%d: X[%d] = %v, want %v", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestRunVerifiesOnMachine(t *testing.T) {
+	app := New()
+	for _, procs := range []int{1, 4, 16} {
+		m := core.New(core.Origin2000(procs))
+		if err := app.Run(m, workload.Params{Size: 1 << 12, Seed: 3}); err != nil {
+			t.Fatalf("procs=%d: %v", procs, err)
+		}
+		if m.Elapsed() <= 0 {
+			t.Fatalf("procs=%d: no virtual time elapsed", procs)
+		}
+	}
+}
+
+func TestParallelSpeedsUp(t *testing.T) {
+	app := New()
+	elapsed := func(procs int) float64 {
+		m := core.New(core.Origin2000(procs))
+		if err := app.Run(m, workload.Params{Size: 1 << 14, Seed: 3}); err != nil {
+			t.Fatal(err)
+		}
+		return m.Elapsed().Milliseconds()
+	}
+	seq := elapsed(1)
+	par := elapsed(16)
+	if speedup := seq / par; speedup < 6 {
+		t.Errorf("speedup at 16 procs = %.2f, want >= 6", speedup)
+	}
+}
+
+func TestPrefetchVariantRunsAndHelps(t *testing.T) {
+	app := New()
+	run := func(pre bool) (float64, int64) {
+		m := core.New(core.Origin2000(16))
+		if err := app.Run(m, workload.Params{Size: 1 << 14, Seed: 3, Prefetch: pre}); err != nil {
+			t.Fatal(err)
+		}
+		return m.Elapsed().Milliseconds(), m.Result().Counters.Prefetches
+	}
+	base, pf0 := run(false)
+	pre, pf1 := run(true)
+	if pf0 != 0 || pf1 == 0 {
+		t.Fatalf("prefetch counters: base=%d pre=%d", pf0, pf1)
+	}
+	if pre >= base {
+		t.Errorf("prefetch run (%.3fms) not faster than base (%.3fms)", pre, base)
+	}
+}
+
+func TestOffnodeVariantRuns(t *testing.T) {
+	app := New()
+	m := core.New(core.Origin2000(8))
+	if err := app.Run(m, workload.Params{Size: 1 << 12, Seed: 3, Variant: "offnode"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRejectsNonSquareSize(t *testing.T) {
+	app := New()
+	m := core.New(core.Origin2000(2))
+	if err := app.Run(m, workload.Params{Size: 1 << 13, Seed: 3}); err == nil {
+		t.Fatal("2^13 points (non-square) should be rejected")
+	}
+}
+
+func TestCommunicationIsRemoteReads(t *testing.T) {
+	// The staggered transpose should show up as remote clean misses, not
+	// dirty 3-hop traffic (data is written by its owner, read by others).
+	app := New()
+	m := core.New(core.Origin2000(16))
+	if err := app.Run(m, workload.Params{Size: 1 << 14, Seed: 3}); err != nil {
+		t.Fatal(err)
+	}
+	c := m.Result().Counters
+	if c.RemoteClean+c.RemoteDirty == 0 {
+		t.Fatal("expected remote communication in the transpose")
+	}
+	if c.Reads == 0 || c.Hits == 0 {
+		t.Error("expected read traffic with cache reuse")
+	}
+}
+
+func TestImplicitTransposeCorrectButNotFaster(t *testing.T) {
+	// Section 5.1's negative result: folding the transpose into the row
+	// FFTs replaces bursty block transfers with many strided reads.
+	app := New()
+	elapsed := func(variant string) float64 {
+		m := core.New(core.Origin2000(16))
+		if err := app.Run(m, workload.Params{Size: 1 << 14, Seed: 3, Variant: variant}); err != nil {
+			t.Fatalf("%q: %v", variant, err)
+		}
+		return m.Elapsed().Milliseconds()
+	}
+	explicit := elapsed("")
+	implicit := elapsed("implicit")
+	if implicit < explicit*0.95 {
+		t.Errorf("implicit transpose (%.3fms) should not beat explicit (%.3fms)", implicit, explicit)
+	}
+}

@@ -1,0 +1,478 @@
+// Package infer implements probabilistic inference on a clique tree
+// (junction tree), modeled on the belief-network application of the study
+// (CPCS-422 medical diagnosis). An upward pass marginalizes messages from
+// the leaves to the root and a downward pass distributes them back. The
+// original parallelization assigns cliques to processors and steals work
+// dynamically across them; the restructured version ("static") processes
+// cliques one at a time with all processors cooperating inside each
+// clique's table, partitioned to maximize parent/child locality
+// (Section 5.1).
+package infer
+
+import (
+	"fmt"
+	"math"
+
+	"origin2000/internal/core"
+	"origin2000/internal/synchro"
+	"origin2000/internal/workload"
+)
+
+const (
+	entryCycles  = 8 // multiply-accumulate per table entry
+	minVars      = 8
+	maxVars      = 15
+	sepVarsConst = 6 // sepset variables with the parent
+	probeDelay   = 2 // microseconds between idle probes (dynamic version)
+)
+
+// App is the Infer workload.
+type App struct{}
+
+// New returns the application.
+func New() *App { return &App{} }
+
+// Name implements workload.App.
+func (*App) Name() string { return "Infer" }
+
+// Unit implements workload.App.
+func (*App) Unit() string { return "network vars" }
+
+// BasicSize implements workload.App: the CPCS-422 network.
+func (*App) BasicSize() int { return 422 }
+
+// SweepSizes implements workload.App: the paper has only the one real
+// medical-diagnosis input.
+func (*App) SweepSizes() []int { return []int{422} }
+
+// Variants implements workload.App.
+func (*App) Variants() []string { return []string{"", "static"} }
+
+// MaxProcs implements workload.App: results to 64 processors.
+func (*App) MaxProcs() int { return 64 }
+
+// Run implements workload.App.
+func (*App) Run(m *core.Machine, p workload.Params) error {
+	r, err := build(m, p)
+	if err != nil {
+		return err
+	}
+	var body func(*core.Proc)
+	if p.Variant == "static" {
+		body = r.staticBody
+	} else {
+		body = r.dynamicBody
+	}
+	if err := m.Run(body); err != nil {
+		return err
+	}
+	return r.verify()
+}
+
+// clique is one node of the junction tree.
+type clique struct {
+	parent   int32
+	children []int32
+	nvars    int // table has 1<<nvars entries
+	sepvars  int // variables shared with the parent
+	pot      []float64
+	upMsg    []float64 // message to the parent (1<<sepvars entries)
+	downMsg  []float64 // message from the parent
+	owner    int32     // static home processor
+
+	// Dynamic scheduling state.
+	pendingUp   int32 // children not yet done (upward readiness)
+	doneUp      bool
+	doneDown    bool
+	downClaimed bool
+}
+
+type run struct {
+	m       *core.Machine
+	cliques []clique
+	order   []int32 // topological order (parents before children)
+
+	arrPot  *core.Array // one region per clique, indexed by potBase
+	arrMsg  *core.Array
+	arrCtl  *core.Array // one control line per clique
+	potBase []int
+	msgBase []int
+
+	barrier *synchro.Barrier
+	locks   []*synchro.Lock // per-clique scheduling locks
+
+	partial       [][]float64 // static version: per-proc partial messages
+	processedUp   int32
+	processedDown int32
+	rootSum       float64
+}
+
+func build(m *core.Machine, p workload.Params) (*run, error) {
+	if p.Size < 16 {
+		return nil, fmt.Errorf("infer: network of %d vars too small", p.Size)
+	}
+	np := m.NumProcs()
+	nc := p.Size / 4 // cliques in the junction tree
+	rng := workload.NewRand(p.Seed)
+	r := &run{
+		m:       m,
+		cliques: make([]clique, nc),
+		barrier: synchro.NewBarrier(m, np, p.Barrier),
+		locks:   make([]*synchro.Lock, nc),
+		potBase: make([]int, nc),
+		msgBase: make([]int, nc),
+		partial: make([][]float64, np),
+	}
+	totPot, totMsg := 0, 0
+	for i := 0; i < nc; i++ {
+		c := &r.cliques[i]
+		c.nvars = minVars + rng.Intn(maxVars-minVars+1)
+		c.sepvars = sepVarsConst
+		if c.sepvars > c.nvars-1 {
+			c.sepvars = c.nvars - 1
+		}
+		if i > 0 {
+			c.parent = int32(rng.Intn(i))
+			r.cliques[c.parent].children = append(r.cliques[c.parent].children, int32(i))
+		} else {
+			c.parent = -1
+		}
+		c.pot = make([]float64, 1<<c.nvars)
+		for j := range c.pot {
+			c.pot[j] = 0.1 + rng.Float64()
+		}
+		c.upMsg = make([]float64, 1<<c.sepvars)
+		c.downMsg = make([]float64, 1<<c.sepvars)
+		c.owner = int32(i % np)
+		r.potBase[i] = totPot
+		totPot += 1 << c.nvars
+		r.msgBase[i] = totMsg
+		totMsg += 2 << c.sepvars
+		r.locks[i] = synchro.NewLock(m, p.Lock)
+	}
+	// Children register with their parents above, so readiness counters
+	// can only be taken once the whole tree exists.
+	for i := range r.cliques {
+		r.cliques[i].pendingUp = int32(len(r.cliques[i].children))
+	}
+	r.order = make([]int32, 0, nc)
+	r.order = append(r.order, 0)
+	for qi := 0; qi < len(r.order); qi++ {
+		r.order = append(r.order, r.cliques[r.order[qi]].children...)
+	}
+	r.arrPot = m.Alloc("infer.pot", totPot, 8)
+	r.arrMsg = m.Alloc("infer.msg", totMsg, 8)
+	r.arrCtl = m.Alloc("infer.ctl", nc, core.BlockBytes)
+	// Placement: dynamic version homes each clique at its owner; the
+	// static version's slices are placed by the cooperating partition
+	// (approximated by striping).
+	if p.Variant == "static" {
+		r.arrPot.PlaceOwner(func(pg int) int { return pg % np })
+	} else {
+		r.arrPot.PlaceOwner(func(pg int) int {
+			elem := pg * (16384 / 8)
+			for i := 0; i < nc; i++ {
+				if elem < r.potBase[i]+(1<<r.cliques[i].nvars) {
+					return int(r.cliques[i].owner)
+				}
+			}
+			return 0
+		})
+	}
+	return r, nil
+}
+
+// sepIndex maps a table index to its sepset index (the high-order
+// variables are shared with the parent, so contiguous table slices map to
+// contiguous sepset slices — the locality the restructuring exploits).
+func sepIndex(idx, nvars, sepvars int) int { return idx >> (nvars - sepvars) }
+
+// processUp computes clique i's upward message over table rows [lo, hi).
+func (r *run) processUp(p *core.Proc, i int, lo, hi int, out []float64) {
+	c := &r.cliques[i]
+	// Multiply in the children's messages, then marginalize to the
+	// parent sepset.
+	for idx := lo; idx < hi; idx++ {
+		v := c.pot[idx]
+		for _, ch := range c.children {
+			cc := &r.cliques[ch]
+			si := sepIndex(idx, c.nvars, cc.sepvars)
+			v *= cc.upMsg[si]
+			if idx%16 == 0 {
+				p.Read(r.arrMsg.Addr(r.msgBase[ch] + si))
+			}
+		}
+		c.pot[idx] = v
+		out[sepIndex(idx, c.nvars, c.sepvars)] += v
+		if idx%(core.BlockBytes/8) == 0 {
+			p.Write(r.arrPot.Addr(r.potBase[i] + idx))
+		}
+	}
+	p.ComputeCycles(int64(hi-lo) * entryCycles * int64(1+len(c.children)))
+}
+
+// processDown applies the parent's message to rows [lo, hi) and
+// accumulates the clique belief.
+func (r *run) processDown(p *core.Proc, i int, lo, hi int) float64 {
+	c := &r.cliques[i]
+	var sum float64
+	for idx := lo; idx < hi; idx++ {
+		if c.parent >= 0 {
+			si := sepIndex(idx, c.nvars, c.sepvars)
+			c.pot[idx] *= c.downMsg[si]
+			if idx%16 == 0 {
+				p.Read(r.arrMsg.Addr(r.msgBase[i] + (1 << c.sepvars) + si))
+			}
+		}
+		sum += c.pot[idx]
+		if idx%(core.BlockBytes/8) == 0 {
+			p.Write(r.arrPot.Addr(r.potBase[i] + idx))
+		}
+	}
+	p.ComputeCycles(int64(hi-lo) * entryCycles)
+	return sum
+}
+
+// finishUp normalizes and publishes clique i's upward message.
+func (r *run) finishUp(p *core.Proc, i int, msg []float64) {
+	c := &r.cliques[i]
+	var total float64
+	for _, v := range msg {
+		total += v
+	}
+	if total > 0 {
+		for j := range msg {
+			msg[j] = msg[j] / total * float64(len(msg))
+		}
+	}
+	copy(c.upMsg, msg)
+	for j := 0; j < len(msg); j += core.BlockBytes / 8 {
+		p.Write(r.arrMsg.Addr(r.msgBase[i] + j))
+	}
+	p.ComputeCycles(int64(len(msg)) * 4)
+}
+
+// publishDown computes and publishes the downward messages to each child.
+func (r *run) publishDown(p *core.Proc, i int) {
+	c := &r.cliques[i]
+	for _, ch := range c.children {
+		cc := &r.cliques[ch]
+		msg := make([]float64, 1<<cc.sepvars)
+		for idx := 0; idx < len(c.pot); idx += 8 {
+			msg[sepIndex(idx, c.nvars, cc.sepvars)] += c.pot[idx]
+		}
+		var total float64
+		for _, v := range msg {
+			total += v
+		}
+		if total > 0 {
+			for j := range msg {
+				msg[j] = msg[j] / total * float64(len(msg))
+			}
+		}
+		copy(cc.downMsg, msg)
+		for j := 0; j < len(msg); j += core.BlockBytes / 8 {
+			p.Write(r.arrMsg.Addr(r.msgBase[ch] + (1 << cc.sepvars) + j))
+		}
+		p.ComputeCycles(int64(len(c.pot)/8) * 2)
+	}
+}
+
+// --- Dynamic version: clique-level parallelism with stealing ---
+
+func (r *run) dynamicBody(p *core.Proc) {
+	nc := len(r.cliques)
+	id := p.ID()
+	// Upward pass: grab ready cliques, preferring owned ones.
+	for int(r.processedUp) < nc {
+		i := r.grabReady(p, id, true)
+		if i < 0 {
+			// Nothing ready: someone else is finishing a dependency.
+			p.SyncAdvanceTo(p.Now() + probeDelay*1000*1000)
+			continue
+		}
+		c := &r.cliques[i]
+		msg := make([]float64, 1<<c.sepvars)
+		r.processUp(p, i, 0, len(c.pot), msg)
+		r.finishUp(p, i, msg)
+		// Mark done; parent may become ready.
+		r.locks[i].Acquire(p)
+		c.doneUp = true
+		r.processedUp++
+		p.Write(r.arrCtl.Addr(i))
+		r.locks[i].Release(p)
+		if c.parent >= 0 {
+			pa := int(c.parent)
+			r.locks[pa].Acquire(p)
+			r.cliques[pa].pendingUp--
+			p.Write(r.arrCtl.Addr(pa))
+			r.locks[pa].Release(p)
+		}
+	}
+	r.barrier.Wait(p)
+	// Downward pass in the mirrored order.
+	for int(r.processedDown) < nc {
+		i := r.grabReady(p, id, false)
+		if i < 0 {
+			p.SyncAdvanceTo(p.Now() + probeDelay*1000*1000)
+			continue
+		}
+		c := &r.cliques[i]
+		sum := r.processDown(p, i, 0, len(c.pot))
+		r.publishDown(p, i)
+		r.locks[i].Acquire(p)
+		c.doneDown = true
+		r.processedDown++
+		if i == 0 {
+			r.rootSum = sum
+		}
+		p.Write(r.arrCtl.Addr(i))
+		r.locks[i].Release(p)
+	}
+	r.barrier.Wait(p)
+}
+
+// grabReady finds and claims a ready clique: first an owned one, then any
+// other (stealing). Claiming holds the clique's scheduling lock.
+func (r *run) grabReady(p *core.Proc, id int, up bool) int {
+	ready := func(i int) bool {
+		c := &r.cliques[i]
+		if up {
+			return !c.doneUp && c.pendingUp == 0 && !c.claimed(up)
+		}
+		return !c.doneDown && (c.parent < 0 || r.cliques[c.parent].doneDown) && !c.claimed(up)
+	}
+	try := func(i int) bool {
+		p.Read(r.arrCtl.Addr(i))
+		if !ready(i) {
+			return false
+		}
+		r.locks[i].Acquire(p)
+		ok := ready(i)
+		if ok {
+			r.cliques[i].claim(up)
+			p.Write(r.arrCtl.Addr(i))
+		}
+		r.locks[i].Release(p)
+		return ok
+	}
+	for i := range r.cliques {
+		if int(r.cliques[i].owner) == id && try(i) {
+			return i
+		}
+	}
+	for i := range r.cliques {
+		if int(r.cliques[i].owner) != id && try(i) {
+			p.Stats().StolenTasks++
+			return i
+		}
+	}
+	return -1
+}
+
+// claim tracking uses the pending counters' sign bits.
+func (c *clique) claimed(up bool) bool {
+	if up {
+		return c.pendingUp < 0
+	}
+	return c.downClaimed
+}
+
+func (c *clique) claim(up bool) {
+	if up {
+		c.pendingUp = -1
+	} else {
+		c.downClaimed = true
+	}
+}
+
+// --- Static version: within-clique parallelism in topological order ---
+
+func (r *run) staticBody(p *core.Proc) {
+	id := p.ID()
+	np := p.NumProcs()
+	// Upward: reverse topological order, all processors cooperating
+	// inside each clique, each handling an aligned contiguous slice so
+	// the table rows it touches map to its own sepset rows.
+	for oi := len(r.order) - 1; oi >= 0; oi-- {
+		i := int(r.order[oi])
+		c := &r.cliques[i]
+		n := len(c.pot)
+		lo, hi := id*n/np, (id+1)*n/np
+		msg := make([]float64, 1<<c.sepvars)
+		r.processUp(p, i, lo, hi, msg)
+		r.partial[id] = msg
+		r.barrier.Wait(p)
+		if id == 0 {
+			total := make([]float64, 1<<c.sepvars)
+			for q := 0; q < np; q++ {
+				for j, v := range r.partial[q] {
+					total[j] += v
+				}
+			}
+			p.ComputeCycles(int64(np * len(total)))
+			r.finishUp(p, i, total)
+		}
+		r.barrier.Wait(p)
+	}
+	// Downward: topological order, same cooperative slicing.
+	for _, ii := range r.order {
+		i := int(ii)
+		c := &r.cliques[i]
+		n := len(c.pot)
+		lo, hi := id*n/np, (id+1)*n/np
+		sum := r.processDown(p, i, lo, hi)
+		if i == 0 {
+			r.partial[id] = []float64{sum}
+		}
+		r.barrier.Wait(p)
+		if id == 0 {
+			r.publishDown(p, i)
+			if i == 0 {
+				var tot float64
+				for q := 0; q < np; q++ {
+					tot += r.partial[q][0]
+				}
+				r.rootSum = tot
+			}
+		}
+		r.barrier.Wait(p)
+	}
+	if id == 0 {
+		r.processedUp = int32(len(r.cliques))
+		r.processedDown = int32(len(r.cliques))
+	}
+	r.barrier.Wait(p)
+}
+
+func (r *run) verify() error {
+	if int(r.processedUp) != len(r.cliques) || int(r.processedDown) != len(r.cliques) {
+		return fmt.Errorf("infer: processed %d up / %d down of %d cliques",
+			r.processedUp, r.processedDown, len(r.cliques))
+	}
+	if math.IsNaN(r.rootSum) || math.IsInf(r.rootSum, 0) || r.rootSum <= 0 {
+		return fmt.Errorf("infer: bad root belief %g", r.rootSum)
+	}
+	return nil
+}
+
+// RunForBelief executes the app and returns the root belief sum.
+func RunForBelief(m *core.Machine, p workload.Params) (float64, error) {
+	r, err := build(m, p)
+	if err != nil {
+		return 0, err
+	}
+	var body func(*core.Proc)
+	if p.Variant == "static" {
+		body = r.staticBody
+	} else {
+		body = r.dynamicBody
+	}
+	if err := m.Run(body); err != nil {
+		return 0, err
+	}
+	if err := r.verify(); err != nil {
+		return 0, err
+	}
+	return r.rootSum, nil
+}

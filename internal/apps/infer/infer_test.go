@@ -1,0 +1,90 @@
+package infer
+
+import (
+	"testing"
+
+	"origin2000/internal/core"
+	"origin2000/internal/workload"
+)
+
+func TestBeliefConsistentAcrossVariantsAndProcs(t *testing.T) {
+	want, err := RunForBelief(core.New(core.Origin2000(1)), workload.Params{Size: 64, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, procs := range []int{1, 4, 8} {
+		for _, variant := range []string{"", "static"} {
+			got, err := RunForBelief(core.New(core.Origin2000(procs)), workload.Params{Size: 64, Seed: 6, Variant: variant})
+			if err != nil {
+				t.Fatalf("procs=%d %q: %v", procs, variant, err)
+			}
+			if err := workload.CheckClose("root belief", got, want, 1e-9); err != nil {
+				t.Errorf("procs=%d %q: %v", procs, variant, err)
+			}
+		}
+	}
+}
+
+func TestEveryCliqueProcessedOnce(t *testing.T) {
+	m := core.New(core.Origin2000(8))
+	r, err := build(m, workload.Params{Size: 128, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(r.dynamicBody); err != nil {
+		t.Fatal(err)
+	}
+	for i := range r.cliques {
+		if !r.cliques[i].doneUp || !r.cliques[i].doneDown {
+			t.Fatalf("clique %d not fully processed", i)
+		}
+	}
+}
+
+func TestDynamicVersionSteals(t *testing.T) {
+	m := core.New(core.Origin2000(8))
+	if err := New().Run(m, workload.Params{Size: 128, Seed: 6}); err != nil {
+		t.Fatal(err)
+	}
+	if m.Result().Counters.StolenTasks == 0 {
+		t.Error("dynamic version should steal cliques (uneven table sizes)")
+	}
+}
+
+func TestStaticBeatsDynamicAtScale(t *testing.T) {
+	// Section 5.1: the static within-clique version reaches much higher
+	// efficiency at large processor counts, where the dynamic version is
+	// starved by the tree's limited clique-level parallelism and pays
+	// communication for stolen cliques.
+	elapsed := func(variant string, procs int) float64 {
+		m := core.New(core.Origin2000(procs))
+		if err := New().Run(m, workload.Params{Size: 256, Seed: 6, Variant: variant}); err != nil {
+			t.Fatal(err)
+		}
+		return m.Elapsed().Milliseconds()
+	}
+	dyn := elapsed("", 32)
+	stat := elapsed("static", 32)
+	if stat >= dyn {
+		t.Errorf("static (%.2fms) should beat dynamic (%.2fms) at 32 procs", stat, dyn)
+	}
+}
+
+func TestTopologicalOrderValid(t *testing.T) {
+	m := core.New(core.Origin2000(4))
+	r, err := build(m, workload.Params{Size: 200, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make([]bool, len(r.cliques))
+	for _, i := range r.order {
+		c := &r.cliques[i]
+		if c.parent >= 0 && !seen[c.parent] {
+			t.Fatalf("clique %d ordered before its parent", i)
+		}
+		seen[i] = true
+	}
+	if len(r.order) != len(r.cliques) {
+		t.Fatalf("order covers %d of %d cliques", len(r.order), len(r.cliques))
+	}
+}

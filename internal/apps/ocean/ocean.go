@@ -1,0 +1,291 @@
+// Package ocean implements the grid-solver core of SPLASH-2 Ocean: a
+// red-black Gauss-Seidel relaxation over a large 2-D grid with
+// nearest-neighbour communication. The paper uses it as its regular
+// near-neighbour workload (Sections 4.1, 6.2, 7.1) and compares tiled
+// against rowwise partitioning (Section 5.1) and data-placement policies
+// (Table 3).
+package ocean
+
+import (
+	"fmt"
+	"math"
+
+	"origin2000/internal/core"
+	"origin2000/internal/synchro"
+	"origin2000/internal/workload"
+)
+
+const (
+	stencilCycles = 22 // per interior point per relaxation
+	omega         = 1.15
+	elemBytes     = 8
+	defaultSteps  = 12
+)
+
+// App is the Ocean workload.
+type App struct{}
+
+// New returns the Ocean application.
+func New() *App { return &App{} }
+
+// Name implements workload.App.
+func (*App) Name() string { return "Ocean" }
+
+// Unit implements workload.App.
+func (*App) Unit() string { return "grid dim" }
+
+// BasicSize implements workload.App: 1026x1026 grids.
+func (*App) BasicSize() int { return 1026 }
+
+// SweepSizes implements workload.App.
+func (*App) SweepSizes() []int { return []int{258, 514, 1026, 2050} }
+
+// Variants implements workload.App: tiled partitions (original) and the
+// rowwise restructuring tried in Section 5.1.
+func (*App) Variants() []string { return []string{"", "rowwise"} }
+
+// MaxProcs implements workload.App.
+func (*App) MaxProcs() int { return 128 }
+
+// Run implements workload.App.
+func (*App) Run(m *core.Machine, p workload.Params) error {
+	o, err := build(m, p)
+	if err != nil {
+		return err
+	}
+	if err := m.Run(o.body); err != nil {
+		return err
+	}
+	return o.verify()
+}
+
+// Checksum runs the same relaxation in plain Go and returns the grid sum
+// (test aid: the red-black sweep is deterministic under any partitioning).
+func Checksum(size int, seed int64, steps int) float64 {
+	if steps <= 0 {
+		steps = defaultSteps
+	}
+	g := newGrid(size, seed)
+	for it := 0; it < steps; it++ {
+		for color := 0; color < 2; color++ {
+			g.relaxRows(1, g.dim-1, color, nil, nil, 0, g.dim)
+		}
+	}
+	var sum float64
+	for _, v := range g.cells {
+		sum += v
+	}
+	return sum
+}
+
+type grid struct {
+	dim   int // full dimension including boundary
+	cells []float64
+}
+
+func newGrid(size int, seed int64) *grid {
+	g := &grid{dim: size, cells: make([]float64, size*size)}
+	rng := workload.NewRand(seed)
+	for i := range g.cells {
+		g.cells[i] = rng.Float64()
+	}
+	return g
+}
+
+// relaxRows updates the points of one color in rows [rLo, rHi) and columns
+// [cLo, cHi), issuing simulated traffic through p/arr when non-nil.
+func (g *grid) relaxRows(rLo, rHi, color int, p *core.Proc, arr *core.Array, cLo, cHi int) float64 {
+	dim := g.dim
+	if cLo < 1 {
+		cLo = 1
+	}
+	if cHi > dim-1 {
+		cHi = dim - 1
+	}
+	var diff float64
+	elemsPerBlock := core.BlockBytes / elemBytes
+	for r := rLo; r < rHi; r++ {
+		row := g.cells[r*dim : (r+1)*dim]
+		up := g.cells[(r-1)*dim : r*dim]
+		down := g.cells[(r+1)*dim : (r+2)*dim]
+		for c := cLo; c < cHi; c++ {
+			if (r+c)&1 != color {
+				continue
+			}
+			old := row[c]
+			row[c] = old + omega*((up[c]+down[c]+row[c-1]+row[c+1])/4-old)
+			diff += math.Abs(row[c] - old)
+		}
+		if p != nil {
+			n := cHi - cLo
+			// One pass over the three rows' blocks in this column range.
+			for b := cLo; b < cHi; b += elemsPerBlock {
+				p.Read(arr.Addr((r-1)*dim + b))
+				p.Read(arr.Addr((r+1)*dim + b))
+				p.Write(arr.Addr(r*dim + b))
+			}
+			// Column-boundary neighbours sit in adjacent blocks.
+			if cLo > 1 {
+				p.Read(arr.Addr(r*dim + cLo - 1))
+			}
+			if cHi < dim-1 {
+				p.Read(arr.Addr(r*dim + cHi))
+			}
+			p.ComputeCycles(int64(n/2) * stencilCycles)
+		}
+	}
+	return diff
+}
+
+type oceanRun struct {
+	m       *core.Machine
+	g       *grid
+	arr     *core.Array
+	barrier *synchro.Barrier
+	steps   int
+	px, py  int // tile grid (px columns of tiles, py rows)
+	initial float64
+	final   float64
+	partial *core.Array // per-processor residual lines
+	sums    []float64
+}
+
+func build(m *core.Machine, p workload.Params) (*oceanRun, error) {
+	if p.Size < 6 {
+		return nil, fmt.Errorf("ocean: grid dim %d too small", p.Size)
+	}
+	np := m.NumProcs()
+	o := &oceanRun{
+		m:       m,
+		g:       newGrid(p.Size, p.Seed),
+		barrier: synchro.NewBarrier(m, np, p.Barrier),
+		steps:   p.Steps,
+		sums:    make([]float64, np),
+	}
+	if o.steps <= 0 {
+		o.steps = defaultSteps
+	}
+	o.arr = m.Alloc("ocean.grid", p.Size*p.Size, elemBytes)
+	o.partial = m.Alloc("ocean.partial", np, core.BlockBytes)
+	// Partition: near-square tiles, or rows for the restructured variant.
+	if p.Variant == "rowwise" {
+		o.px, o.py = 1, np
+	} else {
+		o.px, o.py = factor(np)
+	}
+	// Manual placement: page goes to the owner of its first element.
+	dim := p.Size
+	o.arr.PlaceOwner(func(pg int) int {
+		elem := pg * (16384 / elemBytes)
+		if elem >= dim*dim {
+			elem = dim*dim - 1
+		}
+		return o.ownerOf(elem/dim, elem%dim)
+	})
+	return o, nil
+}
+
+// factor splits np into the most square px*py grid.
+func factor(np int) (px, py int) {
+	px = int(math.Sqrt(float64(np)))
+	for np%px != 0 {
+		px--
+	}
+	return px, np / px
+}
+
+// ownerOf maps a grid point to the processor owning it.
+func (o *oceanRun) ownerOf(r, c int) int {
+	dim := o.g.dim
+	interior := dim - 2
+	tr := (r - 1) * o.py / interior
+	tc := (c - 1) * o.px / interior
+	if tr < 0 {
+		tr = 0
+	}
+	if tr >= o.py {
+		tr = o.py - 1
+	}
+	if tc < 0 {
+		tc = 0
+	}
+	if tc >= o.px {
+		tc = o.px - 1
+	}
+	return tr*o.px + tc
+}
+
+// bounds returns processor id's tile.
+func (o *oceanRun) bounds(id int) (rLo, rHi, cLo, cHi int) {
+	interior := o.g.dim - 2
+	tr := id / o.px
+	tc := id % o.px
+	rLo = 1 + tr*interior/o.py
+	rHi = 1 + (tr+1)*interior/o.py
+	cLo = 1 + tc*interior/o.px
+	cHi = 1 + (tc+1)*interior/o.px
+	return
+}
+
+func (o *oceanRun) body(p *core.Proc) {
+	rLo, rHi, cLo, cHi := o.bounds(p.ID())
+	for it := 0; it < o.steps; it++ {
+		var diff float64
+		for color := 0; color < 2; color++ {
+			diff += o.g.relaxRows(rLo, rHi, color, p, o.arr, cLo, cHi)
+			o.barrier.Wait(p)
+		}
+		// Residual reduction: everyone publishes a partial sum, proc 0
+		// combines them, everyone reads the result.
+		o.sums[p.ID()] = diff
+		p.Write(o.partial.Addr(p.ID()))
+		o.barrier.Wait(p)
+		if p.ID() == 0 {
+			var total float64
+			for q := 0; q < p.NumProcs(); q++ {
+				p.Read(o.partial.Addr(q))
+				total += o.sums[q]
+			}
+			if it == 0 {
+				o.initial = total
+			}
+			o.final = total
+		}
+		o.barrier.Wait(p)
+	}
+}
+
+func (o *oceanRun) verify() error {
+	if o.initial <= 0 {
+		return fmt.Errorf("ocean: no initial residual recorded")
+	}
+	if o.final >= o.initial {
+		return fmt.Errorf("ocean: residual did not decrease (%.4g -> %.4g)", o.initial, o.final)
+	}
+	return nil
+}
+
+// Sum returns the grid checksum after Run (test aid).
+func (o *oceanRun) Sum() float64 {
+	var s float64
+	for _, v := range o.g.cells {
+		s += v
+	}
+	return s
+}
+
+// RunForSum executes the app and returns the final grid checksum, for
+// cross-processor-count determinism tests.
+func RunForSum(m *core.Machine, p workload.Params) (float64, error) {
+	o, err := build(m, p)
+	if err != nil {
+		return 0, err
+	}
+	if err := m.Run(o.body); err != nil {
+		return 0, err
+	}
+	if err := o.verify(); err != nil {
+		return 0, err
+	}
+	return o.Sum(), nil
+}

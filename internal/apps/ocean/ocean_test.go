@@ -1,0 +1,102 @@
+package ocean
+
+import (
+	"testing"
+
+	"origin2000/internal/core"
+	"origin2000/internal/mempolicy"
+	"origin2000/internal/workload"
+)
+
+func TestParallelMatchesSequentialExactly(t *testing.T) {
+	// Red-black relaxation is deterministic under any partitioning, so
+	// the grid checksum must match the plain-Go reference bit for bit.
+	want := Checksum(66, 5, 4)
+	for _, procs := range []int{1, 4, 9, 16} {
+		m := core.New(core.Origin2000(procs))
+		got, err := RunForSum(m, workload.Params{Size: 66, Seed: 5, Steps: 4})
+		if err != nil {
+			t.Fatalf("procs=%d: %v", procs, err)
+		}
+		if got != want {
+			t.Errorf("procs=%d: checksum %g != reference %g", procs, got, want)
+		}
+	}
+}
+
+func TestRowwiseVariantMatchesToo(t *testing.T) {
+	want := Checksum(66, 5, 4)
+	m := core.New(core.Origin2000(8))
+	got, err := RunForSum(m, workload.Params{Size: 66, Seed: 5, Steps: 4, Variant: "rowwise"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("rowwise checksum %g != reference %g", got, want)
+	}
+}
+
+func TestSpeedupAndNearNeighbourTraffic(t *testing.T) {
+	app := New()
+	elapsed := func(procs int) (float64, int64) {
+		m := core.New(core.Origin2000(procs))
+		if err := app.Run(m, workload.Params{Size: 514, Seed: 5, Steps: 4}); err != nil {
+			t.Fatal(err)
+		}
+		r := m.Result()
+		return m.Elapsed().Milliseconds(), r.Counters.RemoteClean + r.Counters.RemoteDirty
+	}
+	seq, comm1 := elapsed(1)
+	par, comm16 := elapsed(16)
+	if speedup := seq / par; speedup < 8 {
+		t.Errorf("speedup at 16 procs = %.2f, want >= 8", speedup)
+	}
+	if comm1 != 0 {
+		t.Errorf("sequential run has %d remote misses", comm1)
+	}
+	if comm16 == 0 {
+		t.Error("parallel run shows no boundary communication")
+	}
+}
+
+func TestManualPlacementBeatsRoundRobin(t *testing.T) {
+	// Table 3's effect: with large grids, first-touch/manual placement
+	// makes capacity misses local; round-robin scatters them.
+	run := func(ignore bool) float64 {
+		cfg := core.Origin2000(16)
+		cfg.Cache.SizeBytes = 64 << 10 // shrink cache so capacity misses matter
+		cfg.IgnorePlacement = ignore
+		if ignore {
+			cfg.Placement = mempolicy.RoundRobin
+		}
+		m := core.New(cfg)
+		if err := New().Run(m, workload.Params{Size: 258, Seed: 5, Steps: 4}); err != nil {
+			t.Fatal(err)
+		}
+		return m.Elapsed().Milliseconds()
+	}
+	manual := run(false)
+	rr := run(true)
+	if manual >= rr {
+		t.Errorf("manual placement (%.3fms) should beat round-robin (%.3fms)", manual, rr)
+	}
+}
+
+func TestVerifyCatchesResidualGrowth(t *testing.T) {
+	o := &oceanRun{initial: 1.0, final: 2.0}
+	if err := o.verify(); err == nil {
+		t.Error("verify should reject a growing residual")
+	}
+}
+
+func TestFactorIsNearSquare(t *testing.T) {
+	for _, np := range []int{1, 2, 4, 8, 16, 32, 64, 128} {
+		px, py := factor(np)
+		if px*py != np {
+			t.Fatalf("factor(%d) = %d x %d", np, px, py)
+		}
+		if py > 2*px*2 {
+			t.Errorf("factor(%d) = %dx%d too skewed", np, px, py)
+		}
+	}
+}

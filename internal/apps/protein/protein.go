@@ -1,0 +1,349 @@
+// Package protein implements the hierarchical protein-structure
+// determination application: a tree of substructure nodes, each with many
+// parallelizable work units, whose edges are cross-node dependences. Nodes
+// are assigned to processor groups from (noisy) workload estimates; the
+// paper's load-balancing technique is *process regrouping* — an idle group
+// takes over a free node or joins a working group — rather than task
+// stealing. The "static" variant disables regrouping as a baseline.
+package protein
+
+import (
+	"fmt"
+
+	"origin2000/internal/core"
+	"origin2000/internal/synchro"
+	"origin2000/internal/workload"
+)
+
+const (
+	unitCycles    = 30000 // one unit of substructure computation
+	unitBytes     = 512   // data touched per unit
+	regroupCycles = 20000 // overhead of joining a working group
+	unitChunk     = 2     // units claimed per counter operation
+	probeMicros   = 3
+)
+
+// App is the Protein workload.
+type App struct{}
+
+// New returns the application.
+func New() *App { return &App{} }
+
+// Name implements workload.App.
+func (*App) Name() string { return "Protein" }
+
+// Unit implements workload.App.
+func (*App) Unit() string { return "substructures" }
+
+// BasicSize implements workload.App: the helix16 input.
+func (*App) BasicSize() int { return 16 }
+
+// SweepSizes implements workload.App.
+func (*App) SweepSizes() []int { return []int{8, 16, 32, 64} }
+
+// Variants implements workload.App: "" is the paper's algorithm with
+// process regrouping; "static" disables regrouping.
+func (*App) Variants() []string { return []string{"", "static"} }
+
+// MaxProcs implements workload.App: results to 64 processors.
+func (*App) MaxProcs() int { return 64 }
+
+// Run implements workload.App.
+func (*App) Run(m *core.Machine, p workload.Params) error {
+	r, err := build(m, p)
+	if err != nil {
+		return err
+	}
+	if err := m.Run(r.body); err != nil {
+		return err
+	}
+	return r.verify()
+}
+
+// node is one substructure of the protein.
+type node struct {
+	parent   int32
+	children []int32
+	units    int   // total work units
+	taken    int   // units handed out
+	finished int   // units completed
+	pending  int32 // children not yet done
+	done     bool
+	dataBase int // element offset into the shared data array
+
+	groupLo, groupHi int // assigned processor range
+	estimate         float64
+}
+
+type run struct {
+	m     *core.Machine
+	nodes []node
+
+	arrData *core.Array
+	arrCtl  *core.Array
+	locks   []*synchro.Lock
+	barrier *synchro.Barrier
+
+	regroup   bool
+	doneCount int32
+	executed  []int64 // per-proc units completed
+	total     int
+}
+
+func build(m *core.Machine, p workload.Params) (*run, error) {
+	if p.Size < 2 {
+		return nil, fmt.Errorf("protein: %d substructures too few", p.Size)
+	}
+	np := m.NumProcs()
+	rng := workload.NewRand(p.Seed)
+	nn := 2*p.Size - 1
+	r := &run{
+		m:        m,
+		nodes:    make([]node, nn),
+		locks:    make([]*synchro.Lock, nn),
+		barrier:  synchro.NewBarrier(m, np, p.Barrier),
+		regroup:  p.Variant != "static",
+		executed: make([]int64, np),
+	}
+	// Random binary tree: node 0 is the root; nodes 1..nn-1 attach to a
+	// random node that still has fewer than two children.
+	for i := 1; i < nn; i++ {
+		for {
+			pa := rng.Intn(i)
+			if len(r.nodes[pa].children) < 2 {
+				r.nodes[i].parent = int32(pa)
+				r.nodes[pa].children = append(r.nodes[pa].children, int32(i))
+				break
+			}
+		}
+	}
+	r.nodes[0].parent = -1
+	dataTotal := 0
+	for i := range r.nodes {
+		n := &r.nodes[i]
+		n.units = 24 + rng.Intn(120)
+		n.dataBase = dataTotal
+		dataTotal += n.units
+		r.total += n.units
+		r.locks[i] = synchro.NewLock(m, p.Lock)
+	}
+	for i := range r.nodes {
+		r.nodes[i].pending = int32(len(r.nodes[i].children))
+	}
+	// Noisy workload estimates drive the initial group assignment.
+	subtree := make([]float64, nn)
+	for i := nn - 1; i >= 0; i-- {
+		est := float64(r.nodes[i].units) * (0.6 + 0.8*rng.Float64())
+		subtree[i] = est
+		for _, c := range r.nodes[i].children {
+			subtree[i] += subtree[c]
+		}
+		r.nodes[i].estimate = est
+	}
+	r.assignGroups(0, 0, np, subtree)
+	r.arrData = m.Alloc("protein.data", dataTotal, unitBytes)
+	r.arrCtl = m.Alloc("protein.ctl", nn, core.BlockBytes)
+	r.arrData.PlaceOwner(func(pg int) int {
+		elem := pg * (16384 / unitBytes)
+		for i := range r.nodes {
+			if elem < r.nodes[i].dataBase+r.nodes[i].units {
+				return r.nodes[i].groupLo
+			}
+		}
+		return 0
+	})
+	return r, nil
+}
+
+// assignGroups splits the processor range over the children proportionally
+// to their estimated subtree work; every node keeps the full range of its
+// subtree's processors for its own units.
+func (r *run) assignGroups(i int, lo, hi int, subtree []float64) {
+	n := &r.nodes[i]
+	n.groupLo, n.groupHi = lo, hi
+	if len(n.children) == 0 {
+		return
+	}
+	var tot float64
+	for _, c := range n.children {
+		tot += subtree[c]
+	}
+	if tot == 0 || hi-lo <= 1 {
+		for _, c := range n.children {
+			r.assignGroups(int(c), lo, hi, subtree)
+		}
+		return
+	}
+	at := lo
+	for k, c := range n.children {
+		share := int(float64(hi-lo)*subtree[c]/tot + 0.5)
+		if share < 1 {
+			share = 1
+		}
+		end := at + share
+		if k == len(n.children)-1 || end > hi {
+			end = hi
+		}
+		if at >= hi {
+			at = hi - 1
+		}
+		r.assignGroups(int(c), at, max(end, at+1), subtree)
+		at = end
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// ready reports whether node i can be worked on.
+func (r *run) ready(i int) bool {
+	n := &r.nodes[i]
+	return !n.done && n.pending == 0 && n.taken < n.units
+}
+
+// pickNode finds a ready node whose group contains id.
+func (r *run) pickNode(p *core.Proc, id int) int {
+	for i := range r.nodes {
+		p.Read(r.arrCtl.Addr(i))
+		if r.ready(i) && id >= r.nodes[i].groupLo && id < r.nodes[i].groupHi {
+			return i
+		}
+	}
+	return -1
+}
+
+// joinBusiest implements process regrouping: the idle processor joins the
+// ready node with the most remaining units, paying the regroup overhead.
+func (r *run) joinBusiest(p *core.Proc, id int) int {
+	best, bestLeft := -1, 0
+	for i := range r.nodes {
+		p.Read(r.arrCtl.Addr(i))
+		if r.ready(i) {
+			if left := r.nodes[i].units - r.nodes[i].taken; left > bestLeft {
+				best, bestLeft = i, left
+			}
+		}
+	}
+	if best < 0 {
+		return -1
+	}
+	// Join: extend the group and pull the node's data description.
+	r.locks[best].Acquire(p)
+	n := &r.nodes[best]
+	if id < n.groupLo {
+		n.groupLo = id
+	}
+	if id >= n.groupHi {
+		n.groupHi = id + 1
+	}
+	p.Write(r.arrCtl.Addr(best))
+	r.locks[best].Release(p)
+	p.ReadBytes(r.arrData.Addr(n.dataBase), unitBytes)
+	p.ComputeCycles(regroupCycles)
+	p.Stats().StolenTasks++
+	return best
+}
+
+// workOn claims and executes unit chunks of node i until it drains.
+func (r *run) workOn(p *core.Proc, id, i int) {
+	n := &r.nodes[i]
+	for {
+		r.locks[i].Acquire(p)
+		if n.taken >= n.units {
+			r.locks[i].Release(p)
+			return
+		}
+		lo := n.taken
+		k := unitChunk
+		if lo+k > n.units {
+			k = n.units - lo
+		}
+		n.taken += k
+		p.Write(r.arrCtl.Addr(i))
+		r.locks[i].Release(p)
+		for u := lo; u < lo+k; u++ {
+			p.ReadBytes(r.arrData.Addr(n.dataBase+u), unitBytes)
+			p.ComputeCycles(unitCycles)
+			p.WriteBytes(r.arrData.Addr(n.dataBase+u), core.BlockBytes)
+		}
+		r.executed[id] += int64(k)
+		p.Stats().ExecutedTasks += int64(k)
+		// Completion bookkeeping.
+		r.locks[i].Acquire(p)
+		n.finished += k
+		last := n.finished == n.units
+		if last {
+			n.done = true
+			r.doneCount++
+		}
+		p.Write(r.arrCtl.Addr(i))
+		r.locks[i].Release(p)
+		if last {
+			if pa := n.parent; pa >= 0 {
+				r.locks[pa].Acquire(p)
+				r.nodes[pa].pending--
+				p.Write(r.arrCtl.Addr(int(pa)))
+				r.locks[pa].Release(p)
+			}
+			return
+		}
+	}
+}
+
+func (r *run) body(p *core.Proc) {
+	id := p.ID()
+	for int(r.doneCount) < len(r.nodes) {
+		i := r.pickNode(p, id)
+		if i < 0 && r.regroup {
+			i = r.joinBusiest(p, id)
+		}
+		if i < 0 {
+			// Idle: dependence or group starvation. With regrouping
+			// this happens only near the very end.
+			p.SyncAdvanceTo(p.Now() + probeMicros*1000*1000)
+			continue
+		}
+		r.workOn(p, id, i)
+	}
+	r.barrier.Wait(p)
+}
+
+func (r *run) verify() error {
+	var exec int64
+	for _, e := range r.executed {
+		exec += e
+	}
+	if exec != int64(r.total) {
+		return fmt.Errorf("protein: executed %d units, want %d", exec, r.total)
+	}
+	for i := range r.nodes {
+		if !r.nodes[i].done {
+			return fmt.Errorf("protein: node %d unfinished", i)
+		}
+	}
+	return nil
+}
+
+// RunForStats executes the app and returns (units executed, regroups).
+func RunForStats(m *core.Machine, p workload.Params) (int64, int64, error) {
+	r, err := build(m, p)
+	if err != nil {
+		return 0, 0, err
+	}
+	if err := m.Run(r.body); err != nil {
+		return 0, 0, err
+	}
+	if err := r.verify(); err != nil {
+		return 0, 0, err
+	}
+	var exec, joins int64
+	for i := 0; i < m.NumProcs(); i++ {
+		exec += r.executed[i]
+		joins += m.Proc(i).Stats().StolenTasks
+	}
+	return exec, joins, nil
+}

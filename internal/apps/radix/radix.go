@@ -1,0 +1,421 @@
+// Package radix implements the SPLASH-2 parallel radix sort whose
+// scattered remote writes in the permutation phase are the paper's
+// large-scale bottleneck (Section 5.1), and the Sample sort restructuring
+// that replaces them with stride-one remote reads at the cost of sorting
+// locally twice (bounding parallel efficiency near 50%).
+package radix
+
+import (
+	"fmt"
+	"sort"
+
+	"origin2000/internal/core"
+	"origin2000/internal/synchro"
+	"origin2000/internal/workload"
+)
+
+const (
+	radixBits   = 8
+	radixSize   = 1 << radixBits
+	passes      = 32 / radixBits
+	keyBytes    = 4
+	countCycles = 3  // histogram per key
+	permCycles  = 4  // permutation per key
+	sortCycles  = 12 // local sort per key per pass (read+bucket+write)
+	sampleCount = 64 // samples contributed per processor (sample sort)
+	bufKeys     = 32 // staging-buffer capacity per digit (buffered variant)
+)
+
+// App is the Radix/Sample sort workload.
+type App struct{}
+
+// New returns the sorting application.
+func New() *App { return &App{} }
+
+// Name implements workload.App.
+func (*App) Name() string { return "Radix" }
+
+// Unit implements workload.App.
+func (*App) Unit() string { return "keys" }
+
+// BasicSize implements workload.App: 4M keys.
+func (*App) BasicSize() int { return 4 << 20 }
+
+// SweepSizes implements workload.App.
+func (*App) SweepSizes() []int { return []int{1 << 20, 4 << 20, 16 << 20, 128 << 20} }
+
+// Variants implements workload.App: "buffered" is the paper's first,
+// unsuccessful fix (local staging buffers before the permutation writes);
+// "sample" is the restructuring that works.
+func (*App) Variants() []string { return []string{"", "buffered", "sample"} }
+
+// MaxProcs implements workload.App.
+func (*App) MaxProcs() int { return 128 }
+
+// Run implements workload.App.
+func (*App) Run(m *core.Machine, p workload.Params) error {
+	r := build(m, p)
+	var body func(*core.Proc)
+	switch p.Variant {
+	case "sample":
+		body = r.sampleBody
+	case "buffered":
+		r.buffered = true
+		body = r.radixBody
+	default:
+		body = r.radixBody
+	}
+	if err := m.Run(body); err != nil {
+		return err
+	}
+	return r.verify()
+}
+
+type run struct {
+	m    *core.Machine
+	n    int
+	keys []uint32 // src buffer
+	temp []uint32 // dst buffer
+	out  []uint32 // final output view (points at keys or temp)
+
+	arrKeys *core.Array
+	arrTemp *core.Array
+	arrHist *core.Array // [proc][radixSize] counts
+	arrSamp *core.Array // samples + splitters
+	arrSeg  *core.Array // [proc][proc] bucket boundaries (sample sort)
+
+	hist      [][]int64 // per-proc histogram of the current pass
+	ranks     [][]int64 // per-proc starting offsets per digit
+	samples   []uint32
+	splitters []uint32
+	segments  [][]int // [q][p] = start of p's bucket within q's run
+	chunks    [][]uint32
+
+	barrier  *synchro.Barrier
+	pre      bool
+	buffered bool   // stage permutation writes in local buffers (Section 5.1)
+	check    uint64 // input multiset checksum
+
+	arrBuf *core.Array // staging buffers, one region per processor
+}
+
+func build(m *core.Machine, p workload.Params) *run {
+	np := m.NumProcs()
+	n := p.Size
+	r := &run{
+		m:       m,
+		n:       n,
+		keys:    make([]uint32, n),
+		temp:    make([]uint32, n),
+		arrKeys: m.Alloc("radix.keys", n, keyBytes),
+		arrTemp: m.Alloc("radix.temp", n, keyBytes),
+		arrHist: m.Alloc("radix.hist", np*radixSize, 8),
+		arrSamp: m.Alloc("radix.samples", np*sampleCount+np, keyBytes),
+		arrSeg:  m.Alloc("radix.segments", np*np, 8),
+		barrier: synchro.NewBarrier(m, np, p.Barrier),
+		pre:     p.Prefetch,
+	}
+	rng := workload.NewRand(p.Seed)
+	for i := range r.keys {
+		r.keys[i] = rng.Uint32()
+		r.check += workload.Mix64(uint64(r.keys[i]))
+	}
+	r.hist = make([][]int64, np)
+	r.ranks = make([][]int64, np)
+	for q := range r.hist {
+		r.hist[q] = make([]int64, radixSize)
+		r.ranks[q] = make([]int64, radixSize)
+	}
+	r.samples = make([]uint32, np*sampleCount)
+	r.splitters = make([]uint32, np-1)
+	r.segments = make([][]int, np)
+	for q := range r.segments {
+		r.segments[q] = make([]int, np+1)
+	}
+	r.chunks = make([][]uint32, np)
+	// Manual placement: key chunks at their owners.
+	r.arrKeys.PlaceElemBlocked(np)
+	r.arrTemp.PlaceElemBlocked(np)
+	r.arrHist.PlaceElemBlocked(np)
+	r.arrBuf = m.Alloc("radix.buffers", np*radixSize*bufKeys, keyBytes)
+	r.arrBuf.PlaceElemBlocked(np)
+	return r
+}
+
+func (r *run) chunk(id int) (lo, hi int) {
+	np := r.m.NumProcs()
+	lo = id * r.n / np
+	hi = (id + 1) * r.n / np
+	return
+}
+
+// --- Parallel radix sort (original) ---
+
+func (r *run) radixBody(p *core.Proc) {
+	np := p.NumProcs()
+	id := p.ID()
+	lo, hi := r.chunk(id)
+	src, dst := r.keys, r.temp
+	arrSrc, arrDst := r.arrKeys, r.arrTemp
+	for pass := 0; pass < passes; pass++ {
+		shift := uint(pass * radixBits)
+		// Phase 1: local histogram over the owned chunk (stride-one).
+		p.SetPhase("histogram")
+		h := r.hist[id]
+		for d := range h {
+			h[d] = 0
+		}
+		for i := lo; i < hi; i += core.BlockBytes / keyBytes {
+			p.Read(arrSrc.Addr(i))
+		}
+		for i := lo; i < hi; i++ {
+			h[(src[i]>>shift)&(radixSize-1)]++
+		}
+		p.ComputeCycles(int64(hi-lo) * countCycles)
+		// Publish the histogram.
+		for d := 0; d < radixSize; d += core.BlockBytes / 8 {
+			p.Write(r.arrHist.Addr(id*radixSize + d))
+		}
+		r.barrier.Wait(p)
+		// Phase 2: ranks. Every processor reads all histograms (the
+		// dense method; prefetching the next processor's histogram is
+		// where Section 6.1 finds radix prefetch helps).
+		p.SetPhase("rank")
+		myRank := r.ranks[id]
+		for q := 0; q < np; q++ {
+			if r.pre && q+1 < np {
+				p.Prefetch(r.arrHist.Addr((q + 1) * radixSize))
+			}
+			for d := 0; d < radixSize; d += core.BlockBytes / 8 {
+				p.Read(r.arrHist.Addr(q*radixSize + d))
+			}
+		}
+		var cum int64
+		for d := 0; d < radixSize; d++ {
+			var before int64
+			for q := 0; q < id; q++ {
+				before += r.hist[q][d]
+			}
+			myRank[d] = cum + before
+			var all int64
+			for q := 0; q < np; q++ {
+				all += r.hist[q][d]
+			}
+			cum += all
+		}
+		p.ComputeCycles(int64(np*radixSize) / 4)
+		r.barrier.Wait(p)
+		// Phase 3: permutation — temporally scattered remote writes,
+		// the communication pattern that collapses at 128 processors.
+		// The "buffered" variant first writes keys to small contiguous
+		// local buffers and transfers them in bulk; the paper found the
+		// local copying outweighs any contention savings, because the
+		// scattered writes ultimately land in small contiguous chunks
+		// anyway so the remote traffic barely changes.
+		p.SetPhase("permutation")
+		if r.buffered {
+			bufFill := make([]int, radixSize)
+			flush := func(d uint32) {
+				n := bufFill[d]
+				if n == 0 {
+					return
+				}
+				pos := int(myRank[d])
+				// The copy re-reads the staging buffer and writes the
+				// destination chunk.
+				p.ReadBytes(r.arrBuf.Addr(id*radixSize*bufKeys+int(d)*bufKeys), n*keyBytes)
+				for b := 0; b < n*keyBytes; b += core.BlockBytes {
+					p.Write(arrDst.Addr(pos + b/keyBytes))
+				}
+				myRank[d] += int64(n)
+				bufFill[d] = 0
+				p.ComputeCycles(int64(n) * 4) // bulk copy
+			}
+			for i := lo; i < hi; i++ {
+				d := (src[i] >> shift) & (radixSize - 1)
+				pos := int(myRank[d]) + bufFill[d]
+				dst[pos] = src[i]
+				// The staging write is local and cache-friendly...
+				p.Write(r.arrBuf.Addr(id*radixSize*bufKeys + int(d)*bufKeys + bufFill[d]))
+				bufFill[d]++
+				// ...but it is pure extra work.
+				p.ComputeCycles(3)
+				if bufFill[d] == bufKeys {
+					flush(d)
+				}
+			}
+			for d := uint32(0); d < radixSize; d++ {
+				flush(d)
+			}
+		} else {
+			for i := lo; i < hi; i++ {
+				d := (src[i] >> shift) & (radixSize - 1)
+				pos := myRank[d]
+				myRank[d]++
+				dst[pos] = src[i]
+				p.Write(arrDst.Addr(int(pos)))
+			}
+		}
+		p.ComputeCycles(int64(hi-lo) * permCycles)
+		r.barrier.Wait(p)
+		src, dst = dst, src
+		arrSrc, arrDst = arrDst, arrSrc
+	}
+	r.out = src
+	p.SetPhase("")
+}
+
+// --- Sample sort (restructured) ---
+
+func (r *run) sampleBody(p *core.Proc) {
+	np := p.NumProcs()
+	id := p.ID()
+	lo, hi := r.chunk(id)
+	// Phase 1: local sort of the owned chunk.
+	local := make([]uint32, hi-lo)
+	copy(local, r.keys[lo:hi])
+	r.localSort(p, local, r.arrKeys, lo)
+	r.chunks[id] = local
+	// Phase 2: publish evenly spaced samples.
+	for s := 0; s < sampleCount; s++ {
+		idx := s * len(local) / sampleCount
+		if idx >= len(local) {
+			idx = len(local) - 1
+		}
+		r.samples[id*sampleCount+s] = local[idx]
+		if s%(core.BlockBytes/keyBytes) == 0 {
+			p.Write(r.arrSamp.Addr(id*sampleCount + s))
+		}
+	}
+	r.barrier.Wait(p)
+	// Proc 0 sorts the samples and publishes splitters.
+	if id == 0 {
+		all := make([]uint32, len(r.samples))
+		for q := 0; q < np; q++ {
+			for s := 0; s < sampleCount; s += core.BlockBytes / keyBytes {
+				p.Read(r.arrSamp.Addr(q*sampleCount + s))
+			}
+		}
+		copy(all, r.samples)
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		p.ComputeCycles(int64(len(all)) * 24) // splitter sort
+		for q := 1; q < np; q++ {
+			r.splitters[q-1] = all[q*len(all)/np]
+		}
+		for q := 0; q < np-1; q += core.BlockBytes / keyBytes {
+			p.Write(r.arrSamp.Addr(np*sampleCount + q))
+		}
+	}
+	r.barrier.Wait(p)
+	// Phase 3: find bucket boundaries in the local sorted run.
+	for q := 0; q < np-1; q += core.BlockBytes / keyBytes {
+		p.Read(r.arrSamp.Addr(np*sampleCount + q))
+	}
+	seg := r.segments[id]
+	seg[0] = 0
+	for q := 1; q < np; q++ {
+		seg[q] = sort.Search(len(local), func(i int) bool {
+			return local[i] >= r.splitters[q-1]
+		})
+	}
+	seg[np] = len(local)
+	p.ComputeCycles(int64(np) * 40) // binary searches
+	for q := 0; q < np; q += core.BlockBytes / 8 {
+		p.Write(r.arrSeg.Addr(id*np + q))
+	}
+	r.barrier.Wait(p)
+	// Phase 4: exchange — contiguous, stride-one remote reads of each
+	// incoming bucket (the well-behaved pattern of Section 5.1).
+	var mine []uint32
+	for s := 0; s < np; s++ {
+		q := (id + s + 1) % np
+		for b := 0; b < np; b += core.BlockBytes / 8 {
+			p.Read(r.arrSeg.Addr(q*np + b))
+		}
+		qLo, _ := r.chunk(q)
+		from, to := r.segments[q][id], r.segments[q][id+1]
+		if to <= from {
+			continue
+		}
+		if r.pre {
+			for i := from; i < to; i += core.BlockBytes / keyBytes {
+				p.Prefetch(r.arrKeys.Addr(qLo + i))
+			}
+		}
+		for i := from; i < to; i += core.BlockBytes / keyBytes {
+			p.Read(r.arrKeys.Addr(qLo + i))
+		}
+		mine = append(mine, r.chunks[q][from:to]...)
+		p.ComputeCycles(int64(to-from) * 2)
+	}
+	// Phase 5: local sort of the received keys.
+	outLo := r.outStart(id)
+	r.localSort(p, mine, r.arrTemp, outLo)
+	copy(r.temp[outLo:outLo+len(mine)], mine)
+	r.barrier.Wait(p)
+	if id == 0 {
+		r.out = r.temp
+	}
+}
+
+// outStart computes where p's sample-sort output begins: the total count of
+// keys bucketed below p across all runs.
+func (r *run) outStart(id int) int {
+	total := 0
+	for b := 0; b < id; b++ {
+		for q := 0; q < len(r.segments); q++ {
+			total += r.segments[q][b+1] - r.segments[q][b]
+		}
+	}
+	return total
+}
+
+// localSort radix-sorts keys in place, charging busy cycles and stride-one
+// traffic against the given array region (arr element index base..).
+func (r *run) localSort(p *core.Proc, keys []uint32, arr *core.Array, base int) {
+	if len(keys) == 0 {
+		return
+	}
+	buf := make([]uint32, len(keys))
+	for pass := 0; pass < passes; pass++ {
+		shift := uint(pass * radixBits)
+		var counts [radixSize]int
+		for _, k := range keys {
+			counts[(k>>shift)&(radixSize-1)]++
+		}
+		pos := 0
+		var offsets [radixSize]int
+		for d := 0; d < radixSize; d++ {
+			offsets[d] = pos
+			pos += counts[d]
+		}
+		for _, k := range keys {
+			d := (k >> shift) & (radixSize - 1)
+			buf[offsets[d]] = k
+			offsets[d]++
+		}
+		copy(keys, buf)
+		// Traffic: one stride-one pass over the chunk per radix pass.
+		for i := 0; i < len(keys); i += core.BlockBytes / keyBytes {
+			p.Write(arr.Addr(base + i))
+		}
+		p.ComputeCycles(int64(len(keys)) * sortCycles)
+	}
+}
+
+func (r *run) verify() error {
+	if r.out == nil {
+		return fmt.Errorf("radix: no output recorded")
+	}
+	var check uint64
+	for i, k := range r.out {
+		if i > 0 && r.out[i-1] > k {
+			return fmt.Errorf("radix: out of order at %d: %d > %d", i, r.out[i-1], k)
+		}
+		check += workload.Mix64(uint64(k))
+	}
+	if check != r.check {
+		return fmt.Errorf("radix: output is not a permutation of the input")
+	}
+	return nil
+}

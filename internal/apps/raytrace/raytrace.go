@@ -1,0 +1,308 @@
+// Package raytrace implements the ray tracer of the study: a recursive
+// tracer over a hierarchical sphere-flake scene ("ball"), parallelized with
+// an image-tile task queue and stealing. The scene is read-only and mostly
+// remote, giving the large, diffuse working set of Figure 8. The original
+// version takes a global statistics lock per ray; "nolock" removes it
+// (worth ~4% on the Origin, dramatic on SVM — Section 5.2).
+package raytrace
+
+import (
+	"fmt"
+	"math"
+
+	"origin2000/internal/core"
+	"origin2000/internal/synchro"
+	"origin2000/internal/workload"
+)
+
+const (
+	sphereBytes     = 256
+	intersectCycles = 800   // per sphere visited (Table 2 calibration:
+	shadeCycles     = 50000 // the ball scene averages ~2.3ms per ray)
+	raysPerPixel    = 1
+	maxBounce       = 3
+	tileSize        = 2
+	boundFactor     = 1.8 // bounding-sphere radius multiple for a flake subtree
+)
+
+// App is the Raytrace workload.
+type App struct{}
+
+// New returns the application.
+func New() *App { return &App{} }
+
+// Name implements workload.App.
+func (*App) Name() string { return "Raytrace" }
+
+// Unit implements workload.App.
+func (*App) Unit() string { return "image dim" }
+
+// BasicSize implements workload.App: a 128x128 image of the ball scene.
+func (*App) BasicSize() int { return 128 }
+
+// SweepSizes implements workload.App.
+func (*App) SweepSizes() []int { return []int{64, 128, 256, 512} }
+
+// Variants implements workload.App.
+func (*App) Variants() []string { return []string{"", "nolock"} }
+
+// MaxProcs implements workload.App.
+func (*App) MaxProcs() int { return 128 }
+
+// Run implements workload.App.
+func (*App) Run(m *core.Machine, p workload.Params) error {
+	r, err := build(m, p)
+	if err != nil {
+		return err
+	}
+	if err := m.Run(r.body); err != nil {
+		return err
+	}
+	return r.verify()
+}
+
+type vec [3]float64
+
+func (a vec) add(b vec) vec       { return vec{a[0] + b[0], a[1] + b[1], a[2] + b[2]} }
+func (a vec) sub(b vec) vec       { return vec{a[0] - b[0], a[1] - b[1], a[2] - b[2]} }
+func (a vec) scale(s float64) vec { return vec{a[0] * s, a[1] * s, a[2] * s} }
+func (a vec) dot(b vec) float64   { return a[0]*b[0] + a[1]*b[1] + a[2]*b[2] }
+func (a vec) norm() vec {
+	l := math.Sqrt(a.dot(a))
+	if l == 0 {
+		return a
+	}
+	return a.scale(1 / l)
+}
+
+// sphere is one scene primitive; the flake hierarchy is expressed by
+// child indices so traversal can prune on bounding spheres.
+type sphere struct {
+	center   vec
+	radius   float64
+	children []int32
+}
+
+type run struct {
+	m       *core.Machine
+	dim     int
+	spheres []sphere
+	rootIdx int32
+	image   []float64
+	arrSph  *core.Array
+	arrImg  *core.Array
+	pool    *synchro.TaskPool
+	lock    *synchro.Lock // per-ray statistics lock (original version)
+	useLock bool
+	rayCnt  int64
+}
+
+// flakeDepth scales the scene with the image size.
+func flakeDepth(dim int) int {
+	d := 3
+	for s := 256; s <= dim && d < 5; s *= 2 {
+		d++
+	}
+	return d
+}
+
+func build(m *core.Machine, p workload.Params) (*run, error) {
+	dim := p.Size
+	if dim < tileSize {
+		return nil, fmt.Errorf("raytrace: image dim %d below tile size", dim)
+	}
+	r := &run{
+		m:       m,
+		dim:     dim,
+		image:   make([]float64, dim*dim),
+		pool:    synchro.NewTaskPool(m, p.Lock),
+		lock:    synchro.NewLock(m, p.Lock),
+		useLock: p.Variant != "nolock",
+	}
+	// Build the sphere flake.
+	r.rootIdx = r.buildFlake(vec{0, 0, 4}, 1.0, flakeDepth(dim))
+	r.arrSph = m.Alloc("raytrace.spheres", len(r.spheres), sphereBytes)
+	r.arrImg = m.Alloc("raytrace.image", dim*dim, 4)
+	r.arrImg.PlaceElemBlocked(m.NumProcs())
+	// Tiles are seeded round-robin across the processors.
+	tiles := (dim / tileSize) * (dim / tileSize)
+	for tsk := 0; tsk < tiles; tsk++ {
+		r.pool.Seed(tsk%m.NumProcs(), tsk)
+	}
+	return r, nil
+}
+
+// buildFlake creates a sphere with 9 children of radius/3 arranged on its
+// surface, recursively to the given depth. Returns the sphere's index.
+func (r *run) buildFlake(center vec, radius float64, depth int) int32 {
+	idx := int32(len(r.spheres))
+	r.spheres = append(r.spheres, sphere{center: center, radius: radius})
+	if depth == 0 {
+		return idx
+	}
+	// Nine directions: six axes plus three diagonals.
+	dirs := []vec{
+		{1, 0, 0}, {-1, 0, 0}, {0, 1, 0}, {0, -1, 0}, {0, 0, 1}, {0, 0, -1},
+		{1, 1, 1}, {-1, 1, -1}, {1, -1, -1},
+	}
+	for _, d := range dirs {
+		dn := d.norm()
+		childC := center.add(dn.scale(radius * 4 / 3))
+		child := r.buildFlake(childC, radius/3, depth-1)
+		r.spheres[idx].children = append(r.spheres[idx].children, child)
+	}
+	return idx
+}
+
+type hit struct {
+	t      float64
+	idx    int32
+	normal vec
+	point  vec
+}
+
+// intersect traverses the flake hierarchy, pruning subtrees whose bounding
+// sphere the ray misses; every visited sphere record is a simulated read.
+func (r *run) intersect(p *core.Proc, orig, dir vec) (hit, bool) {
+	best := hit{t: math.Inf(1)}
+	var stack []int32
+	stack = append(stack, r.rootIdx)
+	for len(stack) > 0 {
+		si := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		s := &r.spheres[si]
+		p.Read(r.arrSph.Addr(int(si)))
+		p.ComputeCycles(intersectCycles)
+		// Bounding test for the subtree.
+		if !raySphere(orig, dir, s.center, s.radius*boundFactor, nil) {
+			continue
+		}
+		var t float64
+		if raySphere(orig, dir, s.center, s.radius, &t) && t > 1e-6 && t < best.t {
+			pt := orig.add(dir.scale(t))
+			best = hit{t: t, idx: si, point: pt, normal: pt.sub(s.center).norm()}
+		}
+		stack = append(stack, s.children...)
+	}
+	return best, !math.IsInf(best.t, 1)
+}
+
+// raySphere reports whether the ray hits the sphere; when tOut is non-nil
+// the nearest positive parameter is stored.
+func raySphere(orig, dir vec, center vec, radius float64, tOut *float64) bool {
+	oc := orig.sub(center)
+	b := oc.dot(dir)
+	c := oc.dot(oc) - radius*radius
+	disc := b*b - c
+	if disc < 0 {
+		return false
+	}
+	if tOut != nil {
+		t := -b - math.Sqrt(disc)
+		if t < 1e-6 {
+			t = -b + math.Sqrt(disc)
+		}
+		if t < 1e-6 {
+			return false
+		}
+		*tOut = t
+	}
+	return true
+}
+
+var lightDir = vec{0.5, 0.8, -0.3}
+
+// trace returns the shade for one ray.
+func (r *run) trace(p *core.Proc, orig, dir vec, depth int) float64 {
+	h, ok := r.intersect(p, orig, dir)
+	if !ok {
+		// Background gradient.
+		return 0.1 + 0.2*math.Abs(dir[1])
+	}
+	p.ComputeCycles(shadeCycles)
+	l := lightDir.norm()
+	diffuse := math.Max(0, h.normal.dot(l))
+	shade := 0.15 + 0.6*diffuse
+	if depth < maxBounce {
+		refl := dir.sub(h.normal.scale(2 * dir.dot(h.normal)))
+		shade += 0.25 * r.trace(p, h.point.add(h.normal.scale(1e-4)), refl.norm(), depth+1)
+	}
+	return shade
+}
+
+func (r *run) body(p *core.Proc) {
+	dim := r.dim
+	tilesPerRow := dim / tileSize
+	for {
+		task, ok := r.pool.Get(p)
+		if !ok {
+			return
+		}
+		tx := (task % tilesPerRow) * tileSize
+		ty := (task / tilesPerRow) * tileSize
+		for y := ty; y < ty+tileSize; y++ {
+			for x := tx; x < tx+tileSize; x++ {
+				var sum float64
+				for s := 0; s < raysPerPixel; s++ {
+					// Deterministic subpixel offsets.
+					ox := (float64(s%2) + 0.25) / 2
+					oy := (float64(s/2) + 0.25) / 2
+					px := (float64(x)+ox)/float64(dim)*2 - 1
+					py := (float64(y)+oy)/float64(dim)*2 - 1
+					dir := vec{px * 0.8, py * 0.8, 1}.norm()
+					sum += r.trace(p, vec{0, 0, 0}, dir, 0)
+					if r.useLock {
+						// Global statistics: rays cast counter.
+						r.lock.Acquire(p)
+						r.rayCnt++
+						r.lock.Release(p)
+					}
+				}
+				r.image[y*dim+x] = sum / raysPerPixel
+				if x%(core.BlockBytes/4) == 0 {
+					p.Write(r.arrImg.Addr(y*dim + x))
+				}
+			}
+		}
+	}
+}
+
+func (r *run) verify() error {
+	var sum float64
+	lit := 0
+	for _, v := range r.image {
+		if math.IsNaN(v) || v < 0 {
+			return fmt.Errorf("raytrace: bad pixel value %g", v)
+		}
+		if v > 0.31 { // brighter than any background pixel
+			lit++
+		}
+		sum += v
+	}
+	if lit < len(r.image)/50 {
+		return fmt.Errorf("raytrace: scene not visible (%d lit pixels)", lit)
+	}
+	if r.useLock && r.rayCnt != int64(r.dim*r.dim*raysPerPixel) {
+		return fmt.Errorf("raytrace: ray counter %d, want %d", r.rayCnt, r.dim*r.dim*raysPerPixel)
+	}
+	return nil
+}
+
+// RunForChecksum executes the app and returns an exact image checksum.
+func RunForChecksum(m *core.Machine, p workload.Params) (uint64, error) {
+	r, err := build(m, p)
+	if err != nil {
+		return 0, err
+	}
+	if err := m.Run(r.body); err != nil {
+		return 0, err
+	}
+	if err := r.verify(); err != nil {
+		return 0, err
+	}
+	var sum uint64
+	for _, v := range r.image {
+		sum += workload.Mix64(math.Float64bits(v))
+	}
+	return sum, nil
+}

@@ -1,0 +1,117 @@
+package raytrace
+
+import (
+	"testing"
+
+	"origin2000/internal/core"
+	"origin2000/internal/workload"
+)
+
+func TestImageIdenticalAcrossProcs(t *testing.T) {
+	// Pixels are independent, so the image is bit-identical however the
+	// tiles are stolen and scheduled.
+	want, err := RunForChecksum(core.New(core.Origin2000(1)), workload.Params{Size: 64, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, procs := range []int{4, 16} {
+		got, err := RunForChecksum(core.New(core.Origin2000(procs)), workload.Params{Size: 64, Seed: 2})
+		if err != nil {
+			t.Fatalf("procs=%d: %v", procs, err)
+		}
+		if got != want {
+			t.Errorf("procs=%d: image checksum %#x != %#x", procs, got, want)
+		}
+	}
+}
+
+func TestNolockVariantSameImage(t *testing.T) {
+	a, err := RunForChecksum(core.New(core.Origin2000(8)), workload.Params{Size: 64, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunForChecksum(core.New(core.Origin2000(8)), workload.Params{Size: 64, Seed: 2, Variant: "nolock"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("stats lock must not change the image")
+	}
+}
+
+func TestScalesWell(t *testing.T) {
+	// Raytrace is the one application that scales at the basic size in
+	// Figure 2; expect high efficiency at 16 processors.
+	elapsed := func(procs int) float64 {
+		m := core.New(core.Origin2000(procs))
+		if err := New().Run(m, workload.Params{Size: 64, Seed: 2}); err != nil {
+			t.Fatal(err)
+		}
+		return m.Elapsed().Milliseconds()
+	}
+	seq := elapsed(1)
+	par := elapsed(16)
+	if eff := seq / par / 16; eff < 0.7 {
+		t.Errorf("efficiency at 16 procs = %.2f, want >= 0.7", eff)
+	}
+}
+
+func TestStealingHappensWithUnevenSeeding(t *testing.T) {
+	m := core.New(core.Origin2000(8))
+	r, err := build(m, workload.Params{Size: 64, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(r.body); err != nil {
+		t.Fatal(err)
+	}
+	var stolen int64
+	for i := 0; i < 8; i++ {
+		stolen += m.Proc(i).Stats().StolenTasks
+	}
+	// Scene cost is uneven across tiles (the flake is centered), so some
+	// stealing should occur even with round-robin seeding.
+	if stolen == 0 {
+		t.Error("expected task stealing")
+	}
+}
+
+func TestFlakeSize(t *testing.T) {
+	m := core.New(core.Origin2000(2))
+	r, err := build(m, workload.Params{Size: 64, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (intPow(9, flakeDepth(64)+1) - 1) / 8
+	if len(r.spheres) != want {
+		t.Errorf("flake has %d spheres, want %d", len(r.spheres), want)
+	}
+}
+
+func intPow(b, e int) int {
+	r := 1
+	for i := 0; i < e; i++ {
+		r *= b
+	}
+	return r
+}
+
+func TestSceneWorkingSetSpillsAtLargeSize(t *testing.T) {
+	// Larger problems deepen the flake: the scene footprint grows past
+	// the cache and turns into remote capacity misses (Figure 8).
+	remote := func(dim int, cacheBytes int) float64 {
+		cfg := core.Origin2000(4)
+		cfg.Cache.SizeBytes = cacheBytes
+		m := core.New(cfg)
+		if err := New().Run(m, workload.Params{Size: dim, Seed: 2}); err != nil {
+			t.Fatal(err)
+		}
+		c := m.Result().Counters
+		return float64(c.RemoteClean+c.RemoteDirty) / float64(c.Reads)
+	}
+	small := remote(64, 1<<20)
+	large := remote(128, 64<<10) // deeper flake, tiny cache
+	if large <= small {
+		t.Errorf("remote miss rate should grow when the scene spills: %f -> %f", small, large)
+	}
+}

@@ -1,0 +1,65 @@
+package shearwarp
+
+import (
+	"testing"
+	"testing/quick"
+
+	"origin2000/internal/core"
+	"origin2000/internal/workload"
+)
+
+// TestSegmentsTileTheImageExactly is the partition invariant: whatever the
+// profile weights, the per-processor segments must cover every intermediate
+// pixel exactly once.
+func TestSegmentsTileTheImageExactly(t *testing.T) {
+	m := core.New(core.Origin2000(16))
+	r, err := build(m, workload.Params{Size: 64, Seed: 1, Variant: "new"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(weights []uint16) bool {
+		w := make([]int64, r.ih)
+		for i := range w {
+			if len(weights) > 0 {
+				w[i] = int64(weights[i%len(weights)])
+			}
+		}
+		r.computeSegments(w)
+		covered := make([]int, r.ih*r.iw)
+		for q := range r.segs {
+			for _, sg := range r.segs[q] {
+				for x := sg.xLo; x < sg.xHi; x++ {
+					covered[sg.iy*r.iw+x]++
+				}
+			}
+		}
+		for _, c := range covered {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestOwnerOfPixelMatchesSegments checks the placement lookup agrees with
+// the segment lists.
+func TestOwnerOfPixelMatchesSegments(t *testing.T) {
+	m := core.New(core.Origin2000(8))
+	r, err := build(m, workload.Params{Size: 64, Seed: 1, Variant: "new"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for q := range r.segs {
+		for _, sg := range r.segs[q] {
+			for x := sg.xLo; x < sg.xHi; x += 7 {
+				if got := r.ownerOfPixel(sg.iy, x); got != q {
+					t.Fatalf("ownerOfPixel(%d,%d) = %d, want %d", sg.iy, x, got, q)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,556 @@
+// Package shearwarp implements Shear-Warp volume rendering: a compositing
+// phase shears volume slices into an intermediate image (over 90% of the
+// sequential time), then a warp phase resamples the intermediate image into
+// the final one. The original parallelization interleaves intermediate
+// scanline chunks with task stealing, losing locality between the phases;
+// the restructured algorithm ("new") gives each processor a contiguous,
+// profile-balanced band of the intermediate image and has the same
+// processor warp exactly the final rows that read it (Section 5.1).
+package shearwarp
+
+import (
+	"fmt"
+	"math"
+
+	"origin2000/internal/core"
+	"origin2000/internal/synchro"
+	"origin2000/internal/workload"
+)
+
+const (
+	compositeCycles = 80  // per composited voxel (Table 2 calibration)
+	warpCycles      = 200 // per final-image pixel
+	skipCycles      = 4   // per voxel skipped by early termination
+	chunkRows       = 2   // interleaved chunk size (original version)
+	interBytes      = 16  // intermediate pixel: color+alpha float64
+	opaque          = 0.95
+	shearX          = 0.25
+	shearY          = 0.35
+	defaultFrames   = 2
+)
+
+// App is the Shear-Warp workload.
+type App struct{}
+
+// New returns the application.
+func New() *App { return &App{} }
+
+// Name implements workload.App.
+func (*App) Name() string { return "Shear-Warp" }
+
+// Unit implements workload.App.
+func (*App) Unit() string { return "volume dim" }
+
+// BasicSize implements workload.App: the 256^3 head.
+func (*App) BasicSize() int { return 256 }
+
+// SweepSizes implements workload.App.
+func (*App) SweepSizes() []int { return []int{64, 128, 256, 384} }
+
+// Variants implements workload.App.
+func (*App) Variants() []string { return []string{"", "new"} }
+
+// MaxProcs implements workload.App.
+func (*App) MaxProcs() int { return 128 }
+
+// Run implements workload.App.
+func (*App) Run(m *core.Machine, p workload.Params) error {
+	r, err := build(m, p)
+	if err != nil {
+		return err
+	}
+	if err := m.Run(r.body); err != nil {
+		return err
+	}
+	return r.verify()
+}
+
+type run struct {
+	m      *core.Machine
+	s      int // volume side
+	iw, ih int // intermediate image size
+	frames int
+
+	vol     []uint8   // density volume, slice-major
+	inter   []float64 // intermediate: color,alpha pairs
+	final   []float64
+	weights []int64 // per-scanline composite cost, for profile balancing
+
+	arrVol   *core.Array
+	arrInter *core.Array
+	arrFinal *core.Array
+
+	pool     *synchro.TaskPool
+	barrier  *synchro.Barrier
+	restruct bool
+	segs     [][]segment // per-proc contiguous pixel bands (new)
+	rowOwner [][]segCut  // per-row ownership cuts, for placement/warp
+}
+
+// segment is a contiguous pixel range of one intermediate scanline.
+type segment struct{ iy, xLo, xHi int }
+
+// segCut marks "columns below XHi of this row belong to Owner".
+type segCut struct{ xHi, owner int }
+
+func build(m *core.Machine, p workload.Params) (*run, error) {
+	s := p.Size
+	if s < 16 {
+		return nil, fmt.Errorf("shearwarp: volume dim %d too small", s)
+	}
+	np := m.NumProcs()
+	maxOfsX := int(shearX*float64(s)) + 1
+	maxOfsY := int(shearY*float64(s)) + 1
+	r := &run{
+		m:        m,
+		s:        s,
+		iw:       s + maxOfsX,
+		ih:       s + maxOfsY,
+		frames:   p.Steps,
+		barrier:  synchro.NewBarrier(m, np, p.Barrier),
+		restruct: p.Variant == "new",
+		pool:     synchro.NewTaskPool(m, p.Lock),
+	}
+	if r.frames <= 0 {
+		r.frames = defaultFrames
+	}
+	r.inter = make([]float64, 2*r.iw*r.ih)
+	r.final = make([]float64, s*s)
+	r.weights = make([]int64, r.ih)
+	r.arrVol = m.Alloc("shearwarp.volume", s*s*s, 1)
+	r.arrInter = m.Alloc("shearwarp.inter", r.iw*r.ih, interBytes)
+	r.arrFinal = m.Alloc("shearwarp.final", s*s, 8)
+	r.vol = workload.HeadVolume(s)
+	// Volume distributed by slice blocks; images by row ownership.
+	r.arrVol.PlaceElemBlocked(np)
+	r.arrFinal.PlaceElemBlocked(np)
+	if r.restruct {
+		// Profile-based partitioning ("profiling for load balancing",
+		// Section 5.1): the renderer produces frame after frame, so the
+		// previous frame's per-scanline cost profile is available; model
+		// it with a host-side dry run. Partitions are contiguous bands
+		// of intermediate-image *pixels* (sub-scanline granularity).
+		est := make([]int64, r.ih)
+		for iy := 0; iy < r.ih; iy++ {
+			est[iy] = r.profileScanline(iy)
+		}
+		r.computeSegments(est)
+		r.arrInter.PlaceOwner(func(pg int) int {
+			pixel := pg * (16384 / interBytes)
+			return r.ownerOfPixel(pixel/r.iw, pixel%r.iw)
+		})
+	} else {
+		// Interleaved chunk ownership.
+		r.arrInter.PlaceOwner(func(pg int) int {
+			row := pg * (16384 / interBytes) / r.iw
+			return (row / chunkRows) % np
+		})
+	}
+	return r, nil
+}
+
+// classify maps density to (color, alpha).
+func classify(d uint8) (color, alpha float64) {
+	if d < 40 {
+		return 0, 0
+	}
+	alpha = math.Min(1, float64(d-40)/180)
+	return float64(d) / 255, alpha * 0.35
+}
+
+func shearOfs(k int, shear float64) int { return int(float64(k) * shear) }
+
+// computeSegments cuts the intermediate image into np contiguous pixel
+// bands of roughly equal profiled cost, assuming cost is uniform within a
+// scanline. It fills r.segs and r.rowOwner.
+func (r *run) computeSegments(rowWeights []int64) {
+	np := r.m.NumProcs()
+	iw := r.iw
+	var total float64
+	perPixel := make([]float64, r.ih)
+	for iy, w := range rowWeights {
+		perPixel[iy] = (float64(w) + 1) / float64(iw)
+		total += float64(w) + 1
+	}
+	r.segs = make([][]segment, np)
+	r.rowOwner = make([][]segCut, r.ih)
+	share := total / float64(np)
+	q := 0
+	var acc float64
+	open := func(iy, xLo, xHi int) {
+		if xHi <= xLo {
+			return
+		}
+		r.segs[q] = append(r.segs[q], segment{iy, xLo, xHi})
+		r.rowOwner[iy] = append(r.rowOwner[iy], segCut{xHi, q})
+	}
+	for iy := 0; iy < r.ih; iy++ {
+		x := 0
+		for x < iw {
+			room := share*float64(q+1) - acc
+			pixels := iw - x
+			cost := float64(pixels) * perPixel[iy]
+			if cost <= room || q == np-1 {
+				open(iy, x, iw)
+				acc += cost
+				x = iw
+				continue
+			}
+			take := int(room / perPixel[iy])
+			if take < 1 {
+				take = 1
+			}
+			if take > pixels {
+				take = pixels
+			}
+			open(iy, x, x+take)
+			acc += float64(take) * perPixel[iy]
+			x += take
+			if q < np-1 {
+				q++
+			}
+		}
+	}
+}
+
+// ownerOfPixel maps an intermediate pixel to its band owner.
+func (r *run) ownerOfPixel(iy, ix int) int {
+	if iy < 0 || iy >= len(r.rowOwner) {
+		return 0
+	}
+	for _, c := range r.rowOwner[iy] {
+		if ix < c.xHi {
+			return c.owner
+		}
+	}
+	if n := len(r.rowOwner[iy]); n > 0 {
+		return r.rowOwner[iy][n-1].owner
+	}
+	return 0
+}
+
+// compositeScanline composites every slice's contribution to the pixel
+// range [ixLo, ixHi) of intermediate scanline iy, front to back with early
+// termination.
+func (r *run) compositeScanline(p *core.Proc, iy, ixLo, ixHi int) {
+	s := r.s
+	t0 := p.Now()
+	var cost int64
+	for k := 0; k < s; k++ {
+		y := iy - shearOfs(k, shearY)
+		if y < 0 || y >= s {
+			continue
+		}
+		ofsX := shearOfs(k, shearX)
+		rowBase := (k*s + y) * s
+		xFrom, xTo := ixLo-ofsX, ixHi-ofsX
+		if xFrom < 0 {
+			xFrom = 0
+		}
+		if xTo > s {
+			xTo = s
+		}
+		if xFrom >= xTo {
+			continue
+		}
+		// One stride-one pass over the needed part of the volume row.
+		p.ReadBytes(r.arrVol.Addr(rowBase+xFrom), (xTo - xFrom))
+		for x := xFrom; x < xTo; {
+			ix := x + ofsX
+			pi := 2 * (iy*r.iw + ix)
+			skippable := r.inter[pi+1] >= opaque || r.vol[rowBase+x] < 40
+			if skippable {
+				// The run-length encoding of the real algorithm skips
+				// whole transparent/occluded runs in near-constant time.
+				x0 := x
+				for x < xTo {
+					ix = x + ofsX
+					pi = 2 * (iy*r.iw + ix)
+					if r.inter[pi+1] < opaque && r.vol[rowBase+x] >= 40 {
+						break
+					}
+					x++
+				}
+				c := int64(skipCycles) + int64(x-x0)/16
+				p.ComputeCycles(c)
+				cost += c
+				continue
+			}
+			cVox, aVox := classify(r.vol[rowBase+x])
+			trans := 1 - r.inter[pi+1]
+			r.inter[pi] += trans * aVox * cVox
+			r.inter[pi+1] += trans * aVox
+			p.ComputeCycles(compositeCycles)
+			cost += compositeCycles
+			if x%(core.BlockBytes/interBytes) == 0 {
+				p.Write(r.arrInter.Addr(iy*r.iw + ix))
+			}
+			x++
+		}
+	}
+	_ = cost
+	// Profile with real elapsed time (busy + memory stall): the memory
+	// imbalance the paper highlights is part of the cost to balance.
+	r.weights[iy] += int64(p.Now() - t0)
+}
+
+// profileScanline computes the compositing cost of scanline iy without
+// side effects — the profile a previous frame would have produced. The
+// returned weight is in picoseconds and includes both compute cycles and
+// an estimate of the volume-row read cost, which dominates the transparent
+// edge scanlines.
+func (r *run) profileScanline(iy int) int64 {
+	const cyclePs = 5128
+	const rowReadPs = 2 * 600 * 1000 // ~2 blocks per 256B row at remote cost
+	s := r.s
+	alpha := make([]float64, r.iw)
+	var cost int64
+	var rows int64
+	for k := 0; k < s; k++ {
+		y := iy - shearOfs(k, shearY)
+		if y < 0 || y >= s {
+			continue
+		}
+		rows++
+		ofsX := shearOfs(k, shearX)
+		rowBase := (k*s + y) * s
+		for x := 0; x < s; {
+			ix := x + ofsX
+			if alpha[ix] >= opaque || r.vol[rowBase+x] < 40 {
+				x0 := x
+				for x < s {
+					ix = x + ofsX
+					if alpha[ix] < opaque && r.vol[rowBase+x] >= 40 {
+						break
+					}
+					x++
+				}
+				cost += int64(skipCycles) + int64(x-x0)/16
+				continue
+			}
+			_, aVox := classify(r.vol[rowBase+x])
+			alpha[ix] += (1 - alpha[ix]) * aVox
+			cost += compositeCycles
+			x++
+		}
+	}
+	return cost*cyclePs + rows*rowReadPs
+}
+
+// warpSpan resamples intermediate pixels into final row fy, columns
+// [fxLo, fxHi) (bilinear).
+func (r *run) warpSpan(p *core.Proc, fy, fxLo, fxHi int) {
+	s := r.s
+	// The warp undoes the shear: a final row reads intermediate rows at
+	// a constant offset band.
+	srcY := float64(fy) + shearY*float64(s)/2
+	y0 := int(srcY)
+	fy0 := srcY - float64(y0)
+	for fx := fxLo; fx < fxHi; fx++ {
+		srcX := float64(fx) + shearX*float64(s)/2
+		x0 := int(srcX)
+		fx0 := srcX - float64(x0)
+		var v float64
+		for dy := 0; dy < 2; dy++ {
+			for dx := 0; dx < 2; dx++ {
+				yy, xx := y0+dy, x0+dx
+				if yy < 0 || yy >= r.ih || xx < 0 || xx >= r.iw {
+					continue
+				}
+				wgt := (fx0*float64(dx) + (1-fx0)*float64(1-dx)) *
+					(fy0*float64(dy) + (1-fy0)*float64(1-dy))
+				v += wgt * r.inter[2*(yy*r.iw+xx)]
+				if xx%(core.BlockBytes/interBytes) == 0 || dx == 0 {
+					p.Read(r.arrInter.Addr(yy*r.iw + xx))
+				}
+			}
+		}
+		r.final[fy*s+fx] = v
+		if fx%(core.BlockBytes/8) == 0 {
+			p.Write(r.arrFinal.Addr(fy*s + fx))
+		}
+	}
+	p.ComputeCycles(int64(fxHi-fxLo) * warpCycles / 4)
+}
+
+func (r *run) body(p *core.Proc) {
+	id := p.ID()
+	np := p.NumProcs()
+	for frame := 0; frame < r.frames; frame++ {
+		// Clear phase: owners clear their intermediate pixels.
+		r.clearInter(p, frame)
+		r.barrier.Wait(p)
+		// Compositing.
+		if r.restruct {
+			for _, sg := range r.segs[id] {
+				r.compositeScanline(p, sg.iy, sg.xLo, sg.xHi)
+			}
+		} else {
+			for {
+				task, ok := r.pool.Get(p)
+				if !ok {
+					break
+				}
+				for row := 0; row < chunkRows; row++ {
+					iy := task*chunkRows + row
+					if iy < r.ih {
+						r.compositeScanline(p, iy, 0, r.iw)
+					}
+				}
+			}
+		}
+		r.barrier.Wait(p)
+		// Warp.
+		if r.restruct {
+			// A processor warps exactly the final pixels whose source
+			// band it composited: the cross-phase locality fix.
+			ofsY := int(shearY * float64(r.s) / 2)
+			ofsX := int(shearX * float64(r.s) / 2)
+			for _, sg := range r.segs[id] {
+				fy := sg.iy - ofsY
+				if fy < 0 || fy >= r.s {
+					continue
+				}
+				fxLo, fxHi := sg.xLo-ofsX, sg.xHi-ofsX
+				if fxLo < 0 {
+					fxLo = 0
+				}
+				if fxHi > r.s {
+					fxHi = r.s
+				}
+				if fxLo < fxHi {
+					r.warpSpan(p, fy, fxLo, fxHi)
+				}
+			}
+		} else {
+			lo, hi := id*r.s/np, (id+1)*r.s/np
+			for fy := lo; fy < hi; fy++ {
+				r.warpSpan(p, fy, 0, r.s)
+			}
+		}
+		r.barrier.Wait(p)
+		// Prepare the next frame: reseed tasks / rebalance bands. The
+		// profile-based partition is recomputed once, from the first
+		// frame's measured costs, then kept stable so ownership (and
+		// cache affinity) persists across frames.
+		if id == 0 {
+			if r.restruct {
+				if frame == 0 {
+					r.computeSegments(r.weights)
+				}
+				for i := range r.weights {
+					r.weights[i] = 0
+				}
+			} else {
+				tiles := (r.ih + chunkRows - 1) / chunkRows
+				for tsk := 0; tsk < tiles; tsk++ {
+					r.pool.Seed(tsk%np, tsk)
+				}
+			}
+		}
+		r.barrier.Wait(p)
+	}
+}
+
+// clearInter zeroes each processor's intermediate pixels; the first frame
+// also seeds the task pool for the original variant.
+func (r *run) clearInter(p *core.Proc, frame int) {
+	id := p.ID()
+	np := p.NumProcs()
+	if r.restruct {
+		for _, sg := range r.segs[id] {
+			for x := sg.xLo; x < sg.xHi; x++ {
+				r.inter[2*(sg.iy*r.iw+x)] = 0
+				r.inter[2*(sg.iy*r.iw+x)+1] = 0
+			}
+			for x := sg.xLo; x < sg.xHi; x += core.BlockBytes / interBytes {
+				p.Write(r.arrInter.Addr(sg.iy*r.iw + x))
+			}
+		}
+		return
+	}
+	for iy := 0; iy < r.ih; iy++ {
+		if (iy/chunkRows)%np != id {
+			continue
+		}
+		for x := 0; x < r.iw; x++ {
+			r.inter[2*(iy*r.iw+x)] = 0
+			r.inter[2*(iy*r.iw+x)+1] = 0
+		}
+		for x := 0; x < r.iw; x += core.BlockBytes / interBytes {
+			p.Write(r.arrInter.Addr(iy*r.iw + x))
+		}
+	}
+	if frame == 0 && id == 0 && r.pool.Pending() == 0 {
+		tiles := (r.ih + chunkRows - 1) / chunkRows
+		for tsk := 0; tsk < tiles; tsk++ {
+			r.pool.Seed(tsk%np, tsk)
+		}
+	}
+}
+
+// weightedBounds partitions scanlines into np contiguous bands of roughly
+// equal measured cost ("profiling for load balancing").
+func weightedBounds(weights []int64, np int) []int {
+	var total int64
+	for _, w := range weights {
+		total += w + 1
+	}
+	b := make([]int, np+1)
+	b[np] = len(weights)
+	var acc int64
+	q := 1
+	for i, w := range weights {
+		acc += w + 1
+		for q < np && acc >= int64(q)*total/int64(np) {
+			b[q] = i + 1
+			q++
+		}
+	}
+	// Ensure monotonicity.
+	for i := 1; i <= np; i++ {
+		if b[i] < b[i-1] {
+			b[i] = b[i-1]
+		}
+	}
+	return b
+}
+
+func (r *run) verify() error {
+	var sum float64
+	lit := 0
+	for _, v := range r.final {
+		if math.IsNaN(v) || v < 0 {
+			return fmt.Errorf("shearwarp: bad pixel %g", v)
+		}
+		if v > 0.01 {
+			lit++
+		}
+		sum += v
+	}
+	if lit < len(r.final)/20 {
+		return fmt.Errorf("shearwarp: rendered image mostly empty (%d lit)", lit)
+	}
+	return nil
+}
+
+// RunForChecksum executes the app and returns an exact final-image
+// checksum (the compositing order is fixed, so all variants and processor
+// counts agree bit for bit).
+func RunForChecksum(m *core.Machine, p workload.Params) (uint64, error) {
+	r, err := build(m, p)
+	if err != nil {
+		return 0, err
+	}
+	if err := m.Run(r.body); err != nil {
+		return 0, err
+	}
+	if err := r.verify(); err != nil {
+		return 0, err
+	}
+	var sum uint64
+	for _, v := range r.final {
+		sum += workload.Mix64(math.Float64bits(v))
+	}
+	return sum, nil
+}

@@ -1,0 +1,95 @@
+package shearwarp
+
+import (
+	"testing"
+
+	"origin2000/internal/core"
+	"origin2000/internal/workload"
+)
+
+func TestImageIdenticalAcrossProcsAndVariants(t *testing.T) {
+	want, err := RunForChecksum(core.New(core.Origin2000(1)), workload.Params{Size: 32, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, procs := range []int{4, 8} {
+		for _, variant := range []string{"", "new"} {
+			got, err := RunForChecksum(core.New(core.Origin2000(procs)), workload.Params{Size: 32, Seed: 1, Variant: variant})
+			if err != nil {
+				t.Fatalf("procs=%d %q: %v", procs, variant, err)
+			}
+			if got != want {
+				t.Errorf("procs=%d %q: checksum %#x != %#x", procs, variant, got, want)
+			}
+		}
+	}
+}
+
+func TestNewAlgorithmReducesWarpCommunication(t *testing.T) {
+	// The restructured version's warp reads mostly its own intermediate
+	// partition: remote misses should drop substantially.
+	remote := func(variant string) int64 {
+		m := core.New(core.Origin2000(16))
+		if err := New().Run(m, workload.Params{Size: 64, Seed: 1, Variant: variant}); err != nil {
+			t.Fatal(err)
+		}
+		c := m.Result().Counters
+		return c.RemoteClean + c.RemoteDirty
+	}
+	orig := remote("")
+	restructured := remote("new")
+	if restructured >= orig {
+		t.Errorf("restructured remote misses (%d) should be below original (%d)", restructured, orig)
+	}
+}
+
+func TestNewAlgorithmFasterAtScale(t *testing.T) {
+	// Section 5.1: once the profile-based partition is warm (a few
+	// frames), the restructured algorithm's memory time diminishes
+	// greatly and it outperforms the interleaved/stealing original at
+	// large scale.
+	run := func(variant string) (float64, float64) {
+		m := core.New(core.Origin2000(64))
+		if err := New().Run(m, workload.Params{Size: 192, Seed: 1, Variant: variant, Steps: 4}); err != nil {
+			t.Fatal(err)
+		}
+		return m.Elapsed().Milliseconds(), m.Result().Average().Memory.Milliseconds()
+	}
+	origT, origMem := run("")
+	newT, newMem := run("new")
+	if newMem >= origMem {
+		t.Errorf("restructured memory time (%.2fms) should be below original (%.2fms)", newMem, origMem)
+	}
+	if newT >= origT*1.05 {
+		t.Errorf("restructured (%.2fms) should not lose to original (%.2fms)", newT, origT)
+	}
+}
+
+func TestWeightedBoundsBalances(t *testing.T) {
+	w := make([]int64, 100)
+	for i := range w {
+		if i >= 40 && i < 60 {
+			w[i] = 100 // hot band in the middle
+		} else {
+			w[i] = 1
+		}
+	}
+	b := weightedBounds(w, 4)
+	if b[0] != 0 || b[4] != 100 {
+		t.Fatalf("bounds endpoints wrong: %v", b)
+	}
+	// The hot band should be split across processors: no single range
+	// holds all of [40,60).
+	for q := 0; q < 4; q++ {
+		if b[q] <= 40 && b[q+1] >= 60 {
+			t.Errorf("range %d [%d,%d) swallowed the hot band", q, b[q], b[q+1])
+		}
+	}
+}
+
+func TestHeadIsVisible(t *testing.T) {
+	m := core.New(core.Origin2000(4))
+	if err := New().Run(m, workload.Params{Size: 32, Seed: 1, Steps: 1}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,236 @@
+// Package volrend implements the SPLASH-2 style ray-casting volume
+// renderer: rays march through the head volume with early termination,
+// skipping transparent regions using a min-max brick pyramid, parallelized
+// over interleaved image tiles with task stealing. The "balanced" variant
+// seeds contiguous tile blocks per processor to reduce stealing — the SVM
+// restructuring that buys only a few percent on the Origin (Section 5.2).
+package volrend
+
+import (
+	"fmt"
+	"math"
+
+	"origin2000/internal/core"
+	"origin2000/internal/synchro"
+	"origin2000/internal/workload"
+)
+
+const (
+	sampleCycles = 60 // per voxel sample along a ray
+	brickCycles  = 10 // per brick max-density test (space leaping)
+	brickSize    = 8
+	tileSize     = 8
+	opaque       = 0.95
+)
+
+// App is the Volrend workload.
+type App struct{}
+
+// New returns the application.
+func New() *App { return &App{} }
+
+// Name implements workload.App.
+func (*App) Name() string { return "Volrend" }
+
+// Unit implements workload.App.
+func (*App) Unit() string { return "volume dim" }
+
+// BasicSize implements workload.App: the 256^3 head.
+func (*App) BasicSize() int { return 256 }
+
+// SweepSizes implements workload.App: the paper notes it has no larger
+// inputs, which is exactly why Volrend never reaches 60% at 128 procs.
+func (*App) SweepSizes() []int { return []int{64, 128, 256} }
+
+// Variants implements workload.App.
+func (*App) Variants() []string { return []string{"", "balanced"} }
+
+// MaxProcs implements workload.App.
+func (*App) MaxProcs() int { return 128 }
+
+// Run implements workload.App.
+func (*App) Run(m *core.Machine, p workload.Params) error {
+	r, err := build(m, p)
+	if err != nil {
+		return err
+	}
+	if err := m.Run(r.body); err != nil {
+		return err
+	}
+	return r.verify()
+}
+
+type run struct {
+	m      *core.Machine
+	s      int
+	bricks int // bricks per dimension
+
+	vol      []uint8
+	brickMax []uint8
+	image    []float64
+
+	arrVol   *core.Array
+	arrBrick *core.Array
+	arrImg   *core.Array
+
+	pool *synchro.TaskPool
+}
+
+func build(m *core.Machine, p workload.Params) (*run, error) {
+	s := p.Size
+	if s < tileSize || s%brickSize != 0 {
+		return nil, fmt.Errorf("volrend: volume dim %d must be a multiple of %d", s, brickSize)
+	}
+	np := m.NumProcs()
+	r := &run{
+		m:      m,
+		s:      s,
+		bricks: s / brickSize,
+		vol:    workload.HeadVolume(s),
+		image:  make([]float64, s*s),
+		pool:   synchro.NewTaskPool(m, p.Lock),
+	}
+	r.brickMax = make([]uint8, r.bricks*r.bricks*r.bricks)
+	for z := 0; z < s; z++ {
+		for y := 0; y < s; y++ {
+			for x := 0; x < s; x++ {
+				b := r.brickIndex(x, y, z)
+				if v := r.vol[(z*s+y)*s+x]; v > r.brickMax[b] {
+					r.brickMax[b] = v
+				}
+			}
+		}
+	}
+	r.arrVol = m.Alloc("volrend.volume", s*s*s, 1)
+	r.arrBrick = m.Alloc("volrend.bricks", len(r.brickMax), 1)
+	r.arrImg = m.Alloc("volrend.image", s*s, 8)
+	r.arrImg.PlaceElemBlocked(np)
+	tilesPerRow := s / tileSize
+	tiles := tilesPerRow * tilesPerRow
+	if p.Variant == "balanced" {
+		// The restructured initial assignment estimates per-tile work
+		// from the brick pyramid and hands out contiguous runs of equal
+		// estimated cost, so little stealing is needed (Section 5.2).
+		weights := make([]int64, tiles)
+		var total int64
+		for tsk := 0; tsk < tiles; tsk++ {
+			bx := (tsk % tilesPerRow) * tileSize / brickSize
+			by := (tsk / tilesPerRow) * tileSize / brickSize
+			w := int64(1)
+			for bz := 0; bz < r.bricks; bz++ {
+				if r.brickMax[(bz*r.bricks+by)*r.bricks+bx] >= 40 {
+					w += brickSize
+				}
+			}
+			weights[tsk] = w
+			total += w
+		}
+		var acc int64
+		owner := 0
+		for tsk := 0; tsk < tiles; tsk++ {
+			for owner < np-1 && acc >= int64(owner+1)*total/int64(np) {
+				owner++
+			}
+			r.pool.Seed(owner, tsk)
+			acc += weights[tsk]
+		}
+	} else {
+		for tsk := 0; tsk < tiles; tsk++ {
+			r.pool.Seed(tsk%np, tsk)
+		}
+	}
+	return r, nil
+}
+
+func (r *run) brickIndex(x, y, z int) int {
+	bx, by, bz := x/brickSize, y/brickSize, z/brickSize
+	return (bz*r.bricks+by)*r.bricks + bx
+}
+
+// castRay marches through the volume along +z for pixel (x, y).
+func (r *run) castRay(p *core.Proc, x, y int) float64 {
+	s := r.s
+	var color, alpha float64
+	for z := 0; z < s; {
+		// Space leaping: consult the brick pyramid when entering a brick.
+		if z%brickSize == 0 {
+			b := r.brickIndex(x, y, z)
+			p.Read(r.arrBrick.Addr(b))
+			p.ComputeCycles(brickCycles)
+			if r.brickMax[b] < 40 {
+				z += brickSize
+				continue
+			}
+		}
+		d := r.vol[(z*s+y)*s+x]
+		p.Read(r.arrVol.Addr((z*s+y)*s + x))
+		p.ComputeCycles(sampleCycles)
+		if d >= 40 {
+			aVox := math.Min(1, float64(d-40)/180) * 0.3
+			cVox := float64(d) / 255
+			color += (1 - alpha) * aVox * cVox
+			alpha += (1 - alpha) * aVox
+			if alpha >= opaque {
+				break
+			}
+		}
+		z++
+	}
+	return color
+}
+
+func (r *run) body(p *core.Proc) {
+	s := r.s
+	tilesPerRow := s / tileSize
+	for {
+		task, ok := r.pool.Get(p)
+		if !ok {
+			return
+		}
+		tx := (task % tilesPerRow) * tileSize
+		ty := (task / tilesPerRow) * tileSize
+		for y := ty; y < ty+tileSize; y++ {
+			for x := tx; x < tx+tileSize; x++ {
+				r.image[y*s+x] = r.castRay(p, x, y)
+				if x%(core.BlockBytes/8) == 0 {
+					p.Write(r.arrImg.Addr(y*s + x))
+				}
+			}
+		}
+	}
+}
+
+func (r *run) verify() error {
+	lit := 0
+	for _, v := range r.image {
+		if math.IsNaN(v) || v < 0 {
+			return fmt.Errorf("volrend: bad pixel %g", v)
+		}
+		if v > 0.01 {
+			lit++
+		}
+	}
+	if lit < len(r.image)/20 {
+		return fmt.Errorf("volrend: head not visible (%d lit pixels)", lit)
+	}
+	return nil
+}
+
+// RunForChecksum executes the app and returns an exact image checksum.
+func RunForChecksum(m *core.Machine, p workload.Params) (uint64, error) {
+	r, err := build(m, p)
+	if err != nil {
+		return 0, err
+	}
+	if err := m.Run(r.body); err != nil {
+		return 0, err
+	}
+	if err := r.verify(); err != nil {
+		return 0, err
+	}
+	var sum uint64
+	for _, v := range r.image {
+		sum += workload.Mix64(math.Float64bits(v))
+	}
+	return sum, nil
+}

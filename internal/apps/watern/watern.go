@@ -1,0 +1,331 @@
+// Package watern implements Water-Nsquared: O(n²) pairwise molecular
+// dynamics over O(n) data. The original SPLASH-2 loop order iterates local
+// molecules outermost, so for large n the n/2 remote molecules fall out of
+// the cache between reuses, generating artifactual communication; the
+// "interchange" variant reuses each remote molecule against all local ones
+// before moving on (Section 5.1).
+package watern
+
+import (
+	"fmt"
+	"math"
+
+	"origin2000/internal/core"
+	"origin2000/internal/synchro"
+	"origin2000/internal/workload"
+)
+
+const (
+	// moleculeBytes models the per-molecule record pulled during force
+	// computation as one coherence block (positions + parameters); the
+	// full SPLASH-2 record with predictor derivatives is larger, touched
+	// only in the update phase.
+	moleculeBytes     = core.BlockBytes
+	fullRecordBytes   = 672
+	interactionCycles = 540 // water-water interaction (Table 2 calibration)
+	updateCycles      = 260 // predictor-corrector integration per molecule
+	defaultSteps      = 2
+)
+
+// App is the Water-Nsquared workload.
+type App struct{}
+
+// New returns the application.
+func New() *App { return &App{} }
+
+// Name implements workload.App.
+func (*App) Name() string { return "Water-Nsquared" }
+
+// Unit implements workload.App.
+func (*App) Unit() string { return "molecules" }
+
+// BasicSize implements workload.App: 4096 molecules.
+func (*App) BasicSize() int { return 4096 }
+
+// SweepSizes implements workload.App.
+func (*App) SweepSizes() []int { return []int{1024, 2048, 4096, 8192, 16384, 32768} }
+
+// Variants implements workload.App: "interchange" is the restructured loop.
+func (*App) Variants() []string { return []string{"", "interchange"} }
+
+// MaxProcs implements workload.App.
+func (*App) MaxProcs() int { return 128 }
+
+// Run implements workload.App.
+func (*App) Run(m *core.Machine, p workload.Params) error {
+	w, err := build(m, p)
+	if err != nil {
+		return err
+	}
+	if err := m.Run(w.body); err != nil {
+		return err
+	}
+	return w.verify()
+}
+
+type vec [3]float64
+
+type run struct {
+	m     *core.Machine
+	n     int
+	steps int
+
+	pos   []vec
+	vel   []vec
+	force []vec // shared force accumulators
+	fbuf  [][]vec
+
+	arrMol   *core.Array // per-molecule force-phase line
+	arrFull  *core.Array // full records touched in the update phase
+	locks    []*synchro.Lock
+	barrier  *synchro.Barrier
+	restruct bool
+
+	energy []float64 // per-processor potential-energy partials
+}
+
+func build(m *core.Machine, p workload.Params) (*run, error) {
+	n := p.Size
+	if n < 2 || n%2 != 0 {
+		return nil, fmt.Errorf("watern: need an even molecule count, got %d", n)
+	}
+	np := m.NumProcs()
+	w := &run{
+		m:        m,
+		n:        n,
+		steps:    p.Steps,
+		pos:      make([]vec, n),
+		vel:      make([]vec, n),
+		force:    make([]vec, n),
+		fbuf:     make([][]vec, np),
+		arrMol:   m.Alloc("watern.mol", n, moleculeBytes),
+		arrFull:  m.Alloc("watern.full", n, fullRecordBytes),
+		locks:    make([]*synchro.Lock, np),
+		barrier:  synchro.NewBarrier(m, np, p.Barrier),
+		restruct: p.Variant == "interchange",
+		energy:   make([]float64, np),
+	}
+	if w.steps <= 0 {
+		w.steps = defaultSteps
+	}
+	for i := range w.locks {
+		w.locks[i] = synchro.NewLock(m, p.Lock)
+	}
+	for q := range w.fbuf {
+		w.fbuf[q] = make([]vec, n)
+	}
+	rng := workload.NewRand(p.Seed)
+	box := math.Cbrt(float64(n)) * 3.1
+	for i := range w.pos {
+		w.pos[i] = vec{rng.Float64() * box, rng.Float64() * box, rng.Float64() * box}
+		w.vel[i] = vec{rng.Float64() - 0.5, rng.Float64() - 0.5, rng.Float64() - 0.5}
+	}
+	w.arrMol.PlaceElemBlocked(np)
+	w.arrFull.PlaceElemBlocked(np)
+	return w, nil
+}
+
+func (w *run) chunk(id int) (lo, hi int) {
+	np := w.m.NumProcs()
+	return id * w.n / np, (id + 1) * w.n / np
+}
+
+// pairForce computes a smooth short-range pair interaction.
+func pairForce(pi, pj vec) (f vec, pot float64) {
+	var d vec
+	r2 := 0.0
+	for k := 0; k < 3; k++ {
+		d[k] = pi[k] - pj[k]
+		r2 += d[k] * d[k]
+	}
+	r2 += 0.5 // soften
+	inv2 := 1 / r2
+	inv4 := inv2 * inv2
+	mag := inv4 - 0.1*inv2
+	for k := 0; k < 3; k++ {
+		f[k] = mag * d[k]
+	}
+	// Positive-definite pair energy (completed square), so the total
+	// potential stays a valid sanity check at any molecule count.
+	s := math.Sqrt(inv2) - 0.025
+	return f, s * s
+}
+
+// interacts reports whether the half-shell pairing includes (i, j=i+k mod n).
+func (w *run) interacts(i, k int) bool {
+	if k < 1 || k > w.n/2 {
+		return false
+	}
+	if k == w.n/2 && i >= w.n/2 {
+		return false // count the antipodal pair once
+	}
+	return true
+}
+
+func (w *run) body(p *core.Proc) {
+	id := p.ID()
+	lo, hi := w.chunk(id)
+	fb := w.fbuf[id]
+	for step := 0; step < w.steps; step++ {
+		for i := range fb {
+			fb[i] = vec{}
+		}
+		var pot float64
+		if w.restruct {
+			pot = w.forcesRestructured(p, lo, hi, fb)
+		} else {
+			pot = w.forcesOriginal(p, lo, hi, fb)
+		}
+		w.energy[id] += pot
+		w.barrier.Wait(p)
+		// Merge private force contributions into the shared array,
+		// region by region under the region lock.
+		np := p.NumProcs()
+		for s := 0; s < np; s++ {
+			q := (id + s) % np
+			qLo, qHi := w.chunk(q)
+			w.locks[q].Acquire(p)
+			wrote := 0
+			for i := qLo; i < qHi; i++ {
+				f := fb[i]
+				if f[0] == 0 && f[1] == 0 && f[2] == 0 {
+					continue
+				}
+				for k := 0; k < 3; k++ {
+					w.force[i][k] += f[k]
+				}
+				p.Write(w.arrMol.Addr(i))
+				wrote++
+			}
+			w.locks[q].Release(p)
+			p.ComputeCycles(int64(wrote) * 6)
+		}
+		w.barrier.Wait(p)
+		// Update phase: integrate owned molecules (full records).
+		for i := lo; i < hi; i++ {
+			for k := 0; k < 3; k++ {
+				w.vel[i][k] += 0.0005 * w.force[i][k]
+				w.pos[i][k] += 0.0005 * w.vel[i][k]
+				w.force[i][k] = 0
+			}
+			p.ReadBytes(w.arrFull.Addr(i), fullRecordBytes)
+			p.WriteBytes(w.arrFull.Addr(i), fullRecordBytes)
+		}
+		p.ComputeCycles(int64(hi-lo) * updateCycles)
+		w.barrier.Wait(p)
+	}
+}
+
+// forcesOriginal: outer loop over local molecules, inner over the next n/2
+// — each remote molecule is re-read for every local molecule.
+func (w *run) forcesOriginal(p *core.Proc, lo, hi int, fb []vec) float64 {
+	var pot float64
+	for i := lo; i < hi; i++ {
+		p.Read(w.arrMol.Addr(i))
+		for k := 1; k <= w.n/2; k++ {
+			if !w.interacts(i, k) {
+				continue
+			}
+			j := (i + k) % w.n
+			p.Read(w.arrMol.Addr(j))
+			f, e := pairForce(w.pos[i], w.pos[j])
+			for c := 0; c < 3; c++ {
+				fb[i][c] += f[c]
+				fb[j][c] -= f[c]
+			}
+			pot += e
+			p.ComputeCycles(interactionCycles)
+		}
+	}
+	return pot
+}
+
+// forcesRestructured: outer loop over the interacting molecules, inner over
+// the local ones — each remote molecule is read once and reused O(n/p)
+// times while it is still cached.
+func (w *run) forcesRestructured(p *core.Proc, lo, hi int, fb []vec) float64 {
+	var pot float64
+	// The interacting set for local range [lo,hi) is (lo, hi-1+n/2],
+	// capped at one full circle so no molecule is visited twice when a
+	// processor owns more than half the molecules.
+	upper := hi - 1 + w.n/2
+	if upper > lo+w.n {
+		upper = lo + w.n
+	}
+	for jj := lo + 1; jj <= upper; jj++ {
+		j := jj % w.n
+		p.Read(w.arrMol.Addr(j))
+		// Local partners: i in [j-n/2, j-1] mod n intersected with the
+		// owned range.
+		for i := lo; i < hi; i++ {
+			k := (j - i + w.n) % w.n
+			if !w.interacts(i, k) {
+				continue
+			}
+			f, e := pairForce(w.pos[i], w.pos[j])
+			for c := 0; c < 3; c++ {
+				fb[i][c] += f[c]
+				fb[j][c] -= f[c]
+			}
+			pot += e
+			p.ComputeCycles(interactionCycles)
+		}
+	}
+	return pot
+}
+
+// ReferencePotential computes the first-step potential energy in plain Go.
+func ReferencePotential(n int, seed int64) float64 {
+	rng := workload.NewRand(seed)
+	box := math.Cbrt(float64(n)) * 3.1
+	pos := make([]vec, n)
+	for i := range pos {
+		pos[i] = vec{rng.Float64() * box, rng.Float64() * box, rng.Float64() * box}
+		_ = [3]float64{rng.Float64(), rng.Float64(), rng.Float64()} // velocities
+	}
+	var pot float64
+	for i := 0; i < n; i++ {
+		for k := 1; k <= n/2; k++ {
+			if k == n/2 && i >= n/2 {
+				continue
+			}
+			j := (i + k) % n
+			_, e := pairForce(pos[i], pos[j])
+			pot += e
+		}
+	}
+	return pot
+}
+
+func (w *run) verify() error {
+	var pot float64
+	for _, e := range w.energy {
+		pot += e
+	}
+	pot /= float64(w.steps)
+	if math.IsNaN(pot) || math.IsInf(pot, 0) {
+		return fmt.Errorf("watern: potential is not finite")
+	}
+	if pot <= 0 {
+		return fmt.Errorf("watern: non-positive potential %g", pot)
+	}
+	return nil
+}
+
+// RunForPotential executes one step and returns the exact first-step
+// potential for determinism tests.
+func RunForPotential(m *core.Machine, p workload.Params) (float64, error) {
+	p.Steps = 1
+	w, err := build(m, p)
+	if err != nil {
+		return 0, err
+	}
+	if err := m.Run(w.body); err != nil {
+		return 0, err
+	}
+	var pot float64
+	for _, e := range w.energy {
+		pot += e
+	}
+	return pot, nil
+}

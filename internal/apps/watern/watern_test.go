@@ -1,0 +1,136 @@
+package watern
+
+import (
+	"math"
+	"testing"
+
+	"origin2000/internal/core"
+	"origin2000/internal/workload"
+)
+
+func TestPotentialMatchesReference(t *testing.T) {
+	// Both loop orders on any processor count must compute exactly the
+	// same pair set; the potential matches the plain-Go reference up to
+	// summation order.
+	n := 256
+	want := ReferencePotential(n, 9)
+	for _, procs := range []int{1, 3, 8} {
+		for _, variant := range []string{"", "interchange"} {
+			m := core.New(core.Origin2000(procs))
+			got, err := RunForPotential(m, workload.Params{Size: n, Seed: 9, Variant: variant})
+			if err != nil {
+				t.Fatalf("procs=%d %q: %v", procs, variant, err)
+			}
+			if err := workload.CheckClose("potential", got, want, 1e-9); err != nil {
+				t.Errorf("procs=%d %q: %v", procs, variant, err)
+			}
+		}
+	}
+}
+
+func TestPairCountIsExact(t *testing.T) {
+	// The half-shell enumeration yields exactly n*(n-1)/2... no: each of
+	// the n molecules pairs with n/2 others, the antipodal pair counted
+	// once: n*n/2 - n/2 pairs... verify by counting interactions.
+	for _, n := range []int{4, 8, 16} {
+		w := &run{n: n}
+		count := 0
+		for i := 0; i < n; i++ {
+			for k := 1; k <= n/2; k++ {
+				if w.interacts(i, k) {
+					count++
+				}
+			}
+		}
+		want := n*n/2 - n/2
+		if count != want {
+			t.Errorf("n=%d: %d pairs, want %d", n, count, want)
+		}
+	}
+}
+
+func TestRunVerifies(t *testing.T) {
+	m := core.New(core.Origin2000(8))
+	if err := New().Run(m, workload.Params{Size: 256, Seed: 9}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRejectsOddCount(t *testing.T) {
+	m := core.New(core.Origin2000(2))
+	if err := New().Run(m, workload.Params{Size: 255, Seed: 9}); err == nil {
+		t.Fatal("odd molecule count should be rejected")
+	}
+}
+
+func TestInterchangeReducesMissesWhenWorkingSetSpills(t *testing.T) {
+	// With a cache smaller than the n/2 interacting molecules, the
+	// original loop order misses repeatedly on remote data while the
+	// interchange reuses each remote molecule — the Section 5.1 effect.
+	misses := func(variant string) (int64, float64) {
+		cfg := core.Origin2000(8)
+		cfg.Cache.SizeBytes = 16 << 10 // 128 lines << n/2 molecules
+		m := core.New(cfg)
+		if err := New().Run(m, workload.Params{Size: 2048, Seed: 9, Steps: 1, Variant: variant}); err != nil {
+			t.Fatal(err)
+		}
+		c := m.Result().Counters
+		return c.RemoteClean + c.RemoteDirty + c.LocalMisses, m.Elapsed().Milliseconds()
+	}
+	origMisses, origTime := misses("")
+	restMisses, restTime := misses("interchange")
+	if restMisses*4 > origMisses {
+		t.Errorf("interchange misses %d should be <1/4 of original %d", restMisses, origMisses)
+	}
+	if restTime >= origTime {
+		t.Errorf("interchange (%.2fms) should beat original (%.2fms)", restTime, origTime)
+	}
+}
+
+func TestOriginalFineWhenWorkingSetFits(t *testing.T) {
+	// With the full 4MB cache and a small n, the two variants should be
+	// close: the restructuring only matters once the working set spills.
+	elapsed := func(variant string) float64 {
+		m := core.New(core.Origin2000(8))
+		if err := New().Run(m, workload.Params{Size: 512, Seed: 9, Steps: 1, Variant: variant}); err != nil {
+			t.Fatal(err)
+		}
+		return m.Elapsed().Milliseconds()
+	}
+	orig := elapsed("")
+	rest := elapsed("interchange")
+	if ratio := orig / rest; ratio > 1.15 || ratio < 0.85 {
+		t.Errorf("variants should be near-equal when the working set fits: orig=%.3f rest=%.3f", orig, rest)
+	}
+}
+
+func TestForceConservation(t *testing.T) {
+	// Newton's third law: the merged shared forces nearly cancel.
+	m := core.New(core.Origin2000(4))
+	w, err := build(m, workload.Params{Size: 128, Seed: 9, Steps: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Capture the force sum right after the merge by checking vel drift:
+	// total momentum change equals sum of forces * dt.
+	var mom0 vec
+	for i := range w.vel {
+		for k := 0; k < 3; k++ {
+			mom0[k] += w.vel[i][k]
+		}
+	}
+	if err := m.Run(w.body); err != nil {
+		t.Fatal(err)
+	}
+	var mom1 vec
+	for i := range w.vel {
+		for k := 0; k < 3; k++ {
+			mom1[k] += w.vel[i][k]
+		}
+	}
+	for k := 0; k < 3; k++ {
+		if d := math.Abs(mom1[k] - mom0[k]); d > 1e-9 {
+			t.Errorf("momentum drift along %d: %g", k, d)
+		}
+	}
+}

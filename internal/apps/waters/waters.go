@@ -1,0 +1,463 @@
+// Package waters implements Water-Spatial: the O(n) cell-based version of
+// the water simulation. Space is diced into cells about one cutoff radius
+// on a side; molecules interact only with the 26 surrounding cells
+// (half-shell enumerated), so communication is nearest-neighbour and the
+// communication-to-computation ratio falls as the problem grows — which is
+// why this is one of only two applications problem size alone rescues at
+// 128 processors (Section 4.1, Figure 5).
+package waters
+
+import (
+	"fmt"
+	"math"
+
+	"origin2000/internal/core"
+	"origin2000/internal/synchro"
+	"origin2000/internal/workload"
+)
+
+const (
+	moleculeBytes     = core.BlockBytes
+	interactionCycles = 540
+	updateCycles      = 260
+	moveCycles        = 40
+	defaultSteps      = 2
+)
+
+// App is the Water-Spatial workload.
+type App struct{}
+
+// New returns the application.
+func New() *App { return &App{} }
+
+// Name implements workload.App.
+func (*App) Name() string { return "Water-Spatial" }
+
+// Unit implements workload.App.
+func (*App) Unit() string { return "molecules" }
+
+// BasicSize implements workload.App: 4096 molecules.
+func (*App) BasicSize() int { return 4096 }
+
+// SweepSizes implements workload.App.
+func (*App) SweepSizes() []int { return []int{2048, 4096, 8192, 16384, 32768} }
+
+// Variants implements workload.App.
+func (*App) Variants() []string { return []string{""} }
+
+// MaxProcs implements workload.App.
+func (*App) MaxProcs() int { return 128 }
+
+// Run implements workload.App.
+func (*App) Run(m *core.Machine, p workload.Params) error {
+	w, err := build(m, p)
+	if err != nil {
+		return err
+	}
+	if err := m.Run(w.body); err != nil {
+		return err
+	}
+	return w.verify()
+}
+
+type vec [3]float64
+
+type run struct {
+	m     *core.Machine
+	n     int
+	steps int
+	side  int // cells per dimension
+	box   float64
+
+	px, py, pz int // processor box grid
+
+	pos    []vec
+	vel    []vec
+	force  []vec
+	fbuf   [][]vec
+	cells  [][]int32 // molecule ids per cell
+	cellOf []int32
+	stamp  []int32 // last step each molecule was integrated
+
+	arrMol  *core.Array
+	arrCell *core.Array
+	locks   []*synchro.Lock
+	barrier *synchro.Barrier
+
+	energy []float64
+	moved  int64
+}
+
+func build(m *core.Machine, p workload.Params) (*run, error) {
+	n := p.Size
+	if n < 8 {
+		return nil, fmt.Errorf("waters: %d molecules too few", n)
+	}
+	np := m.NumProcs()
+	side := int(math.Cbrt(float64(n)/4.0) + 0.5)
+	if side < 2 {
+		side = 2
+	}
+	w := &run{
+		m:       m,
+		n:       n,
+		steps:   p.Steps,
+		side:    side,
+		box:     float64(side), // cell side = 1 cutoff unit
+		pos:     make([]vec, n),
+		vel:     make([]vec, n),
+		force:   make([]vec, n),
+		fbuf:    make([][]vec, np),
+		cells:   make([][]int32, side*side*side),
+		cellOf:  make([]int32, n),
+		stamp:   make([]int32, n),
+		arrMol:  m.Alloc("waters.mol", n, moleculeBytes),
+		arrCell: m.Alloc("waters.cells", side*side*side, core.BlockBytes),
+		locks:   make([]*synchro.Lock, np),
+		barrier: synchro.NewBarrier(m, np, p.Barrier),
+		energy:  make([]float64, np),
+	}
+	if w.steps <= 0 {
+		w.steps = defaultSteps
+	}
+	w.px, w.py, w.pz = factor3(np)
+	for i := range w.locks {
+		w.locks[i] = synchro.NewLock(m, p.Lock)
+	}
+	for q := range w.fbuf {
+		w.fbuf[q] = make([]vec, n)
+	}
+	rng := workload.NewRand(p.Seed)
+	// Generate positions, then relabel molecules so ids are contiguous
+	// per owning processor (matching SPLASH-2's per-partition allocation).
+	raw := make([]vec, n)
+	rawVel := make([]vec, n)
+	for i := range raw {
+		raw[i] = vec{rng.Float64() * w.box, rng.Float64() * w.box, rng.Float64() * w.box}
+		rawVel[i] = vec{rng.Float64() - 0.5, rng.Float64() - 0.5, rng.Float64() - 0.5}
+	}
+	order := make([]int, 0, n)
+	byOwner := make([][]int, np)
+	for i, ps := range raw {
+		owner := w.ownerOfCell(w.cellIndexOf(ps))
+		byOwner[owner] = append(byOwner[owner], i)
+	}
+	for _, list := range byOwner {
+		order = append(order, list...)
+	}
+	for newID, oldID := range order {
+		w.pos[newID] = raw[oldID]
+		w.vel[newID] = rawVel[oldID]
+	}
+	for i := range w.pos {
+		c := w.cellIndexOf(w.pos[i])
+		w.cellOf[i] = int32(c)
+		w.cells[c] = append(w.cells[c], int32(i))
+	}
+	w.arrMol.PlaceElemBlocked(np)
+	w.arrCell.PlaceOwner(func(pg int) int {
+		cell := pg * (16384 / core.BlockBytes)
+		if cell >= len(w.cells) {
+			cell = len(w.cells) - 1
+		}
+		return w.ownerOfCell(cell)
+	})
+	return w, nil
+}
+
+// factor3 splits np into the most cubic px*py*pz grid.
+func factor3(np int) (px, py, pz int) {
+	px, py, pz = 1, 1, 1
+	rem := np
+	for _, f := range primeFactors(rem) {
+		switch {
+		case px <= py && px <= pz:
+			px *= f
+		case py <= pz:
+			py *= f
+		default:
+			pz *= f
+		}
+	}
+	return
+}
+
+func primeFactors(n int) []int {
+	var fs []int
+	for f := 2; f*f <= n; f++ {
+		for n%f == 0 {
+			fs = append(fs, f)
+			n /= f
+		}
+	}
+	if n > 1 {
+		fs = append(fs, n)
+	}
+	// Largest first balances the box grid better.
+	for i, j := 0, len(fs)-1; i < j; i, j = i+1, j-1 {
+		fs[i], fs[j] = fs[j], fs[i]
+	}
+	return fs
+}
+
+func (w *run) cellIndexOf(p vec) int {
+	cx := clamp(int(p[0]), 0, w.side-1)
+	cy := clamp(int(p[1]), 0, w.side-1)
+	cz := clamp(int(p[2]), 0, w.side-1)
+	return (cz*w.side+cy)*w.side + cx
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// ownerOfCell maps a cell to the processor owning its subvolume.
+func (w *run) ownerOfCell(cell int) int {
+	cx := cell % w.side
+	cy := (cell / w.side) % w.side
+	cz := cell / (w.side * w.side)
+	bx := cx * w.px / w.side
+	by := cy * w.py / w.side
+	bz := cz * w.pz / w.side
+	return (bz*w.py+by)*w.px + bx
+}
+
+// halfShell is the 13 positive-lexicographic neighbour offsets plus (0,0,0)
+// handled separately.
+var halfShell = [13][3]int{
+	{1, 0, 0},
+	{-1, 1, 0}, {0, 1, 0}, {1, 1, 0},
+	{-1, -1, 1}, {0, -1, 1}, {1, -1, 1},
+	{-1, 0, 1}, {0, 0, 1}, {1, 0, 1},
+	{-1, 1, 1}, {0, 1, 1}, {1, 1, 1},
+}
+
+func pairForce(pi, pj vec) (f vec, pot float64) {
+	var d vec
+	r2 := 0.0
+	for k := 0; k < 3; k++ {
+		d[k] = pi[k] - pj[k]
+		r2 += d[k] * d[k]
+	}
+	if r2 > 2.25 { // cutoff at 1.5 cell units
+		return vec{}, 0
+	}
+	r2 += 0.5
+	inv2 := 1 / r2
+	inv4 := inv2 * inv2
+	mag := inv4 - 0.1*inv2
+	for k := 0; k < 3; k++ {
+		f[k] = mag * d[k]
+	}
+	return f, inv2 - 0.05*math.Sqrt(inv2)
+}
+
+func (w *run) body(p *core.Proc) {
+	id := p.ID()
+	fb := w.fbuf[id]
+	for step := 0; step < w.steps; step++ {
+		for i := range fb {
+			fb[i] = vec{}
+		}
+		w.energy[id] += w.forces(p, id, fb)
+		w.barrier.Wait(p)
+		// Merge force contributions per owner region.
+		np := p.NumProcs()
+		for s := 0; s < np; s++ {
+			q := (id + s) % np
+			lo, hi := q*w.n/np, (q+1)*w.n/np
+			held := false
+			wrote := 0
+			for i := lo; i < hi; i++ {
+				f := fb[i]
+				if f[0] == 0 && f[1] == 0 && f[2] == 0 {
+					continue
+				}
+				if !held {
+					w.locks[q].Acquire(p)
+					held = true
+				}
+				for k := 0; k < 3; k++ {
+					w.force[i][k] += f[k]
+				}
+				p.Write(w.arrMol.Addr(i))
+				wrote++
+			}
+			if held {
+				w.locks[q].Release(p)
+			}
+			p.ComputeCycles(int64(wrote) * 6)
+		}
+		w.barrier.Wait(p)
+		// Update + move: integrate owned cells' molecules and re-bin
+		// the ones that crossed a cell boundary.
+		w.updateAndMove(p, id, int32(step+1))
+		w.barrier.Wait(p)
+	}
+}
+
+// owns reports whether processor id owns cell.
+func (w *run) owns(id, cell int) bool { return w.ownerOfCell(cell) == id }
+
+func (w *run) forces(p *core.Proc, id int, fb []vec) float64 {
+	var pot float64
+	side := w.side
+	for cell := range w.cells {
+		if !w.owns(id, cell) {
+			continue
+		}
+		list := w.cells[cell]
+		p.Read(w.arrCell.Addr(cell))
+		// Intra-cell pairs.
+		for a := 0; a < len(list); a++ {
+			i := int(list[a])
+			p.Read(w.arrMol.Addr(i))
+			for b := a + 1; b < len(list); b++ {
+				j := int(list[b])
+				f, e := pairForce(w.pos[i], w.pos[j])
+				addPair(fb, i, j, f)
+				pot += e
+				p.ComputeCycles(interactionCycles)
+			}
+		}
+		// Half-shell neighbour cells.
+		cx := cell % side
+		cy := (cell / side) % side
+		cz := cell / (side * side)
+		for _, off := range halfShell {
+			nx, ny, nz := cx+off[0], cy+off[1], cz+off[2]
+			if nx < 0 || ny < 0 || nz < 0 || nx >= side || ny >= side || nz >= side {
+				continue
+			}
+			ncell := (nz*side+ny)*side + nx
+			nlist := w.cells[ncell]
+			if len(nlist) == 0 {
+				continue
+			}
+			p.Read(w.arrCell.Addr(ncell))
+			for _, jj := range nlist {
+				j := int(jj)
+				p.Read(w.arrMol.Addr(j))
+				for _, ii := range list {
+					i := int(ii)
+					f, e := pairForce(w.pos[i], w.pos[j])
+					addPair(fb, i, j, f)
+					pot += e
+					p.ComputeCycles(interactionCycles)
+				}
+			}
+		}
+	}
+	return pot
+}
+
+func addPair(fb []vec, i, j int, f vec) {
+	for k := 0; k < 3; k++ {
+		fb[i][k] += f[k]
+		fb[j][k] -= f[k]
+	}
+}
+
+func (w *run) updateAndMove(p *core.Proc, id int, step int32) {
+	for cell := range w.cells {
+		if !w.owns(id, cell) {
+			continue
+		}
+		list := w.cells[cell]
+		for idx := 0; idx < len(list); idx++ {
+			i := int(list[idx])
+			if w.stamp[i] == step {
+				continue // already integrated after moving here
+			}
+			w.stamp[i] = step
+			for k := 0; k < 3; k++ {
+				w.vel[i][k] += 0.0005 * w.force[i][k]
+				w.pos[i][k] += 0.0005 * w.vel[i][k]
+				w.force[i][k] = 0
+				if w.pos[i][k] < 0 {
+					w.pos[i][k] = -w.pos[i][k]
+					w.vel[i][k] = -w.vel[i][k]
+				}
+				if w.pos[i][k] > w.box {
+					w.pos[i][k] = 2*w.box - w.pos[i][k]
+					w.vel[i][k] = -w.vel[i][k]
+				}
+			}
+			p.Read(w.arrMol.Addr(i))
+			p.Write(w.arrMol.Addr(i))
+			p.ComputeCycles(updateCycles)
+			nc := w.cellIndexOf(w.pos[i])
+			if nc == cell {
+				continue
+			}
+			// Molecule crossed a boundary: move between cell lists,
+			// locking the destination's owner when it is foreign.
+			owner := w.ownerOfCell(nc)
+			if owner != id {
+				w.locks[owner].Acquire(p)
+			}
+			list[idx] = list[len(list)-1]
+			list = list[:len(list)-1]
+			w.cells[cell] = list
+			w.cells[nc] = append(w.cells[nc], int32(i))
+			w.cellOf[i] = int32(nc)
+			p.Write(w.arrCell.Addr(cell))
+			p.Write(w.arrCell.Addr(nc))
+			p.ComputeCycles(moveCycles)
+			if owner != id {
+				w.locks[owner].Release(p)
+			}
+			w.moved++
+			idx--
+		}
+	}
+}
+
+func (w *run) verify() error {
+	count := 0
+	for c, list := range w.cells {
+		count += len(list)
+		for _, i := range list {
+			if int(w.cellOf[i]) != c {
+				return fmt.Errorf("waters: molecule %d cell mismatch", i)
+			}
+		}
+	}
+	if count != w.n {
+		return fmt.Errorf("waters: %d molecules in cells, want %d", count, w.n)
+	}
+	var pot float64
+	for _, e := range w.energy {
+		pot += e
+	}
+	if math.IsNaN(pot) || math.IsInf(pot, 0) {
+		return fmt.Errorf("waters: potential not finite")
+	}
+	return nil
+}
+
+// RunForPotential executes one step and returns the potential (test aid).
+func RunForPotential(m *core.Machine, p workload.Params) (float64, error) {
+	p.Steps = 1
+	w, err := build(m, p)
+	if err != nil {
+		return 0, err
+	}
+	if err := m.Run(w.body); err != nil {
+		return 0, err
+	}
+	if err := w.verify(); err != nil {
+		return 0, err
+	}
+	var pot float64
+	for _, e := range w.energy {
+		pot += e
+	}
+	return pot, nil
+}

@@ -1,0 +1,98 @@
+package waters
+
+import (
+	"testing"
+
+	"origin2000/internal/core"
+	"origin2000/internal/workload"
+)
+
+func TestPotentialConsistentAcrossProcs(t *testing.T) {
+	// The pair set depends only on positions, so the one-step potential
+	// must agree across processor counts up to summation order.
+	want, err := RunForPotential(core.New(core.Origin2000(1)), workload.Params{Size: 512, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, procs := range []int{4, 8, 27} {
+		got, err := RunForPotential(core.New(core.Origin2000(procs)), workload.Params{Size: 512, Seed: 4})
+		if err != nil {
+			t.Fatalf("procs=%d: %v", procs, err)
+		}
+		if err := workload.CheckClose("potential", got, want, 1e-9); err != nil {
+			t.Errorf("procs=%d: %v", procs, err)
+		}
+	}
+}
+
+func TestRunVerifiesAndConservesMolecules(t *testing.T) {
+	m := core.New(core.Origin2000(8))
+	if err := New().Run(m, workload.Params{Size: 1024, Seed: 4}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFactor3Products(t *testing.T) {
+	for _, np := range []int{1, 2, 4, 8, 16, 32, 64, 96, 128} {
+		px, py, pz := factor3(np)
+		if px*py*pz != np {
+			t.Errorf("factor3(%d) = %d*%d*%d", np, px, py, pz)
+		}
+	}
+}
+
+func TestOwnerCoversAllProcs(t *testing.T) {
+	m := core.New(core.Origin2000(16))
+	w, err := build(m, workload.Params{Size: 4096, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for c := range w.cells {
+		o := w.ownerOfCell(c)
+		if o < 0 || o >= 16 {
+			t.Fatalf("cell %d owned by %d", c, o)
+		}
+		seen[o] = true
+	}
+	if len(seen) != 16 {
+		t.Errorf("only %d processors own cells", len(seen))
+	}
+}
+
+func TestCommunicationIsNearNeighbour(t *testing.T) {
+	// Remote traffic should be a modest fraction of total traffic
+	// (surface-to-volume) and fall as the problem grows.
+	frac := func(n int) float64 {
+		m := core.New(core.Origin2000(8))
+		if err := New().Run(m, workload.Params{Size: n, Seed: 4, Steps: 1}); err != nil {
+			t.Fatal(err)
+		}
+		c := m.Result().Counters
+		remote := float64(c.RemoteClean + c.RemoteDirty)
+		total := float64(c.Misses()) + float64(c.Hits)
+		return remote / total
+	}
+	small := frac(1024)
+	large := frac(8192)
+	if large >= small {
+		t.Errorf("remote fraction should fall with problem size: %f -> %f", small, large)
+	}
+}
+
+func TestSyncDominatedAtSmallProblem(t *testing.T) {
+	// The paper's Figure 3/5 effect: at the small size with many
+	// processors, synchronization (imbalance) time is the top overhead.
+	m := core.New(core.Origin2000(32))
+	if err := New().Run(m, workload.Params{Size: 1024, Seed: 4}); err != nil {
+		t.Fatal(err)
+	}
+	avg := m.Result().Average()
+	if avg.Sync == 0 {
+		t.Fatal("no sync time recorded")
+	}
+	if avg.Sync < avg.Memory/4 {
+		t.Errorf("expected substantial sync time at small size: busy=%v mem=%v sync=%v",
+			avg.Busy, avg.Memory, avg.Sync)
+	}
+}

@@ -1,0 +1,22 @@
+package cache
+
+import "testing"
+
+// BenchmarkLookupHit measures the cache hit path.
+func BenchmarkLookupHit(b *testing.B) {
+	c := New(Origin2000L2)
+	c.Insert(42, Shared)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Lookup(42)
+	}
+}
+
+// BenchmarkInsertEvict measures insertion with LRU eviction pressure.
+func BenchmarkInsertEvict(b *testing.B) {
+	c := New(Config{SizeBytes: 64 << 10, BlockBytes: 128, Assoc: 2})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Insert(uint64(i), Shared)
+	}
+}

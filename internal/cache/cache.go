@@ -1,0 +1,220 @@
+// Package cache models a set-associative processor cache with MSI line
+// states, matching the Origin2000's unified 4 MB, 2-way, 128-byte-block
+// second-level cache. The machine model (internal/core) drives it with
+// block numbers; the cache answers hit/miss and tracks victims.
+package cache
+
+import "fmt"
+
+// State is the coherence state of a cached block.
+type State uint8
+
+const (
+	// Invalid means the block is not present.
+	Invalid State = iota
+	// Shared means the block is present read-only; memory is up to date.
+	Shared
+	// Modified means this cache owns the only, dirty copy.
+	Modified
+)
+
+func (s State) String() string {
+	switch s {
+	case Invalid:
+		return "Invalid"
+	case Shared:
+		return "Shared"
+	case Modified:
+		return "Modified"
+	}
+	return fmt.Sprintf("State(%d)", uint8(s))
+}
+
+// Config sizes a cache.
+type Config struct {
+	// SizeBytes is the total capacity, e.g. 4 << 20.
+	SizeBytes int
+	// BlockBytes is the line size, e.g. 128.
+	BlockBytes int
+	// Assoc is the associativity, e.g. 2.
+	Assoc int
+}
+
+// Origin2000L2 is the secondary cache of each R10000 in the paper's machine.
+var Origin2000L2 = Config{SizeBytes: 4 << 20, BlockBytes: 128, Assoc: 2}
+
+// Cache is one processor's cache.
+type Cache struct {
+	sets  int
+	assoc int
+	tags  []uint64 // block numbers, indexed set*assoc+way
+	state []State
+	age   []uint64 // LRU stamps
+	clock uint64
+}
+
+// New creates a cache with the given geometry.
+func New(cfg Config) *Cache {
+	if cfg.SizeBytes <= 0 || cfg.BlockBytes <= 0 || cfg.Assoc <= 0 {
+		panic("cache: invalid config")
+	}
+	lines := cfg.SizeBytes / cfg.BlockBytes
+	sets := lines / cfg.Assoc
+	if sets < 1 {
+		sets = 1
+	}
+	n := sets * cfg.Assoc
+	return &Cache{
+		sets:  sets,
+		assoc: cfg.Assoc,
+		tags:  make([]uint64, n),
+		state: make([]State, n),
+		age:   make([]uint64, n),
+	}
+}
+
+// Sets reports the number of sets.
+func (c *Cache) Sets() int { return c.sets }
+
+// Assoc reports the associativity.
+func (c *Cache) Assoc() int { return c.assoc }
+
+func (c *Cache) setOf(block uint64) int { return int(block % uint64(c.sets)) }
+
+func (c *Cache) find(block uint64) int {
+	base := c.setOf(block) * c.assoc
+	for w := 0; w < c.assoc; w++ {
+		if c.state[base+w] != Invalid && c.tags[base+w] == block {
+			return base + w
+		}
+	}
+	return -1
+}
+
+// Lookup reports the state of block and refreshes its LRU position on a hit.
+func (c *Cache) Lookup(block uint64) State {
+	i := c.find(block)
+	if i < 0 {
+		return Invalid
+	}
+	c.clock++
+	c.age[i] = c.clock
+	return c.state[i]
+}
+
+// Peek reports the state of block without touching LRU.
+func (c *Cache) Peek(block uint64) State {
+	i := c.find(block)
+	if i < 0 {
+		return Invalid
+	}
+	return c.state[i]
+}
+
+// Victim describes a block displaced by Insert.
+type Victim struct {
+	Block uint64
+	State State // Shared (silent drop) or Modified (writeback needed)
+}
+
+// Insert places block with the given state, evicting the LRU line of its
+// set if necessary. It returns the displaced line, if any. Inserting a
+// block that is already present just updates its state.
+func (c *Cache) Insert(block uint64, s State) (victim Victim, evicted bool) {
+	if s == Invalid {
+		panic("cache: inserting Invalid")
+	}
+	if i := c.find(block); i >= 0 {
+		c.clock++
+		c.age[i] = c.clock
+		c.state[i] = s
+		return Victim{}, false
+	}
+	base := c.setOf(block) * c.assoc
+	// Prefer an invalid way; otherwise evict the least recently used.
+	way := -1
+	var oldest uint64 = ^uint64(0)
+	for w := 0; w < c.assoc; w++ {
+		i := base + w
+		if c.state[i] == Invalid {
+			way = i
+			break
+		}
+		if c.age[i] < oldest {
+			oldest = c.age[i]
+			way = i
+		}
+	}
+	if c.state[way] != Invalid {
+		victim = Victim{Block: c.tags[way], State: c.state[way]}
+		evicted = true
+	}
+	c.clock++
+	c.tags[way] = block
+	c.state[way] = s
+	c.age[way] = c.clock
+	return victim, evicted
+}
+
+// SetState changes the state of a present block; it panics if absent.
+func (c *Cache) SetState(block uint64, s State) {
+	i := c.find(block)
+	if i < 0 {
+		panic("cache: SetState on absent block")
+	}
+	if s == Invalid {
+		c.state[i] = Invalid
+		return
+	}
+	c.state[i] = s
+}
+
+// Invalidate removes block, returning its previous state (Invalid if the
+// block was not present — invalidations can race with evictions).
+func (c *Cache) Invalidate(block uint64) State {
+	i := c.find(block)
+	if i < 0 {
+		return Invalid
+	}
+	s := c.state[i]
+	c.state[i] = Invalid
+	return s
+}
+
+// Downgrade moves a Modified block to Shared (for remote read
+// interventions), returning its previous state.
+func (c *Cache) Downgrade(block uint64) State {
+	i := c.find(block)
+	if i < 0 {
+		return Invalid
+	}
+	s := c.state[i]
+	if s == Modified {
+		c.state[i] = Shared
+	}
+	return s
+}
+
+// Flush invalidates every line. It returns the number of Modified lines
+// dropped (tests use it to verify writeback accounting).
+func (c *Cache) Flush() int {
+	dirty := 0
+	for i := range c.state {
+		if c.state[i] == Modified {
+			dirty++
+		}
+		c.state[i] = Invalid
+	}
+	return dirty
+}
+
+// CountValid reports the number of valid lines (test/diagnostic aid).
+func (c *Cache) CountValid() int {
+	n := 0
+	for _, s := range c.state {
+		if s != Invalid {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,143 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func tiny() *Cache { return New(Config{SizeBytes: 1024, BlockBytes: 64, Assoc: 2}) } // 8 sets
+
+func TestHitMiss(t *testing.T) {
+	c := tiny()
+	if c.Lookup(5) != Invalid {
+		t.Fatal("cold cache should miss")
+	}
+	c.Insert(5, Shared)
+	if c.Lookup(5) != Shared {
+		t.Fatal("inserted block should hit Shared")
+	}
+	c.Insert(5, Modified)
+	if c.Lookup(5) != Modified {
+		t.Fatal("re-insert should upgrade state")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := tiny() // 8 sets, 2-way; blocks 0, 8, 16 map to set 0
+	c.Insert(0, Shared)
+	c.Insert(8, Shared)
+	c.Lookup(0) // make 8 the LRU
+	v, evicted := c.Insert(16, Shared)
+	if !evicted || v.Block != 8 {
+		t.Fatalf("evicted %+v (evicted=%v), want block 8", v, evicted)
+	}
+	if c.Peek(0) != Shared || c.Peek(16) != Shared || c.Peek(8) != Invalid {
+		t.Fatal("wrong residency after eviction")
+	}
+}
+
+func TestDirtyVictim(t *testing.T) {
+	c := tiny()
+	c.Insert(0, Modified)
+	c.Insert(8, Shared)
+	v, evicted := c.Insert(16, Shared) // evicts LRU = block 0, dirty
+	if !evicted || v.Block != 0 || v.State != Modified {
+		t.Fatalf("victim %+v, want dirty block 0", v)
+	}
+}
+
+func TestInvalidateAndDowngrade(t *testing.T) {
+	c := tiny()
+	c.Insert(3, Modified)
+	if got := c.Downgrade(3); got != Modified {
+		t.Errorf("Downgrade returned %v, want Modified", got)
+	}
+	if c.Peek(3) != Shared {
+		t.Error("Downgrade should leave the block Shared")
+	}
+	if got := c.Invalidate(3); got != Shared {
+		t.Errorf("Invalidate returned %v, want Shared", got)
+	}
+	if got := c.Invalidate(3); got != Invalid {
+		t.Errorf("double Invalidate returned %v, want Invalid", got)
+	}
+}
+
+func TestFlushCountsDirtyLines(t *testing.T) {
+	c := tiny()
+	c.Insert(1, Modified)
+	c.Insert(2, Modified)
+	c.Insert(3, Shared)
+	if got := c.Flush(); got != 2 {
+		t.Errorf("Flush dropped %d dirty lines, want 2", got)
+	}
+	if c.CountValid() != 0 {
+		t.Error("Flush should leave the cache empty")
+	}
+}
+
+func TestCapacityNeverExceededProperty(t *testing.T) {
+	// Property: however blocks are inserted, the number of valid lines
+	// never exceeds capacity, and every block in the same set conflicts.
+	f := func(blocks []uint16) bool {
+		c := tiny()
+		capacity := c.Sets() * c.Assoc()
+		for _, b := range blocks {
+			c.Insert(uint64(b), Shared)
+			if c.CountValid() > capacity {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInsertedBlockAlwaysHitsProperty(t *testing.T) {
+	// Property: immediately after Insert, the block is present with the
+	// inserted state, regardless of prior history.
+	f := func(history []uint16, final uint16, dirty bool) bool {
+		c := tiny()
+		for _, b := range history {
+			c.Insert(uint64(b), Shared)
+		}
+		st := Shared
+		if dirty {
+			st = Modified
+		}
+		c.Insert(uint64(final), st)
+		return c.Peek(uint64(final)) == st
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWorkingSetSmallerThanCacheNeverEvicts(t *testing.T) {
+	// A working set that fits (one block per set) hits forever after the
+	// first pass — the basis for the paper's capacity-miss reasoning.
+	c := tiny()
+	for pass := 0; pass < 3; pass++ {
+		for b := uint64(0); b < 8; b++ {
+			st := c.Lookup(b)
+			if pass > 0 && st == Invalid {
+				t.Fatalf("pass %d: block %d missed", pass, b)
+			}
+			if st == Invalid {
+				c.Insert(b, Shared)
+			}
+		}
+	}
+}
+
+func TestOrigin2000Geometry(t *testing.T) {
+	c := New(Origin2000L2)
+	if got := c.Sets() * c.Assoc(); got != (4<<20)/128 {
+		t.Errorf("lines = %d, want %d", got, (4<<20)/128)
+	}
+	if c.Assoc() != 2 {
+		t.Errorf("assoc = %d, want 2", c.Assoc())
+	}
+}

@@ -1,0 +1,344 @@
+package core
+
+import (
+	"origin2000/internal/cache"
+	"origin2000/internal/mempolicy"
+	"origin2000/internal/sim"
+	"origin2000/internal/topology"
+)
+
+// access is the demand load/store path: cache lookup, then on a miss the
+// full directory-protocol transaction with Hub/memory/router occupancies.
+func (p *Proc) access(addr uint64, write bool, kind sim.StatKind) {
+	c := &p.sp.Counters
+	if write {
+		c.Writes++
+	} else {
+		c.Reads++
+	}
+	block := addr >> blockShift
+	st := p.cache.Lookup(block)
+	if st == cache.Modified || (st == cache.Shared && !write) {
+		c.Hits++
+		// A prefetched line may still be in flight; wait out the rest.
+		if len(p.prefetch) > 0 {
+			if ready, ok := p.prefetch[block]; ok {
+				delete(p.prefetch, block)
+				c.PrefetchHits++
+				if ready > p.sp.Now() {
+					p.sp.Advance(ready-p.sp.Now(), kind)
+				}
+			}
+		}
+		return
+	}
+	if st == cache.Shared && write {
+		p.upgrade(block, addr, kind)
+		return
+	}
+	p.demandMiss(block, addr, write, kind)
+}
+
+// transaction walks one coherence transaction through the machine,
+// returning its completion time. It performs the directory transition and
+// remote cache state changes as side effects, but does not touch the
+// requester's cache or clock — demand misses and prefetches share it.
+func (p *Proc) transaction(block uint64, home int, write bool) (complete sim.Time, dirty bool, queued sim.Time) {
+	m := p.m
+	lat := &m.cfg.Lat
+	t := p.sp.Now() + lat.ProcOverhead
+
+	acq := func(r *sim.Resource, occ sim.Time) {
+		start := r.Acquire(t, occ)
+		queued += start - t
+		t = start
+	}
+
+	// Outgoing through the local Hub.
+	acq(&m.hubs[p.node], lat.HubOcc)
+	t += lat.HubTime
+
+	remote := home != p.node
+	homeRouter := m.routerOfNode(home)
+	var fwd topology.Route
+	if remote {
+		t += lat.RemoteExtra
+		fwd = m.fabric.Route(p.router, homeRouter)
+		acq(&m.routers[p.router], lat.RouterOcc)
+		t += sim.Time(fwd.Hops) * lat.RouterTime
+		if fwd.Meta >= 0 {
+			acq(&m.metas[fwd.Meta], lat.MetaOcc)
+			t += lat.MetaExtra
+		}
+		acq(&m.routers[homeRouter], lat.RouterOcc)
+		acq(&m.hubs[home], lat.HubOcc)
+		t += lat.HubTime
+	}
+
+	// Home memory + directory lookup.
+	acq(&m.mems[home], lat.MemOcc)
+	t += lat.MemTime
+
+	var invalidate []int
+	var owner = -1
+	if write {
+		res := m.dir.Write(block, p.ID())
+		invalidate = res.Invalidate
+		if res.Dirty {
+			dirty = true
+			owner = res.Owner
+		}
+	} else {
+		res := m.dir.Read(block, p.ID())
+		if res.Dirty {
+			dirty = true
+			owner = res.Owner
+		}
+	}
+
+	if dirty {
+		// 3-hop: home forwards an intervention to the owner, whose cache
+		// supplies the data directly to the requester; a sharing
+		// writeback refreshes the home memory off the critical path.
+		op := m.procs[owner]
+		f2 := m.fabric.Route(homeRouter, op.router)
+		t += sim.Time(f2.Hops) * lat.RouterTime
+		if f2.Meta >= 0 {
+			acq(&m.metas[f2.Meta], lat.MetaOcc)
+			t += lat.MetaExtra
+		}
+		acq(&m.hubs[op.node], lat.HubOcc)
+		t += lat.HubTime + lat.CacheResponse
+		if write {
+			op.cache.Invalidate(block)
+		} else {
+			op.cache.Downgrade(block)
+		}
+		m.mems[home].Acquire(t, lat.WritebackOcc)
+		f3 := m.fabric.Route(op.router, p.router)
+		t += sim.Time(f3.Hops) * lat.RouterTime
+		if f3.Meta >= 0 {
+			acq(&m.metas[f3.Meta], lat.MetaOcc)
+			t += lat.MetaExtra
+		}
+		t += lat.HubTime // into the requesting node
+	} else {
+		// Data comes from the home memory.
+		if remote {
+			t += lat.HubTime // home hub, outgoing reply
+			t += sim.Time(fwd.Hops) * lat.RouterTime
+			if fwd.Meta >= 0 {
+				t += lat.MetaExtra
+			}
+		}
+		t += lat.HubTime // back through the local (or only) hub
+	}
+
+	// Write-induced invalidations: the requester waits for all acks,
+	// which overlap with the data transfer.
+	if len(invalidate) > 0 {
+		ackT := t
+		for _, s := range invalidate {
+			sp := m.procs[s]
+			sp.cache.Invalidate(block)
+			delete(sp.prefetch, block)
+			m.hubs[home].Acquire(t, lat.InvalOcc)
+			out := m.fabric.Route(homeRouter, sp.router)
+			arrive := t + sim.Time(out.Hops)*lat.RouterTime + lat.HubTime
+			back := m.fabric.Route(sp.router, p.router)
+			ack := arrive + sim.Time(back.Hops)*lat.RouterTime + lat.HubTime
+			if ack > ackT {
+				ackT = ack
+			}
+		}
+		p.sp.Counters.Invalidations += int64(len(invalidate))
+		t = ackT
+	}
+	return t, dirty, queued
+}
+
+func (p *Proc) demandMiss(block, addr uint64, write bool, kind sim.StatKind) {
+	m := p.m
+	c := &p.sp.Counters
+	page := mempolicy.PageOf(addr)
+	home := m.homeOf(page, p.node)
+	remote := home != p.node
+
+	invalsBefore := c.Invalidations
+	complete, dirty, queued := p.transaction(block, home, write)
+
+	newState := cache.Shared
+	if write {
+		newState = cache.Modified
+	}
+	if victim, evicted := p.cache.Insert(block, newState); evicted {
+		p.evictVictim(victim, complete)
+	}
+	delete(p.prefetch, block) // any in-flight prefetch is superseded
+
+	latency := complete - p.sp.Now()
+	switch {
+	case dirty:
+		c.RemoteDirty++
+		c.RemoteStall += latency
+	case remote:
+		c.RemoteClean++
+		c.RemoteStall += latency
+	default:
+		c.LocalMisses++
+		c.LocalStall += latency
+	}
+	c.ContentionStall += queued
+	m.noteMiss(addr, dirty, remote, latency, int(c.Invalidations-invalsBefore))
+
+	if remote {
+		p.recordMigration(page, block, complete, kind)
+	} else if m.migrator != nil && m.pages.Migration() {
+		c.MigratedAccesses++ // local thanks to earlier placement/migration
+	}
+	p.sp.Advance(latency, kind)
+}
+
+// upgrade handles a write hit on a Shared line: ownership is obtained from
+// the home directory and other sharers are invalidated; no data moves.
+func (p *Proc) upgrade(block, addr uint64, kind sim.StatKind) {
+	m := p.m
+	c := &p.sp.Counters
+	page := mempolicy.PageOf(addr)
+	home := m.homeOf(page, p.node)
+
+	complete, _, queued := p.transaction(block, home, true)
+	p.cache.SetState(block, cache.Modified)
+
+	latency := complete - p.sp.Now()
+	c.Upgrades++
+	if home != p.node {
+		c.RemoteStall += latency
+	} else {
+		c.LocalStall += latency
+	}
+	c.ContentionStall += queued
+	p.sp.Advance(latency, kind)
+}
+
+// evictVictim handles a line displaced from the requester's cache: dirty
+// victims are written back to their home (occupancy only — writebacks are
+// off the critical path); clean victims send a replacement hint so the
+// directory stays precise.
+func (p *Proc) evictVictim(v cache.Victim, at sim.Time) {
+	m := p.m
+	vpage := v.Block >> (mempolicy.PageShift - blockShift)
+	vhome := m.homeOf(vpage, p.node)
+	if v.State == cache.Modified {
+		lat := &m.cfg.Lat
+		m.hubs[p.node].Acquire(at, lat.WritebackOcc)
+		if vhome != p.node {
+			m.hubs[vhome].Acquire(at, lat.WritebackOcc)
+		}
+		m.mems[vhome].Acquire(at, lat.WritebackOcc)
+		m.dir.Writeback(v.Block, p.ID())
+		p.sp.Counters.Writebacks++
+	} else {
+		m.dir.Evict(v.Block, p.ID())
+	}
+}
+
+// recordMigration feeds the dynamic-migration policy and charges the cost
+// of a triggered page move.
+func (p *Proc) recordMigration(page, block uint64, at sim.Time, kind sim.StatKind) {
+	m := p.m
+	if m.migrator == nil {
+		return
+	}
+	newHome, migrated := m.pages.RecordRemoteMiss(page, p.node)
+	if !migrated {
+		return
+	}
+	lat := &m.cfg.Lat
+	blocks := sim.Time(mempolicy.PageBytes / BlockBytes)
+	m.mems[newHome].Acquire(at, blocks*lat.PageMovePerBlock)
+	p.sp.Counters.PageMigrations++
+	// The triggering access eats the shootdown/copy latency.
+	p.sp.Advance(lat.MigrationFreeze, kind)
+	_ = block
+}
+
+// fetchOp performs an uncached, at-memory fetch&op at addr's home.
+func (p *Proc) fetchOp(addr uint64, kind sim.StatKind) {
+	m := p.m
+	lat := &m.cfg.Lat
+	page := mempolicy.PageOf(addr)
+	home := m.homeOf(page, p.node)
+	t := p.sp.Now() + lat.ProcOverhead
+	var queued sim.Time
+	acq := func(r *sim.Resource, occ sim.Time) {
+		start := r.Acquire(t, occ)
+		queued += start - t
+		t = start
+	}
+	acq(&m.hubs[p.node], lat.HubOcc)
+	t += lat.HubTime
+	if home != p.node {
+		t += lat.RemoteExtra
+		route := m.fabric.Route(p.router, m.routerOfNode(home))
+		t += sim.Time(route.Hops) * lat.RouterTime
+		if route.Meta >= 0 {
+			acq(&m.metas[route.Meta], lat.MetaOcc)
+			t += lat.MetaExtra
+		}
+		acq(&m.hubs[home], lat.HubOcc)
+		t += lat.HubTime
+		acq(&m.mems[home], lat.FetchOpOcc)
+		t += lat.FetchOpTime
+		t += lat.HubTime + sim.Time(route.Hops)*lat.RouterTime
+		if route.Meta >= 0 {
+			t += lat.MetaExtra
+		}
+		t += lat.HubTime
+	} else {
+		acq(&m.mems[home], lat.FetchOpOcc)
+		t += lat.FetchOpTime + lat.HubTime
+	}
+	p.sp.Counters.FetchOps++
+	p.sp.Counters.ContentionStall += queued
+	p.sp.Advance(t-p.sp.Now(), kind)
+}
+
+// Prefetch issues a non-binding software prefetch for addr. The line is
+// fetched through the normal coherence path (consuming Hub, memory and
+// router bandwidth) but the processor does not stall; a later demand access
+// waits only for the residual fill time. At most Config.MaxPrefetch
+// prefetches are outstanding; extra ones are dropped, as on real hardware.
+func (p *Proc) Prefetch(addr uint64) {
+	block := addr >> blockShift
+	if p.cache.Peek(block) != cache.Invalid {
+		return
+	}
+	if _, ok := p.prefetch[block]; ok {
+		return
+	}
+	// Retire completed entries from the FIFO head.
+	now := p.sp.Now()
+	for len(p.prefetchQ) > 0 {
+		h := p.prefetchQ[0]
+		if ready, ok := p.prefetch[h]; !ok || ready <= now {
+			p.prefetchQ = p.prefetchQ[1:]
+			continue
+		}
+		break
+	}
+	if len(p.prefetchQ) >= p.m.cfg.MaxPrefetch {
+		return // buffer full: drop
+	}
+	m := p.m
+	page := mempolicy.PageOf(addr)
+	home := m.homeOf(page, p.node)
+	complete, _, _ := p.transaction(block, home, false)
+	if victim, evicted := p.cache.Insert(block, cache.Shared); evicted {
+		p.evictVictim(victim, complete)
+	}
+	p.prefetch[block] = complete
+	p.prefetchQ = append(p.prefetchQ, block)
+	p.sp.Counters.Prefetches++
+	p.sp.Advance(m.cycle, sim.StatBusy) // issue cost: one cycle
+}

@@ -1,0 +1,59 @@
+package core_test
+
+import (
+	"testing"
+
+	"origin2000/internal/core"
+)
+
+// BenchmarkAccessHit measures the simulated-load fast path (cache hit).
+func BenchmarkAccessHit(b *testing.B) {
+	m := core.New(core.Origin2000(1))
+	arr := m.Alloc("a", 1024, 8)
+	err := m.RunOne(func(p *core.Proc) {
+		p.Read(arr.Addr(0))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p.Read(arr.Addr(0))
+		}
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkAccessLocalMiss measures a full local-miss protocol transaction.
+func BenchmarkAccessLocalMiss(b *testing.B) {
+	cfg := core.Origin2000(1)
+	cfg.Cache.SizeBytes = 32 << 10 // small cache: every strided read misses
+	m := core.New(cfg)
+	arr := m.Alloc("a", 1<<20, 8)
+	err := m.RunOne(func(p *core.Proc) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p.Read(arr.Addr((i * 16) % (1 << 20)))
+		}
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkAccessRemoteMiss measures a 2-hop remote transaction including
+// routing and resource queueing.
+func BenchmarkAccessRemoteMiss(b *testing.B) {
+	cfg := core.Origin2000(64)
+	cfg.Cache.SizeBytes = 32 << 10
+	m := core.New(cfg)
+	arr := m.Alloc("a", 1<<20, 8)
+	arr.PlaceAtNode(17)
+	err := m.RunOne(func(p *core.Proc) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p.Read(arr.Addr((i * 16) % (1 << 20)))
+		}
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,0 +1,237 @@
+// Package core assembles the CC-NUMA machine model: simulated processors
+// with caches, directory-coherent distributed memory, a hypercube/metarouter
+// interconnect, page placement and migration, prefetching, and at-memory
+// fetch&op — the substrate on which the paper's applications run.
+//
+// Applications receive a *Proc and perform real Go computation while
+// issuing simulated loads and stores against allocated Arrays; the model
+// charges virtual time to the Busy/Memory/Sync buckets of the paper's
+// execution-time breakdowns.
+package core
+
+import (
+	"origin2000/internal/cache"
+	"origin2000/internal/mempolicy"
+	"origin2000/internal/sim"
+	"origin2000/internal/topology"
+)
+
+// Latencies holds the timing components of the memory system. All values
+// are virtual durations. The defaults (Origin2000Latencies) are calibrated
+// so that composed transactions reproduce the paper's Table 1: local 338 ns,
+// remote clean ≈656 ns, remote dirty ≈892 ns on the 64-processor machine.
+type Latencies struct {
+	// ProcOverhead is the processor-side cost of issuing a miss and
+	// filling the line on return.
+	ProcOverhead sim.Time
+	// HubTime is the latency through a Hub controller (each crossing).
+	HubTime sim.Time
+	// HubOcc is the Hub occupancy per transaction: the serialization
+	// cost that creates contention between the two processors of a node
+	// and between local misses and incoming remote traffic.
+	HubOcc sim.Time
+	// MemTime is DRAM access latency (data or directory lookup).
+	MemTime sim.Time
+	// MemOcc is memory occupancy per transaction.
+	MemOcc sim.Time
+	// RouterTime is the latency per router-to-router hop.
+	RouterTime sim.Time
+	// RouterOcc is the occupancy at the endpoint routers of a path.
+	RouterOcc sim.Time
+	// MetaExtra is extra latency when a path crosses a metarouter.
+	MetaExtra sim.Time
+	// MetaOcc is metarouter occupancy per crossing.
+	MetaOcc sim.Time
+	// RemoteExtra is a fixed extra cost per remote transaction (protocol
+	// engines of SCI-based machines; zero on the Origin).
+	RemoteExtra sim.Time
+	// CacheResponse is the owning cache's intervention response time.
+	CacheResponse sim.Time
+	// FetchOpTime is the at-memory fetch&op execution time.
+	FetchOpTime sim.Time
+	// FetchOpOcc is memory occupancy of a fetch&op.
+	FetchOpOcc sim.Time
+	// InvalOcc is Hub occupancy per invalidation message sent.
+	InvalOcc sim.Time
+	// WritebackOcc is the occupancy a writeback adds at Hubs and memory.
+	WritebackOcc sim.Time
+	// PageMovePerBlock is the per-block occupancy when a page migrates.
+	PageMovePerBlock sim.Time
+	// MigrationFreeze is latency charged to the access triggering a
+	// migration (TLB shootdown and copy initiation).
+	MigrationFreeze sim.Time
+}
+
+// Origin2000Latencies models the paper's machine (Table 1 row 1).
+func Origin2000Latencies() Latencies {
+	return Latencies{
+		ProcOverhead:     58 * sim.Nanosecond,
+		HubTime:          50 * sim.Nanosecond,
+		HubOcc:           40 * sim.Nanosecond,
+		MemTime:          180 * sim.Nanosecond,
+		MemOcc:           60 * sim.Nanosecond,
+		RouterTime:       50 * sim.Nanosecond,
+		RouterOcc:        16 * sim.Nanosecond,
+		MetaExtra:        40 * sim.Nanosecond,
+		MetaOcc:          20 * sim.Nanosecond,
+		RemoteExtra:      0,
+		CacheResponse:    130 * sim.Nanosecond,
+		FetchOpTime:      60 * sim.Nanosecond,
+		FetchOpOcc:       30 * sim.Nanosecond,
+		InvalOcc:         24 * sim.Nanosecond,
+		WritebackOcc:     48 * sim.Nanosecond,
+		PageMovePerBlock: 80 * sim.Nanosecond,
+		MigrationFreeze:  50 * sim.Microsecond,
+	}
+}
+
+// Config describes one machine instance.
+type Config struct {
+	// Procs is the number of processors (the paper uses 32..128).
+	Procs int
+	// ProcsPerNode is processors per Hub (2 on the Origin; 1 for the
+	// Section 7.2 experiments).
+	ProcsPerNode int
+	// NodesPerRouter is nodes per router (2 on the Origin).
+	NodesPerRouter int
+	// ClockMHz is the processor frequency (195 for the R10000).
+	ClockMHz int
+	// Cache is the per-processor cache geometry.
+	Cache cache.Config
+	// Lat holds the memory-system timing components.
+	Lat Latencies
+	// Placement is the default page policy for pages the application
+	// does not place explicitly.
+	Placement mempolicy.Kind
+	// MigrationThreshold enables dynamic page migration when > 0.
+	MigrationThreshold int
+	// Mapping maps logical process i to physical processor Mapping[i];
+	// nil means linear.
+	Mapping topology.Mapping
+	// Quantum is the scheduler run-ahead bound (0 selects the default).
+	Quantum sim.Time
+	// MaxPrefetch bounds outstanding prefetches per processor (default 8).
+	MaxPrefetch int
+	// NodeMemBytes bounds per-node memory; pages spill to other nodes
+	// when a node fills (Ocean's sequential superlinearity, Section 4.1).
+	// Zero means unbounded.
+	NodeMemBytes int64
+	// IgnorePlacement makes the Array.Place* calls no-ops so the default
+	// Placement policy governs every page — the "Round Robin" columns of
+	// Table 3 run the same application code with this set.
+	IgnorePlacement bool
+	// ForceNodes overrides the node count when larger than the number of
+	// nodes implied by Procs/ProcsPerNode. A sequential run on a machine
+	// with many nodes models the paper's uniprocessor baseline, whose
+	// data can exceed one node's memory (Ocean's superlinearity).
+	ForceNodes int
+	// ForceMetarouters builds the interconnect from 8-router modules and
+	// metarouters even when a full hypercube would fit — the Section 7.1
+	// with/without-metarouter comparison at 64 processors.
+	ForceMetarouters bool
+}
+
+// Origin2000 returns the configuration of the paper's machine with the
+// given processor count.
+func Origin2000(procs int) Config {
+	return Config{
+		Procs:          procs,
+		ProcsPerNode:   2,
+		NodesPerRouter: 2,
+		ClockMHz:       195,
+		Cache:          cache.Origin2000L2,
+		Lat:            Origin2000Latencies(),
+		Placement:      mempolicy.FirstTouch,
+		MaxPrefetch:    8,
+	}
+}
+
+// Table1Machine identifies a latency preset from the paper's Table 1.
+type Table1Machine int
+
+// The machines compared in Table 1.
+const (
+	MachineOrigin2000 Table1Machine = iota
+	MachineExemplarX
+	MachineNUMALiiNE
+	MachineHalS1
+	MachineNUMAQ
+)
+
+func (m Table1Machine) String() string {
+	switch m {
+	case MachineOrigin2000:
+		return "Origin2000"
+	case MachineExemplarX:
+		return "Convex Exemplar X"
+	case MachineNUMALiiNE:
+		return "Data General NUMALiiNE"
+	case MachineHalS1:
+		return "Hal S1"
+	case MachineNUMAQ:
+		return "Sequent NUMAQ"
+	}
+	return "unknown"
+}
+
+// Table1Latencies returns the latency preset for one of Table 1's machines.
+// Only the components that differentiate the rows change: local-memory
+// path, remote protocol overhead, and intervention cost.
+func Table1Latencies(m Table1Machine) Latencies {
+	l := Origin2000Latencies()
+	switch m {
+	case MachineExemplarX:
+		// Local 450, remote ~3:1 clean, 5:1 dirty.
+		l.ProcOverhead = 90 * sim.Nanosecond
+		l.HubTime = 70 * sim.Nanosecond
+		l.MemTime = 220 * sim.Nanosecond
+		l.RemoteExtra = 500 * sim.Nanosecond
+		l.CacheResponse = 400 * sim.Nanosecond
+	case MachineNUMALiiNE:
+		// Local 240, remote 10:1 clean, 14:1 dirty (SCI ring).
+		l.ProcOverhead = 40 * sim.Nanosecond
+		l.HubTime = 30 * sim.Nanosecond
+		l.MemTime = 140 * sim.Nanosecond
+		l.RemoteExtra = 1900 * sim.Nanosecond
+		l.CacheResponse = 800 * sim.Nanosecond
+	case MachineHalS1:
+		// Local 240, remote 5:1 clean, 6:1 dirty.
+		l.ProcOverhead = 40 * sim.Nanosecond
+		l.HubTime = 30 * sim.Nanosecond
+		l.MemTime = 140 * sim.Nanosecond
+		l.RemoteExtra = 600 * sim.Nanosecond
+		l.CacheResponse = 200 * sim.Nanosecond
+	case MachineNUMAQ:
+		// Local 240, remote 10:1 clean (dirty N/A in the paper).
+		l.ProcOverhead = 40 * sim.Nanosecond
+		l.HubTime = 30 * sim.Nanosecond
+		l.MemTime = 140 * sim.Nanosecond
+		l.RemoteExtra = 2000 * sim.Nanosecond
+		l.CacheResponse = 800 * sim.Nanosecond
+	}
+	return l
+}
+
+func (c *Config) normalize() {
+	if c.Procs < 1 {
+		c.Procs = 1
+	}
+	if c.ProcsPerNode < 1 {
+		c.ProcsPerNode = 2
+	}
+	if c.NodesPerRouter < 1 {
+		c.NodesPerRouter = 2
+	}
+	if c.ClockMHz <= 0 {
+		c.ClockMHz = 195
+	}
+	if c.Cache.SizeBytes == 0 {
+		c.Cache = cache.Origin2000L2
+	}
+	if c.Lat == (Latencies{}) {
+		c.Lat = Origin2000Latencies()
+	}
+	if c.MaxPrefetch <= 0 {
+		c.MaxPrefetch = 8
+	}
+}

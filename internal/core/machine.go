@@ -1,0 +1,219 @@
+package core
+
+import (
+	"fmt"
+
+	"origin2000/internal/cache"
+	"origin2000/internal/directory"
+	"origin2000/internal/mempolicy"
+	"origin2000/internal/perf"
+	"origin2000/internal/sim"
+	"origin2000/internal/topology"
+)
+
+// BlockBytes is the coherence granularity (the Origin's 128-byte L2 block).
+const BlockBytes = 128
+
+const blockShift = 7
+
+// BlockOf returns the block number containing addr.
+func BlockOf(addr uint64) uint64 { return addr >> blockShift }
+
+// Machine is one simulated CC-NUMA multiprocessor.
+type Machine struct {
+	cfg      Config
+	eng      *sim.Engine
+	fabric   *topology.Fabric
+	pages    *mempolicy.Table
+	migrator *mempolicy.Migrator
+	dir      *directory.Directory
+	procs    []*Proc
+	mapping  topology.Mapping
+
+	numNodes   int
+	numRouters int
+
+	hubs    []sim.Resource
+	mems    []sim.Resource
+	routers []sim.Resource
+	metas   []sim.Resource
+
+	cycle     sim.Time // one processor cycle
+	nextAddr  uint64
+	nodePages []int       // pages homed per node (for NodeMemBytes spill)
+	maxNodePg int         // 0 = unbounded
+	arrays    *arrayIndex // per-allocation attribution (nil = off)
+	phases    map[string]*perf.Breakdown
+}
+
+// New builds a machine from cfg.
+func New(cfg Config) *Machine {
+	cfg.normalize()
+	numNodes := (cfg.Procs + cfg.ProcsPerNode - 1) / cfg.ProcsPerNode
+	if cfg.ForceNodes > numNodes {
+		numNodes = cfg.ForceNodes
+	}
+	numRouters := (numNodes + cfg.NodesPerRouter - 1) / cfg.NodesPerRouter
+	m := &Machine{
+		cfg:        cfg,
+		eng:        sim.NewEngine(cfg.Procs, cfg.Quantum),
+		fabric:     topology.NewFabricModules(numRouters, cfg.ForceMetarouters),
+		dir:        directory.New(),
+		numNodes:   numNodes,
+		numRouters: numRouters,
+		hubs:       make([]sim.Resource, numNodes),
+		mems:       make([]sim.Resource, numNodes),
+		routers:    make([]sim.Resource, numRouters),
+		cycle:      sim.Time(1_000_000 / cfg.ClockMHz), // ps per cycle
+		nodePages:  make([]int, numNodes),
+	}
+	for i := range m.hubs {
+		m.hubs[i].Name = fmt.Sprintf("hub%d", i)
+		m.mems[i].Name = fmt.Sprintf("mem%d", i)
+	}
+	for i := range m.routers {
+		m.routers[i].Name = fmt.Sprintf("router%d", i)
+	}
+	if n := m.fabric.NumMetarouters(); n > 0 {
+		m.metas = make([]sim.Resource, n)
+		for i := range m.metas {
+			m.metas[i].Name = fmt.Sprintf("meta%d", i)
+		}
+	}
+	if cfg.MigrationThreshold > 0 {
+		m.migrator = mempolicy.NewMigrator(numNodes, cfg.MigrationThreshold)
+	}
+	m.pages = mempolicy.NewTable(numNodes, cfg.Placement, m.migrator)
+	if cfg.NodeMemBytes > 0 {
+		m.maxNodePg = int(cfg.NodeMemBytes / mempolicy.PageBytes)
+		if m.maxNodePg < 1 {
+			m.maxNodePg = 1
+		}
+	}
+	m.mapping = cfg.Mapping
+	if m.mapping == nil {
+		m.mapping = topology.Linear(cfg.Procs)
+	}
+	if len(m.mapping) != cfg.Procs || !m.mapping.Valid() {
+		panic("core: mapping must be a permutation of the processor ids")
+	}
+	m.procs = make([]*Proc, cfg.Procs)
+	for i := range m.procs {
+		phys := m.mapping[i]
+		node := phys / cfg.ProcsPerNode
+		m.procs[i] = &Proc{
+			m:        m,
+			sp:       m.eng.Proc(i),
+			node:     node,
+			router:   node / cfg.NodesPerRouter,
+			cache:    cache.New(cfg.Cache),
+			prefetch: make(map[uint64]sim.Time),
+		}
+	}
+	return m
+}
+
+// Config returns the machine's configuration (normalized).
+func (m *Machine) Config() Config { return m.cfg }
+
+// NumProcs reports the processor count.
+func (m *Machine) NumProcs() int { return m.cfg.Procs }
+
+// NumNodes reports the node (Hub) count.
+func (m *Machine) NumNodes() int { return m.numNodes }
+
+// Fabric exposes the router interconnect.
+func (m *Machine) Fabric() *topology.Fabric { return m.fabric }
+
+// Cycles converts processor cycles to virtual time at the machine's clock.
+func (m *Machine) Cycles(n int64) sim.Time { return sim.Time(n) * m.cycle }
+
+// Directory exposes the coherence directory (test/diagnostic use).
+func (m *Machine) Directory() *directory.Directory { return m.dir }
+
+// PageTable exposes page placement (test/diagnostic use).
+func (m *Machine) PageTable() *mempolicy.Table { return m.pages }
+
+// Proc returns logical processor i outside of a Run (for test drivers that
+// exercise the access path directly via RunOne).
+func (m *Machine) Proc(i int) *Proc { return m.procs[i] }
+
+// Run executes body once per logical processor under virtual time.
+// It can be called repeatedly; clocks and statistics accumulate across
+// calls so multi-phase programs compose.
+func (m *Machine) Run(body func(p *Proc)) error {
+	return m.eng.Run(func(sp *sim.Proc) {
+		body(m.procs[sp.ID()])
+	})
+}
+
+// RunOne runs body on logical processor 0 only, with the remaining
+// processors idle. Useful for microbenchmarks (Table 1) and unit tests.
+func (m *Machine) RunOne(body func(p *Proc)) error {
+	return m.eng.Run(func(sp *sim.Proc) {
+		if sp.ID() == 0 {
+			body(m.procs[0])
+		}
+	})
+}
+
+// Elapsed returns the parallel completion time so far.
+func (m *Machine) Elapsed() sim.Time { return m.eng.MaxTime() }
+
+// Result summarizes the run for the metrics layer.
+func (m *Machine) Result() perf.Result {
+	r := perf.Result{
+		Procs:   m.cfg.Procs,
+		Elapsed: m.eng.MaxTime(),
+		PerProc: make([]perf.Breakdown, m.cfg.Procs),
+	}
+	for i, p := range m.procs {
+		r.PerProc[i] = perf.Breakdown{
+			Busy:   p.sp.Stat(sim.StatBusy),
+			Memory: p.sp.Stat(sim.StatMemory),
+			Sync:   p.sp.Stat(sim.StatSync),
+		}
+		r.Counters.Add(&p.sp.Counters)
+	}
+	for i := range m.hubs {
+		r.HubQueued += m.hubs[i].Queued()
+		r.MemQueued += m.mems[i].Queued()
+		r.HubBusy += m.hubs[i].Busy()
+	}
+	for i := range m.metas {
+		r.MetaQueued += m.metas[i].Queued()
+	}
+	if m.migrator != nil {
+		r.Migrations = m.migrator.Migrations
+	}
+	return r
+}
+
+// spill returns desired, or the next node with page capacity when desired
+// is full (NodeMemBytes bound).
+func (m *Machine) spill(desired int) int {
+	if m.maxNodePg == 0 || m.nodePages[desired] < m.maxNodePg {
+		return desired
+	}
+	for off := 1; off < m.numNodes; off++ {
+		n := (desired + off) % m.numNodes
+		if m.nodePages[n] < m.maxNodePg {
+			return n
+		}
+	}
+	return desired // machine totally full: overload rather than fail
+}
+
+// homeOf resolves (and if needed assigns) the home node of a page.
+func (m *Machine) homeOf(page uint64, touchNode int) int {
+	if m.pages.Placed(page) {
+		return m.pages.Choose(page, touchNode)
+	}
+	h := m.spill(m.pages.Choose(page, touchNode))
+	m.pages.SetHome(page, h)
+	m.nodePages[h]++
+	return h
+}
+
+// routerOfNode returns the router a node hangs off.
+func (m *Machine) routerOfNode(node int) int { return node / m.cfg.NodesPerRouter }

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"sort"
+
+	"origin2000/internal/perf"
+	"origin2000/internal/sim"
+)
+
+// Phase accounting: applications label their computational phases
+// (tree-build, force calculation, transpose, ...) and the machine
+// attributes each processor's Busy/Memory/Sync deltas to the active label.
+// This reproduces what the paper did with pixie/prof — locating the
+// routine a bottleneck lives in — as a first-class machine feature.
+
+// phaseState tracks one processor's attribution.
+type phaseState struct {
+	name string
+	snap perf.Breakdown
+}
+
+func (p *Proc) snapshot() perf.Breakdown {
+	return perf.Breakdown{
+		Busy:   p.sp.Stat(sim.StatBusy),
+		Memory: p.sp.Stat(sim.StatMemory),
+		Sync:   p.sp.Stat(sim.StatSync),
+	}
+}
+
+// SetPhase labels the work this processor does from now on. The time since
+// the previous SetPhase is attributed to the previous label. An empty name
+// ends attribution.
+func (p *Proc) SetPhase(name string) {
+	now := p.snapshot()
+	if p.phase.name != "" {
+		m := p.m
+		if m.phases == nil {
+			m.phases = make(map[string]*perf.Breakdown)
+		}
+		b, ok := m.phases[p.phase.name]
+		if !ok {
+			b = &perf.Breakdown{}
+			m.phases[p.phase.name] = b
+		}
+		b.Busy += now.Busy - p.phase.snap.Busy
+		b.Memory += now.Memory - p.phase.snap.Memory
+		b.Sync += now.Sync - p.phase.snap.Sync
+	}
+	p.phase = phaseState{name: name, snap: now}
+}
+
+// PhaseBreakdowns returns the per-phase time totals accumulated by
+// SetPhase, summed over processors, in descending total order.
+func (m *Machine) PhaseBreakdowns() []PhaseBreakdown {
+	out := make([]PhaseBreakdown, 0, len(m.phases))
+	for name, b := range m.phases {
+		out = append(out, PhaseBreakdown{Name: name, Breakdown: *b})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Total() != out[j].Total() {
+			return out[i].Total() > out[j].Total()
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// PhaseBreakdown is the cross-processor time total of one labeled phase.
+type PhaseBreakdown struct {
+	Name string
+	perf.Breakdown
+}

@@ -1,0 +1,26 @@
+package directory
+
+import "testing"
+
+// BenchmarkReadTransition measures the directory's read-miss transition.
+func BenchmarkReadTransition(b *testing.B) {
+	d := New()
+	for i := 0; i < b.N; i++ {
+		d.Read(uint64(i%4096), i%128)
+	}
+}
+
+// BenchmarkWriteWithSharers measures the invalidation fan-out path.
+func BenchmarkWriteWithSharers(b *testing.B) {
+	d := New()
+	for s := 0; s < 16; s++ {
+		d.Read(1, s)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Write(1, 0)
+		for s := 1; s < 16; s++ {
+			d.Read(1, s)
+		}
+	}
+}

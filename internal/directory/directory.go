@@ -1,0 +1,226 @@
+// Package directory implements full-bit-vector directory cache coherence in
+// the style of the SGI Origin2000's Hub protocol. Each home node keeps one
+// Directory tracking, per 128-byte block, whether the block is unowned,
+// shared by a set of processors, or exclusively owned (dirty) by one.
+//
+// The directory is precise: caches notify it of evictions (the Origin uses
+// replacement hints similarly), so invalidation fan-out matches the true
+// sharer set. The machine model (internal/core) turns the transition
+// results into latency and traffic.
+package directory
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// MaxProcs is the largest processor count a sharer set can track.
+const MaxProcs = 128
+
+// State is the directory's view of a block.
+type State uint8
+
+const (
+	// Unowned means no cache holds the block; memory is the only copy.
+	Unowned State = iota
+	// SharedState means one or more caches hold read-only copies.
+	SharedState
+	// Exclusive means exactly one cache holds a dirty copy.
+	Exclusive
+)
+
+func (s State) String() string {
+	switch s {
+	case Unowned:
+		return "Unowned"
+	case SharedState:
+		return "Shared"
+	case Exclusive:
+		return "Exclusive"
+	}
+	return fmt.Sprintf("State(%d)", uint8(s))
+}
+
+// Sharers is a bit vector over processor ids.
+type Sharers [2]uint64
+
+// Add inserts processor p.
+func (s *Sharers) Add(p int) { s[p>>6] |= 1 << (uint(p) & 63) }
+
+// Remove deletes processor p.
+func (s *Sharers) Remove(p int) { s[p>>6] &^= 1 << (uint(p) & 63) }
+
+// Contains reports whether processor p is present.
+func (s *Sharers) Contains(p int) bool { return s[p>>6]&(1<<(uint(p)&63)) != 0 }
+
+// Count reports the number of sharers.
+func (s *Sharers) Count() int { return bits.OnesCount64(s[0]) + bits.OnesCount64(s[1]) }
+
+// Clear empties the set.
+func (s *Sharers) Clear() { s[0], s[1] = 0, 0 }
+
+// ForEach calls fn for each processor in ascending order.
+func (s *Sharers) ForEach(fn func(p int)) {
+	for w := 0; w < 2; w++ {
+		v := s[w]
+		for v != 0 {
+			b := bits.TrailingZeros64(v)
+			fn(w*64 + b)
+			v &^= 1 << uint(b)
+		}
+	}
+}
+
+// List returns the sharers in ascending order, appended to dst.
+func (s *Sharers) List(dst []int) []int {
+	s.ForEach(func(p int) { dst = append(dst, p) })
+	return dst
+}
+
+// Entry is the directory record for one block.
+type Entry struct {
+	State   State
+	Sharers Sharers
+	Owner   int16 // valid when State == Exclusive
+}
+
+// Directory tracks every block homed at one node. The zero value is not
+// usable; call New.
+type Directory struct {
+	entries map[uint64]Entry
+}
+
+// New creates an empty directory.
+func New() *Directory {
+	return &Directory{entries: make(map[uint64]Entry)}
+}
+
+// Entry returns the record for block (Unowned if never touched).
+func (d *Directory) Entry(block uint64) Entry { return d.entries[block] }
+
+// Blocks reports the number of blocks with directory state.
+func (d *Directory) Blocks() int { return len(d.entries) }
+
+// ReadResult describes how a read miss must be satisfied.
+type ReadResult struct {
+	// Dirty reports that a third-party cache owned the block; the home
+	// forwards an intervention to Owner, which supplies the data
+	// (a 3-hop "remote dirty" transaction) and downgrades to Shared.
+	Dirty bool
+	// Owner is the previous exclusive owner when Dirty.
+	Owner int
+}
+
+// Read records a read miss by requester and returns how to satisfy it.
+func (d *Directory) Read(block uint64, requester int) ReadResult {
+	e := d.entries[block]
+	switch e.State {
+	case Unowned:
+		e.State = SharedState
+		e.Sharers.Clear()
+		e.Sharers.Add(requester)
+		d.entries[block] = e
+		return ReadResult{}
+	case SharedState:
+		e.Sharers.Add(requester)
+		d.entries[block] = e
+		return ReadResult{}
+	default: // Exclusive
+		owner := int(e.Owner)
+		e.State = SharedState
+		e.Sharers.Clear()
+		e.Sharers.Add(owner)
+		e.Sharers.Add(requester)
+		d.entries[block] = e
+		return ReadResult{Dirty: true, Owner: owner}
+	}
+}
+
+// WriteResult describes how a write miss or upgrade must be satisfied.
+type WriteResult struct {
+	// Invalidate lists the caches that must be invalidated (excluding
+	// the requester itself).
+	Invalidate []int
+	// Dirty reports that a third-party cache owned the block and must
+	// transfer ownership (3-hop transaction).
+	Dirty bool
+	// Owner is the previous exclusive owner when Dirty.
+	Owner int
+}
+
+// Write records a write miss (or an upgrade from Shared) by requester and
+// returns the required invalidations/intervention. Afterwards requester is
+// the exclusive owner.
+func (d *Directory) Write(block uint64, requester int) WriteResult {
+	e := d.entries[block]
+	var r WriteResult
+	switch e.State {
+	case SharedState:
+		e.Sharers.ForEach(func(p int) {
+			if p != requester {
+				r.Invalidate = append(r.Invalidate, p)
+			}
+		})
+	case Exclusive:
+		if int(e.Owner) != requester {
+			r.Dirty = true
+			r.Owner = int(e.Owner)
+		}
+	}
+	e.State = Exclusive
+	e.Sharers.Clear()
+	e.Owner = int16(requester)
+	d.entries[block] = e
+	return r
+}
+
+// Writeback records that owner wrote the dirty block back to memory.
+// It is a no-op if owner is no longer the exclusive owner (the writeback
+// raced with an intervention).
+func (d *Directory) Writeback(block uint64, owner int) {
+	e, ok := d.entries[block]
+	if !ok || e.State != Exclusive || int(e.Owner) != owner {
+		return
+	}
+	e.State = Unowned
+	e.Sharers.Clear()
+	d.entries[block] = e
+}
+
+// Evict records that proc silently dropped a clean (Shared) copy.
+func (d *Directory) Evict(block uint64, proc int) {
+	e, ok := d.entries[block]
+	if !ok || e.State != SharedState {
+		return
+	}
+	e.Sharers.Remove(proc)
+	if e.Sharers.Count() == 0 {
+		e.State = Unowned
+	}
+	d.entries[block] = e
+}
+
+// Check verifies internal invariants for every block, returning a non-nil
+// error on the first violation (test aid).
+func (d *Directory) Check() error {
+	for b, e := range d.entries {
+		switch e.State {
+		case Unowned:
+			if e.Sharers.Count() != 0 {
+				return fmt.Errorf("block %d: Unowned with %d sharers", b, e.Sharers.Count())
+			}
+		case SharedState:
+			if e.Sharers.Count() == 0 {
+				return fmt.Errorf("block %d: Shared with no sharers", b)
+			}
+		case Exclusive:
+			if e.Sharers.Count() != 0 {
+				return fmt.Errorf("block %d: Exclusive with sharer bits set", b)
+			}
+			if e.Owner < 0 || int(e.Owner) >= MaxProcs {
+				return fmt.Errorf("block %d: bad owner %d", b, e.Owner)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,155 @@
+package directory
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestColdReadBecomesShared(t *testing.T) {
+	d := New()
+	r := d.Read(10, 3)
+	if r.Dirty {
+		t.Fatal("cold read should come from memory")
+	}
+	e := d.Entry(10)
+	if e.State != SharedState || !e.Sharers.Contains(3) || e.Sharers.Count() != 1 {
+		t.Fatalf("entry = %+v", e)
+	}
+}
+
+func TestReadOfDirtyBlockIsThreeHop(t *testing.T) {
+	d := New()
+	d.Write(10, 5) // proc 5 owns dirty
+	r := d.Read(10, 2)
+	if !r.Dirty || r.Owner != 5 {
+		t.Fatalf("read result = %+v, want intervention at 5", r)
+	}
+	e := d.Entry(10)
+	if e.State != SharedState || !e.Sharers.Contains(5) || !e.Sharers.Contains(2) {
+		t.Fatalf("entry after downgrade = %+v", e)
+	}
+}
+
+func TestWriteInvalidatesSharers(t *testing.T) {
+	d := New()
+	d.Read(7, 0)
+	d.Read(7, 1)
+	d.Read(7, 2)
+	w := d.Write(7, 1)
+	if w.Dirty {
+		t.Fatal("upgrade from Shared needs no intervention")
+	}
+	if !reflect.DeepEqual(w.Invalidate, []int{0, 2}) {
+		t.Fatalf("invalidate = %v, want [0 2]", w.Invalidate)
+	}
+	e := d.Entry(7)
+	if e.State != Exclusive || e.Owner != 1 {
+		t.Fatalf("entry = %+v", e)
+	}
+}
+
+func TestWriteToDirtyBlockTransfersOwnership(t *testing.T) {
+	d := New()
+	d.Write(7, 0)
+	w := d.Write(7, 1)
+	if !w.Dirty || w.Owner != 0 || len(w.Invalidate) != 0 {
+		t.Fatalf("write result = %+v", w)
+	}
+	if e := d.Entry(7); e.Owner != 1 || e.State != Exclusive {
+		t.Fatalf("entry = %+v", e)
+	}
+}
+
+func TestWritebackReturnsToUnowned(t *testing.T) {
+	d := New()
+	d.Write(9, 4)
+	d.Writeback(9, 4)
+	if e := d.Entry(9); e.State != Unowned {
+		t.Fatalf("entry = %+v, want Unowned", e)
+	}
+	// Stale writeback after ownership moved: no-op.
+	d.Write(9, 4)
+	d.Write(9, 5)
+	d.Writeback(9, 4)
+	if e := d.Entry(9); e.State != Exclusive || e.Owner != 5 {
+		t.Fatalf("stale writeback corrupted entry: %+v", e)
+	}
+}
+
+func TestEvictRemovesSharer(t *testing.T) {
+	d := New()
+	d.Read(3, 0)
+	d.Read(3, 1)
+	d.Evict(3, 0)
+	e := d.Entry(3)
+	if e.Sharers.Contains(0) || !e.Sharers.Contains(1) {
+		t.Fatalf("entry = %+v", e)
+	}
+	d.Evict(3, 1)
+	if e := d.Entry(3); e.State != Unowned {
+		t.Fatalf("last evict should return block to Unowned, got %+v", e)
+	}
+}
+
+func TestSharersBitVector(t *testing.T) {
+	var s Sharers
+	ids := []int{0, 1, 63, 64, 65, 127}
+	for _, p := range ids {
+		s.Add(p)
+	}
+	if s.Count() != len(ids) {
+		t.Fatalf("count = %d, want %d", s.Count(), len(ids))
+	}
+	if got := s.List(nil); !reflect.DeepEqual(got, ids) {
+		t.Fatalf("list = %v, want %v", got, ids)
+	}
+	s.Remove(64)
+	if s.Contains(64) || s.Count() != len(ids)-1 {
+		t.Fatal("remove failed")
+	}
+}
+
+// TestInvariantsUnderRandomTraffic drives the directory with arbitrary
+// read/write/writeback/evict sequences and checks the state invariants the
+// protocol relies on (exclusive => one owner, shared => nonempty set).
+func TestInvariantsUnderRandomTraffic(t *testing.T) {
+	f := func(ops []uint16) bool {
+		d := New()
+		for _, op := range ops {
+			block := uint64(op>>8) % 8
+			proc := int(op>>2) % MaxProcs
+			switch op % 4 {
+			case 0:
+				d.Read(block, proc)
+			case 1:
+				d.Write(block, proc)
+			case 2:
+				d.Writeback(block, proc)
+			case 3:
+				d.Evict(block, proc)
+			}
+		}
+		return d.Check() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestReaderAfterWriterSeesSingleSharerChain mirrors the producer/consumer
+// pattern that dominates the apps: write by one proc, read by many, write
+// again must invalidate exactly those readers.
+func TestReaderAfterWriterSeesSingleSharerChain(t *testing.T) {
+	d := New()
+	d.Write(1, 0)
+	readers := []int{3, 9, 77, 120}
+	for _, r := range readers {
+		d.Read(1, r)
+	}
+	w := d.Write(1, 0)
+	want := append([]int{}, readers...)
+	if !reflect.DeepEqual(w.Invalidate, want) {
+		t.Fatalf("invalidate = %v, want %v", w.Invalidate, want)
+	}
+}

@@ -1,0 +1,338 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"origin2000/internal/core"
+	"origin2000/internal/perf"
+	"origin2000/internal/sim"
+	"origin2000/internal/synchro"
+	"origin2000/internal/topology"
+	"origin2000/internal/workload"
+)
+
+// Sec61Prefetch regenerates the Section 6.1 study: software prefetching of
+// remote data in FFT and Sample sort across machine sizes.
+func Sec61Prefetch(se *Session, w io.Writer) error {
+	procs := se.Scale.procCounts([]int{32, 64, 128})
+	cases := []struct {
+		app     string
+		size    int
+		variant string
+	}{
+		{"FFT", 1 << 22, ""},
+		{"Radix", 16 << 20, "sample"},
+	}
+	header := []string{"Application"}
+	for _, p := range procs {
+		header = append(header, fmt.Sprintf("P=%d gain", p))
+	}
+	rows := [][]string{header}
+	for _, c := range cases {
+		app := AppByName(c.app)
+		label := c.app
+		if c.variant != "" {
+			label += " (" + c.variant + ")"
+		}
+		row := []string{label}
+		for _, p := range procs {
+			base, err := se.Scale.Run(app, p, se.Scale.SweepParams(app, c.size, c.variant))
+			if err != nil {
+				return err
+			}
+			params := se.Scale.SweepParams(app, c.size, c.variant)
+			params.Prefetch = true
+			pre, err := se.Scale.Run(app, p, params)
+			if err != nil {
+				return err
+			}
+			gain := 100 * (1 - float64(pre.Elapsed)/float64(base.Elapsed))
+			row = append(row, fmt.Sprintf("%+.1f%%", gain))
+		}
+		rows = append(rows, row)
+	}
+	fprintf(w, "Section 6.1: execution-time gain from prefetching remote data\n")
+	fprintf(w, "(paper: FFT up to 20%% at 64p and 35%% at 128p; Sample sort ~20%% at 128p)\n")
+	fprintf(w, "%s\n", perf.Table(rows))
+	return nil
+}
+
+// Sec63Synchronization regenerates the Section 6.3 study: barrier and lock
+// algorithm comparison, LL-SC versus the at-memory fetch&op.
+func Sec63Synchronization(se *Session, w io.Writer) error {
+	procs := 64
+	if len(se.Scale.Procs) > 0 {
+		procs = se.Scale.Procs[len(se.Scale.Procs)-1]
+	}
+	// Microbenchmark: 50 barrier episodes with imbalanced arrivals.
+	fprintf(w, "Section 6.3: synchronization algorithms (%d processors)\n\n", procs)
+	rows := [][]string{{"Barrier algorithm", "Time per episode", "Overhead share"}}
+	for _, alg := range []synchro.BarrierAlgorithm{
+		synchro.BarrierTournament, synchro.BarrierCentralized, synchro.BarrierFetchOp,
+	} {
+		m := core.New(se.Scale.Machine(procs))
+		b := synchro.NewBarrier(m, procs, alg)
+		err := m.Run(func(p *core.Proc) {
+			for it := 0; it < 50; it++ {
+				p.Compute(sim.Time((it*7+p.ID()*13)%17) * sim.Microsecond)
+				b.Wait(p)
+			}
+		})
+		if err != nil {
+			return err
+		}
+		r := m.Result()
+		perEp := m.Elapsed() / 50
+		over := float64(r.Counters.SyncOverhead) /
+			float64(r.Counters.SyncOverhead+r.Counters.SyncWait+1)
+		rows = append(rows, []string{alg.String(), perEp.String(), fmt.Sprintf("%.1f%%", 100*over)})
+	}
+	fprintf(w, "%s\n", perf.Table(rows))
+
+	// Application level: Water-Spatial (barrier bound at the basic size)
+	// under each barrier algorithm.
+	app := AppByName("Water-Spatial")
+	rows = [][]string{{"Water-Spatial barrier", "Elapsed (ms)"}}
+	for _, alg := range []synchro.BarrierAlgorithm{
+		synchro.BarrierTournament, synchro.BarrierCentralized, synchro.BarrierFetchOp,
+	} {
+		params := se.Scale.Params(app, app.BasicSize(), "")
+		params.Barrier = alg
+		r, err := se.Scale.Run(app, procs, params)
+		if err != nil {
+			return err
+		}
+		rows = append(rows, []string{alg.String(), fmt.Sprintf("%.2f", r.Elapsed.Milliseconds())})
+	}
+	fprintf(w, "%s\n", perf.Table(rows))
+	fprintf(w, "(paper: neither sophisticated algorithms nor fetch&op help noticeably —\n")
+	fprintf(w, " wait time from imbalance dominates the operations themselves)\n\n")
+	return nil
+}
+
+// Sec71Mapping regenerates the Section 7.1 study: mapping processes to the
+// network topology for Barnes (irregular), Ocean (near-neighbour) and FFT
+// (all-to-all).
+func Sec71Mapping(se *Session, w io.Writer) error {
+	procs := 128
+	if len(se.Scale.Procs) > 0 {
+		procs = se.Scale.Procs[len(se.Scale.Procs)-1]
+	}
+	run := func(appName string, paperSize int, variant string, mapping topology.Mapping) (sim.Time, error) {
+		app := AppByName(appName)
+		cfg := se.Scale.Machine(procs)
+		cfg.Mapping = mapping
+		r, err := se.Scale.RunConfig(app, cfg, se.Scale.SweepParams(app, paperSize, variant))
+		if err != nil {
+			return 0, err
+		}
+		return r.Elapsed, nil
+	}
+	fprintf(w, "Section 7.1: process-to-topology mapping (%d processors)\n\n", procs)
+
+	// Barnes: linear vs random.
+	rows := [][]string{{"Barnes (16K bodies)", "Elapsed (ms)"}}
+	for _, c := range []struct {
+		label string
+		m     topology.Mapping
+	}{
+		{"linear", topology.Linear(procs)},
+		{"random", topology.Random(procs, 7)},
+	} {
+		t, err := run("Barnes", 16<<10, "", c.m)
+		if err != nil {
+			return err
+		}
+		rows = append(rows, []string{c.label, fmt.Sprintf("%.2f", t.Milliseconds())})
+	}
+	fprintf(w, "%s(paper: linear consistently beats random for the irregular codes)\n\n", perf.Table(rows))
+
+	// Ocean: near-neighbour pair mapping matters at large scale.
+	rows = [][]string{{"Ocean rowwise (2050 grid)", "Elapsed (ms)"}}
+	for _, c := range []struct {
+		label string
+		m     topology.Mapping
+	}{
+		{"gray-code pairs", topology.GrayPairs(procs, 2, 2)},
+		{"linear", topology.Linear(procs)},
+		{"random", topology.Random(procs, 7)},
+		{"paired random", topology.PairedRandom(procs, 7)},
+	} {
+		t, err := run("Ocean", 2050, "rowwise", c.m)
+		if err != nil {
+			return err
+		}
+		rows = append(rows, []string{c.label, fmt.Sprintf("%.2f", t.Milliseconds())})
+	}
+	fprintf(w, "%s(paper: near-neighbour mapping ~20%% better than random at 128p)\n\n", perf.Table(rows))
+
+	// FFT: what matters is that transpose partners are off-node.
+	rows = [][]string{{"FFT (2^22 points)", "Elapsed (ms)"}}
+	type fftCase struct {
+		label   string
+		variant string
+		m       topology.Mapping
+	}
+	for _, c := range []fftCase{
+		{"linear, partner +1 (bad: on-node start)", "", topology.Linear(procs)},
+		{"random mapping", "", topology.Random(procs, 7)},
+		{"linear, off-node transpose order", "offnode", topology.Linear(procs)},
+	} {
+		t, err := run("FFT", 1<<22, c.variant, c.m)
+		if err != nil {
+			return err
+		}
+		rows = append(rows, []string{c.label, fmt.Sprintf("%.2f", t.Milliseconds())})
+	}
+	fprintf(w, "%s(paper: random mapping or an off-node transpose order both fix the\n", perf.Table(rows))
+	fprintf(w, " on-node first-partner problem and perform equivalently)\n\n")
+
+	// With and without metarouters at 64 processors: the paper found
+	// metarouters help FFT on large systems by spreading contention,
+	// despite the latency they add.
+	rows = [][]string{{"FFT at 64 procs", "Elapsed (ms)"}}
+	for _, meta := range []bool{false, true} {
+		app := AppByName("FFT")
+		cfg := se.Scale.Machine(64)
+		cfg.ForceMetarouters = meta
+		r, err := se.Scale.RunConfig(app, cfg, se.Scale.SweepParams(app, 1<<22, ""))
+		if err != nil {
+			return err
+		}
+		label := "full hypercube"
+		if meta {
+			label = "hypercube modules + metarouters"
+		}
+		rows = append(rows, []string{label, fmt.Sprintf("%.2f", r.Elapsed.Milliseconds())})
+	}
+	fprintf(w, "%s(paper: metarouters can help all-to-all traffic by reducing contention,\n", perf.Table(rows))
+	fprintf(w, " at the cost of added latency)\n\n")
+	return nil
+}
+
+// Sec72ProcsPerNode regenerates the Section 7.2 study: one versus two
+// processors per node, at the same total processor count.
+func Sec72ProcsPerNode(se *Session, w io.Writer) error {
+	procs := 32
+	if len(se.Scale.Procs) > 0 {
+		procs = se.Scale.Procs[0]
+	}
+	cases := []struct {
+		app     string
+		size    int
+		variant string
+		label   string
+	}{
+		{"Radix", 128 << 20, "sample", "Sample sort, 128M keys"},
+		{"FFT", 1 << 24, "", "FFT, 2^24 points"},
+		{"Ocean", 2050, "", "Ocean, 2050 grid"},
+		{"Raytrace", 512, "", "Raytrace, 512 image"},
+	}
+	rows := [][]string{{"Application", "2 procs/node (ms)", "1 proc/node (ms)", "1ppn gain"}}
+	for _, c := range cases {
+		app := AppByName(c.app)
+		params := se.Scale.SweepParams(app, c.size, c.variant)
+		var elapsed [2]sim.Time
+		for i, ppn := range []int{2, 1} {
+			cfg := se.Scale.Machine(procs)
+			cfg.ProcsPerNode = ppn
+			r, err := se.Scale.RunConfig(app, cfg, params)
+			if err != nil {
+				return err
+			}
+			elapsed[i] = r.Elapsed
+		}
+		gain := 100 * (1 - float64(elapsed[1])/float64(elapsed[0]))
+		rows = append(rows, []string{
+			c.label,
+			fmt.Sprintf("%.2f", elapsed[0].Milliseconds()),
+			fmt.Sprintf("%.2f", elapsed[1].Milliseconds()),
+			fmt.Sprintf("%+.1f%%", gain),
+		})
+	}
+	fprintf(w, "Section 7.2: one vs two processors per node, %d processors, large sizes\n", procs)
+	fprintf(w, "(paper: with large problems and capacity-related Hub contention, one\n")
+	fprintf(w, " processor per node wins — 40%% for Sample sort at 32p)\n")
+	fprintf(w, "%s\n", perf.Table(rows))
+	return nil
+}
+
+// All runs every experiment in paper order at the session's scale.
+func All(se *Session, w io.Writer) error {
+	steps := []struct {
+		name string
+		fn   func() error
+	}{
+		{"table1", func() error { return Table1(w) }},
+		{"table2", func() error { return Table2(se, w) }},
+		{"fig2", func() error { return Figure2(se, w) }},
+		{"fig3", func() error { return Figure3(se, w) }},
+		{"fig4", func() error { return Figure4(se, w) }},
+		{"fig5-8", func() error { return Figures5to8(se, w) }},
+		{"fig9", func() error { return Figure9(se, w) }},
+		{"fig10", func() error { return Figure10(se, w) }},
+		{"table3", func() error { return Table3(se, w) }},
+		{"sec61", func() error { return Sec61Prefetch(se, w) }},
+		{"sec63", func() error { return Sec63Synchronization(se, w) }},
+		{"sec71", func() error { return Sec71Mapping(se, w) }},
+		{"sec72", func() error { return Sec72ProcsPerNode(se, w) }},
+	}
+	for _, s := range steps {
+		if err := s.fn(); err != nil {
+			return fmt.Errorf("%s: %w", s.name, err)
+		}
+	}
+	return nil
+}
+
+// Run executes the named experiment ("table1", "fig4", "sec71", ... or
+// "all") at the session's scale.
+func Run(name string, se *Session, w io.Writer) error {
+	switch name {
+	case "all":
+		return All(se, w)
+	case "table1":
+		return Table1(w)
+	case "table2":
+		return Table2(se, w)
+	case "table3":
+		return Table3(se, w)
+	case "fig2":
+		return Figure2(se, w)
+	case "fig3":
+		return Figure3(se, w)
+	case "fig4":
+		return Figure4(se, w)
+	case "fig5", "fig6", "fig7", "fig8", "fig5-8":
+		return Figures5to8(se, w)
+	case "fig9":
+		return Figure9(se, w)
+	case "fig10":
+		return Figure10(se, w)
+	case "sec61":
+		return Sec61Prefetch(se, w)
+	case "sec62":
+		return Table3(se, w) // migration is Table 3's third column
+	case "sec63":
+		return Sec63Synchronization(se, w)
+	case "sec71":
+		return Sec71Mapping(se, w)
+	case "sec72":
+		return Sec72ProcsPerNode(se, w)
+	case "ablation":
+		return Ablation(se, w)
+	}
+	return fmt.Errorf("experiments: unknown experiment %q", name)
+}
+
+// Names lists the runnable experiment names.
+func Names() []string {
+	return []string{
+		"table1", "table2", "fig2", "fig3", "fig4", "fig5-8", "fig9",
+		"fig10", "table3", "sec61", "sec63", "sec71", "sec72",
+		"ablation", "all",
+	}
+}
+
+var _ = workload.Params{} // keep the import stable for future drivers

@@ -1,0 +1,173 @@
+// Package mempolicy implements physical page placement for a CC-NUMA
+// machine: the 16 KB pages of the Origin2000, first-touch and round-robin
+// default policies, explicit (manual) per-page homes, and the dynamic page
+// migration support evaluated in the paper's Section 6.2.
+package mempolicy
+
+// Page geometry of the Origin2000.
+const (
+	PageShift = 14
+	PageBytes = 1 << PageShift // 16 KB
+)
+
+// PageOf returns the page number containing byte address addr.
+func PageOf(addr uint64) uint64 { return addr >> PageShift }
+
+// Kind selects the default placement policy for pages without an explicit
+// home.
+type Kind int
+
+const (
+	// FirstTouch homes a page at the node of the first processor to
+	// access it (the IRIX default; what "manual" placement arranges by
+	// having the owning process touch its data first).
+	FirstTouch Kind = iota
+	// RoundRobin stripes pages across nodes by page number.
+	RoundRobin
+)
+
+func (k Kind) String() string {
+	if k == RoundRobin {
+		return "RoundRobin"
+	}
+	return "FirstTouch"
+}
+
+// Table maps pages to home nodes.
+type Table struct {
+	numNodes int
+	kind     Kind
+	homes    map[uint64]int32
+	migrator *Migrator
+}
+
+// NewTable creates a page table over numNodes nodes with the given default
+// policy. Pass a non-nil Migrator to enable dynamic migration.
+func NewTable(numNodes int, kind Kind, m *Migrator) *Table {
+	if numNodes < 1 {
+		numNodes = 1
+	}
+	return &Table{
+		numNodes: numNodes,
+		kind:     kind,
+		homes:    make(map[uint64]int32),
+		migrator: m,
+	}
+}
+
+// NumNodes reports the node count.
+func (t *Table) NumNodes() int { return t.numNodes }
+
+// Kind reports the default policy.
+func (t *Table) Kind() Kind { return t.kind }
+
+// Migration reports whether dynamic migration is enabled.
+func (t *Table) Migration() bool { return t.migrator != nil }
+
+// Home returns the page's home node, assigning one by the default policy if
+// the page is untouched. touchNode is the node of the accessing processor
+// (used by FirstTouch).
+func (t *Table) Home(page uint64, touchNode int) int {
+	if h, ok := t.homes[page]; ok {
+		return int(h)
+	}
+	var h int
+	switch t.kind {
+	case RoundRobin:
+		h = int(page % uint64(t.numNodes))
+	default:
+		h = touchNode
+	}
+	t.homes[page] = int32(h)
+	return h
+}
+
+// Choose returns the home the default policy would pick for an unplaced
+// page, without recording it. Callers that need to adjust the choice (e.g.
+// for per-node capacity limits) combine Choose with SetHome.
+func (t *Table) Choose(page uint64, touchNode int) int {
+	if h, ok := t.homes[page]; ok {
+		return int(h)
+	}
+	if t.kind == RoundRobin {
+		return int(page % uint64(t.numNodes))
+	}
+	return touchNode
+}
+
+// SetHome pins a page to a node (manual placement by the application).
+func (t *Table) SetHome(page uint64, node int) {
+	t.homes[page] = int32(node)
+}
+
+// Placed reports whether a page already has a home.
+func (t *Table) Placed(page uint64) bool {
+	_, ok := t.homes[page]
+	return ok
+}
+
+// RecordRemoteMiss informs the migration policy that node missed remotely
+// on page. It returns the new home and true when the policy decides to
+// migrate the page (the caller charges the migration cost and the table has
+// already been updated).
+func (t *Table) RecordRemoteMiss(page uint64, node int) (newHome int, migrated bool) {
+	if t.migrator == nil {
+		return 0, false
+	}
+	to, ok := t.migrator.record(page, node)
+	if !ok {
+		return 0, false
+	}
+	t.homes[page] = int32(to)
+	return to, true
+}
+
+// Migrator implements the counter-based migration policy: when one node has
+// taken Threshold remote misses on a page and holds at least a 2x lead over
+// every other node's count, the page migrates to it and the counters reset.
+type Migrator struct {
+	// Threshold is the remote-miss count that triggers migration.
+	Threshold int
+	// Migrations counts pages moved.
+	Migrations int64
+
+	counts map[uint64][]int32
+	nodes  int
+}
+
+// NewMigrator creates a migrator for numNodes nodes. A threshold <= 0
+// selects the default of 64 misses.
+func NewMigrator(numNodes, threshold int) *Migrator {
+	if threshold <= 0 {
+		threshold = 64
+	}
+	return &Migrator{
+		Threshold: threshold,
+		counts:    make(map[uint64][]int32),
+		nodes:     numNodes,
+	}
+}
+
+func (m *Migrator) record(page uint64, node int) (to int, migrate bool) {
+	c, ok := m.counts[page]
+	if !ok {
+		c = make([]int32, m.nodes)
+		m.counts[page] = c
+	}
+	c[node]++
+	if int(c[node]) < m.Threshold {
+		return 0, false
+	}
+	// Require a clear (2x) lead over every other node so balanced
+	// sharing does not make pages ping-pong.
+	for n, v := range c {
+		if n != node && 2*v > c[node] {
+			return 0, false
+		}
+	}
+	for i := range c {
+		c[i] = 0
+	}
+	m.Migrations++
+	return node, true
+}

@@ -1,0 +1,307 @@
+// Package perf computes and formats the paper's performance metrics:
+// speedup, parallel efficiency, and Busy/Memory/Sync execution-time
+// breakdowns, plus ASCII renderings of the paper's figures (per-processor
+// breakdown continua, efficiency-versus-problem-size curves).
+package perf
+
+import (
+	"fmt"
+	"strings"
+
+	"origin2000/internal/sim"
+)
+
+// Breakdown is one processor's execution time split into the paper's three
+// categories (Section 3).
+type Breakdown struct {
+	Busy   sim.Time
+	Memory sim.Time
+	Sync   sim.Time
+}
+
+// Total returns the sum of the three buckets.
+func (b Breakdown) Total() sim.Time { return b.Busy + b.Memory + b.Sync }
+
+// Add accumulates o into b.
+func (b *Breakdown) Add(o Breakdown) {
+	b.Busy += o.Busy
+	b.Memory += o.Memory
+	b.Sync += o.Sync
+}
+
+// Fractions returns the three buckets as fractions of the total (zeros for
+// an empty breakdown).
+func (b Breakdown) Fractions() (busy, memory, sync float64) {
+	t := float64(b.Total())
+	if t == 0 {
+		return 0, 0, 0
+	}
+	return float64(b.Busy) / t, float64(b.Memory) / t, float64(b.Sync) / t
+}
+
+// Result summarizes one machine run.
+type Result struct {
+	Procs   int
+	Elapsed sim.Time
+	PerProc []Breakdown
+	// Counters aggregates the per-processor machine-event counters.
+	Counters sim.Counters
+	// Queueing totals at shared resources (contention diagnostics).
+	HubQueued  sim.Time
+	MemQueued  sim.Time
+	MetaQueued sim.Time
+	HubBusy    sim.Time
+	Migrations int64
+}
+
+// Average returns the mean per-processor breakdown.
+func (r Result) Average() Breakdown {
+	var sum Breakdown
+	for _, b := range r.PerProc {
+		sum.Add(b)
+	}
+	n := sim.Time(len(r.PerProc))
+	if n == 0 {
+		return Breakdown{}
+	}
+	return Breakdown{Busy: sum.Busy / n, Memory: sum.Memory / n, Sync: sum.Sync / n}
+}
+
+// Speedup returns sequential time divided by parallel time.
+func Speedup(seq, par sim.Time) float64 {
+	if par <= 0 {
+		return 0
+	}
+	return float64(seq) / float64(par)
+}
+
+// Efficiency returns parallel efficiency: speedup divided by processors.
+// The paper's scalability threshold is 0.60 (60%).
+func Efficiency(seq, par sim.Time, procs int) float64 {
+	if procs <= 0 {
+		return 0
+	}
+	return Speedup(seq, par) / float64(procs)
+}
+
+// GoodEfficiency is the paper's "scaling well" threshold.
+const GoodEfficiency = 0.60
+
+// Imbalance returns (max-total − mean-total)/mean-total over processors:
+// a load-imbalance measure for breakdowns.
+func Imbalance(per []Breakdown) float64 {
+	if len(per) == 0 {
+		return 0
+	}
+	var max, sum sim.Time
+	for _, b := range per {
+		t := b.Total()
+		sum += t
+		if t > max {
+			max = t
+		}
+	}
+	mean := float64(sum) / float64(len(per))
+	if mean == 0 {
+		return 0
+	}
+	return (float64(max) - mean) / mean
+}
+
+// Table renders rows of cells with aligned columns; the first row is a
+// header separated by a rule.
+func Table(rows [][]string) string {
+	if len(rows) == 0 {
+		return ""
+	}
+	widths := make([]int, 0)
+	for _, row := range rows {
+		for i, c := range row {
+			if i >= len(widths) {
+				widths = append(widths, 0)
+			}
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	writeRow := func(row []string) {
+		for i, c := range row {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(rows[0])
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	sb.WriteString(strings.Repeat("-", total-2))
+	sb.WriteByte('\n')
+	for _, row := range rows[1:] {
+		writeRow(row)
+	}
+	return sb.String()
+}
+
+// BreakdownBar renders one breakdown as a percentage bar of the given
+// width: '#' busy, 'm' memory stall, 's' synchronization.
+func BreakdownBar(b Breakdown, width int) string {
+	busy, mem, _ := b.Fractions()
+	nb := int(busy*float64(width) + 0.5)
+	nm := int(mem*float64(width) + 0.5)
+	if nb+nm > width {
+		nm = width - nb
+	}
+	ns := width - nb - nm
+	return strings.Repeat("#", nb) + strings.Repeat("m", nm) + strings.Repeat("s", ns)
+}
+
+// Continuum renders per-processor breakdowns as the paper's Figures 5-8: a
+// column per processor (merged down to width columns), 100% of execution
+// time vertically, with '#' busy at the bottom, 'm' memory above it and 's'
+// sync on top.
+func Continuum(per []Breakdown, width, height int) string {
+	if len(per) == 0 || width <= 0 || height <= 0 {
+		return ""
+	}
+	if width > len(per) {
+		width = len(per)
+	}
+	cols := make([]Breakdown, width)
+	for c := 0; c < width; c++ {
+		lo := c * len(per) / width
+		hi := (c + 1) * len(per) / width
+		if hi <= lo {
+			hi = lo + 1
+		}
+		var sum Breakdown
+		for _, b := range per[lo:hi] {
+			sum.Add(b)
+		}
+		cols[c] = sum
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = make([]byte, width)
+		for c := range grid[r] {
+			grid[r][c] = ' '
+		}
+	}
+	for c, b := range cols {
+		busy, mem, _ := b.Fractions()
+		nb := int(busy*float64(height) + 0.5)
+		nm := int(mem*float64(height) + 0.5)
+		if nb+nm > height {
+			nm = height - nb
+		}
+		for r := 0; r < height; r++ {
+			// Row 0 is the top of the figure.
+			fromBottom := height - 1 - r
+			switch {
+			case fromBottom < nb:
+				grid[r][c] = '#'
+			case fromBottom < nb+nm:
+				grid[r][c] = 'm'
+			default:
+				grid[r][c] = 's'
+			}
+		}
+	}
+	var sb strings.Builder
+	for r, row := range grid {
+		pct := 100 * (height - r) / height
+		fmt.Fprintf(&sb, "%3d%% |%s|\n", pct, string(row))
+	}
+	fmt.Fprintf(&sb, "      %s\n", strings.Repeat("-", width))
+	fmt.Fprintf(&sb, "      processors 0..%d   (#=busy m=memory s=sync)\n", len(per)-1)
+	return sb.String()
+}
+
+// Series is one curve for Curves: a label and (x, y) points.
+type Series struct {
+	Label  string
+	X      []float64
+	Y      []float64
+	Marker byte
+}
+
+// Curves renders efficiency-versus-problem-size curves like the paper's
+// Figures 4 and 9: y in [0, yMax], a horizontal rule at 0.60, one marker
+// per series.
+func Curves(series []Series, width, height int, yMax float64) string {
+	if yMax <= 0 {
+		yMax = 1.0
+	}
+	var xmin, xmax float64
+	first := true
+	for _, s := range series {
+		for _, x := range s.X {
+			if first || x < xmin {
+				xmin = x
+			}
+			if first || x > xmax {
+				xmax = x
+			}
+			first = false
+		}
+	}
+	if first || xmax == xmin {
+		xmax = xmin + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = make([]byte, width)
+		for c := range grid[r] {
+			grid[r][c] = ' '
+		}
+	}
+	// 60% threshold line.
+	if thr := GoodEfficiency; thr <= yMax {
+		r := height - 1 - int(thr/yMax*float64(height-1)+0.5)
+		if r >= 0 && r < height {
+			for c := range grid[r] {
+				grid[r][c] = '.'
+			}
+		}
+	}
+	for _, s := range series {
+		marker := s.Marker
+		if marker == 0 {
+			marker = '*'
+		}
+		for i := range s.X {
+			c := int((s.X[i] - xmin) / (xmax - xmin) * float64(width-1))
+			y := s.Y[i]
+			if y > yMax {
+				y = yMax
+			}
+			if y < 0 {
+				y = 0
+			}
+			r := height - 1 - int(y/yMax*float64(height-1)+0.5)
+			if r >= 0 && r < height && c >= 0 && c < width {
+				grid[r][c] = marker
+			}
+		}
+	}
+	var sb strings.Builder
+	for r, row := range grid {
+		y := yMax * float64(height-1-r) / float64(height-1)
+		fmt.Fprintf(&sb, "%5.2f |%s|\n", y, string(row))
+	}
+	fmt.Fprintf(&sb, "      %s\n", strings.Repeat("-", width))
+	fmt.Fprintf(&sb, "       x: %.3g .. %.3g   (dotted line = 60%% efficiency)\n", xmin, xmax)
+	for _, s := range series {
+		marker := s.Marker
+		if marker == 0 {
+			marker = '*'
+		}
+		fmt.Fprintf(&sb, "       %c = %s\n", marker, s.Label)
+	}
+	return sb.String()
+}

@@ -1,0 +1,111 @@
+package perf
+
+import (
+	"strings"
+	"testing"
+
+	"origin2000/internal/sim"
+)
+
+func TestFractionsAndTotal(t *testing.T) {
+	b := Breakdown{Busy: 60, Memory: 30, Sync: 10}
+	if b.Total() != 100 {
+		t.Fatalf("total = %d", b.Total())
+	}
+	busy, mem, sync := b.Fractions()
+	if busy != 0.6 || mem != 0.3 || sync != 0.1 {
+		t.Fatalf("fractions = %v %v %v", busy, mem, sync)
+	}
+}
+
+func TestSpeedupEfficiency(t *testing.T) {
+	seq := sim.Time(1000)
+	par := sim.Time(10)
+	if s := Speedup(seq, par); s != 100 {
+		t.Errorf("speedup = %f", s)
+	}
+	if e := Efficiency(seq, par, 128); e < 0.78 || e > 0.79 {
+		t.Errorf("efficiency = %f", e)
+	}
+	if Speedup(seq, 0) != 0 || Efficiency(seq, par, 0) != 0 {
+		t.Error("degenerate inputs should yield 0")
+	}
+}
+
+func TestImbalance(t *testing.T) {
+	per := []Breakdown{{Busy: 100}, {Busy: 100}, {Busy: 200}}
+	got := Imbalance(per)
+	want := (200.0 - 400.0/3) / (400.0 / 3)
+	if diff := got - want; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("imbalance = %f, want %f", got, want)
+	}
+	if Imbalance(nil) != 0 {
+		t.Error("empty imbalance should be 0")
+	}
+}
+
+func TestAverage(t *testing.T) {
+	r := Result{PerProc: []Breakdown{{Busy: 10, Memory: 20}, {Busy: 30, Sync: 40}}}
+	avg := r.Average()
+	if avg.Busy != 20 || avg.Memory != 10 || avg.Sync != 20 {
+		t.Errorf("average = %+v", avg)
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	out := Table([][]string{
+		{"App", "Speedup"},
+		{"FFT", "55.0"},
+		{"Ocean", "64.0"},
+	})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d, want 4 (header, rule, 2 rows)", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "App") || !strings.Contains(lines[0], "Speedup") {
+		t.Errorf("header malformed: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "---") {
+		t.Errorf("rule missing: %q", lines[1])
+	}
+}
+
+func TestBreakdownBar(t *testing.T) {
+	bar := BreakdownBar(Breakdown{Busy: 50, Memory: 30, Sync: 20}, 10)
+	if len(bar) != 10 {
+		t.Fatalf("bar length = %d", len(bar))
+	}
+	if strings.Count(bar, "#") != 5 || strings.Count(bar, "m") != 3 || strings.Count(bar, "s") != 2 {
+		t.Errorf("bar = %q", bar)
+	}
+}
+
+func TestContinuumShape(t *testing.T) {
+	per := make([]Breakdown, 128)
+	for i := range per {
+		per[i] = Breakdown{Busy: 50, Memory: 25, Sync: 25}
+	}
+	fig := Continuum(per, 64, 10)
+	lines := strings.Split(strings.TrimRight(fig, "\n"), "\n")
+	if len(lines) != 12 {
+		t.Fatalf("figure has %d lines, want 10 rows + axis + legend", len(lines))
+	}
+	if !strings.Contains(fig, "#") || !strings.Contains(fig, "m") || !strings.Contains(fig, "s") {
+		t.Error("figure missing one of the three categories")
+	}
+}
+
+func TestCurvesRendersSeriesAndThreshold(t *testing.T) {
+	fig := Curves([]Series{
+		{Label: "128 procs", X: []float64{1, 2, 4}, Y: []float64{0.3, 0.5, 0.7}, Marker: 'o'},
+	}, 40, 12, 1.2)
+	if !strings.Contains(fig, "o") {
+		t.Error("series marker missing")
+	}
+	if !strings.Contains(fig, ".") {
+		t.Error("60% threshold line missing")
+	}
+	if !strings.Contains(fig, "128 procs") {
+		t.Error("legend missing")
+	}
+}

@@ -1,0 +1,67 @@
+package sim
+
+// procHeap is a binary min-heap of runnable processors ordered by
+// (clock, id). The id tie-break makes scheduling deterministic.
+type procHeap []*Proc
+
+func (h procHeap) less(i, j int) bool {
+	if h[i].now != h[j].now {
+		return h[i].now < h[j].now
+	}
+	return h[i].id < h[j].id
+}
+
+func (h procHeap) swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].heapIndex = i
+	h[j].heapIndex = j
+}
+
+func (h *procHeap) push(p *Proc) {
+	*h = append(*h, p)
+	p.heapIndex = len(*h) - 1
+	h.up(p.heapIndex)
+}
+
+func (h *procHeap) pop() *Proc {
+	old := *h
+	n := len(old)
+	p := old[0]
+	old.swap(0, n-1)
+	*h = old[:n-1]
+	if n > 1 {
+		h.down(0)
+	}
+	p.heapIndex = -1
+	return p
+}
+
+func (h procHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h procHeap) down(i int) {
+	n := len(h)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && h.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && h.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		h.swap(i, smallest)
+		i = smallest
+	}
+}

@@ -1,0 +1,177 @@
+package sim
+
+// Counters accumulates event counts for one processor. The machine model
+// increments these; they are not interpreted by the engine itself.
+type Counters struct {
+	Reads            int64 // shared-data load references
+	Writes           int64 // shared-data store references
+	Hits             int64 // cache hits
+	LocalMisses      int64 // misses satisfied by the local node's memory
+	RemoteClean      int64 // 2-hop misses satisfied by a remote home memory
+	RemoteDirty      int64 // 3-hop misses requiring an intervention at a third node
+	Upgrades         int64 // write hits to Shared lines (invalidation required)
+	Invalidations    int64 // invalidation messages this processor caused
+	Writebacks       int64 // dirty victims written back
+	Prefetches       int64 // prefetches issued
+	PrefetchHits     int64 // demand accesses fully or partly covered by a prefetch
+	FetchOps         int64 // uncached at-memory fetch&op operations
+	LockAcquires     int64
+	BarrierWaits     int64
+	PageMigrations   int64
+	LocalStall       Time  // memory stall on local misses
+	RemoteStall      Time  // memory stall on remote misses
+	ContentionStall  Time  // portion of memory stall due to queueing
+	SyncWait         Time  // portion of sync time spent waiting (imbalance)
+	SyncOverhead     Time  // portion of sync time spent in the operation itself
+	StolenTasks      int64 // tasks obtained by stealing (apps that steal)
+	ExecutedTasks    int64 // tasks executed (apps with task queues)
+	RemoteCapacity   int64 // capacity misses to remote homes (artifactual comm.)
+	MigratedAccesses int64 // accesses that became local thanks to migration
+}
+
+// Add accumulates other into c.
+func (c *Counters) Add(other *Counters) {
+	c.Reads += other.Reads
+	c.Writes += other.Writes
+	c.Hits += other.Hits
+	c.LocalMisses += other.LocalMisses
+	c.RemoteClean += other.RemoteClean
+	c.RemoteDirty += other.RemoteDirty
+	c.Upgrades += other.Upgrades
+	c.Invalidations += other.Invalidations
+	c.Writebacks += other.Writebacks
+	c.Prefetches += other.Prefetches
+	c.PrefetchHits += other.PrefetchHits
+	c.FetchOps += other.FetchOps
+	c.LockAcquires += other.LockAcquires
+	c.BarrierWaits += other.BarrierWaits
+	c.PageMigrations += other.PageMigrations
+	c.LocalStall += other.LocalStall
+	c.RemoteStall += other.RemoteStall
+	c.ContentionStall += other.ContentionStall
+	c.SyncWait += other.SyncWait
+	c.SyncOverhead += other.SyncOverhead
+	c.StolenTasks += other.StolenTasks
+	c.ExecutedTasks += other.ExecutedTasks
+	c.RemoteCapacity += other.RemoteCapacity
+	c.MigratedAccesses += other.MigratedAccesses
+}
+
+// Misses reports the total cache-miss count.
+func (c *Counters) Misses() int64 { return c.LocalMisses + c.RemoteClean + c.RemoteDirty }
+
+// Proc is one simulated processor. Application code receives a Proc and
+// advances its virtual clock through the methods below. A Proc's methods
+// must only be called from the goroutine the engine started for it.
+type Proc struct {
+	id        int
+	e         *Engine
+	now       Time
+	limit     Time
+	resume    chan struct{}
+	blocked   bool
+	finished  bool
+	heapIndex int
+	stats     [numStats]Time
+
+	// Counters holds machine-model event counts for this processor.
+	Counters Counters
+}
+
+// ID returns the processor's id in [0, NumProcs).
+func (p *Proc) ID() int { return p.id }
+
+// Engine returns the engine this processor belongs to.
+func (p *Proc) Engine() *Engine { return p.e }
+
+// Now returns the processor's current virtual time.
+func (p *Proc) Now() Time { return p.now }
+
+// Stat returns the accumulated time charged to bucket k.
+func (p *Proc) Stat(k StatKind) Time { return p.stats[k] }
+
+// Total returns the sum of all buckets: the processor's accounted time.
+func (p *Proc) Total() Time {
+	var t Time
+	for _, s := range p.stats {
+		t += s
+	}
+	return t
+}
+
+// Advance moves the clock forward by d and charges d to bucket k,
+// yielding to the scheduler if the quantum is exhausted.
+func (p *Proc) Advance(d Time, k StatKind) {
+	if d < 0 {
+		panic("sim: negative advance")
+	}
+	p.now += d
+	p.stats[k] += d
+	if p.now > p.limit {
+		p.yield()
+	}
+}
+
+// AdvanceTo moves the clock forward to time t (a no-op if already past t)
+// and charges the elapsed duration to bucket k.
+func (p *Proc) AdvanceTo(t Time, k StatKind) {
+	if t > p.now {
+		p.Advance(t-p.now, k)
+	}
+}
+
+// Charge records d in bucket k without moving the clock. Synchronization
+// primitives use it to attribute time that was accounted while blocked.
+func (p *Proc) Charge(d Time, k StatKind) {
+	if d < 0 {
+		panic("sim: negative charge")
+	}
+	p.stats[k] += d
+}
+
+// Yield voluntarily returns control to the scheduler if this processor has
+// exceeded its quantum. Long computations that do not touch simulated
+// memory should call it periodically.
+func (p *Proc) Yield() {
+	if p.now > p.limit {
+		p.yield()
+	}
+}
+
+func (p *Proc) yield() {
+	p.e.yieldCh <- yieldEvent{p: p, kind: yieldQuantum}
+	<-p.resume
+}
+
+// Block suspends this processor until another processor calls Wake on it.
+// The caller is responsible for charging the waiting time (see Wake).
+func (p *Proc) Block() {
+	p.blocked = true
+	p.e.yieldCh <- yieldEvent{p: p, kind: yieldBlocked}
+	<-p.resume
+}
+
+// Wake makes q runnable again with its clock advanced to at least t. It
+// must be called by the currently running processor (the scheduler is
+// parked while application code runs, so the ready queue is safe to touch).
+// The time q spent blocked is not charged automatically; the waker or the
+// wakee charges it to the appropriate bucket.
+func (p *Proc) Wake(q *Proc, t Time) {
+	if !q.blocked {
+		panic("sim: Wake on a processor that is not blocked")
+	}
+	if q.now < t {
+		q.now = t
+	}
+	q.blocked = false
+	p.e.heap.push(q)
+	// The waker may have been resumed with a generous (even unbounded)
+	// run-ahead limit while q was blocked; now that q is runnable the
+	// waker must yield once it passes q's clock, or q would starve.
+	if limit := q.now + p.e.quantum; p.limit > limit {
+		p.limit = limit
+	}
+}
+
+// Blocked reports whether q is currently suspended in Block.
+func (p *Proc) Blocked() bool { return p.blocked }

@@ -1,0 +1,66 @@
+package sim
+
+// Resource models a shared hardware unit (a Hub controller, a memory bank,
+// a router, a metarouter) as a service timeline. Transactions occupy the
+// resource for a duration and queue behind earlier ones, which is how the
+// engine models contention: the queueing delay a transaction experiences is
+// the difference between its arrival time and its service start.
+//
+// The engine executes processors approximately in global virtual-time order
+// (bounded by the scheduling quantum), so acquisitions arrive nearly sorted
+// and the single free-at watermark is a faithful queue model at quanta small
+// relative to transaction interarrival times.
+type Resource struct {
+	// Name identifies the resource in diagnostics ("hub3", "router0", ...).
+	Name string
+
+	freeAt   Time
+	busy     Time
+	acquires int64
+	queued   Time
+}
+
+// Acquire reserves the resource for occupancy starting no earlier than t and
+// returns the service start time (>= t when the resource is backed up).
+// Zero-occupancy acquisitions pass through untimed, so a latency-only model
+// (every occupancy zeroed) sees no queueing at all.
+func (r *Resource) Acquire(t, occupancy Time) Time {
+	if occupancy == 0 {
+		r.acquires++
+		return t
+	}
+	start := t
+	if r.freeAt > start {
+		start = r.freeAt
+		r.queued += start - t
+	}
+	r.freeAt = start + occupancy
+	r.busy += occupancy
+	r.acquires++
+	return start
+}
+
+// Busy returns the total occupancy served so far.
+func (r *Resource) Busy() Time { return r.busy }
+
+// Queued returns the total queueing delay inflicted so far.
+func (r *Resource) Queued() Time { return r.queued }
+
+// Acquires returns the number of transactions served.
+func (r *Resource) Acquires() int64 { return r.acquires }
+
+// Utilization reports busy time as a fraction of total elapsed time.
+func (r *Resource) Utilization(elapsed Time) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(r.busy) / float64(elapsed)
+}
+
+// Reset clears the timeline and statistics.
+func (r *Resource) Reset() {
+	r.freeAt = 0
+	r.busy = 0
+	r.acquires = 0
+	r.queued = 0
+}

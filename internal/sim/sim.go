@@ -1,0 +1,247 @@
+// Package sim provides a deterministic direct-execution discrete-event
+// engine for multiprocessor performance simulation.
+//
+// Each simulated processor runs application code in its own goroutine and
+// owns a virtual clock. Exactly one processor goroutine executes at a time;
+// a scheduler always resumes the runnable processor with the smallest clock
+// and lets it run ahead until its clock exceeds the next processor's clock
+// by a quantum, it blocks on synchronization, or it finishes. Scheduling is
+// deterministic: ties are broken by processor id, so two runs of the same
+// program produce identical virtual times and statistics.
+//
+// Shared hardware resources (memory controllers, network routers, ...) are
+// modeled as Resource timelines: a transaction occupies a resource for some
+// duration and queues behind earlier transactions, which is how the engine
+// models contention.
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Time is a point or duration in virtual time, in picoseconds. Picoseconds
+// keep processor cycles at non-round frequencies (e.g. 195 MHz) integral.
+type Time int64
+
+// Convenient duration units.
+const (
+	Picosecond  Time = 1
+	Nanosecond  Time = 1000
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Milliseconds reports t as a floating-point number of milliseconds.
+func (t Time) Milliseconds() float64 { return float64(t) / float64(Millisecond) }
+
+// Nanoseconds reports t as a floating-point number of nanoseconds.
+func (t Time) Nanoseconds() float64 { return float64(t) / float64(Nanosecond) }
+
+func (t Time) String() string {
+	switch {
+	case t >= Second:
+		return fmt.Sprintf("%.3fs", float64(t)/float64(Second))
+	case t >= Millisecond:
+		return fmt.Sprintf("%.3fms", float64(t)/float64(Millisecond))
+	case t >= Microsecond:
+		return fmt.Sprintf("%.3fus", float64(t)/float64(Microsecond))
+	default:
+		return fmt.Sprintf("%dns", int64(t)/int64(Nanosecond))
+	}
+}
+
+// StatKind selects the execution-time bucket a duration is charged to,
+// matching the paper's three-way breakdown (Section 3).
+type StatKind int
+
+const (
+	// StatBusy is useful computation.
+	StatBusy StatKind = iota
+	// StatMemory is stall time waiting for cache misses.
+	StatMemory
+	// StatSync is time spent at synchronization events (wait + overhead).
+	StatSync
+	numStats
+)
+
+func (k StatKind) String() string {
+	switch k {
+	case StatBusy:
+		return "Busy"
+	case StatMemory:
+		return "Memory"
+	case StatSync:
+		return "Sync"
+	}
+	return fmt.Sprintf("StatKind(%d)", int(k))
+}
+
+// DefaultQuantum is the default run-ahead bound. A processor may execute
+// until its clock exceeds the next-lowest runnable clock by this much before
+// control returns to the scheduler. Smaller quanta order resource
+// acquisitions more precisely; larger quanta run faster.
+const DefaultQuantum = 1 * Microsecond
+
+type yieldKind int
+
+const (
+	yieldQuantum yieldKind = iota
+	yieldBlocked
+	yieldFinished
+	yieldPanic
+)
+
+type yieldEvent struct {
+	p    *Proc
+	kind yieldKind
+	err  any // panic value when kind == yieldPanic
+}
+
+// Engine coordinates a set of simulated processors.
+type Engine struct {
+	procs    []*Proc
+	heap     procHeap
+	quantum  Time
+	yieldCh  chan yieldEvent
+	finished int
+}
+
+// NewEngine creates an engine with n processors and the given scheduling
+// quantum (DefaultQuantum if quantum <= 0).
+func NewEngine(n int, quantum Time) *Engine {
+	if n <= 0 {
+		panic("sim: engine needs at least one processor")
+	}
+	if quantum <= 0 {
+		quantum = DefaultQuantum
+	}
+	e := &Engine{
+		quantum: quantum,
+		yieldCh: make(chan yieldEvent),
+	}
+	e.procs = make([]*Proc, n)
+	for i := range e.procs {
+		e.procs[i] = &Proc{
+			id:        i,
+			e:         e,
+			resume:    make(chan struct{}),
+			heapIndex: -1,
+		}
+	}
+	return e
+}
+
+// NumProcs reports the number of simulated processors.
+func (e *Engine) NumProcs() int { return len(e.procs) }
+
+// Proc returns processor i.
+func (e *Engine) Proc(i int) *Proc { return e.procs[i] }
+
+// Procs returns all processors, ordered by id.
+func (e *Engine) Procs() []*Proc { return e.procs }
+
+// DeadlockError reports that no processor was runnable before all finished.
+type DeadlockError struct {
+	// Blocked lists the ids of processors stuck in Block.
+	Blocked []int
+}
+
+func (d *DeadlockError) Error() string {
+	ids := make([]string, len(d.Blocked))
+	for i, id := range d.Blocked {
+		ids[i] = fmt.Sprint(id)
+	}
+	return "sim: deadlock, blocked processors: " + strings.Join(ids, ",")
+}
+
+// Run executes body once per processor under the virtual-time scheduler and
+// returns when all processors have finished. It returns a *DeadlockError if
+// every unfinished processor is blocked. Panics inside body are re-raised on
+// the caller's goroutine.
+//
+// Run may be called repeatedly; virtual clocks and statistics carry over, so
+// successive phases accumulate. Use Reset to start fresh.
+func (e *Engine) Run(body func(p *Proc)) error {
+	e.finished = 0
+	e.heap = e.heap[:0]
+	for _, p := range e.procs {
+		p.finished = false
+		p.blocked = false
+		e.heap.push(p)
+		go e.runProc(p, body)
+	}
+	for e.finished < len(e.procs) {
+		if len(e.heap) == 0 {
+			d := &DeadlockError{}
+			for _, p := range e.procs {
+				if p.blocked {
+					d.Blocked = append(d.Blocked, p.id)
+				}
+			}
+			sort.Ints(d.Blocked)
+			// Unstick the blocked goroutines so they don't leak: mark
+			// them finished and let their channels be collected.
+			return d
+		}
+		p := e.heap.pop()
+		if len(e.heap) > 0 {
+			p.limit = e.heap[0].now + e.quantum
+		} else {
+			p.limit = 1<<62 - 1
+		}
+		p.resume <- struct{}{}
+		ev := <-e.yieldCh
+		switch ev.kind {
+		case yieldQuantum:
+			e.heap.push(ev.p)
+		case yieldBlocked:
+			// The processor reappears via Wake.
+		case yieldFinished:
+			e.finished++
+		case yieldPanic:
+			panic(ev.err)
+		}
+	}
+	return nil
+}
+
+func (e *Engine) runProc(p *Proc, body func(*Proc)) {
+	defer func() {
+		if r := recover(); r != nil {
+			e.yieldCh <- yieldEvent{p: p, kind: yieldPanic, err: r}
+		}
+	}()
+	<-p.resume
+	body(p)
+	p.finished = true
+	e.yieldCh <- yieldEvent{p: p, kind: yieldFinished}
+}
+
+// MaxTime returns the largest processor clock: the parallel completion time.
+func (e *Engine) MaxTime() Time {
+	var m Time
+	for _, p := range e.procs {
+		if p.now > m {
+			m = p.now
+		}
+	}
+	return m
+}
+
+// Reset zeroes every processor's clock and statistics, preparing the engine
+// for an independent run.
+func (e *Engine) Reset() {
+	for _, p := range e.procs {
+		p.now = 0
+		p.limit = 0
+		p.blocked = false
+		p.finished = false
+		for k := range p.stats {
+			p.stats[k] = 0
+		}
+		p.Counters = Counters{}
+	}
+}

@@ -1,0 +1,218 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAdvanceChargesBuckets(t *testing.T) {
+	e := NewEngine(1, 0)
+	err := e.Run(func(p *Proc) {
+		p.Advance(100*Nanosecond, StatBusy)
+		p.Advance(50*Nanosecond, StatMemory)
+		p.Advance(25*Nanosecond, StatSync)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := e.Proc(0)
+	if got := p.Stat(StatBusy); got != 100*Nanosecond {
+		t.Errorf("busy = %v, want 100ns", got)
+	}
+	if got := p.Stat(StatMemory); got != 50*Nanosecond {
+		t.Errorf("memory = %v, want 50ns", got)
+	}
+	if got := p.Stat(StatSync); got != 25*Nanosecond {
+		t.Errorf("sync = %v, want 25ns", got)
+	}
+	if got := p.Total(); got != 175*Nanosecond {
+		t.Errorf("total = %v, want 175ns", got)
+	}
+	if got := p.Now(); got != 175*Nanosecond {
+		t.Errorf("now = %v, want 175ns", got)
+	}
+}
+
+func TestSchedulerRunsLowestClockFirst(t *testing.T) {
+	// Processor 0 advances in large steps, processor 1 in small ones.
+	// With a tiny quantum the interleaving must follow virtual time.
+	e := NewEngine(2, 10*Nanosecond)
+	var order []int
+	err := e.Run(func(p *Proc) {
+		step := Time(100+900*p.ID()) * Nanosecond // p0: 100ns, p1: 1000ns
+		for i := 0; i < 5; i++ {
+			order = append(order, p.ID())
+			p.Advance(step, StatBusy)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// p0 takes 5 steps of 100ns; p1 takes 5 steps of 1000ns. All of p0's
+	// steps except possibly the first interleave before p1's second step.
+	count0Before := 0
+	for i, id := range order {
+		if id == 1 && i > 2 {
+			break
+		}
+		if id == 0 {
+			count0Before++
+		}
+	}
+	if count0Before < 3 {
+		t.Errorf("expected p0 to run ahead of slow p1, order = %v", order)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() [4]Time {
+		e := NewEngine(4, 0)
+		err := e.Run(func(p *Proc) {
+			for i := 0; i < 100; i++ {
+				p.Advance(Time(1+p.ID()*7+i%13)*Nanosecond, StatBusy)
+				p.Advance(Time(300)*Nanosecond, StatMemory)
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out [4]Time
+		for i := range out {
+			out[i] = e.Proc(i).Now()
+		}
+		return out
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Errorf("non-deterministic clocks: %v vs %v", a, b)
+	}
+}
+
+func TestBlockWake(t *testing.T) {
+	e := NewEngine(2, 0)
+	err := e.Run(func(p *Proc) {
+		if p.ID() == 0 {
+			p.Block() // woken by p1 at 500ns
+			if p.Now() < 500*Nanosecond {
+				t.Errorf("p0 woke at %v, want >= 500ns", p.Now())
+			}
+		} else {
+			p.Advance(500*Nanosecond, StatBusy)
+			q := p.Engine().Proc(0)
+			for !q.Blocked() {
+				p.Advance(10*Nanosecond, StatBusy)
+			}
+			p.Wake(q, p.Now())
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	e := NewEngine(2, 0)
+	err := e.Run(func(p *Proc) {
+		p.Block() // nobody ever wakes anyone
+	})
+	d, ok := err.(*DeadlockError)
+	if !ok {
+		t.Fatalf("err = %v, want *DeadlockError", err)
+	}
+	if len(d.Blocked) != 2 {
+		t.Errorf("blocked = %v, want both processors", d.Blocked)
+	}
+}
+
+func TestPanicPropagates(t *testing.T) {
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("expected panic to propagate from processor body")
+		}
+	}()
+	e := NewEngine(2, 0)
+	_ = e.Run(func(p *Proc) {
+		if p.ID() == 1 {
+			panic("boom")
+		}
+		p.Advance(Nanosecond, StatBusy)
+	})
+}
+
+func TestResourceQueueing(t *testing.T) {
+	var r Resource
+	// Two back-to-back transactions at t=0: second queues behind first.
+	s1 := r.Acquire(0, 100)
+	s2 := r.Acquire(0, 100)
+	if s1 != 0 || s2 != 100 {
+		t.Errorf("starts = %d,%d; want 0,100", s1, s2)
+	}
+	// A transaction arriving after the backlog drains starts immediately.
+	s3 := r.Acquire(500, 100)
+	if s3 != 500 {
+		t.Errorf("start = %d, want 500", s3)
+	}
+	if r.Busy() != 300 {
+		t.Errorf("busy = %d, want 300", r.Busy())
+	}
+	if r.Queued() != 100 {
+		t.Errorf("queued = %d, want 100", r.Queued())
+	}
+}
+
+func TestResourceMonotonicProperty(t *testing.T) {
+	// Property: service starts never precede arrivals, and never precede
+	// the previous transaction's completion.
+	f := func(arrivals []uint32, occ []uint16) bool {
+		var r Resource
+		var prevEnd Time
+		for i, a := range arrivals {
+			if len(occ) == 0 {
+				return true
+			}
+			o := Time(occ[i%len(occ)]) + 1
+			t := Time(a)
+			start := r.Acquire(t, o)
+			if start < t || start < prevEnd {
+				return false
+			}
+			prevEnd = start + o
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEngineReset(t *testing.T) {
+	e := NewEngine(2, 0)
+	if err := e.Run(func(p *Proc) { p.Advance(Microsecond, StatBusy) }); err != nil {
+		t.Fatal(err)
+	}
+	e.Reset()
+	for _, p := range e.Procs() {
+		if p.Now() != 0 || p.Total() != 0 {
+			t.Errorf("proc %d not reset: now=%v total=%v", p.ID(), p.Now(), p.Total())
+		}
+	}
+	// Engine is reusable after Reset.
+	if err := e.Run(func(p *Proc) { p.Advance(Nanosecond, StatBusy) }); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.MaxTime(); got != Nanosecond {
+		t.Errorf("MaxTime = %v, want 1ns", got)
+	}
+}
+
+func TestRunAccumulatesAcrossPhases(t *testing.T) {
+	e := NewEngine(2, 0)
+	for phase := 0; phase < 3; phase++ {
+		if err := e.Run(func(p *Proc) { p.Advance(100*Nanosecond, StatBusy) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := e.Proc(0).Now(); got != 300*Nanosecond {
+		t.Errorf("clock after 3 phases = %v, want 300ns", got)
+	}
+}

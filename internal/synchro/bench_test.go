@@ -1,0 +1,38 @@
+package synchro
+
+import (
+	"testing"
+
+	"origin2000/internal/core"
+)
+
+// BenchmarkBarrier32 measures a full 32-processor tournament barrier
+// episode, including all simulated traffic.
+func BenchmarkBarrier32(b *testing.B) {
+	m := newMachine(32)
+	bar := NewBarrier(m, 32, BarrierTournament)
+	err := m.Run(func(p *core.Proc) {
+		for i := 0; i < b.N; i++ {
+			bar.Wait(p)
+		}
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkLockHandoff measures contended lock transfer between two
+// processors.
+func BenchmarkLockHandoff(b *testing.B) {
+	m := newMachine(2)
+	l := NewLock(m, LockTicketLLSC)
+	err := m.Run(func(p *core.Proc) {
+		for i := 0; i < b.N; i++ {
+			l.Acquire(p)
+			l.Release(p)
+		}
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}

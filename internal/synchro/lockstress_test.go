@@ -1,0 +1,72 @@
+package synchro
+
+import (
+	"testing"
+
+	"origin2000/internal/core"
+	"origin2000/internal/sim"
+)
+
+func TestLockStress(t *testing.T) {
+	m := newMachine(8)
+	locks := make([]*Lock, 4)
+	for i := range locks {
+		locks[i] = NewLock(m, LockTicketLLSC)
+	}
+	total := 0
+	err := m.Run(func(p *core.Proc) {
+		for it := 0; it < 200; it++ {
+			l := locks[(it*7+p.ID())%4]
+			l.Acquire(p)
+			total++
+			p.Compute(sim.Time(1+(it+p.ID())%5) * 300 * sim.Nanosecond)
+			l.Release(p)
+			p.Compute(sim.Time(1+it%3) * 100 * sim.Nanosecond)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 8*200 {
+		t.Fatalf("total = %d", total)
+	}
+}
+
+// TestLockStressWithProbing mimics infer's pattern: some processors probe
+// shared lines and advance in small sync steps while others cycle locks.
+func TestLockStressWithProbing(t *testing.T) {
+	m := newMachine(8)
+	locks := make([]*Lock, 4)
+	for i := range locks {
+		locks[i] = NewLock(m, LockTicketLLSC)
+	}
+	ctl := m.Alloc("ctl", 16, core.BlockBytes)
+	work := 0
+	const want = 4 * 300
+	err := m.Run(func(p *core.Proc) {
+		if p.ID() >= 4 {
+			// Prober: scan control lines until the workers finish.
+			for work < want {
+				for i := 0; i < 16; i++ {
+					p.Read(ctl.Addr(i))
+				}
+				p.SyncAdvanceTo(p.Now() + 2*sim.Microsecond)
+			}
+			return
+		}
+		for it := 0; it < 300; it++ {
+			l := locks[(it+p.ID())%4]
+			l.Acquire(p)
+			work++
+			p.Write(ctl.Addr((it + p.ID()) % 16))
+			p.Compute(sim.Time(1+(it+p.ID())%5) * 300 * sim.Nanosecond)
+			l.Release(p)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if work != want {
+		t.Fatalf("work = %d, want %d", work, want)
+	}
+}

@@ -1,0 +1,111 @@
+package synchro
+
+import (
+	"origin2000/internal/core"
+)
+
+// TaskPool is a distributed task queue with stealing, the dynamic
+// load-balancing structure of Raytrace, Volrend and the original
+// Shear-Warp: each processor owns a queue; when it runs dry it probes and
+// steals a chunk from another processor's queue, paying lock and
+// queue-line traffic for both.
+type TaskPool struct {
+	m      *core.Machine
+	locks  []*Lock
+	queues [][]int
+	state  *core.Array // one cache line of queue metadata per processor
+	// StealChunkDiv controls how much a thief takes: victim_len /
+	// StealChunkDiv tasks, at least one. 2 (steal half) is the default.
+	StealChunkDiv int
+}
+
+// NewTaskPool creates a pool with one queue per processor, using lock
+// algorithm alg for the per-queue locks.
+func NewTaskPool(m *core.Machine, alg LockAlgorithm) *TaskPool {
+	n := m.NumProcs()
+	tp := &TaskPool{
+		m:             m,
+		locks:         make([]*Lock, n),
+		queues:        make([][]int, n),
+		state:         m.Alloc("taskpool.state", n, core.BlockBytes),
+		StealChunkDiv: 2,
+	}
+	for i := range tp.locks {
+		tp.locks[i] = NewLock(m, alg)
+	}
+	return tp
+}
+
+// Seed appends tasks to processor q's queue (done before the parallel
+// phase; seeding is not simulated traffic).
+func (tp *TaskPool) Seed(q int, tasks ...int) {
+	tp.queues[q] = append(tp.queues[q], tasks...)
+}
+
+// Pending reports the total number of queued tasks (diagnostics).
+func (tp *TaskPool) Pending() int {
+	n := 0
+	for _, q := range tp.queues {
+		n += len(q)
+	}
+	return n
+}
+
+// Get returns the next task for p: from its own queue, or stolen from
+// another processor's. ok is false when every queue is empty.
+func (tp *TaskPool) Get(p *core.Proc) (task int, ok bool) {
+	me := p.ID()
+	n := len(tp.queues)
+	// Fast path: own queue.
+	if len(tp.queues[me]) > 0 {
+		tp.locks[me].Acquire(p)
+		if len(tp.queues[me]) > 0 {
+			p.SyncWrite(tp.state.Addr(me))
+			task = tp.queues[me][0]
+			tp.queues[me] = tp.queues[me][1:]
+			tp.locks[me].Release(p)
+			p.Stats().ExecutedTasks++
+			return task, true
+		}
+		tp.locks[me].Release(p)
+	}
+	// Steal: probe victims round-robin from me+1.
+	for off := 1; off < n; off++ {
+		v := (me + off) % n
+		p.SyncRead(tp.state.Addr(v)) // probe the victim's queue state
+		if len(tp.queues[v]) == 0 {
+			continue
+		}
+		tp.locks[v].Acquire(p)
+		if len(tp.queues[v]) == 0 {
+			tp.locks[v].Release(p)
+			continue
+		}
+		div := tp.StealChunkDiv
+		if div < 1 {
+			div = 2
+		}
+		k := len(tp.queues[v]) / div
+		if k < 1 {
+			k = 1
+		}
+		// Thieves take from the tail, owners from the head.
+		q := tp.queues[v]
+		stolen := make([]int, k)
+		copy(stolen, q[len(q)-k:])
+		tp.queues[v] = q[:len(q)-k]
+		p.SyncWrite(tp.state.Addr(v))
+		tp.locks[v].Release(p)
+
+		p.Stats().StolenTasks += int64(k)
+		p.Stats().ExecutedTasks++
+		if k > 1 {
+			tp.locks[me].Acquire(p)
+			tp.queues[me] = append(tp.queues[me], stolen[1:]...)
+			p.SyncWrite(tp.state.Addr(me))
+			tp.locks[me].Release(p)
+		}
+		return stolen[0], true
+	}
+	return 0, false
+}

@@ -1,0 +1,324 @@
+// Package synchro provides the synchronization primitives the paper's
+// applications use — barriers and locks in the algorithmic variants of
+// Section 6.3 (LL-SC ticket locks and tournament barriers, the at-memory
+// fetch&op versions, and simple centralized ones) — plus a task-stealing
+// work pool used by the dynamically load-balanced applications.
+//
+// The primitives issue real simulated traffic: a centralized barrier's
+// counter line bounces between arrivals, release flags are invalidated and
+// re-read by all waiters, and fetch&op variants use the machine's uncached
+// at-memory operation. Waiting time and operation overhead are charged to
+// the Sync bucket and separated in the SyncWait/SyncOverhead counters, so
+// the paper's observation that wait dominates overhead is measurable.
+package synchro
+
+import (
+	"sort"
+
+	"origin2000/internal/core"
+	"origin2000/internal/sim"
+)
+
+// BarrierAlgorithm selects a barrier implementation.
+type BarrierAlgorithm int
+
+const (
+	// BarrierTournament models a tournament barrier built from LL-SC:
+	// uncontended per-processor flags and a logarithmic release wave.
+	// This is what the paper's main results use.
+	BarrierTournament BarrierAlgorithm = iota
+	// BarrierCentralized models a flat counter barrier built from LL-SC:
+	// every arrival performs a read-modify-write on one shared line,
+	// which bounces between caches.
+	BarrierCentralized
+	// BarrierFetchOp is the centralized barrier using the Origin's
+	// at-memory fetch&op, avoiding line bouncing.
+	BarrierFetchOp
+)
+
+func (a BarrierAlgorithm) String() string {
+	switch a {
+	case BarrierTournament:
+		return "tournament(LL-SC)"
+	case BarrierCentralized:
+		return "centralized(LL-SC)"
+	case BarrierFetchOp:
+		return "centralized(fetch&op)"
+	}
+	return "unknown"
+}
+
+// Barrier synchronizes all n processors. It is reusable (applications call
+// Wait in every iteration).
+type Barrier struct {
+	m   *core.Machine
+	n   int
+	alg BarrierAlgorithm
+
+	counter *core.Array // one line: arrival counter
+	release *core.Array // one line: release flag
+	flags   *core.Array // per-processor lines (tournament)
+
+	waiters  []*core.Proc
+	arrivals []sim.Time
+	maxArr   sim.Time
+	rounds   int
+}
+
+// NewBarrier creates a barrier for n processors on m.
+func NewBarrier(m *core.Machine, n int, alg BarrierAlgorithm) *Barrier {
+	if n <= 0 {
+		n = m.NumProcs()
+	}
+	b := &Barrier{
+		m:       m,
+		n:       n,
+		alg:     alg,
+		counter: m.Alloc("barrier.counter", 1, core.BlockBytes),
+		release: m.Alloc("barrier.release", 1, core.BlockBytes),
+		flags:   m.Alloc("barrier.flags", n, core.BlockBytes),
+	}
+	for b.rounds = 0; 1<<b.rounds < n; b.rounds++ {
+	}
+	return b
+}
+
+// N returns the number of participants.
+func (b *Barrier) N() int { return b.n }
+
+// Wait blocks until all n processors have arrived. The waiting span is
+// charged to the Sync bucket; arrival and release traffic is simulated.
+func (b *Barrier) Wait(p *core.Proc) {
+	c := p.Stats()
+	c.BarrierWaits++
+	before := p.Now()
+	// Arrival protocol.
+	switch b.alg {
+	case BarrierCentralized:
+		// Read-modify-write on the shared counter line: the line
+		// bounces to each arriving processor in turn.
+		p.SyncWrite(b.counter.Addr(0))
+	case BarrierFetchOp:
+		p.FetchOp(b.counter.Addr(0))
+	default: // tournament: set own flag, no shared line
+		p.SyncWrite(b.flags.Addr(p.ID() % b.n))
+	}
+	c.SyncOverhead += p.Now() - before
+
+	arrival := p.Now()
+	if arrival > b.maxArr {
+		b.maxArr = arrival
+	}
+	if len(b.waiters) < b.n-1 {
+		b.waiters = append(b.waiters, p)
+		b.arrivals = append(b.arrivals, arrival)
+		p.Block()
+		// Woken at the release time; the span was imbalance wait.
+		span := p.Now() - arrival
+		p.ChargeSync(span)
+		c.SyncWait += span
+		b.exitProtocol(p)
+		return
+	}
+	// Last arriver releases everyone.
+	releaseAt := b.maxArr
+	if b.alg == BarrierTournament {
+		// Logarithmic wake-up wave.
+		releaseAt += sim.Time(b.rounds) * wakeStep
+	}
+	// Deterministic wake order regardless of arrival interleaving.
+	order := make([]int, len(b.waiters))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool {
+		ii, jj := order[i], order[j]
+		if b.arrivals[ii] != b.arrivals[jj] {
+			return b.arrivals[ii] < b.arrivals[jj]
+		}
+		return b.waiters[ii].ID() < b.waiters[jj].ID()
+	})
+	waiters := b.waiters
+	b.waiters = b.waiters[:0]
+	b.arrivals = b.arrivals[:0]
+	b.maxArr = 0
+	beforeRel := p.Now()
+	if b.alg != BarrierTournament {
+		// Releaser writes the release flag; waiters re-read it.
+		p.SyncWrite(b.release.Addr(0))
+		if p.Now() > releaseAt {
+			releaseAt = p.Now()
+		}
+	}
+	c.SyncOverhead += p.Now() - beforeRel
+	for _, i := range order {
+		p.WakeAt(waiters[i], releaseAt)
+	}
+	if releaseAt > p.Now() {
+		c.SyncWait += releaseAt - p.Now()
+		p.SyncAdvanceTo(releaseAt)
+	}
+	b.exitProtocol(p)
+}
+
+// wakeStep is the per-level latency of a tournament barrier's release wave.
+const wakeStep = 300 * sim.Nanosecond
+
+// exitProtocol models the cost of observing the release.
+func (b *Barrier) exitProtocol(p *core.Proc) {
+	c := p.Stats()
+	before := p.Now()
+	switch b.alg {
+	case BarrierTournament:
+		// Each processor re-reads its parent's flag: distinct lines,
+		// no contention.
+		p.SyncRead(b.flags.Addr(p.ID() % b.n))
+	default:
+		// All waiters re-read the shared release flag, which the
+		// releaser just invalidated: contended fan-out.
+		p.SyncRead(b.release.Addr(0))
+	}
+	c.SyncOverhead += p.Now() - before
+}
+
+// LockAlgorithm selects a lock implementation.
+type LockAlgorithm int
+
+const (
+	// LockTicketLLSC is a ticket lock built from LL-SC: the ticket line
+	// bounces between acquirers. The paper's main results use it.
+	LockTicketLLSC LockAlgorithm = iota
+	// LockTicketFetchOp grabs tickets with the at-memory fetch&op.
+	LockTicketFetchOp
+	// LockArray is an array-based queue lock: each waiter spins on its
+	// own line.
+	LockArray
+)
+
+func (a LockAlgorithm) String() string {
+	switch a {
+	case LockTicketLLSC:
+		return "ticket(LL-SC)"
+	case LockTicketFetchOp:
+		return "ticket(fetch&op)"
+	case LockArray:
+		return "array"
+	}
+	return "unknown"
+}
+
+type lockWaiter struct {
+	p   *core.Proc
+	req sim.Time
+}
+
+// Lock is a mutual-exclusion lock with FIFO (ticket) granting.
+type Lock struct {
+	m      *core.Machine
+	alg    LockAlgorithm
+	ticket *core.Array // ticket-dispenser line
+	serve  *core.Array // now-serving line (shared spin target)
+	slots  *core.Array // per-processor spin lines (array lock)
+
+	held   bool
+	holder int
+	queue  []lockWaiter
+}
+
+// NewLock creates a lock on m.
+func NewLock(m *core.Machine, alg LockAlgorithm) *Lock {
+	return &Lock{
+		m:      m,
+		alg:    alg,
+		ticket: m.Alloc("lock.ticket", 1, core.BlockBytes),
+		serve:  m.Alloc("lock.serve", 1, core.BlockBytes),
+		slots:  m.Alloc("lock.slots", m.NumProcs(), core.BlockBytes),
+		holder: -1,
+	}
+}
+
+// Acquire obtains the lock, blocking in virtual time while it is held.
+func (l *Lock) Acquire(p *core.Proc) {
+	c := p.Stats()
+	c.LockAcquires++
+	before := p.Now()
+	switch l.alg {
+	case LockTicketFetchOp:
+		p.FetchOp(l.ticket.Addr(0))
+	default: // LL-SC ticket grab or array-slot grab: RMW on shared line
+		p.SyncWrite(l.ticket.Addr(0))
+	}
+	c.SyncOverhead += p.Now() - before
+
+	if !l.held {
+		l.held = true
+		l.holder = p.ID()
+		return
+	}
+	req := p.Now()
+	l.queue = append(l.queue, lockWaiter{p: p, req: req})
+	p.Block()
+	span := p.Now() - req
+	p.ChargeSync(span)
+	c.SyncWait += span
+	// Observe the handoff: re-read the spin target.
+	before = p.Now()
+	switch l.alg {
+	case LockArray:
+		p.SyncRead(l.slots.Addr(p.ID()))
+	default:
+		p.SyncRead(l.serve.Addr(0))
+	}
+	c.SyncOverhead += p.Now() - before
+	l.holder = p.ID()
+}
+
+// Release hands the lock to the earliest waiter (by request time), if any.
+func (l *Lock) Release(p *core.Proc) {
+	if !l.held || l.holder != p.ID() {
+		panic("synchro: Release by non-holder")
+	}
+	c := p.Stats()
+	before := p.Now()
+	switch l.alg {
+	case LockArray:
+		if len(l.queue) > 0 {
+			// Write the successor's slot only: no invalidation storm.
+			next := l.earliest()
+			p.SyncWrite(l.slots.Addr(l.queue[next].p.ID()))
+		}
+	default:
+		// Bump now-serving: invalidates every spinner's copy.
+		p.SyncWrite(l.serve.Addr(0))
+	}
+	c.SyncOverhead += p.Now() - before
+
+	if len(l.queue) == 0 {
+		l.held = false
+		l.holder = -1
+		return
+	}
+	next := l.earliest()
+	w := l.queue[next]
+	l.queue = append(l.queue[:next], l.queue[next+1:]...)
+	grant := p.Now()
+	if w.req > grant {
+		grant = w.req
+	}
+	l.holder = w.p.ID() // effective once it runs
+	p.WakeAt(w.p, grant)
+}
+
+func (l *Lock) earliest() int {
+	best := 0
+	for i := 1; i < len(l.queue); i++ {
+		if l.queue[i].req < l.queue[best].req ||
+			(l.queue[i].req == l.queue[best].req && l.queue[i].p.ID() < l.queue[best].p.ID()) {
+			best = i
+		}
+	}
+	return best
+}
+
+// Held reports whether the lock is currently held (diagnostics).
+func (l *Lock) Held() bool { return l.held }

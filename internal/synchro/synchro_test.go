@@ -1,0 +1,299 @@
+package synchro
+
+import (
+	"testing"
+	"testing/quick"
+
+	"origin2000/internal/core"
+	"origin2000/internal/sim"
+)
+
+func newMachine(procs int) *core.Machine { return core.New(core.Origin2000(procs)) }
+
+func TestBarrierReleasesAtMaxArrival(t *testing.T) {
+	for _, alg := range []BarrierAlgorithm{BarrierTournament, BarrierCentralized, BarrierFetchOp} {
+		m := newMachine(8)
+		b := NewBarrier(m, 8, alg)
+		var releases [8]sim.Time
+		err := m.Run(func(p *core.Proc) {
+			// Staggered arrivals: proc i arrives near i*10us.
+			p.Compute(sim.Time(p.ID()) * 10 * sim.Microsecond)
+			b.Wait(p)
+			releases[p.ID()] = p.Now()
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		// Nobody is released before the last arrival (70us).
+		last := sim.Time(7) * 10 * sim.Microsecond
+		for i, r := range releases {
+			if r < last {
+				t.Errorf("%v: proc %d released at %v, before last arrival %v", alg, i, r, last)
+			}
+		}
+		// Early arrivers accumulate sync wait; the latest almost none.
+		w0 := m.Proc(0).Stats().SyncWait
+		w7 := m.Proc(7).Stats().SyncWait
+		if w0 <= w7 {
+			t.Errorf("%v: wait(proc0)=%v should exceed wait(proc7)=%v", alg, w0, w7)
+		}
+	}
+}
+
+func TestBarrierReusable(t *testing.T) {
+	m := newMachine(4)
+	b := NewBarrier(m, 4, BarrierTournament)
+	counter := 0
+	err := m.Run(func(p *core.Proc) {
+		for it := 0; it < 5; it++ {
+			if p.ID() == 0 {
+				counter++
+			}
+			b.Wait(p)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counter != 5 {
+		t.Errorf("counter = %d, want 5", counter)
+	}
+	if got := m.Proc(2).Stats().BarrierWaits; got != 5 {
+		t.Errorf("barrier waits = %d, want 5", got)
+	}
+}
+
+func TestCentralizedBarrierCostGrowsWithProcs(t *testing.T) {
+	// The centralized counter line bounces: overhead grows with
+	// processor count much faster than the tournament's.
+	overhead := func(procs int, alg BarrierAlgorithm) sim.Time {
+		m := newMachine(procs)
+		b := NewBarrier(m, procs, alg)
+		err := m.Run(func(p *core.Proc) { b.Wait(p) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum sim.Time
+		for i := 0; i < procs; i++ {
+			sum += m.Proc(i).Stats().SyncOverhead
+		}
+		return sum / sim.Time(procs)
+	}
+	c32 := overhead(32, BarrierCentralized)
+	t32 := overhead(32, BarrierTournament)
+	if c32 <= t32 {
+		t.Errorf("centralized overhead (%v) should exceed tournament (%v) at 32p", c32, t32)
+	}
+}
+
+func TestLockMutualExclusion(t *testing.T) {
+	for _, alg := range []LockAlgorithm{LockTicketLLSC, LockTicketFetchOp, LockArray} {
+		m := newMachine(8)
+		l := NewLock(m, alg)
+		inside, maxInside, total := 0, 0, 0
+		err := m.Run(func(p *core.Proc) {
+			for it := 0; it < 10; it++ {
+				l.Acquire(p)
+				inside++
+				if inside > maxInside {
+					maxInside = inside
+				}
+				total++
+				p.Compute(500 * sim.Nanosecond)
+				inside--
+				l.Release(p)
+				p.Compute(sim.Time(1+p.ID()) * 200 * sim.Nanosecond)
+			}
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		if maxInside != 1 {
+			t.Errorf("%v: %d processors inside the critical section", alg, maxInside)
+		}
+		if total != 80 {
+			t.Errorf("%v: %d critical sections, want 80", alg, total)
+		}
+	}
+}
+
+func TestLockGrantsFIFOByRequestTime(t *testing.T) {
+	m := newMachine(4)
+	l := NewLock(m, LockTicketLLSC)
+	var order []int
+	err := m.Run(func(p *core.Proc) {
+		// Proc 0 grabs the lock and holds it long; others request at
+		// staggered times and must be granted in that order.
+		if p.ID() == 0 {
+			l.Acquire(p)
+			p.Compute(100 * sim.Microsecond)
+			l.Release(p)
+			return
+		}
+		p.Compute(sim.Time(5-p.ID()) * 5 * sim.Microsecond) // 3,2,1 order
+		l.Acquire(p)
+		order = append(order, p.ID())
+		l.Release(p)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{3, 2, 1}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("grant order = %v, want %v", order, want)
+			break
+		}
+	}
+}
+
+func TestLockWaitDominatesUnderContention(t *testing.T) {
+	// With a long critical section, waiting time dwarfs operation
+	// overhead — the paper's Section 6.3 conclusion.
+	m := newMachine(16)
+	l := NewLock(m, LockTicketLLSC)
+	err := m.Run(func(p *core.Proc) {
+		l.Acquire(p)
+		p.Compute(20 * sim.Microsecond)
+		l.Release(p)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wait, overhead sim.Time
+	for i := 0; i < 16; i++ {
+		wait += m.Proc(i).Stats().SyncWait
+		overhead += m.Proc(i).Stats().SyncOverhead
+	}
+	if wait < 10*overhead {
+		t.Errorf("wait (%v) should dominate overhead (%v)", wait, overhead)
+	}
+}
+
+func TestTaskPoolExecutesAllTasksOnce(t *testing.T) {
+	m := newMachine(8)
+	tp := NewTaskPool(m, LockTicketLLSC)
+	const tasks = 200
+	for i := 0; i < tasks; i++ {
+		tp.Seed(i%8, i)
+	}
+	seen := make([]int, tasks)
+	err := m.Run(func(p *core.Proc) {
+		for {
+			task, ok := tp.Get(p)
+			if !ok {
+				return
+			}
+			seen[task]++
+			p.Compute(sim.Time(1+task%7) * sim.Microsecond)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range seen {
+		if n != 1 {
+			t.Fatalf("task %d executed %d times", i, n)
+		}
+	}
+}
+
+func TestTaskPoolStealingBalancesLoad(t *testing.T) {
+	// All tasks seeded on one queue: the others must steal.
+	m := newMachine(8)
+	tp := NewTaskPool(m, LockTicketLLSC)
+	const tasks = 160
+	for i := 0; i < tasks; i++ {
+		tp.Seed(0, i)
+	}
+	executed := make([]int64, 8)
+	err := m.Run(func(p *core.Proc) {
+		for {
+			_, ok := tp.Get(p)
+			if !ok {
+				return
+			}
+			executed[p.ID()]++
+			p.Compute(5 * sim.Microsecond)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stolen int64
+	busyProcs := 0
+	for i := 0; i < 8; i++ {
+		stolen += m.Proc(i).Stats().StolenTasks
+		if executed[i] > 0 {
+			busyProcs++
+		}
+	}
+	if stolen == 0 {
+		t.Error("no tasks were stolen")
+	}
+	if busyProcs < 6 {
+		t.Errorf("only %d processors executed tasks; stealing failed to spread load", busyProcs)
+	}
+}
+
+func TestFetchOpLockCheaperEntryUnderNoContention(t *testing.T) {
+	// Sanity: both lock types work single-threaded and overheads are
+	// small and positive.
+	for _, alg := range []LockAlgorithm{LockTicketLLSC, LockTicketFetchOp} {
+		m := newMachine(2)
+		l := NewLock(m, alg)
+		err := m.RunOne(func(p *core.Proc) {
+			for i := 0; i < 10; i++ {
+				l.Acquire(p)
+				l.Release(p)
+			}
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		if oh := m.Proc(0).Stats().SyncOverhead; oh <= 0 {
+			t.Errorf("%v: overhead = %v, want > 0", alg, oh)
+		}
+	}
+}
+
+// TestTaskPoolEveryTaskOnceProperty: whatever the seeding pattern, every
+// seeded task is returned exactly once across all processors.
+func TestTaskPoolEveryTaskOnceProperty(t *testing.T) {
+	f := func(seeds []uint8) bool {
+		if len(seeds) == 0 {
+			return true
+		}
+		if len(seeds) > 60 {
+			seeds = seeds[:60]
+		}
+		m := newMachine(4)
+		tp := NewTaskPool(m, LockTicketLLSC)
+		for task, q := range seeds {
+			tp.Seed(int(q)%4, task)
+		}
+		got := make([]int, len(seeds))
+		err := m.Run(func(p *core.Proc) {
+			for {
+				task, ok := tp.Get(p)
+				if !ok {
+					return
+				}
+				got[task]++
+				p.Compute(sim.Time(1+task%3) * sim.Microsecond)
+			}
+		})
+		if err != nil {
+			return false
+		}
+		for _, n := range got {
+			if n != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

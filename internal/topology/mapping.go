@@ -1,0 +1,121 @@
+package topology
+
+import "math/rand"
+
+// A Mapping assigns logical process i to physical processor Mapping[i].
+// The paper's Section 7.1 compares several strategies; all of them are
+// permutations of [0, n).
+type Mapping []int
+
+// Valid reports whether m is a permutation of [0, len(m)).
+func (m Mapping) Valid() bool {
+	seen := make([]bool, len(m))
+	for _, v := range m {
+		if v < 0 || v >= len(m) || seen[v] {
+			return false
+		}
+		seen[v] = true
+	}
+	return true
+}
+
+// Linear maps process i to processor i (the paper's "linear mapping").
+func Linear(n int) Mapping {
+	m := make(Mapping, n)
+	for i := range m {
+		m[i] = i
+	}
+	return m
+}
+
+// Random maps processes to processors uniformly at random, deterministically
+// from seed (the paper's "random mapping").
+func Random(n int, seed int64) Mapping {
+	m := Linear(n)
+	r := rand.New(rand.NewSource(seed))
+	r.Shuffle(n, func(i, j int) { m[i], m[j] = m[j], m[i] })
+	return m
+}
+
+// PairedRandom keeps neighbouring process pairs (2i, 2i+1) together on a
+// node but places the pairs on randomly chosen nodes. The paper uses this
+// to separate the effect of node co-residence from topology placement.
+func PairedRandom(n int, seed int64) Mapping {
+	if n%2 != 0 {
+		return Random(n, seed)
+	}
+	pairs := n / 2
+	order := make([]int, pairs)
+	for i := range order {
+		order[i] = i
+	}
+	r := rand.New(rand.NewSource(seed))
+	r.Shuffle(pairs, func(i, j int) { order[i], order[j] = order[j], order[i] })
+	m := make(Mapping, n)
+	for logical, physical := range order {
+		m[2*logical] = 2 * physical
+		m[2*logical+1] = 2*physical + 1
+	}
+	return m
+}
+
+// GrayPairs assigns neighbouring process pairs to nodes whose routers follow
+// the Gray-code order of the hypercube, so partition neighbours are one hop
+// apart — the "appropriate near-neighbour mapping" for grid codes like
+// Ocean in Section 7.1. procsPerNode is typically 2 and nodesPerRouter 2.
+func GrayPairs(n, procsPerNode, nodesPerRouter int) Mapping {
+	if procsPerNode < 1 {
+		procsPerNode = 1
+	}
+	if nodesPerRouter < 1 {
+		nodesPerRouter = 1
+	}
+	nodes := (n + procsPerNode - 1) / procsPerNode
+	routers := (nodes + nodesPerRouter - 1) / nodesPerRouter
+	// Order routers by Gray code (restricted to existing routers), then
+	// enumerate the nodes under each router in order.
+	routerOrder := make([]int, 0, routers)
+	for i := 0; len(routerOrder) < routers; i++ {
+		g := GrayCode(i)
+		if g < routers {
+			routerOrder = append(routerOrder, g)
+		}
+		if i > 4*routers+16 {
+			// All Gray codes below 2^ceil(log2(routers)) are visited
+			// within that range; this is a safety bound.
+			break
+		}
+	}
+	m := make(Mapping, 0, n)
+	for _, r := range routerOrder {
+		for nd := 0; nd < nodesPerRouter; nd++ {
+			node := r*nodesPerRouter + nd
+			for p := 0; p < procsPerNode; p++ {
+				proc := node*procsPerNode + p
+				if proc < n {
+					m = append(m, proc)
+				}
+			}
+		}
+	}
+	// Processes map in order onto the Gray-ordered processor list.
+	out := make(Mapping, n)
+	copy(out, m)
+	return out
+}
+
+// SplitPairs maps processes so that the two processors of each node hold
+// processes n/2 apart (process i and i+n/2 share a node). Used in Section
+// 7.1's FFT experiments to keep transpose partners off-node.
+func SplitPairs(n int) Mapping {
+	m := make(Mapping, n)
+	half := n / 2
+	for i := 0; i < half; i++ {
+		m[i] = 2 * i
+		m[i+half] = 2*i + 1
+	}
+	if n%2 == 1 {
+		m[n-1] = n - 1
+	}
+	return m
+}

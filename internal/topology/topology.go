@@ -1,0 +1,137 @@
+// Package topology models the SGI Origin2000 interconnect of the paper's
+// Figure 1: two processors share a node (Hub), two nodes share a router,
+// routers form a hypercube, and machines beyond 16 routers (64 processors)
+// are built from 8-router hypercube modules whose corresponding routers are
+// joined through shared metarouters.
+package topology
+
+import "math/bits"
+
+// ModuleRouters is the number of routers in one hypercube module of a
+// metarouter-based machine (a 32-processor module: 16 nodes, 8 routers).
+const ModuleRouters = 8
+
+// Fabric describes a router interconnect and answers routing queries.
+type Fabric struct {
+	numRouters int
+	modules    int // 1 for a plain hypercube machine
+	dims       int // hypercube dimensions within a module
+}
+
+// NewFabric builds the interconnect for the given number of routers.
+// Up to 16 routers it is a single (full) hypercube, as on the paper's
+// 32- and 64-processor machines. Beyond that it is ceil(n/8) 8-router
+// modules connected by 8 metarouters, as on the 96/128-processor machine.
+func NewFabric(numRouters int) *Fabric {
+	return NewFabricModules(numRouters, false)
+}
+
+// NewFabricModules optionally forces the metarouter organization even at
+// router counts a full hypercube could serve — the paper's Section 7.1
+// compares 64-processor machines with and without metarouters.
+func NewFabricModules(numRouters int, forceMeta bool) *Fabric {
+	if numRouters < 1 {
+		numRouters = 1
+	}
+	f := &Fabric{numRouters: numRouters}
+	if numRouters <= 16 && !(forceMeta && numRouters > ModuleRouters) {
+		f.modules = 1
+		f.dims = ceilLog2(numRouters)
+	} else {
+		f.modules = (numRouters + ModuleRouters - 1) / ModuleRouters
+		f.dims = 3
+	}
+	return f
+}
+
+func ceilLog2(n int) int {
+	d := 0
+	for 1<<d < n {
+		d++
+	}
+	return d
+}
+
+// NumRouters reports the number of routers in the fabric.
+func (f *Fabric) NumRouters() int { return f.numRouters }
+
+// NumModules reports the number of hypercube modules (1 when no
+// metarouters are present).
+func (f *Fabric) NumModules() int { return f.modules }
+
+// HasMetarouters reports whether inter-module traffic crosses metarouters.
+func (f *Fabric) HasMetarouters() bool { return f.modules > 1 }
+
+// NumMetarouters reports the number of shared metarouters (0 or 8).
+func (f *Fabric) NumMetarouters() int {
+	if f.modules > 1 {
+		return ModuleRouters
+	}
+	return 0
+}
+
+func (f *Fabric) split(r int) (module, index int) {
+	if f.modules == 1 {
+		return 0, r
+	}
+	return r / ModuleRouters, r % ModuleRouters
+}
+
+// Route describes the path between two routers.
+type Route struct {
+	// Hops is the number of router-to-router link traversals.
+	Hops int
+	// Meta is the metarouter index crossed, or -1 for intra-module routes.
+	Meta int
+}
+
+// Route computes the deterministic route from router a to router b.
+// Intra-module routes use dimension-order hypercube routing (hop count is
+// the Hamming distance). Inter-module routes leave the source module
+// immediately through the metarouter matching the source router's index,
+// then route within the destination module.
+func (f *Fabric) Route(a, b int) Route {
+	ma, ia := f.split(a)
+	mb, ib := f.split(b)
+	if ma == mb {
+		return Route{Hops: bits.OnesCount(uint(ia ^ ib)), Meta: -1}
+	}
+	// Source router -> metarouter(ia) -> same-index router in the target
+	// module -> hypercube hops to the destination index.
+	return Route{Hops: 2 + bits.OnesCount(uint(ia^ib)), Meta: ia}
+}
+
+// Hops is shorthand for Route(a, b).Hops.
+func (f *Fabric) Hops(a, b int) int { return f.Route(a, b).Hops }
+
+// MaxHops returns the network diameter in link traversals.
+func (f *Fabric) MaxHops() int {
+	if f.modules == 1 {
+		return f.dims
+	}
+	return 2 + f.dims
+}
+
+// AverageHops returns the mean hop count over all ordered router pairs with
+// a != b, a measure used to calibrate the remote-latency constants.
+func (f *Fabric) AverageHops() float64 {
+	total, pairs := 0, 0
+	for a := 0; a < f.numRouters; a++ {
+		for b := 0; b < f.numRouters; b++ {
+			if a == b {
+				continue
+			}
+			total += f.Hops(a, b)
+			pairs++
+		}
+	}
+	if pairs == 0 {
+		return 0
+	}
+	return float64(total) / float64(pairs)
+}
+
+// GrayCode returns the i-th binary-reflected Gray code. Consecutive codes
+// differ in one bit, so laying out neighbouring partitions along the Gray
+// sequence of router indices puts them one hop apart in the hypercube.
+func GrayCode(i int) int { return i ^ (i >> 1) }

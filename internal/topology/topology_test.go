@@ -1,0 +1,158 @@
+package topology
+
+import (
+	"math/bits"
+	"testing"
+	"testing/quick"
+)
+
+func TestHypercubeHopsAreHammingDistance(t *testing.T) {
+	f := NewFabric(16) // 64-processor machine: full 4-cube
+	if f.HasMetarouters() {
+		t.Fatal("16-router fabric should not use metarouters")
+	}
+	for a := 0; a < 16; a++ {
+		for b := 0; b < 16; b++ {
+			want := bits.OnesCount(uint(a ^ b))
+			if got := f.Hops(a, b); got != want {
+				t.Fatalf("Hops(%d,%d) = %d, want %d", a, b, got, want)
+			}
+		}
+	}
+	if f.MaxHops() != 4 {
+		t.Errorf("diameter = %d, want 4", f.MaxHops())
+	}
+}
+
+func TestMetarouterFabric128(t *testing.T) {
+	f := NewFabric(32) // 128-processor machine: 4 modules of 8 routers
+	if f.NumModules() != 4 || !f.HasMetarouters() || f.NumMetarouters() != 8 {
+		t.Fatalf("modules=%d metarouters=%d", f.NumModules(), f.NumMetarouters())
+	}
+	// Intra-module: plain 3-cube.
+	if got := f.Hops(0, 7); got != 3 {
+		t.Errorf("intra-module Hops(0,7) = %d, want 3", got)
+	}
+	// Inter-module, same index: exactly the metarouter crossing.
+	r := f.Route(3, 8+3)
+	if r.Hops != 2 || r.Meta != 3 {
+		t.Errorf("Route(3,11) = %+v, want Hops=2 Meta=3", r)
+	}
+	// Inter-module, different index: crossing plus in-module distance.
+	r = f.Route(0, 8+7)
+	if r.Hops != 5 || r.Meta != 0 {
+		t.Errorf("Route(0,15) = %+v, want Hops=5 Meta=0", r)
+	}
+	if f.MaxHops() != 5 {
+		t.Errorf("diameter = %d, want 5", f.MaxHops())
+	}
+}
+
+func TestHopsSymmetricProperty(t *testing.T) {
+	fabrics := []*Fabric{NewFabric(8), NewFabric(16), NewFabric(24), NewFabric(32)}
+	f := func(a, b uint8) bool {
+		for _, fab := range fabrics {
+			x := int(a) % fab.NumRouters()
+			y := int(b) % fab.NumRouters()
+			if fab.Hops(x, y) != fab.Hops(y, x) {
+				return false
+			}
+			if x == y && fab.Hops(x, y) != 0 {
+				return false
+			}
+			if x != y && fab.Hops(x, y) <= 0 {
+				return false
+			}
+			if fab.Hops(x, y) > fab.MaxHops() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAverageHopsGrowsWithScale(t *testing.T) {
+	small := NewFabric(8).AverageHops()
+	large := NewFabric(32).AverageHops()
+	if small <= 0 || large <= small {
+		t.Errorf("average hops small=%.2f large=%.2f; want growth", small, large)
+	}
+}
+
+func TestMappingsArePermutations(t *testing.T) {
+	for _, n := range []int{2, 32, 64, 96, 128} {
+		cases := map[string]Mapping{
+			"linear":       Linear(n),
+			"random":       Random(n, 42),
+			"pairedRandom": PairedRandom(n, 42),
+			"grayPairs":    GrayPairs(n, 2, 2),
+			"splitPairs":   SplitPairs(n),
+		}
+		for name, m := range cases {
+			if len(m) != n || !m.Valid() {
+				t.Errorf("%s(%d) is not a permutation: %v", name, n, m)
+			}
+		}
+	}
+}
+
+func TestPairedRandomKeepsPairsTogether(t *testing.T) {
+	m := PairedRandom(64, 7)
+	for i := 0; i < 64; i += 2 {
+		if m[i]/2 != m[i+1]/2 {
+			t.Errorf("processes %d,%d map to different nodes: %d,%d", i, i+1, m[i], m[i+1])
+		}
+	}
+}
+
+func TestSplitPairsSeparatesTransposePartners(t *testing.T) {
+	n := 64
+	m := SplitPairs(n)
+	for i := 0; i < n/2; i++ {
+		if m[i]/2 != m[i+n/2]/2 {
+			t.Errorf("process %d and %d should share a node", i, i+n/2)
+		}
+		if i > 0 && m[i]/2 == m[i-1]/2 {
+			t.Errorf("neighbouring processes %d,%d should not share a node", i-1, i)
+		}
+	}
+}
+
+func TestGrayPairsNeighboursAreClose(t *testing.T) {
+	// With Gray ordering, consecutive process pairs sit on routers one
+	// hop apart inside a hypercube module.
+	n := 64
+	f := NewFabric(16)
+	m := GrayPairs(n, 2, 2)
+	far := 0
+	for i := 0; i+2 < n; i += 2 {
+		ra := m[i] / 4 // 2 procs/node, 2 nodes/router
+		rb := m[i+2] / 4
+		if ra != rb && f.Hops(ra, rb) > 1 {
+			far++
+		}
+	}
+	if far > n/8 {
+		t.Errorf("%d of %d neighbour pairs are more than one hop apart", far, n/2-1)
+	}
+}
+
+func TestGrayCode(t *testing.T) {
+	seen := map[int]bool{}
+	for i := 0; i < 16; i++ {
+		g := GrayCode(i)
+		if seen[g] {
+			t.Fatalf("GrayCode not injective at %d", i)
+		}
+		seen[g] = true
+		if i > 0 {
+			diff := GrayCode(i) ^ GrayCode(i-1)
+			if bits.OnesCount(uint(diff)) != 1 {
+				t.Errorf("consecutive Gray codes %d,%d differ in more than one bit", i-1, i)
+			}
+		}
+	}
+}

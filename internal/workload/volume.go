@@ -1,0 +1,35 @@
+package workload
+
+// HeadVolume synthesizes an s^3 density volume of nested ellipsoids (air,
+// skin, skull, brain, inner structure), standing in for the SPLASH-2
+// 256^3 "head" dataset used by Volrend and Shear-Warp.
+func HeadVolume(s int) []uint8 {
+	vol := make([]uint8, s*s*s)
+	fs := float64(s)
+	c := fs / 2
+	for z := 0; z < s; z++ {
+		for y := 0; y < s; y++ {
+			for x := 0; x < s; x++ {
+				dx := (float64(x) - c) / (0.45 * fs)
+				dy := (float64(y) - c) / (0.40 * fs)
+				dz := (float64(z) - c) / (0.42 * fs)
+				rr := dx*dx + dy*dy + dz*dz
+				var d uint8
+				switch {
+				case rr > 1:
+					d = 0 // air
+				case rr > 0.85:
+					d = 90 // skin
+				case rr > 0.70:
+					d = 200 // skull
+				case rr > 0.2:
+					d = 60 // brain tissue
+				default:
+					d = 140 // inner structure
+				}
+				vol[(z*s+y)*s+x] = d
+			}
+		}
+	}
+	return vol
+}

@@ -1,0 +1,91 @@
+// Package workload defines the application interface the experiment
+// drivers run, plus helpers shared by the applications (deterministic
+// random input generation, checksum comparison).
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"origin2000/internal/core"
+	"origin2000/internal/synchro"
+)
+
+// Params configures one application run.
+type Params struct {
+	// Size is the problem size in the application's units (Table 2).
+	Size int
+	// Variant selects the algorithm version; "" is the original.
+	Variant string
+	// Prefetch enables software prefetching of remote data (Section 6.1)
+	// in the applications that implement it.
+	Prefetch bool
+	// Seed makes input generation deterministic.
+	Seed int64
+	// Steps overrides the number of timesteps/frames (0 = app default).
+	Steps int
+	// Lock and Barrier select the synchronization algorithms
+	// (Section 6.3); zero values are the paper's defaults (LL-SC ticket
+	// lock, tournament barrier).
+	Lock    synchro.LockAlgorithm
+	Barrier synchro.BarrierAlgorithm
+}
+
+// App is one of the study's applications.
+type App interface {
+	// Name returns the application's name as used in the paper.
+	Name() string
+	// Unit names the problem-size unit ("bodies", "points", ...).
+	Unit() string
+	// BasicSize returns the paper's Table 2 basic problem size.
+	BasicSize() int
+	// SweepSizes returns the paper-scale problem sizes swept in Figure 4,
+	// in increasing order (BasicSize is among them).
+	SweepSizes() []int
+	// Variants lists algorithm versions, original ("") first.
+	Variants() []string
+	// MaxProcs bounds the processor counts with results in the paper
+	// (64 for Infer and Protein, 128 otherwise).
+	MaxProcs() int
+	// Run builds the input, executes the program on m, and verifies the
+	// output, returning a non-nil error on any failure.
+	Run(m *core.Machine, p Params) error
+}
+
+// NewRand returns a deterministic RNG for input generation.
+func NewRand(seed int64) *rand.Rand {
+	if seed == 0 {
+		seed = 1
+	}
+	return rand.New(rand.NewSource(seed))
+}
+
+// CheckClose verifies |got-want| <= tol*max(|want|, 1), for floating-point
+// checksums whose summation order may differ between runs.
+func CheckClose(what string, got, want, tol float64) error {
+	scale := math.Abs(want)
+	if scale < 1 {
+		scale = 1
+	}
+	if math.Abs(got-want) > tol*scale {
+		return fmt.Errorf("%s: got %g, want %g (tol %g)", what, got, want, tol)
+	}
+	return nil
+}
+
+// CheckEqual verifies exact equality of two checksums.
+func CheckEqual(what string, got, want uint64) error {
+	if got != want {
+		return fmt.Errorf("%s: got %#x, want %#x", what, got, want)
+	}
+	return nil
+}
+
+// Mix64 is a SplitMix64 step, handy for order-independent checksums.
+func Mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

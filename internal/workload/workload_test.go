@@ -1,0 +1,94 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewRandDeterministic(t *testing.T) {
+	a, b := NewRand(7), NewRand(7)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed, different streams")
+		}
+	}
+	if NewRand(0).Uint64() != NewRand(0).Uint64() {
+		t.Fatal("zero seed must still be deterministic")
+	}
+}
+
+func TestCheckClose(t *testing.T) {
+	if err := CheckClose("x", 1.0000001, 1.0, 1e-6); err != nil {
+		t.Errorf("within tolerance rejected: %v", err)
+	}
+	if err := CheckClose("x", 1.1, 1.0, 1e-6); err == nil {
+		t.Error("out of tolerance accepted")
+	}
+	// Tolerance is relative to max(|want|, 1): tiny targets don't make
+	// the test infinitely strict.
+	if err := CheckClose("x", 1e-9, 0, 1e-6); err != nil {
+		t.Errorf("near-zero comparison rejected: %v", err)
+	}
+}
+
+func TestCheckEqual(t *testing.T) {
+	if err := CheckEqual("x", 5, 5); err != nil {
+		t.Error(err)
+	}
+	if err := CheckEqual("x", 5, 6); err == nil {
+		t.Error("mismatch accepted")
+	}
+}
+
+func TestMix64AvalancheProperty(t *testing.T) {
+	// Property: flipping one input bit flips roughly half the output
+	// bits (SplitMix64 finalizer quality), and Mix64 is injective-ish on
+	// small samples.
+	f := func(x uint64, bit uint8) bool {
+		y := x ^ (1 << (bit % 64))
+		d := Mix64(x) ^ Mix64(y)
+		n := 0
+		for d != 0 {
+			n += int(d & 1)
+			d >>= 1
+		}
+		return n >= 8 && n <= 56
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHeadVolumeStructure(t *testing.T) {
+	const s = 32
+	vol := HeadVolume(s)
+	if len(vol) != s*s*s {
+		t.Fatalf("volume size %d", len(vol))
+	}
+	// Corners are air; the center has tissue; the skull shell (200) and
+	// skin (90) both occur.
+	if vol[0] != 0 {
+		t.Error("corner should be air")
+	}
+	center := vol[(s/2*s+s/2)*s+s/2]
+	if center == 0 {
+		t.Error("center should be tissue")
+	}
+	counts := map[uint8]int{}
+	for _, v := range vol {
+		counts[v]++
+	}
+	for _, d := range []uint8{0, 60, 90, 140, 200} {
+		if counts[d] == 0 {
+			t.Errorf("density %d missing from the head", d)
+		}
+	}
+	// Air should dominate the bounding cube of an ellipsoid.
+	if counts[0] < len(vol)/3 {
+		t.Errorf("air fraction implausibly small: %d", counts[0])
+	}
+	if math.Abs(float64(counts[0]+counts[60]+counts[90]+counts[140]+counts[200])-float64(len(vol))) > 0 {
+		t.Error("unexpected density values present")
+	}
+}

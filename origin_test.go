@@ -1,0 +1,88 @@
+package origin2000
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestFacadeQuickstartFlow(t *testing.T) {
+	app := App("FFT")
+	if app == nil {
+		t.Fatal("FFT app missing")
+	}
+	params := Params{Size: 1 << 12, Seed: 1}
+	seq := NewMachine(Origin2000Config(1))
+	if err := app.Run(seq, params); err != nil {
+		t.Fatal(err)
+	}
+	par := NewMachine(Origin2000Config(16))
+	if err := app.Run(par, params); err != nil {
+		t.Fatal(err)
+	}
+	if par.Elapsed() >= seq.Elapsed() {
+		t.Errorf("no speedup: seq %v, par %v", seq.Elapsed(), par.Elapsed())
+	}
+	avg := par.Result().Average()
+	if avg.Total() <= 0 {
+		t.Error("empty breakdown")
+	}
+}
+
+func TestFacadeListsElevenApps(t *testing.T) {
+	if got := len(Apps()); got != 11 {
+		t.Errorf("Apps() = %d, want 11", got)
+	}
+	if App("Nope") != nil {
+		t.Error("unknown app should be nil")
+	}
+}
+
+func TestFacadeExperiment(t *testing.T) {
+	se := NewSession(Scale{Div: 64, CacheDiv: 64, Procs: []int{4}})
+	var sb strings.Builder
+	if err := RunExperiment("table1", se, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Origin2000") {
+		t.Error("table 1 output missing machine rows")
+	}
+	if len(ExperimentNames()) < 14 {
+		t.Errorf("experiment list too short: %v", ExperimentNames())
+	}
+}
+
+func TestFacadeMappingsAndSync(t *testing.T) {
+	cfg := Origin2000Config(8)
+	cfg.Mapping = RandomMapping(8, 1)
+	m := NewMachine(cfg)
+	b := NewBarrier(m, 8, 0)
+	l := NewLock(m, 0)
+	count := 0
+	err := m.Run(func(p *Proc) {
+		l.Acquire(p)
+		count++
+		l.Release(p)
+		b.Wait(p)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 8 {
+		t.Errorf("count = %d", count)
+	}
+}
+
+// TestDocumentationShipped keeps the documentation deliverables in the tree.
+func TestDocumentationShipped(t *testing.T) {
+	for _, f := range []string{"README.md", "DESIGN.md", "EXPERIMENTS.md"} {
+		st, err := os.Stat(f)
+		if err != nil {
+			t.Errorf("%s missing: %v", f, err)
+			continue
+		}
+		if st.Size() < 1024 {
+			t.Errorf("%s suspiciously small (%d bytes)", f, st.Size())
+		}
+	}
+}
