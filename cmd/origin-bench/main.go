@@ -1,0 +1,256 @@
+// Command origin-bench runs the tracked performance suite for the
+// simulator's hot path and appends a BENCH_<n>.json snapshot, so successive
+// PRs can see the perf trajectory. It reports wall-clock per experiment,
+// simulated-accesses/sec, and allocations per access (via
+// testing.Benchmark).
+//
+// Usage, from the repository root:
+//
+//	go run ./cmd/origin-bench           # writes BENCH_<n>.json (next free n)
+//	go run ./cmd/origin-bench -out x.json -note "after directory rework"
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"origin2000/internal/core"
+	"origin2000/internal/directory"
+	"origin2000/internal/experiments"
+	"origin2000/internal/sim"
+	"origin2000/internal/workload"
+)
+
+// Result is one benchmark measurement in the snapshot.
+type Result struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	// SimAccessesPerSec is simulated memory references processed per
+	// wall-clock second (only for measurements with a defined access
+	// count).
+	SimAccessesPerSec float64 `json:"sim_accesses_per_sec,omitempty"`
+	// WallSeconds is the wall-clock cost of a single operation, for the
+	// experiment-scale entries.
+	WallSeconds float64 `json:"wall_seconds,omitempty"`
+}
+
+// Snapshot is the schema of a BENCH_<n>.json file.
+type Snapshot struct {
+	Schema    string   `json:"schema"`
+	Date      string   `json:"date"`
+	GoVersion string   `json:"go_version"`
+	CPUs      int      `json:"cpus"`
+	Note      string   `json:"note,omitempty"`
+	Results   []Result `json:"results"`
+}
+
+func fromBenchmark(name string, r testing.BenchmarkResult, accessesPerOp int64) Result {
+	res := Result{
+		Name:        name,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+	if accessesPerOp > 0 && res.NsPerOp > 0 {
+		res.SimAccessesPerSec = float64(accessesPerOp) * 1e9 / res.NsPerOp
+	}
+	return res
+}
+
+// benchAccess measures the demand-access path: hit, local miss, or remote
+// miss, one simulated reference per op.
+func benchAccess(mode string) testing.BenchmarkResult {
+	return testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		cfg := core.Origin2000(1)
+		if mode != "hit" {
+			cfg.Cache.SizeBytes = 32 << 10 // small cache: strided reads miss
+		}
+		if mode == "remote" {
+			cfg = core.Origin2000(64)
+			cfg.Cache.SizeBytes = 32 << 10
+		}
+		m := core.New(cfg)
+		arr := m.Alloc("a", 1<<20, 8)
+		if mode == "remote" {
+			arr.PlaceAtNode(17)
+		}
+		if err := m.RunOne(func(p *core.Proc) {
+			p.Read(arr.Addr(0))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if mode == "hit" {
+					p.Read(arr.Addr(0))
+				} else {
+					p.Read(arr.Addr((i * 16) % (1 << 20)))
+				}
+			}
+		}); err != nil {
+			b.Fatal(err)
+		}
+	})
+}
+
+// benchSchedulerRoundTrip measures one direct goroutine handoff between two
+// simulated processors.
+func benchSchedulerRoundTrip() testing.BenchmarkResult {
+	return testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		e := sim.NewEngine(2, sim.Nanosecond)
+		if err := e.Run(func(p *sim.Proc) {
+			for i := 0; i < b.N; i++ {
+				p.Advance(10*sim.Nanosecond, sim.StatBusy)
+			}
+		}); err != nil {
+			b.Fatal(err)
+		}
+	})
+}
+
+// benchDirectoryWrite measures the shared-write invalidation fan-out (16
+// sharers), the protocol's allocation-prone transition.
+func benchDirectoryWrite() testing.BenchmarkResult {
+	return testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		d := directory.New()
+		for s := 0; s < 16; s++ {
+			d.Read(1, s)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			d.Write(1, 0)
+			for s := 1; s < 16; s++ {
+				d.Read(1, s)
+			}
+		}
+	})
+}
+
+// benchExperiment measures one full experiment regeneration at the reduced
+// benchmark scale (the same scale bench_test.go uses).
+func benchExperiment(name string, s experiments.Scale) testing.BenchmarkResult {
+	return testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			se := experiments.NewSession(s)
+			if err := experiments.Run(name, se, discard{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }
+
+// appThroughput runs one application end to end and reports simulated
+// accesses per wall-clock second — the end-to-end figure of merit for the
+// whole hot path (engine + cache + directory + placement together).
+func appThroughput(appName string, procs int, s experiments.Scale) (Result, error) {
+	app := experiments.AppByName(appName)
+	if app == nil {
+		return Result{}, fmt.Errorf("unknown app %q", appName)
+	}
+	params := workload.Params{Size: s.BasicSize(app), Seed: 42}
+	start := time.Now()
+	r, err := s.Run(app, procs, params)
+	if err != nil {
+		return Result{}, err
+	}
+	wall := time.Since(start).Seconds()
+	accesses := r.Result.Counters.Reads + r.Result.Counters.Writes
+	return Result{
+		Name:              fmt.Sprintf("app:%s procs=%d", appName, procs),
+		NsPerOp:           wall * 1e9,
+		WallSeconds:       wall,
+		SimAccessesPerSec: float64(accesses) / wall,
+	}, nil
+}
+
+// nextOut returns the first unused BENCH_<n>.json name.
+func nextOut() string {
+	for n := 1; ; n++ {
+		name := fmt.Sprintf("BENCH_%d.json", n)
+		if _, err := os.Stat(name); os.IsNotExist(err) {
+			return name
+		}
+	}
+}
+
+func main() {
+	out := flag.String("out", "", "output file (default: next free BENCH_<n>.json)")
+	note := flag.String("note", "", "free-form note recorded in the snapshot")
+	flag.Parse()
+	if *out == "" {
+		*out = nextOut()
+	}
+	// Fail on an unwritable output path now, not after a 40-second suite.
+	if f, err := os.OpenFile(*out, os.O_CREATE|os.O_WRONLY, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "origin-bench:", err)
+		os.Exit(1)
+	} else {
+		f.Close()
+	}
+
+	benchScale := experiments.Scale{Div: 16, CacheDiv: 16}
+	snap := Snapshot{
+		Schema:    "origin-bench/v1",
+		Date:      time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		CPUs:      runtime.NumCPU(),
+		Note:      *note,
+	}
+
+	add := func(r Result) {
+		snap.Results = append(snap.Results, r)
+		fmt.Printf("%-32s %12.1f ns/op  %3d allocs/op", r.Name, r.NsPerOp, r.AllocsPerOp)
+		if r.SimAccessesPerSec > 0 {
+			fmt.Printf("  %10.2e accesses/s", r.SimAccessesPerSec)
+		}
+		fmt.Println()
+	}
+
+	add(fromBenchmark("access:hit", benchAccess("hit"), 1))
+	add(fromBenchmark("access:local-miss", benchAccess("local"), 1))
+	add(fromBenchmark("access:remote-miss", benchAccess("remote"), 1))
+	add(fromBenchmark("scheduler:round-trip", benchSchedulerRoundTrip(), 0))
+	add(fromBenchmark("directory:write-fanout", benchDirectoryWrite(), 0))
+
+	for _, name := range []string{"fig2", "ablation"} {
+		r := fromBenchmark("experiment:"+name, benchExperiment(name, benchScale), 0)
+		r.WallSeconds = r.NsPerOp / 1e9
+		add(r)
+	}
+
+	for _, spec := range []struct {
+		app   string
+		procs int
+	}{{"FFT", 32}, {"Radix", 32}} {
+		r, err := appThroughput(spec.app, spec.procs, benchScale)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "origin-bench:", err)
+			os.Exit(1)
+		}
+		add(r)
+	}
+
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "origin-bench:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "origin-bench:", err)
+		os.Exit(1)
+	}
+	fmt.Println("wrote", *out)
+}

@@ -45,12 +45,13 @@ var Origin2000L2 = Config{SizeBytes: 4 << 20, BlockBytes: 128, Assoc: 2}
 
 // Cache is one processor's cache.
 type Cache struct {
-	sets  int
-	assoc int
-	tags  []uint64 // block numbers, indexed set*assoc+way
-	state []State
-	age   []uint64 // LRU stamps
-	clock uint64
+	sets    int
+	setMask int // sets-1 when sets is a power of two, else -1
+	assoc   int
+	tags    []uint64 // block numbers, indexed set*assoc+way
+	state   []State
+	age     []uint64 // LRU stamps
+	clock   uint64
 }
 
 // New creates a cache with the given geometry.
@@ -64,12 +65,17 @@ func New(cfg Config) *Cache {
 		sets = 1
 	}
 	n := sets * cfg.Assoc
+	mask := -1
+	if sets&(sets-1) == 0 {
+		mask = sets - 1 // power-of-two geometry: index with a mask, not a divide
+	}
 	return &Cache{
-		sets:  sets,
-		assoc: cfg.Assoc,
-		tags:  make([]uint64, n),
-		state: make([]State, n),
-		age:   make([]uint64, n),
+		sets:    sets,
+		setMask: mask,
+		assoc:   cfg.Assoc,
+		tags:    make([]uint64, n),
+		state:   make([]State, n),
+		age:     make([]uint64, n),
 	}
 }
 
@@ -79,7 +85,12 @@ func (c *Cache) Sets() int { return c.sets }
 // Assoc reports the associativity.
 func (c *Cache) Assoc() int { return c.assoc }
 
-func (c *Cache) setOf(block uint64) int { return int(block % uint64(c.sets)) }
+func (c *Cache) setOf(block uint64) int {
+	if m := c.setMask; m >= 0 {
+		return int(block) & m
+	}
+	return int(block % uint64(c.sets))
+}
 
 func (c *Cache) find(block uint64) int {
 	base := c.setOf(block) * c.assoc
@@ -121,14 +132,25 @@ type Victim struct {
 // set if necessary. It returns the displaced line, if any. Inserting a
 // block that is already present just updates its state.
 func (c *Cache) Insert(block uint64, s State) (victim Victim, evicted bool) {
-	if s == Invalid {
-		panic("cache: inserting Invalid")
-	}
 	if i := c.find(block); i >= 0 {
+		if s == Invalid {
+			panic("cache: inserting Invalid")
+		}
 		c.clock++
 		c.age[i] = c.clock
 		c.state[i] = s
 		return Victim{}, false
+	}
+	return c.Fill(block, s)
+}
+
+// Fill places a block the caller knows is absent (it just observed a miss
+// with Lookup or Peek and nothing has touched this cache since), skipping
+// the presence scan that Insert would repeat. The miss path pairs Lookup
+// with Fill so each set is walked once, not twice.
+func (c *Cache) Fill(block uint64, s State) (victim Victim, evicted bool) {
+	if s == Invalid {
+		panic("cache: inserting Invalid")
 	}
 	base := c.setOf(block) * c.assoc
 	// Prefer an invalid way; otherwise evict the least recently used.

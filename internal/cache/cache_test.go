@@ -141,3 +141,48 @@ func TestOrigin2000Geometry(t *testing.T) {
 		t.Errorf("assoc = %d, want 2", c.Assoc())
 	}
 }
+
+func TestFillMatchesInsertOnAbsentBlocks(t *testing.T) {
+	// Fill is Insert minus the presence scan; driven with the same absent
+	// blocks, both caches must evolve identically (tags, states, LRU).
+	a, b := tiny(), tiny()
+	blocks := []uint64{0, 8, 16, 3, 11, 19, 8, 0, 24, 32} // set collisions force evictions
+	for i, blk := range blocks {
+		st := Shared
+		if i%3 == 0 {
+			st = Modified
+		}
+		var va, vb Victim
+		var ea, eb bool
+		if a.Peek(blk) == Invalid {
+			va, ea = a.Fill(blk, st)
+			vb, eb = b.Insert(blk, st)
+		} else {
+			va, ea = a.Insert(blk, st)
+			vb, eb = b.Insert(blk, st)
+		}
+		if va != vb || ea != eb {
+			t.Fatalf("step %d (block %d): Fill victim (%+v,%v) != Insert victim (%+v,%v)",
+				i, blk, va, ea, vb, eb)
+		}
+	}
+	for b2 := uint64(0); b2 < 40; b2++ {
+		if a.Peek(b2) != b.Peek(b2) {
+			t.Fatalf("block %d: state diverged: %v vs %v", b2, a.Peek(b2), b.Peek(b2))
+		}
+	}
+}
+
+func TestFillEvictsLRU(t *testing.T) {
+	c := tiny() // 8 sets, 2-way: blocks 0, 8, 16 collide in set 0
+	c.Fill(0, Shared)
+	c.Fill(8, Modified)
+	c.Lookup(0) // 0 now more recently used than 8
+	v, evicted := c.Fill(16, Shared)
+	if !evicted || v.Block != 8 || v.State != Modified {
+		t.Fatalf("victim = %+v (evicted=%v), want dirty block 8", v, evicted)
+	}
+	if c.Peek(0) != Shared || c.Peek(16) != Shared {
+		t.Fatal("survivor set wrong after Fill eviction")
+	}
+}

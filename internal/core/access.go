@@ -161,7 +161,7 @@ func (p *Proc) demandMiss(block, addr uint64, write bool, kind sim.StatKind) {
 	m := p.m
 	c := &p.sp.Counters
 	page := mempolicy.PageOf(addr)
-	home := m.homeOf(page, p.node)
+	home := p.homeOf(page)
 	remote := home != p.node
 
 	invalsBefore := c.Invalidations
@@ -171,7 +171,7 @@ func (p *Proc) demandMiss(block, addr uint64, write bool, kind sim.StatKind) {
 	if write {
 		newState = cache.Modified
 	}
-	if victim, evicted := p.cache.Insert(block, newState); evicted {
+	if victim, evicted := p.cache.Fill(block, newState); evicted {
 		p.evictVictim(victim, complete)
 	}
 	delete(p.prefetch, block) // any in-flight prefetch is superseded
@@ -202,10 +202,9 @@ func (p *Proc) demandMiss(block, addr uint64, write bool, kind sim.StatKind) {
 // upgrade handles a write hit on a Shared line: ownership is obtained from
 // the home directory and other sharers are invalidated; no data moves.
 func (p *Proc) upgrade(block, addr uint64, kind sim.StatKind) {
-	m := p.m
 	c := &p.sp.Counters
 	page := mempolicy.PageOf(addr)
-	home := m.homeOf(page, p.node)
+	home := p.homeOf(page)
 
 	complete, _, queued := p.transaction(block, home, true)
 	p.cache.SetState(block, cache.Modified)
@@ -228,7 +227,7 @@ func (p *Proc) upgrade(block, addr uint64, kind sim.StatKind) {
 func (p *Proc) evictVictim(v cache.Victim, at sim.Time) {
 	m := p.m
 	vpage := v.Block >> (mempolicy.PageShift - blockShift)
-	vhome := m.homeOf(vpage, p.node)
+	vhome := p.homeOf(vpage)
 	if v.State == cache.Modified {
 		lat := &m.cfg.Lat
 		m.hubs[p.node].Acquire(at, lat.WritebackOcc)
@@ -268,7 +267,7 @@ func (p *Proc) fetchOp(addr uint64, kind sim.StatKind) {
 	m := p.m
 	lat := &m.cfg.Lat
 	page := mempolicy.PageOf(addr)
-	home := m.homeOf(page, p.node)
+	home := p.homeOf(page)
 	t := p.sp.Now() + lat.ProcOverhead
 	var queued sim.Time
 	acq := func(r *sim.Resource, occ sim.Time) {
@@ -332,9 +331,9 @@ func (p *Proc) Prefetch(addr uint64) {
 	}
 	m := p.m
 	page := mempolicy.PageOf(addr)
-	home := m.homeOf(page, p.node)
+	home := p.homeOf(page)
 	complete, _, _ := p.transaction(block, home, false)
-	if victim, evicted := p.cache.Insert(block, cache.Shared); evicted {
+	if victim, evicted := p.cache.Fill(block, cache.Shared); evicted {
 		p.evictVictim(victim, complete)
 	}
 	p.prefetch[block] = complete

@@ -44,6 +44,10 @@ type Machine struct {
 	maxNodePg int         // 0 = unbounded
 	arrays    *arrayIndex // per-allocation attribution (nil = off)
 	phases    map[string]*perf.Breakdown
+
+	// placeFn is the first-touch placement hook passed to Table.Resolve,
+	// built once so the hot path never allocates a closure.
+	placeFn func(choice int) int
 }
 
 // New builds a machine from cfg.
@@ -90,6 +94,7 @@ func New(cfg Config) *Machine {
 			m.maxNodePg = 1
 		}
 	}
+	m.placeFn = m.spill
 	m.mapping = cfg.Mapping
 	if m.mapping == nil {
 		m.mapping = topology.Linear(cfg.Procs)
@@ -204,14 +209,13 @@ func (m *Machine) spill(desired int) int {
 	return desired // machine totally full: overload rather than fail
 }
 
-// homeOf resolves (and if needed assigns) the home node of a page.
+// homeOf resolves (and if needed assigns) the home node of a page with a
+// single page-table lookup.
 func (m *Machine) homeOf(page uint64, touchNode int) int {
-	if m.pages.Placed(page) {
-		return m.pages.Choose(page, touchNode)
+	h, fresh := m.pages.Resolve(page, touchNode, m.placeFn)
+	if fresh {
+		m.nodePages[h]++
 	}
-	h := m.spill(m.pages.Choose(page, touchNode))
-	m.pages.SetHome(page, h)
-	m.nodePages[h]++
 	return h
 }
 

@@ -5,6 +5,19 @@ import (
 	"origin2000/internal/sim"
 )
 
+// homeTLBSize is the number of entries in the per-processor page->home
+// memo (direct-mapped, power of two).
+const homeTLBSize = 64
+
+// homeTLBEntry caches one page->home translation; it is valid while its
+// generation matches the page table's (migration and manual re-placement
+// bump the generation, invalidating every cached translation at once).
+type homeTLBEntry struct {
+	page uint64
+	home int32
+	gen  uint32
+}
+
 // Proc is the application-facing view of one logical processor. Programs
 // perform real Go computation and call these methods to charge virtual
 // time: Compute for busy work, Read/Write for shared-memory references
@@ -20,6 +33,22 @@ type Proc struct {
 	prefetch  map[uint64]sim.Time // block -> fill completion time
 	prefetchQ []uint64            // FIFO of outstanding prefetches
 	phase     phaseState          // active phase label for attribution
+
+	homeTLB [homeTLBSize]homeTLBEntry // page->home fast path
+}
+
+// homeOf resolves a page's home node, consulting the processor's TLB memo
+// before the machine-wide page table: a repeat miss to the same page skips
+// the table entirely.
+func (p *Proc) homeOf(page uint64) int {
+	e := &p.homeTLB[page&(homeTLBSize-1)]
+	gen := p.m.pages.Gen()
+	if e.page == page && e.gen == gen {
+		return int(e.home)
+	}
+	h := p.m.homeOf(page, p.node)
+	*e = homeTLBEntry{page: page, home: int32(h), gen: gen}
+	return h
 }
 
 // ID returns the logical process id in [0, NumProcs).

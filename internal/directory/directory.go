@@ -84,22 +84,88 @@ type Entry struct {
 	Owner   int16 // valid when State == Exclusive
 }
 
+// Directory storage is two-level and page-dense: blocks are grouped by the
+// 16 KB page they live on (128-byte blocks, so exactly 128 entries per
+// page), and each touched page owns a flat array of entries. The common
+// streaming case — consecutive blocks of one page — hits the last-page memo
+// and performs zero map hashes, and transitions mutate entries in place
+// instead of the load/copy-back a map[uint64]Entry forces.
+const (
+	// pageBlockShift converts a block number to its page index
+	// (16 KB page / 128 B block).
+	pageBlockShift = 7
+	// blocksPerPage is the number of directory entries per page.
+	blocksPerPage = 1 << pageBlockShift
+)
+
+type dirPage [blocksPerPage]Entry
+
 // Directory tracks every block homed at one node. The zero value is not
 // usable; call New.
 type Directory struct {
-	entries map[uint64]Entry
+	pages   map[uint64]*dirPage
+	lastKey uint64   // page index of last
+	last    *dirPage // memo of the most recently touched page
+	scratch []int    // reused invalidation list (see Write)
 }
 
 // New creates an empty directory.
 func New() *Directory {
-	return &Directory{entries: make(map[uint64]Entry)}
+	return &Directory{pages: make(map[uint64]*dirPage)}
+}
+
+// entry returns a mutable pointer to block's record, materializing its page
+// on first touch.
+func (d *Directory) entry(block uint64) *Entry {
+	key := block >> pageBlockShift
+	pg := d.last
+	if pg == nil || key != d.lastKey {
+		pg = d.pages[key]
+		if pg == nil {
+			pg = new(dirPage)
+			d.pages[key] = pg
+		}
+		d.lastKey, d.last = key, pg
+	}
+	return &pg[block&(blocksPerPage-1)]
+}
+
+// peek returns a pointer to block's record, or nil if its page was never
+// touched. It never allocates.
+func (d *Directory) peek(block uint64) *Entry {
+	key := block >> pageBlockShift
+	pg := d.last
+	if pg == nil || key != d.lastKey {
+		pg = d.pages[key]
+		if pg == nil {
+			return nil
+		}
+		d.lastKey, d.last = key, pg
+	}
+	return &pg[block&(blocksPerPage-1)]
 }
 
 // Entry returns the record for block (Unowned if never touched).
-func (d *Directory) Entry(block uint64) Entry { return d.entries[block] }
+func (d *Directory) Entry(block uint64) Entry {
+	if e := d.peek(block); e != nil {
+		return *e
+	}
+	return Entry{}
+}
 
-// Blocks reports the number of blocks with directory state.
-func (d *Directory) Blocks() int { return len(d.entries) }
+// Blocks reports the number of blocks with active (non-Unowned) directory
+// state.
+func (d *Directory) Blocks() int {
+	n := 0
+	for _, pg := range d.pages {
+		for i := range pg {
+			if pg[i].State != Unowned {
+				n++
+			}
+		}
+	}
+	return n
+}
 
 // ReadResult describes how a read miss must be satisfied.
 type ReadResult struct {
@@ -113,25 +179,20 @@ type ReadResult struct {
 
 // Read records a read miss by requester and returns how to satisfy it.
 func (d *Directory) Read(block uint64, requester int) ReadResult {
-	e := d.entries[block]
+	e := d.entry(block)
 	switch e.State {
 	case Unowned:
 		e.State = SharedState
-		e.Sharers.Clear()
 		e.Sharers.Add(requester)
-		d.entries[block] = e
 		return ReadResult{}
 	case SharedState:
 		e.Sharers.Add(requester)
-		d.entries[block] = e
 		return ReadResult{}
 	default: // Exclusive
 		owner := int(e.Owner)
 		e.State = SharedState
-		e.Sharers.Clear()
 		e.Sharers.Add(owner)
 		e.Sharers.Add(requester)
-		d.entries[block] = e
 		return ReadResult{Dirty: true, Owner: owner}
 	}
 }
@@ -151,16 +212,26 @@ type WriteResult struct {
 // Write records a write miss (or an upgrade from Shared) by requester and
 // returns the required invalidations/intervention. Afterwards requester is
 // the exclusive owner.
+//
+// The Invalidate slice is a scratch buffer owned by the directory, reused
+// by the next Write call: consume it before transitioning another block
+// (copy it if it must outlive that).
 func (d *Directory) Write(block uint64, requester int) WriteResult {
-	e := d.entries[block]
+	e := d.entry(block)
 	var r WriteResult
 	switch e.State {
 	case SharedState:
+		inv := d.scratch[:0]
 		e.Sharers.ForEach(func(p int) {
 			if p != requester {
-				r.Invalidate = append(r.Invalidate, p)
+				inv = append(inv, p)
 			}
 		})
+		d.scratch = inv
+		if len(inv) > 0 {
+			r.Invalidate = inv
+		}
+		e.Sharers.Clear()
 	case Exclusive:
 		if int(e.Owner) != requester {
 			r.Dirty = true
@@ -168,9 +239,7 @@ func (d *Directory) Write(block uint64, requester int) WriteResult {
 		}
 	}
 	e.State = Exclusive
-	e.Sharers.Clear()
 	e.Owner = int16(requester)
-	d.entries[block] = e
 	return r
 }
 
@@ -178,47 +247,48 @@ func (d *Directory) Write(block uint64, requester int) WriteResult {
 // It is a no-op if owner is no longer the exclusive owner (the writeback
 // raced with an intervention).
 func (d *Directory) Writeback(block uint64, owner int) {
-	e, ok := d.entries[block]
-	if !ok || e.State != Exclusive || int(e.Owner) != owner {
+	e := d.peek(block)
+	if e == nil || e.State != Exclusive || int(e.Owner) != owner {
 		return
 	}
 	e.State = Unowned
-	e.Sharers.Clear()
-	d.entries[block] = e
 }
 
 // Evict records that proc silently dropped a clean (Shared) copy.
 func (d *Directory) Evict(block uint64, proc int) {
-	e, ok := d.entries[block]
-	if !ok || e.State != SharedState {
+	e := d.peek(block)
+	if e == nil || e.State != SharedState {
 		return
 	}
 	e.Sharers.Remove(proc)
 	if e.Sharers.Count() == 0 {
 		e.State = Unowned
 	}
-	d.entries[block] = e
 }
 
 // Check verifies internal invariants for every block, returning a non-nil
 // error on the first violation (test aid).
 func (d *Directory) Check() error {
-	for b, e := range d.entries {
-		switch e.State {
-		case Unowned:
-			if e.Sharers.Count() != 0 {
-				return fmt.Errorf("block %d: Unowned with %d sharers", b, e.Sharers.Count())
-			}
-		case SharedState:
-			if e.Sharers.Count() == 0 {
-				return fmt.Errorf("block %d: Shared with no sharers", b)
-			}
-		case Exclusive:
-			if e.Sharers.Count() != 0 {
-				return fmt.Errorf("block %d: Exclusive with sharer bits set", b)
-			}
-			if e.Owner < 0 || int(e.Owner) >= MaxProcs {
-				return fmt.Errorf("block %d: bad owner %d", b, e.Owner)
+	for key, pg := range d.pages {
+		for i := range pg {
+			e := &pg[i]
+			b := key<<pageBlockShift | uint64(i)
+			switch e.State {
+			case Unowned:
+				if e.Sharers.Count() != 0 {
+					return fmt.Errorf("block %d: Unowned with %d sharers", b, e.Sharers.Count())
+				}
+			case SharedState:
+				if e.Sharers.Count() == 0 {
+					return fmt.Errorf("block %d: Shared with no sharers", b)
+				}
+			case Exclusive:
+				if e.Sharers.Count() != 0 {
+					return fmt.Errorf("block %d: Exclusive with sharer bits set", b)
+				}
+				if e.Owner < 0 || int(e.Owner) >= MaxProcs {
+					return fmt.Errorf("block %d: bad owner %d", b, e.Owner)
+				}
 			}
 		}
 	}

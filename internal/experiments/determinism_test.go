@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"origin2000/internal/mempolicy"
+)
+
+// TestDeterminism128Procs is the safety net for the direct-handoff
+// scheduler and the hot-path data structures: a 128-processor mixed
+// workload (compute, coherence traffic, barriers/locks, and — in one
+// configuration — page migration) must produce a bit-identical perf.Result
+// (elapsed time, every per-processor breakdown, every counter) run to run
+// and across GOMAXPROCS settings.
+func TestDeterminism128Procs(t *testing.T) {
+	s := Scale{Div: 64, CacheDiv: 64}
+	run := func(t *testing.T, appName string, migrate bool) RunResult {
+		t.Helper()
+		app := AppByName(appName)
+		if app == nil {
+			t.Fatalf("unknown app %q", appName)
+		}
+		cfg := s.Machine(128)
+		if migrate {
+			// Round-robin placement plus a low threshold forces
+			// remote misses and real page migrations, exercising the
+			// page-home TLB invalidation path.
+			cfg.Placement = mempolicy.RoundRobin
+			cfg.IgnorePlacement = true
+			cfg.MigrationThreshold = 8
+		}
+		r, err := s.RunConfig(app, cfg, s.Params(app, app.BasicSize(), ""))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	cases := []struct {
+		app     string
+		migrate bool
+	}{
+		{"FFT", false},
+		{"Water-Nsquared", true},
+	}
+	for _, c := range cases {
+		t.Run(c.app, func(t *testing.T) {
+			prev := runtime.GOMAXPROCS(0)
+			defer runtime.GOMAXPROCS(prev)
+
+			runtime.GOMAXPROCS(1)
+			first := run(t, c.app, c.migrate)
+			second := run(t, c.app, c.migrate)
+			if !reflect.DeepEqual(first, second) {
+				t.Errorf("run-to-run results differ at GOMAXPROCS=1:\n%+v\nvs\n%+v", first, second)
+			}
+
+			runtime.GOMAXPROCS(4)
+			third := run(t, c.app, c.migrate)
+			if !reflect.DeepEqual(first, third) {
+				t.Errorf("results differ across GOMAXPROCS 1 vs 4:\n%+v\nvs\n%+v", first, third)
+			}
+
+			if c.migrate && first.Result.Migrations == 0 {
+				t.Error("migration config produced no page migrations; the TLB-invalidation path went unexercised")
+			}
+		})
+	}
+}

@@ -39,6 +39,7 @@ type Table struct {
 	kind     Kind
 	homes    map[uint64]int32
 	migrator *Migrator
+	gen      uint32 // bumped whenever an existing page->home mapping changes
 }
 
 // NewTable creates a page table over numNodes nodes with the given default
@@ -52,8 +53,14 @@ func NewTable(numNodes int, kind Kind, m *Migrator) *Table {
 		kind:     kind,
 		homes:    make(map[uint64]int32),
 		migrator: m,
+		gen:      1, // non-zero so zero-valued cache entries never match
 	}
 }
+
+// Gen is the table's remap generation. It changes whenever a page that
+// already had a home moves (migration or an overriding SetHome), so callers
+// caching page->home translations can validate them with one comparison.
+func (t *Table) Gen() uint32 { return t.gen }
 
 // NumNodes reports the node count.
 func (t *Table) NumNodes() int { return t.numNodes }
@@ -64,22 +71,38 @@ func (t *Table) Kind() Kind { return t.kind }
 // Migration reports whether dynamic migration is enabled.
 func (t *Table) Migration() bool { return t.migrator != nil }
 
+// policyChoice computes the default policy's pick for an unplaced page
+// (pure computation, no map access).
+func (t *Table) policyChoice(page uint64, touchNode int) int {
+	if t.kind == RoundRobin {
+		return int(page % uint64(t.numNodes))
+	}
+	return touchNode
+}
+
 // Home returns the page's home node, assigning one by the default policy if
 // the page is untouched. touchNode is the node of the accessing processor
 // (used by FirstTouch).
 func (t *Table) Home(page uint64, touchNode int) int {
+	h, _ := t.Resolve(page, touchNode, nil)
+	return h
+}
+
+// Resolve returns the page's home node in a single map lookup, assigning
+// one on first touch: the default policy's choice is passed through the
+// optional place hook (e.g. a per-node capacity spill), recorded, and
+// reported with fresh=true. This is the hot-path replacement for the
+// Placed+Choose+SetHome sequence.
+func (t *Table) Resolve(page uint64, touchNode int, place func(choice int) int) (home int, fresh bool) {
 	if h, ok := t.homes[page]; ok {
-		return int(h)
+		return int(h), false
 	}
-	var h int
-	switch t.kind {
-	case RoundRobin:
-		h = int(page % uint64(t.numNodes))
-	default:
-		h = touchNode
+	h := t.policyChoice(page, touchNode)
+	if place != nil {
+		h = place(h)
 	}
 	t.homes[page] = int32(h)
-	return h
+	return h, true
 }
 
 // Choose returns the home the default policy would pick for an unplaced
@@ -89,14 +112,14 @@ func (t *Table) Choose(page uint64, touchNode int) int {
 	if h, ok := t.homes[page]; ok {
 		return int(h)
 	}
-	if t.kind == RoundRobin {
-		return int(page % uint64(t.numNodes))
-	}
-	return touchNode
+	return t.policyChoice(page, touchNode)
 }
 
 // SetHome pins a page to a node (manual placement by the application).
 func (t *Table) SetHome(page uint64, node int) {
+	if h, ok := t.homes[page]; ok && int(h) != node {
+		t.gen++ // an existing mapping moved: cached translations are stale
+	}
 	t.homes[page] = int32(node)
 }
 
@@ -119,6 +142,7 @@ func (t *Table) RecordRemoteMiss(page uint64, node int) (newHome int, migrated b
 		return 0, false
 	}
 	t.homes[page] = int32(to)
+	t.gen++ // the page moved: cached translations are stale
 	return to, true
 }
 

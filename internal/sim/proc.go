@@ -138,17 +138,49 @@ func (p *Proc) Yield() {
 	}
 }
 
-func (p *Proc) yield() {
-	p.e.yieldCh <- yieldEvent{p: p, kind: yieldQuantum}
+// park suspends the goroutine until the engine hands it control again. If
+// the run was abandoned (deadlock or panic) the goroutine unwinds instead
+// of leaking.
+func (p *Proc) park() {
 	<-p.resume
+	if p.e.abandoned {
+		panic(abandonRun{})
+	}
+}
+
+// yield returns control to the scheduler after a quantum expiry. Fast path:
+// if this processor is still the (clock, id) minimum, it extends its own
+// run-ahead limit and keeps running with no channel traffic at all.
+// Otherwise control passes directly to the min-clock runnable processor's
+// goroutine — one handoff, no trip through the central Run loop.
+func (p *Proc) yield() {
+	e := p.e
+	if len(e.heap) == 0 {
+		p.limit = maxTime
+		return
+	}
+	if m := e.heap[0]; p.now < m.now || (p.now == m.now && p.id < m.id) {
+		p.limit = m.now + e.quantum
+		return
+	}
+	e.heap.push(p)
+	e.resumeNext()
+	p.park()
 }
 
 // Block suspends this processor until another processor calls Wake on it.
 // The caller is responsible for charging the waiting time (see Wake).
 func (p *Proc) Block() {
 	p.blocked = true
-	p.e.yieldCh <- yieldEvent{p: p, kind: yieldBlocked}
-	<-p.resume
+	e := p.e
+	if len(e.heap) > 0 {
+		e.resumeNext()
+	} else {
+		// Nothing runnable and this processor is blocked: every
+		// unfinished processor is now stuck, so report a deadlock.
+		e.yieldCh <- yieldEvent{p: p, kind: yieldIdle}
+	}
+	p.park()
 }
 
 // Wake makes q runnable again with its clock advanced to at least t. It

@@ -3,11 +3,16 @@
 //
 // Each simulated processor runs application code in its own goroutine and
 // owns a virtual clock. Exactly one processor goroutine executes at a time;
-// a scheduler always resumes the runnable processor with the smallest clock
+// the engine always resumes the runnable processor with the smallest clock
 // and lets it run ahead until its clock exceeds the next processor's clock
 // by a quantum, it blocks on synchronization, or it finishes. Scheduling is
 // deterministic: ties are broken by processor id, so two runs of the same
 // program produce identical virtual times and statistics.
+//
+// Control passes directly from a yielding processor goroutine to the next
+// min-clock processor's goroutine (one channel handoff per switch); the
+// central Run loop is involved only at start, when a processor finishes,
+// for deadlock detection, and for panic propagation.
 //
 // Shared hardware resources (memory controllers, network routers, ...) are
 // modeled as Resource timelines: a transaction occupies a resource for some
@@ -19,6 +24,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Time is a point or duration in virtual time, in picoseconds. Picoseconds
@@ -33,6 +39,9 @@ const (
 	Millisecond Time = 1000 * Microsecond
 	Second      Time = 1000 * Millisecond
 )
+
+// maxTime is the run-ahead limit of a processor with no runnable peers.
+const maxTime Time = 1<<62 - 1
 
 // Milliseconds reports t as a floating-point number of milliseconds.
 func (t Time) Milliseconds() float64 { return float64(t) / float64(Millisecond) }
@@ -81,16 +90,18 @@ func (k StatKind) String() string {
 
 // DefaultQuantum is the default run-ahead bound. A processor may execute
 // until its clock exceeds the next-lowest runnable clock by this much before
-// control returns to the scheduler. Smaller quanta order resource
+// control passes to that processor. Smaller quanta order resource
 // acquisitions more precisely; larger quanta run faster.
 const DefaultQuantum = 1 * Microsecond
 
 type yieldKind int
 
 const (
-	yieldQuantum yieldKind = iota
-	yieldBlocked
-	yieldFinished
+	// yieldFinished: a processor's body returned.
+	yieldFinished yieldKind = iota
+	// yieldIdle: a processor blocked with no runnable peers (deadlock).
+	yieldIdle
+	// yieldPanic: a processor's body panicked.
 	yieldPanic
 )
 
@@ -100,13 +111,20 @@ type yieldEvent struct {
 	err  any // panic value when kind == yieldPanic
 }
 
+// abandonRun is panicked by parked processor goroutines when the engine
+// abandons a run (deadlock or propagated panic) so their stacks unwind and
+// the goroutines exit instead of leaking.
+type abandonRun struct{}
+
 // Engine coordinates a set of simulated processors.
 type Engine struct {
-	procs    []*Proc
-	heap     procHeap
-	quantum  Time
-	yieldCh  chan yieldEvent
-	finished int
+	procs     []*Proc
+	heap      procHeap
+	quantum   Time
+	yieldCh   chan yieldEvent
+	abandoned bool // set before resuming parked goroutines to unwind them
+	wg        sync.WaitGroup
+	finished  int
 }
 
 // NewEngine creates an engine with n processors and the given scheduling
@@ -125,9 +143,12 @@ func NewEngine(n int, quantum Time) *Engine {
 	e.procs = make([]*Proc, n)
 	for i := range e.procs {
 		e.procs[i] = &Proc{
-			id:        i,
-			e:         e,
-			resume:    make(chan struct{}),
+			id: i,
+			e:  e,
+			// Buffered so a yielding goroutine hands control off
+			// without waiting for the next goroutine to be
+			// scheduled; at most one token is ever outstanding.
+			resume:    make(chan struct{}, 1),
 			heapIndex: -1,
 		}
 	}
@@ -167,54 +188,93 @@ func (d *DeadlockError) Error() string {
 func (e *Engine) Run(body func(p *Proc)) error {
 	e.finished = 0
 	e.heap = e.heap[:0]
+	e.abandoned = false
 	for _, p := range e.procs {
 		p.finished = false
 		p.blocked = false
 		e.heap.push(p)
+		e.wg.Add(1)
 		go e.runProc(p, body)
 	}
-	for e.finished < len(e.procs) {
-		if len(e.heap) == 0 {
-			d := &DeadlockError{}
-			for _, p := range e.procs {
-				if p.blocked {
-					d.Blocked = append(d.Blocked, p.id)
-				}
-			}
-			sort.Ints(d.Blocked)
-			// Unstick the blocked goroutines so they don't leak: mark
-			// them finished and let their channels be collected.
-			return d
-		}
-		p := e.heap.pop()
-		if len(e.heap) > 0 {
-			p.limit = e.heap[0].now + e.quantum
-		} else {
-			p.limit = 1<<62 - 1
-		}
-		p.resume <- struct{}{}
+	// Start the min-clock processor. From here control passes directly
+	// between processor goroutines; the loop below sees only terminal
+	// events.
+	e.resumeNext()
+	for {
 		ev := <-e.yieldCh
 		switch ev.kind {
-		case yieldQuantum:
-			e.heap.push(ev.p)
-		case yieldBlocked:
-			// The processor reappears via Wake.
 		case yieldFinished:
 			e.finished++
+			if e.finished == len(e.procs) {
+				return nil
+			}
+			if len(e.heap) == 0 {
+				return e.deadlock()
+			}
+			e.resumeNext()
+		case yieldIdle:
+			return e.deadlock()
 		case yieldPanic:
+			e.release() // unwind parked goroutines before re-raising
 			panic(ev.err)
 		}
 	}
-	return nil
+}
+
+// resumeNext pops the min-clock runnable processor, sets its run-ahead
+// limit from the new heap minimum, and transfers control to it.
+func (e *Engine) resumeNext() {
+	p := e.heap.pop()
+	if len(e.heap) > 0 {
+		p.limit = e.heap[0].now + e.quantum
+	} else {
+		p.limit = maxTime
+	}
+	p.resume <- struct{}{}
+}
+
+// deadlock collects the blocked processor set and releases every parked
+// goroutine so none leak.
+func (e *Engine) deadlock() error {
+	d := &DeadlockError{}
+	for _, p := range e.procs {
+		if p.blocked {
+			d.Blocked = append(d.Blocked, p.id)
+		}
+	}
+	sort.Ints(d.Blocked)
+	e.release()
+	return d
+}
+
+// release unwinds every parked processor goroutine (they observe the
+// abandoned flag, panic abandonRun, and exit) and waits for them, so no
+// stale goroutine can steal a resume token from a later Run. It must only
+// be called from Run with no processor goroutine executing: parked
+// goroutines are exactly those blocked in Block or sitting in the heap.
+func (e *Engine) release() {
+	e.abandoned = true
+	for _, p := range e.procs {
+		if p.blocked || p.heapIndex >= 0 {
+			p.resume <- struct{}{}
+		}
+	}
+	e.wg.Wait()
 }
 
 func (e *Engine) runProc(p *Proc, body func(*Proc)) {
+	defer e.wg.Done()
 	defer func() {
 		if r := recover(); r != nil {
+			if _, ok := r.(abandonRun); ok {
+				return // run abandoned (deadlock/panic); just exit
+			}
+			// Exactly one processor goroutine executes at a time, so
+			// the Run loop is necessarily waiting on yieldCh here.
 			e.yieldCh <- yieldEvent{p: p, kind: yieldPanic, err: r}
 		}
 	}()
-	<-p.resume
+	p.park()
 	body(p)
 	p.finished = true
 	e.yieldCh <- yieldEvent{p: p, kind: yieldFinished}

@@ -1,8 +1,11 @@
 package sim
 
 import (
+	"reflect"
+	"runtime"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func TestAdvanceChargesBuckets(t *testing.T) {
@@ -121,6 +124,74 @@ func TestDeadlockDetected(t *testing.T) {
 	}
 	if len(d.Blocked) != 2 {
 		t.Errorf("blocked = %v, want both processors", d.Blocked)
+	}
+}
+
+func TestDeadlockReleasesGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for i := 0; i < 10; i++ {
+		e := NewEngine(8, 0)
+		err := e.Run(func(p *Proc) {
+			if p.ID()%2 == 0 {
+				p.Block() // never woken
+			}
+		})
+		if _, ok := err.(*DeadlockError); !ok {
+			t.Fatalf("err = %v, want *DeadlockError", err)
+		}
+	}
+	// The blocked goroutines must have been released, not left parked on
+	// their resume channels. Allow a moment for released goroutines to
+	// finish exiting.
+	for i := 0; i < 100; i++ {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Errorf("goroutines leaked across deadlocked runs: before=%d after=%d", before, runtime.NumGoroutine())
+}
+
+func TestEngineReusableAfterDeadlock(t *testing.T) {
+	e := NewEngine(4, 0)
+	err := e.Run(func(p *Proc) {
+		if p.ID() == 3 {
+			p.Block()
+		}
+	})
+	if _, ok := err.(*DeadlockError); !ok {
+		t.Fatalf("err = %v, want *DeadlockError", err)
+	}
+	// A subsequent Run must work and must not have its resumes stolen by
+	// stale goroutines from the abandoned run.
+	if err := e.Run(func(p *Proc) { p.Advance(Nanosecond, StatBusy) }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCountersAddCoversEveryField sets every field of a Counters via
+// reflection and checks Add accumulates each one, so a newly added counter
+// cannot be silently dropped from aggregated results.
+func TestCountersAddCoversEveryField(t *testing.T) {
+	var src Counters
+	rv := reflect.ValueOf(&src).Elem()
+	for i := 0; i < rv.NumField(); i++ {
+		f := rv.Field(i)
+		if f.Kind() != reflect.Int64 {
+			t.Fatalf("Counters.%s: unexpected kind %v (update this test and Add)",
+				rv.Type().Field(i).Name, f.Kind())
+		}
+		f.SetInt(int64(i + 1))
+	}
+	var dst Counters
+	dst.Add(&src)
+	dst.Add(&src) // twice: catches '=' written instead of '+='
+	rd := reflect.ValueOf(&dst).Elem()
+	for i := 0; i < rd.NumField(); i++ {
+		if got, want := rd.Field(i).Int(), int64(2*(i+1)); got != want {
+			t.Errorf("Counters.Add drops or mis-accumulates field %s: got %d, want %d",
+				rd.Type().Field(i).Name, got, want)
+		}
 	}
 }
 
