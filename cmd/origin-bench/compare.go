@@ -1,0 +1,135 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// regressionThreshold is the ns/op slowdown ratio that fails -compare.
+const regressionThreshold = 0.10
+
+// Diff is one per-measurement comparison against the baseline snapshot.
+type Diff struct {
+	Name      string
+	OldNs     float64
+	NewNs     float64
+	Ratio     float64 // NewNs/OldNs - 1; positive = slower
+	OldAllocs int64
+	NewAllocs int64
+	// Regressed marks a ns/op slowdown beyond the threshold.
+	Regressed bool
+}
+
+func (d Diff) String() string {
+	status := "ok"
+	if d.Regressed {
+		status = "REGRESSED"
+	}
+	s := fmt.Sprintf("%-32s %12.1f -> %12.1f ns/op  %+6.1f%%  [%s]",
+		d.Name, d.OldNs, d.NewNs, 100*d.Ratio, status)
+	if d.NewAllocs != d.OldAllocs {
+		s += fmt.Sprintf("  allocs %d -> %d", d.OldAllocs, d.NewAllocs)
+	}
+	return s
+}
+
+// compareSnapshots matches results by name and computes the ns/op movement
+// of each measurement present in both snapshots. Wall-clock-dominated
+// entries (the experiment and app throughput rows) are compared too — they
+// are noisier, so only the threshold decides, not the noise model.
+func compareSnapshots(old, cur Snapshot, threshold float64) []Diff {
+	base := map[string]Result{}
+	for _, r := range old.Results {
+		base[r.Name] = r
+	}
+	var diffs []Diff
+	for _, r := range cur.Results {
+		b, ok := base[r.Name]
+		if !ok || b.NsPerOp <= 0 {
+			continue
+		}
+		d := Diff{
+			Name:      r.Name,
+			OldNs:     b.NsPerOp,
+			NewNs:     r.NsPerOp,
+			Ratio:     r.NsPerOp/b.NsPerOp - 1,
+			OldAllocs: b.AllocsPerOp,
+			NewAllocs: r.AllocsPerOp,
+		}
+		// Multiplicative form avoids float artifacts right at the
+		// threshold (110/100-1 is not exactly 0.10).
+		d.Regressed = r.NsPerOp > b.NsPerOp*(1+threshold)
+		diffs = append(diffs, d)
+	}
+	sort.Slice(diffs, func(i, j int) bool { return diffs[i].Ratio > diffs[j].Ratio })
+	return diffs
+}
+
+// regressions filters diffs down to the failures.
+func regressions(diffs []Diff) []Diff {
+	var bad []Diff
+	for _, d := range diffs {
+		if d.Regressed {
+			bad = append(bad, d)
+		}
+	}
+	return bad
+}
+
+// latestSnapshotPath returns the highest-numbered BENCH_<n>.json in dir, or
+// "" when none exists.
+func latestSnapshotPath(dir string) string {
+	best, bestN := "", 0
+	for n := 1; ; n++ {
+		name := fmt.Sprintf("BENCH_%d.json", n)
+		if _, err := os.Stat(dir + "/" + name); err != nil {
+			break
+		}
+		best, bestN = name, n
+	}
+	_ = bestN
+	if best == "" {
+		return ""
+	}
+	return dir + "/" + best
+}
+
+func loadSnapshot(path string) (Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Snapshot{}, err
+	}
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return Snapshot{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+// compareAgainstBaseline loads the baseline at path and renders the full
+// comparison. It returns an error listing every regression when any
+// measurement slowed by more than the threshold.
+func compareAgainstBaseline(path string, cur Snapshot, threshold float64) (report string, err error) {
+	base, err := loadSnapshot(path)
+	if err != nil {
+		return "", err
+	}
+	diffs := compareSnapshots(base, cur, threshold)
+	var b strings.Builder
+	fmt.Fprintf(&b, "comparison vs %s (threshold %+.0f%%):\n", path, 100*threshold)
+	for _, d := range diffs {
+		fmt.Fprintln(&b, " ", d)
+	}
+	if bad := regressions(diffs); len(bad) != 0 {
+		names := make([]string, len(bad))
+		for i, d := range bad {
+			names[i] = fmt.Sprintf("%s (%+.1f%%)", d.Name, 100*d.Ratio)
+		}
+		return b.String(), fmt.Errorf("%d measurement(s) regressed beyond %.0f%%: %s",
+			len(bad), 100*threshold, strings.Join(names, ", "))
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,122 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func snap(results ...Result) Snapshot {
+	return Snapshot{Schema: "origin-bench/v1", Results: results}
+}
+
+func TestCompareFlagsOnlyRegressionsBeyondThreshold(t *testing.T) {
+	old := snap(
+		Result{Name: "access:hit", NsPerOp: 100, AllocsPerOp: 0},
+		Result{Name: "access:local-miss", NsPerOp: 1000},
+		Result{Name: "scheduler:round-trip", NsPerOp: 500},
+		Result{Name: "gone", NsPerOp: 50},
+	)
+	cur := snap(
+		Result{Name: "access:hit", NsPerOp: 109, AllocsPerOp: 0},  // +9%: ok
+		Result{Name: "access:local-miss", NsPerOp: 1201},          // +20.1%: regressed
+		Result{Name: "scheduler:round-trip", NsPerOp: 400},        // improvement
+		Result{Name: "new-measurement", NsPerOp: 1},               // no baseline
+	)
+	diffs := compareSnapshots(old, cur, regressionThreshold)
+	if len(diffs) != 3 {
+		t.Fatalf("got %d diffs, want 3 (matched names only): %v", len(diffs), diffs)
+	}
+	// Sorted worst-first.
+	if diffs[0].Name != "access:local-miss" || !diffs[0].Regressed {
+		t.Fatalf("worst diff = %+v, want access:local-miss regressed", diffs[0])
+	}
+	for _, d := range diffs[1:] {
+		if d.Regressed {
+			t.Errorf("%s flagged at %+.1f%%, below threshold", d.Name, 100*d.Ratio)
+		}
+	}
+	bad := regressions(diffs)
+	if len(bad) != 1 || bad[0].Name != "access:local-miss" {
+		t.Fatalf("regressions = %v", bad)
+	}
+}
+
+func TestCompareExactThresholdIsNotRegression(t *testing.T) {
+	old := snap(Result{Name: "x", NsPerOp: 100})
+	cur := snap(Result{Name: "x", NsPerOp: 110}) // exactly +10%
+	if bad := regressions(compareSnapshots(old, cur, 0.10)); len(bad) != 0 {
+		t.Fatalf("exact threshold flagged as regression: %v", bad)
+	}
+	cur = snap(Result{Name: "x", NsPerOp: 110.2})
+	if bad := regressions(compareSnapshots(old, cur, 0.10)); len(bad) != 1 {
+		t.Fatal("just past threshold not flagged")
+	}
+}
+
+func TestCompareReportsAllocChanges(t *testing.T) {
+	old := snap(Result{Name: "access:hit", NsPerOp: 100, AllocsPerOp: 0})
+	cur := snap(Result{Name: "access:hit", NsPerOp: 100, AllocsPerOp: 2})
+	d := compareSnapshots(old, cur, 0.10)[0]
+	if !strings.Contains(d.String(), "allocs 0 -> 2") {
+		t.Fatalf("alloc change not rendered: %s", d)
+	}
+}
+
+func TestLatestSnapshotPathPicksHighestContiguous(t *testing.T) {
+	dir := t.TempDir()
+	if got := latestSnapshotPath(dir); got != "" {
+		t.Fatalf("empty dir returned %q", got)
+	}
+	for _, n := range []string{"BENCH_1.json", "BENCH_2.json", "BENCH_3.json"} {
+		if err := os.WriteFile(filepath.Join(dir, n), []byte("{}"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := latestSnapshotPath(dir); got != filepath.Join(dir, "BENCH_3.json") {
+		t.Fatalf("latest = %q, want BENCH_3.json", got)
+	}
+}
+
+func TestCompareAgainstBaselineEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	base := snap(
+		Result{Name: "access:hit", NsPerOp: 100},
+		Result{Name: "directory:write-fanout", NsPerOp: 200},
+	)
+	data, _ := json.Marshal(base)
+	path := filepath.Join(dir, "BENCH_1.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	healthy := snap(
+		Result{Name: "access:hit", NsPerOp: 104},
+		Result{Name: "directory:write-fanout", NsPerOp: 190},
+	)
+	report, err := compareAgainstBaseline(path, healthy, regressionThreshold)
+	if err != nil {
+		t.Fatalf("healthy snapshot failed: %v\n%s", err, report)
+	}
+	if !strings.Contains(report, "access:hit") {
+		t.Fatalf("report lacks per-measurement rows:\n%s", report)
+	}
+
+	slow := snap(Result{Name: "access:hit", NsPerOp: 150})
+	report, err = compareAgainstBaseline(path, slow, regressionThreshold)
+	if err == nil {
+		t.Fatal("50% regression not failed")
+	}
+	if !strings.Contains(err.Error(), "access:hit") || !strings.Contains(err.Error(), "+50.0%") {
+		t.Fatalf("diff not clear: %v", err)
+	}
+	if !strings.Contains(report, "REGRESSED") {
+		t.Fatalf("report does not mark the regression:\n%s", report)
+	}
+
+	if _, err := compareAgainstBaseline(filepath.Join(dir, "BENCH_9.json"), healthy, 0.1); err == nil {
+		t.Fatal("missing baseline not an error")
+	}
+}

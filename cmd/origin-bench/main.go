@@ -8,6 +8,9 @@
 //
 //	go run ./cmd/origin-bench           # writes BENCH_<n>.json (next free n)
 //	go run ./cmd/origin-bench -out x.json -note "after directory rework"
+//	go run ./cmd/origin-bench -compare  # also fail on >10% ns/op regression
+//	go run ./cmd/origin-bench -check    # run fig2+ablation with the
+//	                                    # coherence checker on; no snapshot
 package main
 
 import (
@@ -188,7 +191,27 @@ func nextOut() string {
 func main() {
 	out := flag.String("out", "", "output file (default: next free BENCH_<n>.json)")
 	note := flag.String("note", "", "free-form note recorded in the snapshot")
+	compare := flag.Bool("compare", false,
+		"compare against the latest BENCH_<n>.json and fail on a >10% ns/op regression")
+	check := flag.Bool("check", false,
+		"run the fig2 and ablation suites with the online coherence checker enabled, then exit")
 	flag.Parse()
+
+	if *check {
+		runChecked()
+		return
+	}
+
+	// Resolve the baseline before writing the new snapshot, so -compare
+	// never diffs a file against itself.
+	baseline := ""
+	if *compare {
+		baseline = latestSnapshotPath(".")
+		if baseline == "" {
+			fmt.Fprintln(os.Stderr, "origin-bench: -compare: no BENCH_<n>.json baseline found")
+			os.Exit(1)
+		}
+	}
 	if *out == "" {
 		*out = nextOut()
 	}
@@ -253,4 +276,29 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println("wrote", *out)
+
+	if baseline != "" {
+		report, err := compareAgainstBaseline(baseline, snap, regressionThreshold)
+		fmt.Print(report)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "origin-bench:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// runChecked executes the fig2 and ablation suites with the online
+// coherence-invariant checker attached to every machine; any protocol
+// violation fails the run with the checker's full report.
+func runChecked() {
+	s := experiments.Scale{Div: 16, CacheDiv: 16, Check: true}
+	for _, name := range []string{"fig2", "ablation"} {
+		fmt.Printf("checked %s...\n", name)
+		se := experiments.NewSession(s)
+		if err := experiments.Run(name, se, discard{}); err != nil {
+			fmt.Fprintln(os.Stderr, "origin-bench: coherence violation:", err)
+			os.Exit(1)
+		}
+	}
+	fmt.Println("checked fig2+ablation: zero coherence violations")
 }

@@ -1,0 +1,52 @@
+package fft
+
+import (
+	"math/cmplx"
+	"testing"
+
+	"origin2000/internal/core"
+	"origin2000/internal/workload"
+)
+
+// TestGoldenOutputMatchesNaiveDFT pins the full transform output — not just
+// Parseval's identity — against the O(n²) direct DFT, on a pinned small
+// input, at 1, 4 and 32 processors. The parallel decomposition only changes
+// who computes each row, never the per-element operation order, so all
+// processor counts must agree bit for bit; and every run executes with the
+// online coherence checker enabled.
+func TestGoldenOutputMatchesNaiveDFT(t *testing.T) {
+	const n = 1 << 10 // dim 32, so 32 processors get one row each
+	var golden []complex128
+	var first []complex128
+	for _, procs := range []int{1, 4, 32} {
+		cfg := core.Origin2000(procs)
+		cfg.Check = true
+		m := core.New(cfg)
+		f, err := build(m, workload.Params{Size: n, Seed: 11})
+		if err != nil {
+			t.Fatal(err)
+		}
+		input := append([]complex128(nil), f.a...)
+		if err := m.Run(f.body); err != nil {
+			t.Fatalf("procs=%d: %v", procs, err)
+		}
+		if golden == nil {
+			golden = Reference(input)
+		}
+		for i := range golden {
+			if d := cmplx.Abs(f.b[i] - golden[i]); d > 1e-9*float64(n) {
+				t.Fatalf("procs=%d: X[%d] = %v, want %v (|Δ|=%g)", procs, i, f.b[i], golden[i], d)
+			}
+		}
+		if first == nil {
+			first = append([]complex128(nil), f.b...)
+			continue
+		}
+		for i := range first {
+			if f.b[i] != first[i] {
+				t.Fatalf("procs=%d: output differs from 1-proc run at %d: %v != %v",
+					procs, i, f.b[i], first[i])
+			}
+		}
+	}
+}

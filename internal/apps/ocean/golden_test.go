@@ -1,0 +1,38 @@
+package ocean
+
+import (
+	"math"
+	"testing"
+
+	"origin2000/internal/core"
+	"origin2000/internal/workload"
+)
+
+// TestGoldenChecksumAcrossProcCounts pins the relaxation result on a small
+// fixed input at 1, 4 and 32 processors, with the online coherence checker
+// enabled: the grid checksum must match the plain-Go reference exactly (the
+// decomposition never reorders a cell's update arithmetic), and the result
+// must stay finite — the energy-conservation guard for the solver.
+func TestGoldenChecksumAcrossProcCounts(t *testing.T) {
+	const (
+		size  = 66
+		seed  = 5
+		steps = 4
+	)
+	want := Checksum(size, seed, steps)
+	if math.IsNaN(want) || math.IsInf(want, 0) {
+		t.Fatalf("reference checksum not finite: %g", want)
+	}
+	for _, procs := range []int{1, 4, 32} {
+		cfg := core.Origin2000(procs)
+		cfg.Check = true
+		m := core.New(cfg)
+		got, err := RunForSum(m, workload.Params{Size: size, Seed: seed, Steps: steps})
+		if err != nil {
+			t.Fatalf("procs=%d: %v", procs, err)
+		}
+		if got != want {
+			t.Errorf("procs=%d: checksum %g != reference %g", procs, got, want)
+		}
+	}
+}

@@ -1,0 +1,46 @@
+package radix
+
+import (
+	"sort"
+	"testing"
+
+	"origin2000/internal/core"
+	"origin2000/internal/workload"
+)
+
+// TestGoldenOutputMatchesSortSlice pins the full sorted output against
+// sort.Slice on the same pinned input, at 1, 4 and 32 processors, for both
+// the radix and sample-sort bodies, with the online coherence checker
+// enabled. Keys are uint32s, so every processor count must produce the
+// identical permutation-free sequence.
+func TestGoldenOutputMatchesSortSlice(t *testing.T) {
+	const n = 1 << 12
+	for _, variant := range []string{"", "sample"} {
+		var want []uint32
+		for _, procs := range []int{1, 4, 32} {
+			cfg := core.Origin2000(procs)
+			cfg.Check = true
+			m := core.New(cfg)
+			r := build(m, workload.Params{Size: n, Seed: 21, Variant: variant})
+			if want == nil {
+				want = append([]uint32(nil), r.keys...)
+				sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+			}
+			body := r.radixBody
+			if variant == "sample" {
+				body = r.sampleBody
+			}
+			if err := m.Run(body); err != nil {
+				t.Fatalf("%q procs=%d: %v", variant, procs, err)
+			}
+			if len(r.out) != len(want) {
+				t.Fatalf("%q procs=%d: out has %d keys, want %d", variant, procs, len(r.out), len(want))
+			}
+			for i := range want {
+				if r.out[i] != want[i] {
+					t.Fatalf("%q procs=%d: out[%d] = %d, want %d", variant, procs, i, r.out[i], want[i])
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package watern
+
+import (
+	"math"
+	"testing"
+
+	"origin2000/internal/core"
+	"origin2000/internal/workload"
+)
+
+// TestGoldenPotentialAcrossProcCounts pins the first-step potential on a
+// small fixed input at 1, 4 and 32 processors with the online coherence
+// checker enabled. The pair set is identical under any decomposition; only
+// summation order differs, so the potential must match the plain-Go
+// reference within floating-point tolerance, and all parallel runs must
+// agree with each other to the same tolerance.
+func TestGoldenPotentialAcrossProcCounts(t *testing.T) {
+	const (
+		n    = 256
+		seed = 9
+	)
+	want := ReferencePotential(n, seed)
+	for _, procs := range []int{1, 4, 32} {
+		cfg := core.Origin2000(procs)
+		cfg.Check = true
+		m := core.New(cfg)
+		got, err := RunForPotential(m, workload.Params{Size: n, Seed: seed})
+		if err != nil {
+			t.Fatalf("procs=%d: %v", procs, err)
+		}
+		if err := workload.CheckClose("potential", got, want, 1e-9); err != nil {
+			t.Errorf("procs=%d: %v", procs, err)
+		}
+	}
+}
+
+// TestGoldenEnergyStaysConserved runs several steps and bounds the drift of
+// the per-step potential: the completed-square pair energy is positive
+// definite, so a healthy integration keeps each step's potential positive,
+// finite, and within a loose band of the first step.
+func TestGoldenEnergyStaysConserved(t *testing.T) {
+	cfg := core.Origin2000(4)
+	cfg.Check = true
+	m := core.New(cfg)
+	w, err := build(m, workload.Params{Size: 128, Seed: 9, Steps: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(w.body); err != nil {
+		t.Fatal(err)
+	}
+	// w.energy accumulates per-processor partials across all steps; the
+	// average per-step potential must stay positive and finite.
+	var total float64
+	for _, e := range w.energy {
+		total += e
+	}
+	perStep := total / float64(w.steps)
+	if math.IsNaN(perStep) || math.IsInf(perStep, 0) || perStep <= 0 {
+		t.Fatalf("per-step potential %g not positive finite", perStep)
+	}
+	// And the multi-step average cannot stray far from the first-step
+	// reference: a blown-up integration moves it by orders of magnitude.
+	first := ReferencePotential(128, 9)
+	if ratio := perStep / first; ratio < 0.5 || ratio > 2.0 {
+		t.Fatalf("per-step potential %g drifted from first-step %g (ratio %.3f)", perStep, first, ratio)
+	}
+}

@@ -1,0 +1,238 @@
+package check
+
+import (
+	"strings"
+	"testing"
+
+	"origin2000/internal/cache"
+	"origin2000/internal/directory"
+	"origin2000/internal/sim"
+)
+
+// harness drives a Checker directly with a real directory and caches,
+// playing both sides of the protocol the way internal/core does.
+type harness struct {
+	ck  *Checker
+	dir *directory.Directory
+	cas []*cache.Cache
+}
+
+func newHarness(nprocs int) *harness {
+	d := directory.New()
+	h := &harness{ck: New(nprocs, d), dir: d}
+	for p := 0; p < nprocs; p++ {
+		c := cache.New(cache.Config{SizeBytes: 4 << 10, BlockBytes: 128, Assoc: 2})
+		h.cas = append(h.cas, c)
+		h.ck.AttachCache(p, c)
+	}
+	return h
+}
+
+// read performs a faithful read miss or hit for proc on block.
+func (h *harness) read(p int, block uint64, at sim.Time) {
+	if h.cas[p].Lookup(block) != cache.Invalid {
+		h.ck.OnHit(p, block, false, at)
+		return
+	}
+	res := h.dir.Read(block, p)
+	h.ck.OnDirRead(block, p, res, at)
+	if res.Dirty {
+		h.cas[res.Owner].Downgrade(block)
+		h.ck.OnDowngrade(res.Owner, block, at)
+	}
+	h.cas[p].Fill(block, cache.Shared)
+	h.ck.OnFill(p, block, false, at)
+	h.ck.OnTxnEnd(p, block, at)
+}
+
+// write performs a faithful write miss/upgrade for proc on block.
+func (h *harness) write(p int, block uint64, at sim.Time) {
+	st := h.cas[p].Lookup(block)
+	if st == cache.Modified {
+		h.ck.OnHit(p, block, true, at)
+		return
+	}
+	res := h.dir.Write(block, p)
+	h.ck.OnDirWrite(block, p, res, at)
+	if res.Dirty {
+		h.cas[res.Owner].Invalidate(block)
+		h.ck.OnInvalidate(res.Owner, block, at)
+	}
+	for _, s := range res.Invalidate {
+		h.cas[s].Invalidate(block)
+		h.ck.OnInvalidate(s, block, at)
+	}
+	if st == cache.Shared {
+		h.cas[p].SetState(block, cache.Modified)
+		h.ck.OnUpgrade(p, block, at)
+	} else {
+		h.cas[p].Fill(block, cache.Modified)
+		h.ck.OnFill(p, block, true, at)
+	}
+	h.ck.OnTxnEnd(p, block, at)
+}
+
+func TestFaithfulProtocolHasNoViolations(t *testing.T) {
+	h := newHarness(4)
+	var at sim.Time
+	for i := 0; i < 200; i++ {
+		p := i % 4
+		block := uint64(i % 7)
+		at += 10 * sim.Nanosecond
+		if i%3 == 0 {
+			h.write(p, block, at)
+		} else {
+			h.read(p, block, at)
+		}
+	}
+	if h.ck.Audit(); h.ck.Err() != nil {
+		t.Fatalf("faithful protocol flagged: %v", h.ck.Err())
+	}
+	if h.ck.Events() == 0 {
+		t.Fatal("no events recorded")
+	}
+}
+
+func TestLostInvalidationIsCaughtAtDirWrite(t *testing.T) {
+	h := newHarness(3)
+	h.read(0, 1, 10)
+	h.read(1, 1, 20)
+	h.read(2, 1, 30)
+	// p0 writes, but the directory "forgets" p2's invalidation.
+	res := h.dir.Write(1, 0)
+	filtered := res
+	filtered.Invalidate = nil
+	for _, s := range res.Invalidate {
+		if s != 2 {
+			filtered.Invalidate = append(filtered.Invalidate, s)
+		}
+	}
+	h.ck.OnDirWrite(1, 0, filtered, 40)
+	if h.ck.Err() == nil {
+		t.Fatal("missing invalidation target not flagged")
+	}
+	if !strings.Contains(h.ck.Err().Error(), "invalidation list") {
+		t.Fatalf("unexpected violation: %v", h.ck.Err())
+	}
+}
+
+func TestUndeliveredInvalidationCaughtAtUpgrade(t *testing.T) {
+	h := newHarness(2)
+	h.read(0, 5, 10)
+	h.read(1, 5, 20)
+	// p0 gains ownership. The directory names p1 in the invalidation list
+	// (so OnDirWrite is satisfied), but the invalidation is never
+	// delivered: neither p1's cache nor the mirror drops the copy. The
+	// SWMR scan at the upgrade catches the surviving reader immediately.
+	res := h.dir.Write(5, 0)
+	h.ck.OnDirWrite(5, 0, directory.WriteResult{Invalidate: res.Invalidate}, 30)
+	h.cas[0].SetState(5, cache.Modified)
+	h.ck.OnUpgrade(0, 5, 30)
+	err := h.ck.Err()
+	if err == nil {
+		t.Fatal("undelivered invalidation not flagged")
+	}
+	if !strings.Contains(err.Error(), "SWMR") {
+		t.Fatalf("unexpected violation: %v", err)
+	}
+}
+
+// TestStaleReadHitIsCaught exercises the version backstop directly: a copy
+// whose version lags the golden image trips the "lost invalidation?" report
+// on its next use, even if every structural check somehow missed it.
+func TestStaleReadHitIsCaught(t *testing.T) {
+	h := newHarness(2)
+	b := h.ck.mirror(5)
+	b.ver = 3
+	b.held[1] = lineMirror{state: cache.Shared, ver: 2}
+	h.ck.OnHit(1, 5, false, 40)
+	err := h.ck.Err()
+	if err == nil {
+		t.Fatal("stale read hit not flagged")
+	}
+	if !strings.Contains(err.Error(), "stale") {
+		t.Fatalf("unexpected violation: %v", err)
+	}
+}
+
+func TestSWMRTwoWritersCaught(t *testing.T) {
+	h := newHarness(2)
+	h.write(0, 3, 10)
+	// A buggy protocol grants p1 ownership without transferring it.
+	h.cas[1].Fill(3, cache.Modified)
+	h.ck.OnFill(1, 3, true, 20)
+	err := h.ck.Err()
+	if err == nil {
+		t.Fatal("two simultaneous writers not flagged")
+	}
+	if !strings.Contains(err.Error(), "SWMR") {
+		t.Fatalf("unexpected violation: %v", err)
+	}
+}
+
+func TestViolationCarriesHistoryAndClocks(t *testing.T) {
+	h := newHarness(2)
+	h.read(0, 9, 100*sim.Nanosecond)
+	h.write(1, 9, 200*sim.Nanosecond)
+	h.cas[0].Fill(9, cache.Modified) // corrupt: p0 reappears as a writer
+	h.ck.OnFill(0, 9, true, 300*sim.Nanosecond)
+	vs := h.ck.Violations()
+	if len(vs) == 0 {
+		t.Fatal("no violation recorded")
+	}
+	v := vs[0]
+	if v.Block != 9 {
+		t.Errorf("block = %d, want 9", v.Block)
+	}
+	if len(v.History) == 0 {
+		t.Error("violation has no history ring")
+	}
+	if len(v.Clocks) != 2 {
+		t.Errorf("clocks = %v, want per-proc clocks", v.Clocks)
+	}
+	if v.Clocks[1] != 200*sim.Nanosecond {
+		t.Errorf("p1 clock = %s, want 200ns", v.Clocks[1])
+	}
+	if !strings.Contains(v.Error(), "history") {
+		t.Error("formatted violation lacks history section")
+	}
+}
+
+func TestMaxViolationsBoundsRetention(t *testing.T) {
+	h := newHarness(2)
+	h.ck.MaxViolations = 3
+	for i := 0; i < 10; i++ {
+		// Every OnHit without a held mirror line is a violation.
+		h.ck.OnHit(0, uint64(i), false, sim.Time(i))
+	}
+	if got := len(h.ck.Violations()); got != 3 {
+		t.Fatalf("retained %d violations, want 3", got)
+	}
+	if err := h.ck.Err(); !strings.Contains(err.Error(), "10 violations") {
+		t.Fatalf("Err should count dropped violations: %v", err)
+	}
+}
+
+func TestAuditFlagsForeignDirectoryState(t *testing.T) {
+	h := newHarness(2)
+	h.read(0, 1, 10)
+	// The directory grows state the event stream never saw.
+	h.dir.Read(4242, 1)
+	if n := h.ck.Audit(); n == 0 {
+		t.Fatal("audit missed directory state with no recorded transactions")
+	}
+}
+
+func TestHistoryRingKeepsLastEvents(t *testing.T) {
+	r := &ring{}
+	for i := 0; i < ringSize+5; i++ {
+		r.record(Event{At: sim.Time(i)})
+	}
+	snap := r.snapshot()
+	if len(snap) != ringSize {
+		t.Fatalf("snapshot length %d, want %d", len(snap), ringSize)
+	}
+	if snap[0].At != 5 || snap[ringSize-1].At != sim.Time(ringSize+4) {
+		t.Fatalf("ring window wrong: first %v last %v", snap[0].At, snap[ringSize-1].At)
+	}
+}

@@ -1,0 +1,67 @@
+package litmus
+
+import (
+	"testing"
+)
+
+// TestLitmusSuiteIsSequentiallyConsistent runs every litmus test across the
+// full interleaving grid and requires (1) no outcome outside the SC-allowed
+// set, (2) no coherence-checker violation in any run, and (3) real
+// interleaving diversity — a harness that only ever produces one outcome
+// proves nothing.
+func TestLitmusSuiteIsSequentiallyConsistent(t *testing.T) {
+	for _, lt := range All() {
+		lt := lt
+		t.Run(lt.Name, func(t *testing.T) {
+			observed, err := Run(lt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if bad := Forbidden(lt, observed); len(bad) != 0 {
+				t.Fatalf("SC-forbidden outcomes observed: %v\n(all: %v)", bad, observed)
+			}
+			if len(observed) < 2 {
+				t.Fatalf("interleaving grid produced only %v — harness not exploring", observed)
+			}
+			t.Logf("%s: %d distinct outcomes, all SC-allowed: %v", lt.Name, len(observed), observed)
+		})
+	}
+}
+
+// TestForbiddenDetectsViolations checks the oracle itself: a fabricated
+// non-SC outcome must be flagged.
+func TestForbiddenDetectsViolations(t *testing.T) {
+	sb := StoreBuffering()
+	bad := Forbidden(sb, []string{"r0=1 r1=1", "r0=0 r1=0"})
+	if len(bad) != 1 || bad[0] != "r0=0 r1=0" {
+		t.Fatalf("Forbidden = %v, want [r0=0 r1=0]", bad)
+	}
+	iriw := IRIW()
+	if len(iriw.Allowed) != 15 {
+		t.Fatalf("IRIW allowed set has %d outcomes, want 15", len(iriw.Allowed))
+	}
+	if bad := Forbidden(iriw, []string{"r0=1 r1=0 r2=1 r3=0"}); len(bad) != 1 {
+		t.Fatal("IRIW split-order signature not flagged")
+	}
+}
+
+// TestRunIsDeterministic: the engine serializes identically on every run, so
+// the explored outcome set is bit-identical between invocations.
+func TestRunIsDeterministic(t *testing.T) {
+	a, err := Run(StoreBuffering())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(StoreBuffering())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("outcome sets differ: %v vs %v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("outcome sets differ: %v vs %v", a, b)
+		}
+	}
+}

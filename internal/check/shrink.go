@@ -1,0 +1,110 @@
+package check
+
+// Shrink minimizes a failing trace. fails must report whether a trace
+// still triggers the failure, by replaying it on a fresh machine — the
+// simulator is deterministic, so replay is bit-identical and the predicate
+// is a sound oracle. Shrink requires fails(t) to be true on entry and
+// returns a trace that still fails, typically a handful of ops.
+//
+// The strategy is ddmin-style subset removal (drop chunks, halving the
+// chunk size down to single operations) followed by value-level
+// simplification: demote exotic op kinds to plain reads/writes, move
+// operations onto lower-numbered processors and blocks, and drop unused
+// trailing configuration (migration, extra pages). Every accepted step
+// strictly reduces a well-founded measure, so Shrink terminates.
+func Shrink(t Trace, fails func(Trace) bool) Trace {
+	cur := t
+
+	// Pass 1: remove operation chunks.
+	for chunk := len(cur.Ops) / 2; chunk >= 1; chunk /= 2 {
+		for start := 0; start < len(cur.Ops); {
+			end := start + chunk
+			if end > len(cur.Ops) {
+				end = len(cur.Ops)
+			}
+			cand := cur
+			cand.Ops = make([]Op, 0, len(cur.Ops)-(end-start))
+			cand.Ops = append(cand.Ops, cur.Ops[:start]...)
+			cand.Ops = append(cand.Ops, cur.Ops[end:]...)
+			if len(cand.Ops) > 0 && fails(cand) {
+				cur = cand
+				// Re-test the same start: the next chunk slid into place.
+			} else {
+				start = end
+			}
+		}
+	}
+
+	// Pass 2: simplify surviving operations one at a time.
+	simpler := func(op Op) []Op {
+		var out []Op
+		if op.Kind == OpPrefetch || op.Kind == OpFetchOp || op.Kind == OpRehome {
+			out = append(out, Op{Proc: op.Proc, Kind: OpRead, Loc: op.Loc})
+			out = append(out, Op{Proc: op.Proc, Kind: OpWrite, Loc: op.Loc})
+		}
+		if op.Loc > 0 {
+			out = append(out, Op{Proc: op.Proc, Kind: op.Kind, Loc: op.Loc / 2})
+			out = append(out, Op{Proc: op.Proc, Kind: op.Kind, Loc: 0})
+		}
+		if op.Proc > 0 {
+			out = append(out, Op{Proc: op.Proc / 2, Kind: op.Kind, Loc: op.Loc})
+		}
+		return out
+	}
+	for changed := true; changed; {
+		changed = false
+		for i := range cur.Ops {
+			for _, rep := range simpler(cur.Ops[i]) {
+				if rep == cur.Ops[i] {
+					continue
+				}
+				cand := cur
+				cand.Ops = append([]Op(nil), cur.Ops...)
+				cand.Ops[i] = rep
+				if fails(cand) {
+					cur = cand
+					changed = true
+					break
+				}
+			}
+		}
+	}
+
+	// Pass 3: shrink the configuration. Processor count drops to the
+	// highest processor actually used; window and migration simplify when
+	// the failure does not depend on them.
+	maxProc := 0
+	for _, op := range cur.Ops {
+		if int(op.Proc) > maxProc {
+			maxProc = int(op.Proc)
+		}
+	}
+	if cand := cur; maxProc+1 < cand.Procs && maxProc+1 >= 2 {
+		cand.Procs = maxProc + 1
+		if fails(cand) {
+			cur = cand
+		}
+	}
+	for pages := 1; pages < cur.Pages; pages++ {
+		cand := cur
+		cand.Pages = pages
+		if fails(cand) {
+			cur = cand
+			break
+		}
+	}
+	if cur.Migrate != 0 {
+		cand := cur
+		cand.Migrate = 0
+		if fails(cand) {
+			cur = cand
+		}
+	}
+	if cand := cur; cand.Policy != 0 {
+		cand.Policy = 0
+		if fails(cand) {
+			cur = cand
+		}
+	}
+	return cur
+}

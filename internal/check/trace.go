@@ -1,0 +1,247 @@
+package check
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"origin2000/internal/mempolicy"
+)
+
+// The protocol fuzzer drives the machine with Traces: compact, fully
+// deterministic access schedules over a small shared address window, sized
+// so that different processors collide on the same blocks constantly. The
+// same Trace always produces the same simulation (the engine is
+// deterministic), which is what makes shrinking sound: a failing seed
+// replays bit-identically, so removing operations and re-running is a
+// reliable oracle.
+
+// OpKind is one trace operation type.
+type OpKind uint8
+
+// Trace operation kinds.
+const (
+	// OpRead is a demand load of one block.
+	OpRead OpKind = iota
+	// OpWrite is a demand store (exclusive ownership).
+	OpWrite
+	// OpPrefetch issues a non-binding software prefetch.
+	OpPrefetch
+	// OpFetchOp is an uncached at-memory fetch&op.
+	OpFetchOp
+	// OpRehome re-homes one page of the window (manual placement during
+	// the run; exercises the page-table generation and home-TLB paths).
+	OpRehome
+	numOpKinds
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpRead:
+		return "OpRead"
+	case OpWrite:
+		return "OpWrite"
+	case OpPrefetch:
+		return "OpPrefetch"
+	case OpFetchOp:
+		return "OpFetchOp"
+	case OpRehome:
+		return "OpRehome"
+	}
+	return fmt.Sprintf("OpKind(%d)", uint8(k))
+}
+
+// Op is one operation of a trace. Proc selects the issuing processor
+// (modulo the trace's processor count). For memory operations Loc selects
+// the block within the trace's address window (modulo the window size); for
+// OpRehome, Loc mod pages selects the page and Loc divided by pages selects
+// the destination node.
+type Op struct {
+	Proc uint8
+	Kind OpKind
+	Loc  uint16
+}
+
+// Trace is a deterministic protocol-fuzz schedule.
+type Trace struct {
+	// Procs is the processor count, 2..128.
+	Procs int
+	// Policy is the default page-placement policy.
+	Policy mempolicy.Kind
+	// Migrate enables dynamic page migration with this threshold (0 off).
+	Migrate int
+	// Pages sizes the shared address window, 1..maxTracePages pages.
+	Pages int
+	// Ops is the schedule; processor p executes the subsequence with
+	// Op.Proc selecting p, in order.
+	Ops []Op
+}
+
+// Trace geometry limits. The window is deliberately tiny: every block is
+// contended, so a few hundred operations cover upgrade, intervention,
+// invalidation fan-out, writeback and replacement-hint paths many times
+// over.
+const (
+	maxTracePages = 8
+	// BlocksPerPage is the number of 128-byte blocks per 16 KB page.
+	BlocksPerPage = mempolicy.PageBytes / 128
+	// maxTraceOps bounds decoded traces so a fuzz input cannot demand an
+	// unbounded amount of work.
+	maxTraceOps = 4096
+)
+
+// Blocks returns the number of blocks in the trace's address window.
+func (t *Trace) Blocks() int { return t.Pages * BlocksPerPage }
+
+// Block returns the window block index addressed by op.
+func (t *Trace) Block(op Op) int { return int(op.Loc) % t.Blocks() }
+
+// Normalize clamps the trace into the supported envelope; decoded and
+// hand-built traces call it before running.
+func (t *Trace) Normalize() {
+	if t.Procs < 2 {
+		t.Procs = 2
+	}
+	if t.Procs > 128 {
+		t.Procs = 128
+	}
+	if t.Policy != mempolicy.RoundRobin {
+		t.Policy = mempolicy.FirstTouch
+	}
+	if t.Migrate < 0 {
+		t.Migrate = 0
+	}
+	if t.Migrate > 64 {
+		t.Migrate = 64
+	}
+	if t.Pages < 1 {
+		t.Pages = 1
+	}
+	if t.Pages > maxTracePages {
+		t.Pages = maxTracePages
+	}
+	if len(t.Ops) > maxTraceOps {
+		t.Ops = t.Ops[:maxTraceOps]
+	}
+	for i := range t.Ops {
+		t.Ops[i].Kind %= numOpKinds
+		t.Ops[i].Proc = uint8(int(t.Ops[i].Proc) % t.Procs)
+	}
+}
+
+// GenConfig biases trace generation.
+type GenConfig struct {
+	// Procs is the processor count (2..128).
+	Procs int
+	// Ops is the number of operations to generate.
+	Ops int
+	// Pages sizes the address window (default 2).
+	Pages int
+	// Migrate sets the migration threshold (0 off).
+	Migrate int
+	// RoundRobin selects round-robin default placement.
+	RoundRobin bool
+}
+
+// Generate builds a seeded random trace. The distribution is tuned for
+// protocol coverage, not realism: reads and writes dominate, a quarter of
+// the traffic hammers one hot page, and occasional prefetches, fetch&ops
+// and re-homes exercise the side paths.
+func Generate(seed int64, cfg GenConfig) Trace {
+	rng := rand.New(rand.NewSource(seed))
+	t := Trace{
+		Procs:   cfg.Procs,
+		Migrate: cfg.Migrate,
+		Pages:   cfg.Pages,
+	}
+	if cfg.RoundRobin {
+		t.Policy = mempolicy.RoundRobin
+	}
+	if t.Pages == 0 {
+		t.Pages = 2
+	}
+	t.Normalize()
+	blocks := t.Blocks()
+	t.Ops = make([]Op, 0, cfg.Ops)
+	for i := 0; i < cfg.Ops; i++ {
+		op := Op{Proc: uint8(rng.Intn(t.Procs))}
+		switch r := rng.Intn(100); {
+		case r < 45:
+			op.Kind = OpRead
+		case r < 85:
+			op.Kind = OpWrite
+		case r < 92:
+			op.Kind = OpPrefetch
+		case r < 97:
+			op.Kind = OpFetchOp
+		default:
+			op.Kind = OpRehome
+		}
+		if rng.Intn(4) == 0 {
+			// Hot set: the first few blocks, maximizing sharer overlap.
+			op.Loc = uint16(rng.Intn(4))
+		} else {
+			op.Loc = uint16(rng.Intn(blocks))
+		}
+		if op.Kind == OpRehome {
+			op.Loc = uint16(rng.Intn(t.Pages * 16)) // page + destination node
+		}
+		t.Ops = append(t.Ops, op)
+	}
+	return t
+}
+
+// Trace wire format, used for the native fuzz target's corpus: a 4-byte
+// header (procs, policy, migrate, pages) followed by 4 bytes per op
+// (proc, kind, loc hi, loc lo). Decode accepts arbitrary bytes — every
+// input is clamped into the supported envelope — so the fuzzer can mutate
+// freely.
+
+// Encode serializes the trace.
+func (t *Trace) Encode() []byte {
+	out := make([]byte, 0, 4+4*len(t.Ops))
+	out = append(out, byte(t.Procs), byte(t.Policy), byte(t.Migrate), byte(t.Pages))
+	for _, op := range t.Ops {
+		out = append(out, op.Proc, byte(op.Kind), byte(op.Loc>>8), byte(op.Loc))
+	}
+	return out
+}
+
+// DecodeTrace parses (and Normalizes) a trace from arbitrary bytes.
+func DecodeTrace(data []byte) Trace {
+	var t Trace
+	if len(data) >= 4 {
+		t.Procs = int(data[0])
+		t.Policy = mempolicy.Kind(data[1] % 2)
+		t.Migrate = int(data[2] % 65)
+		t.Pages = int(data[3]) // Normalize clamps into 1..maxTracePages
+		data = data[4:]
+	}
+	for len(data) >= 4 && len(t.Ops) < maxTraceOps {
+		t.Ops = append(t.Ops, Op{
+			Proc: data[0],
+			Kind: OpKind(data[1]),
+			Loc:  uint16(data[2])<<8 | uint16(data[3]),
+		})
+		data = data[4:]
+	}
+	t.Normalize()
+	return t
+}
+
+// GoSource renders the trace as a Go composite literal, so a shrunk
+// counterexample can be pasted straight into a regression test.
+func (t *Trace) GoSource() string {
+	var b strings.Builder
+	policy := "mempolicy.FirstTouch"
+	if t.Policy == mempolicy.RoundRobin {
+		policy = "mempolicy.RoundRobin"
+	}
+	fmt.Fprintf(&b, "check.Trace{\n\tProcs: %d, Policy: %s, Migrate: %d, Pages: %d,\n\tOps: []check.Op{\n",
+		t.Procs, policy, t.Migrate, t.Pages)
+	for _, op := range t.Ops {
+		fmt.Fprintf(&b, "\t\t{Proc: %d, Kind: check.%s, Loc: %d},\n", op.Proc, op.Kind, op.Loc)
+	}
+	b.WriteString("\t},\n}")
+	return b.String()
+}

@@ -1,0 +1,140 @@
+package check
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"origin2000/internal/mempolicy"
+)
+
+func TestTraceEncodeDecodeRoundTrip(t *testing.T) {
+	tr := Generate(42, GenConfig{Procs: 16, Ops: 300, Pages: 3, Migrate: 8, RoundRobin: true})
+	got := DecodeTrace(tr.Encode())
+	if !reflect.DeepEqual(got, tr) {
+		t.Fatalf("round trip changed the trace:\n got %+v\nwant %+v", got, tr)
+	}
+}
+
+func TestGenerateIsDeterministic(t *testing.T) {
+	cfg := GenConfig{Procs: 8, Ops: 400, Pages: 2}
+	a, b := Generate(5, cfg), Generate(5, cfg)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different traces")
+	}
+	c := Generate(6, cfg)
+	if reflect.DeepEqual(a.Ops, c.Ops) {
+		t.Fatal("different seeds produced identical op streams")
+	}
+}
+
+func TestDecodeClampsArbitraryBytes(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{0},
+		{0, 0, 0, 0},
+		{255, 255, 255, 255, 255, 255, 255, 255},
+		bytes.Repeat([]byte{7, 200, 9, 13}, maxTraceOps+50),
+	}
+	for _, data := range cases {
+		tr := DecodeTrace(data)
+		if tr.Procs < 2 || tr.Procs > 128 {
+			t.Errorf("procs %d out of range for input %v...", tr.Procs, data[:min(4, len(data))])
+		}
+		if tr.Pages < 1 || tr.Pages > maxTracePages {
+			t.Errorf("pages %d out of range", tr.Pages)
+		}
+		if tr.Migrate < 0 || tr.Migrate > 64 {
+			t.Errorf("migrate %d out of range", tr.Migrate)
+		}
+		if len(tr.Ops) > maxTraceOps {
+			t.Errorf("ops %d exceeds cap", len(tr.Ops))
+		}
+		for _, op := range tr.Ops {
+			if op.Kind >= numOpKinds {
+				t.Errorf("kind %d not normalized", op.Kind)
+			}
+			if int(op.Proc) >= tr.Procs {
+				t.Errorf("proc %d >= procs %d", op.Proc, tr.Procs)
+			}
+		}
+	}
+}
+
+func TestNormalizeClampsExtremes(t *testing.T) {
+	tr := Trace{Procs: 1000, Policy: mempolicy.Kind(9), Migrate: -3, Pages: 99}
+	tr.Ops = []Op{{Proc: 250, Kind: OpKind(77), Loc: 9}}
+	tr.Normalize()
+	if tr.Procs != 128 || tr.Policy != mempolicy.FirstTouch || tr.Migrate != 0 || tr.Pages != maxTracePages {
+		t.Fatalf("bad clamp: %+v", tr)
+	}
+	if tr.Ops[0].Kind >= numOpKinds || int(tr.Ops[0].Proc) >= tr.Procs {
+		t.Fatalf("op not normalized: %+v", tr.Ops[0])
+	}
+}
+
+func TestGoSourceRendersLiteral(t *testing.T) {
+	tr := Trace{Procs: 2, Pages: 1, Ops: []Op{{Proc: 1, Kind: OpWrite, Loc: 3}}}
+	src := tr.GoSource()
+	for _, want := range []string{"check.Trace{", "Procs: 2", "check.OpWrite", "Loc: 3"} {
+		if !strings.Contains(src, want) {
+			t.Errorf("GoSource lacks %q:\n%s", want, src)
+		}
+	}
+}
+
+// TestShrinkAgainstSyntheticOracle shrinks under a predicate with a known
+// minimal core: the trace fails iff proc 2 writes block 5 after proc 1 read
+// it. The shrinker must keep exactly that interaction.
+func TestShrinkAgainstSyntheticOracle(t *testing.T) {
+	fails := func(tr Trace) bool {
+		seen := false
+		for _, op := range tr.Ops {
+			if op.Proc == 1 && op.Kind == OpRead && tr.Block(op) == 5 {
+				seen = true
+			}
+			if seen && op.Proc == 2 && op.Kind == OpWrite && tr.Block(op) == 5 {
+				return true
+			}
+		}
+		return false
+	}
+	tr := Generate(11, GenConfig{Procs: 8, Ops: 500, Pages: 2})
+	// Plant the pattern so the predicate holds.
+	tr.Ops = append(tr.Ops, Op{Proc: 1, Kind: OpRead, Loc: 5}, Op{Proc: 2, Kind: OpWrite, Loc: 5})
+	if !fails(tr) {
+		t.Fatal("setup: trace should fail")
+	}
+	min := Shrink(tr, fails)
+	if !fails(min) {
+		t.Fatal("shrunk trace no longer fails")
+	}
+	if len(min.Ops) != 2 {
+		t.Errorf("shrink kept %d ops, want 2: %+v", len(min.Ops), min.Ops)
+	}
+	if min.Procs != 3 {
+		t.Errorf("shrink kept Procs=%d, want 3 (highest used proc is 2)", min.Procs)
+	}
+	if min.Pages != 1 || min.Migrate != 0 {
+		t.Errorf("config not simplified: %+v", min)
+	}
+}
+
+// TestShrinkPreservesFailureOnNonMinimizable checks Shrink never returns a
+// passing trace even when nothing can be removed.
+func TestShrinkPreservesFailureOnNonMinimizable(t *testing.T) {
+	tr := Trace{Procs: 2, Pages: 1, Ops: []Op{{Proc: 0, Kind: OpWrite, Loc: 0}}}
+	fails := func(tr Trace) bool { return len(tr.Ops) == 1 }
+	min := Shrink(tr, fails)
+	if !fails(min) || len(min.Ops) != 1 {
+		t.Fatalf("shrink broke a minimal trace: %+v", min)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

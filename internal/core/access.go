@@ -20,6 +20,9 @@ func (p *Proc) access(addr uint64, write bool, kind sim.StatKind) {
 	st := p.cache.Lookup(block)
 	if st == cache.Modified || (st == cache.Shared && !write) {
 		c.Hits++
+		if ck := p.m.check; ck != nil {
+			ck.OnHit(p.ID(), block, write, p.sp.Now())
+		}
 		// A prefetched line may still be in flight; wait out the rest.
 		if len(p.prefetch) > 0 {
 			if ready, ok := p.prefetch[block]; ok {
@@ -88,11 +91,17 @@ func (p *Proc) transaction(block uint64, home int, write bool) (complete sim.Tim
 			dirty = true
 			owner = res.Owner
 		}
+		if ck := m.check; ck != nil {
+			ck.OnDirWrite(block, p.ID(), res, p.sp.Now())
+		}
 	} else {
 		res := m.dir.Read(block, p.ID())
 		if res.Dirty {
 			dirty = true
 			owner = res.Owner
+		}
+		if ck := m.check; ck != nil {
+			ck.OnDirRead(block, p.ID(), res, p.sp.Now())
 		}
 	}
 
@@ -111,8 +120,14 @@ func (p *Proc) transaction(block uint64, home int, write bool) (complete sim.Tim
 		t += lat.HubTime + lat.CacheResponse
 		if write {
 			op.cache.Invalidate(block)
+			if ck := m.check; ck != nil {
+				ck.OnInvalidate(owner, block, p.sp.Now())
+			}
 		} else {
 			op.cache.Downgrade(block)
+			if ck := m.check; ck != nil {
+				ck.OnDowngrade(owner, block, p.sp.Now())
+			}
 		}
 		m.mems[home].Acquire(t, lat.WritebackOcc)
 		f3 := m.fabric.Route(op.router, p.router)
@@ -142,6 +157,9 @@ func (p *Proc) transaction(block uint64, home int, write bool) (complete sim.Tim
 			sp := m.procs[s]
 			sp.cache.Invalidate(block)
 			delete(sp.prefetch, block)
+			if ck := m.check; ck != nil {
+				ck.OnInvalidate(s, block, p.sp.Now())
+			}
 			m.hubs[home].Acquire(t, lat.InvalOcc)
 			out := m.fabric.Route(homeRouter, sp.router)
 			arrive := t + sim.Time(out.Hops)*lat.RouterTime + lat.HubTime
@@ -175,6 +193,10 @@ func (p *Proc) demandMiss(block, addr uint64, write bool, kind sim.StatKind) {
 		p.evictVictim(victim, complete)
 	}
 	delete(p.prefetch, block) // any in-flight prefetch is superseded
+	if ck := m.check; ck != nil {
+		ck.OnFill(p.ID(), block, write, p.sp.Now())
+		ck.OnTxnEnd(p.ID(), block, p.sp.Now())
+	}
 
 	latency := complete - p.sp.Now()
 	switch {
@@ -208,6 +230,10 @@ func (p *Proc) upgrade(block, addr uint64, kind sim.StatKind) {
 
 	complete, _, queued := p.transaction(block, home, true)
 	p.cache.SetState(block, cache.Modified)
+	if ck := p.m.check; ck != nil {
+		ck.OnUpgrade(p.ID(), block, p.sp.Now())
+		ck.OnTxnEnd(p.ID(), block, p.sp.Now())
+	}
 
 	latency := complete - p.sp.Now()
 	c.Upgrades++
@@ -237,8 +263,14 @@ func (p *Proc) evictVictim(v cache.Victim, at sim.Time) {
 		m.mems[vhome].Acquire(at, lat.WritebackOcc)
 		m.dir.Writeback(v.Block, p.ID())
 		p.sp.Counters.Writebacks++
+		if ck := m.check; ck != nil {
+			ck.OnWriteback(p.ID(), v.Block, p.sp.Now())
+		}
 	} else {
 		m.dir.Evict(v.Block, p.ID())
+		if ck := m.check; ck != nil {
+			ck.OnEvict(p.ID(), v.Block, p.sp.Now())
+		}
 	}
 }
 
@@ -335,6 +367,10 @@ func (p *Proc) Prefetch(addr uint64) {
 	complete, _, _ := p.transaction(block, home, false)
 	if victim, evicted := p.cache.Fill(block, cache.Shared); evicted {
 		p.evictVictim(victim, complete)
+	}
+	if ck := m.check; ck != nil {
+		ck.OnFill(p.ID(), block, false, p.sp.Now())
+		ck.OnTxnEnd(p.ID(), block, p.sp.Now())
 	}
 	p.prefetch[block] = complete
 	p.prefetchQ = append(p.prefetchQ, block)

@@ -129,6 +129,12 @@ type Config struct {
 	// metarouters even when a full hypercube would fit — the Section 7.1
 	// with/without-metarouter comparison at 64 processors.
 	ForceMetarouters bool
+	// Check enables the online coherence-invariant checker
+	// (internal/check): every directory transaction and cache fill/evict
+	// is verified against a mirrored protocol state and a golden memory
+	// image, and Run fails with the violations found. Off by default; the
+	// demand path pays only a nil check when disabled.
+	Check bool
 }
 
 // Origin2000 returns the configuration of the paper's machine with the

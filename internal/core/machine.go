@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"origin2000/internal/cache"
+	"origin2000/internal/check"
 	"origin2000/internal/directory"
 	"origin2000/internal/mempolicy"
 	"origin2000/internal/perf"
@@ -27,6 +28,7 @@ type Machine struct {
 	pages    *mempolicy.Table
 	migrator *mempolicy.Migrator
 	dir      *directory.Directory
+	check    *check.Checker // nil unless Config.Check
 	procs    []*Proc
 	mapping  topology.Mapping
 
@@ -102,6 +104,9 @@ func New(cfg Config) *Machine {
 	if len(m.mapping) != cfg.Procs || !m.mapping.Valid() {
 		panic("core: mapping must be a permutation of the processor ids")
 	}
+	if cfg.Check {
+		m.check = check.New(cfg.Procs, m.dir)
+	}
 	m.procs = make([]*Proc, cfg.Procs)
 	for i := range m.procs {
 		phys := m.mapping[i]
@@ -113,6 +118,9 @@ func New(cfg Config) *Machine {
 			router:   node / cfg.NodesPerRouter,
 			cache:    cache.New(cfg.Cache),
 			prefetch: make(map[uint64]sim.Time),
+		}
+		if m.check != nil {
+			m.check.AttachCache(i, m.procs[i].cache)
 		}
 	}
 	return m
@@ -146,21 +154,45 @@ func (m *Machine) Proc(i int) *Proc { return m.procs[i] }
 // Run executes body once per logical processor under virtual time.
 // It can be called repeatedly; clocks and statistics accumulate across
 // calls so multi-phase programs compose.
+//
+// With Config.Check set, Run additionally audits the coherence state after
+// the processors finish and returns the checker's violations as an error.
 func (m *Machine) Run(body func(p *Proc)) error {
-	return m.eng.Run(func(sp *sim.Proc) {
+	err := m.eng.Run(func(sp *sim.Proc) {
 		body(m.procs[sp.ID()])
 	})
+	if err != nil {
+		return err
+	}
+	return m.checkResult()
 }
 
 // RunOne runs body on logical processor 0 only, with the remaining
 // processors idle. Useful for microbenchmarks (Table 1) and unit tests.
 func (m *Machine) RunOne(body func(p *Proc)) error {
-	return m.eng.Run(func(sp *sim.Proc) {
+	err := m.eng.Run(func(sp *sim.Proc) {
 		if sp.ID() == 0 {
 			body(m.procs[0])
 		}
 	})
+	if err != nil {
+		return err
+	}
+	return m.checkResult()
 }
+
+// checkResult audits the coherence state when the online checker is on and
+// reports its accumulated violations.
+func (m *Machine) checkResult() error {
+	if m.check == nil {
+		return nil
+	}
+	m.check.Audit()
+	return m.check.Err()
+}
+
+// Checker exposes the online invariant checker (nil unless Config.Check).
+func (m *Machine) Checker() *check.Checker { return m.check }
 
 // Elapsed returns the parallel completion time so far.
 func (m *Machine) Elapsed() sim.Time { return m.eng.MaxTime() }

@@ -12,6 +12,7 @@ package directory
 import (
 	"fmt"
 	"math/bits"
+	"sort"
 )
 
 // MaxProcs is the largest processor count a sharer set can track.
@@ -107,6 +108,13 @@ type Directory struct {
 	lastKey uint64   // page index of last
 	last    *dirPage // memo of the most recently touched page
 	scratch []int    // reused invalidation list (see Write)
+
+	// dropInval is a fault-injection hook for the verification layer's own
+	// tests (internal/check): when set, Write omits matching processors
+	// from the invalidation list while still clearing their sharer bits —
+	// the classic lost-invalidation bug the online checker must catch.
+	// Never set outside tests.
+	dropInval func(block uint64, proc int) bool
 }
 
 // New creates an empty directory.
@@ -222,11 +230,19 @@ func (d *Directory) Write(block uint64, requester int) WriteResult {
 	switch e.State {
 	case SharedState:
 		inv := d.scratch[:0]
-		e.Sharers.ForEach(func(p int) {
-			if p != requester {
-				inv = append(inv, p)
-			}
-		})
+		if d.dropInval == nil {
+			e.Sharers.ForEach(func(p int) {
+				if p != requester {
+					inv = append(inv, p)
+				}
+			})
+		} else {
+			e.Sharers.ForEach(func(p int) {
+				if p != requester && !d.dropInval(block, p) {
+					inv = append(inv, p)
+				}
+			})
+		}
 		d.scratch = inv
 		if len(inv) > 0 {
 			r.Invalidate = inv
@@ -266,31 +282,101 @@ func (d *Directory) Evict(block uint64, proc int) {
 	}
 }
 
-// Check verifies internal invariants for every block, returning a non-nil
-// error on the first violation (test aid).
+// ForEach calls fn for every block with active (non-Unowned) directory
+// state, in ascending block order. The verification layer (internal/check)
+// uses it for its end-of-run audit.
+func (d *Directory) ForEach(fn func(block uint64, e Entry)) {
+	keys := make([]uint64, 0, len(d.pages))
+	for key := range d.pages {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, key := range keys {
+		pg := d.pages[key]
+		for i := range pg {
+			if pg[i].State != Unowned {
+				fn(key<<pageBlockShift|uint64(i), pg[i])
+			}
+		}
+	}
+}
+
+// CheckStorage verifies the dense two-level storage structure itself: every
+// materialized page is non-nil, the last-page memo aliases the entry the
+// page map really holds for its key, and the scratch invalidation list does
+// not alias a second buffer. These are the paths PR 1's rewrite added; a
+// desync here silently corrupts transitions even when every Entry looks
+// plausible.
+func (d *Directory) CheckStorage() error {
+	for key, pg := range d.pages {
+		if pg == nil {
+			return fmt.Errorf("directory: page %d materialized as nil", key)
+		}
+	}
+	if d.last != nil {
+		pg, ok := d.pages[d.lastKey]
+		if !ok {
+			return fmt.Errorf("directory: last-page memo names page %d, which is not in the map", d.lastKey)
+		}
+		if pg != d.last {
+			return fmt.Errorf("directory: last-page memo for page %d aliases a stale array", d.lastKey)
+		}
+	}
+	if cap(d.scratch) > 0 && len(d.pages) == 0 {
+		return fmt.Errorf("directory: scratch list allocated with no pages touched")
+	}
+	return nil
+}
+
+// Check verifies internal invariants — the storage structure and the
+// per-entry semantic constraints — returning a non-nil error on the first
+// violation. The online checker's Audit calls it; tests use it directly.
 func (d *Directory) Check() error {
+	if err := d.CheckStorage(); err != nil {
+		return err
+	}
+	var firstErr error
+	d.ForEach(func(b uint64, e Entry) {
+		if firstErr != nil {
+			return
+		}
+		switch e.State {
+		case SharedState:
+			if e.Sharers.Count() == 0 {
+				firstErr = fmt.Errorf("block %d: Shared with no sharers", b)
+			}
+		case Exclusive:
+			if e.Sharers.Count() != 0 {
+				firstErr = fmt.Errorf("block %d: Exclusive with sharer bits set", b)
+			}
+			if e.Owner < 0 || int(e.Owner) >= MaxProcs {
+				firstErr = fmt.Errorf("block %d: bad owner %d", b, e.Owner)
+			}
+		default:
+			firstErr = fmt.Errorf("block %d: invalid state %d", b, uint8(e.State))
+		}
+	})
+	if firstErr != nil {
+		return firstErr
+	}
+	// Unowned entries with sharer bits are invisible to ForEach; sweep for
+	// them separately.
 	for key, pg := range d.pages {
 		for i := range pg {
-			e := &pg[i]
-			b := key<<pageBlockShift | uint64(i)
-			switch e.State {
-			case Unowned:
-				if e.Sharers.Count() != 0 {
-					return fmt.Errorf("block %d: Unowned with %d sharers", b, e.Sharers.Count())
-				}
-			case SharedState:
-				if e.Sharers.Count() == 0 {
-					return fmt.Errorf("block %d: Shared with no sharers", b)
-				}
-			case Exclusive:
-				if e.Sharers.Count() != 0 {
-					return fmt.Errorf("block %d: Exclusive with sharer bits set", b)
-				}
-				if e.Owner < 0 || int(e.Owner) >= MaxProcs {
-					return fmt.Errorf("block %d: bad owner %d", b, e.Owner)
-				}
+			if pg[i].State == Unowned && pg[i].Sharers.Count() != 0 {
+				return fmt.Errorf("block %d: Unowned with %d sharers",
+					key<<pageBlockShift|uint64(i), pg[i].Sharers.Count())
 			}
 		}
 	}
 	return nil
+}
+
+// FaultDropInvalidation installs a fault-injection hook: Write omits
+// processors for which fn returns true from its invalidation list while
+// still clearing their sharer bits. It exists so internal/check can prove
+// the online checker and the protocol fuzzer catch a lost invalidation;
+// pass nil to clear. Never use outside tests.
+func (d *Directory) FaultDropInvalidation(fn func(block uint64, proc int) bool) {
+	d.dropInval = fn
 }

@@ -1,0 +1,257 @@
+package directory
+
+import (
+	"reflect"
+	"testing"
+)
+
+// The dense two-level storage rewrite added three load-bearing mechanisms:
+// page materialization, the last-page memo, and the reused scratch
+// invalidation list. These tests pin each one directly.
+
+func TestEntryMaterializesPagesLazily(t *testing.T) {
+	d := New()
+	if len(d.pages) != 0 {
+		t.Fatal("fresh directory has pages")
+	}
+	d.Read(5, 0)                 // page 0
+	d.Read(blocksPerPage+3, 1)   // page 1
+	d.Read(9*blocksPerPage+7, 2) // page 9
+	if len(d.pages) != 3 {
+		t.Fatalf("pages = %d, want 3", len(d.pages))
+	}
+	// Entry on an untouched page must not materialize it.
+	if e := d.Entry(4 * blocksPerPage); e.State != Unowned {
+		t.Fatalf("untouched block state = %v", e.State)
+	}
+	if len(d.pages) != 3 {
+		t.Fatalf("read-only Entry materialized a page: %d pages", len(d.pages))
+	}
+	if err := d.CheckStorage(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLastPageMemoTracksTouchedPage(t *testing.T) {
+	d := New()
+	d.Read(3, 0)
+	if d.last == nil || d.last != d.pages[0] || d.lastKey != 0 {
+		t.Fatalf("memo not set after first touch: key=%d", d.lastKey)
+	}
+	// Streaming within one page keeps the memo pinned.
+	for b := uint64(0); b < blocksPerPage; b++ {
+		d.Read(b, 0)
+		if d.lastKey != 0 || d.last != d.pages[0] {
+			t.Fatalf("memo moved during same-page streaming at block %d", b)
+		}
+	}
+	// Touching another page retargets the memo.
+	d.Read(5*blocksPerPage+1, 0)
+	if d.lastKey != 5 || d.last != d.pages[5] {
+		t.Fatalf("memo did not follow to page 5: key=%d", d.lastKey)
+	}
+	// peek through the memo must return the same entry entry() mutates.
+	d.Write(5*blocksPerPage+1, 3)
+	if e := d.Entry(5*blocksPerPage + 1); e.State != Exclusive || e.Owner != 3 {
+		t.Fatalf("memoized peek returned stale entry: %+v", e)
+	}
+	if err := d.CheckStorage(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemoDistinguishesPageZeroFromUnset(t *testing.T) {
+	// lastKey's zero value is also page 0's key; the nil check on last must
+	// keep a fresh directory from treating the unset memo as a page-0 hit.
+	d := New()
+	if e := d.peek(0); e != nil {
+		t.Fatal("peek on fresh directory fabricated an entry")
+	}
+	d.Read(blocksPerPage, 0) // page 1 first, so lastKey != 0
+	if e := d.peek(0); e != nil {
+		t.Fatal("peek materialized page 0 via stale memo")
+	}
+	d.Read(0, 1) // now page 0 for real
+	if e := d.peek(0); e == nil || e.State != SharedState {
+		t.Fatal("page 0 entry not reachable after touch")
+	}
+}
+
+func TestWriteScratchListIsReusedAcrossCalls(t *testing.T) {
+	d := New()
+	for p := 0; p < 6; p++ {
+		d.Read(1, p)
+	}
+	r1 := d.Write(1, 0)
+	if want := []int{1, 2, 3, 4, 5}; !reflect.DeepEqual(r1.Invalidate, want) {
+		t.Fatalf("Invalidate = %v, want %v", r1.Invalidate, want)
+	}
+	save := append([]int(nil), r1.Invalidate...)
+
+	// A second Write on another block reuses the same backing array: the
+	// documented contract is that r1.Invalidate is dead after this point.
+	for p := 0; p < 3; p++ {
+		d.Read(2, p)
+	}
+	r2 := d.Write(2, 2)
+	if want := []int{0, 1}; !reflect.DeepEqual(r2.Invalidate, want) {
+		t.Fatalf("second Invalidate = %v, want %v", r2.Invalidate, want)
+	}
+	if len(r1.Invalidate) > 0 && len(r2.Invalidate) > 0 &&
+		&r1.Invalidate[0] != &r2.Invalidate[0] {
+		t.Error("scratch list not reused: second Write allocated a new buffer")
+	}
+	// The copy taken before the second Write is the survival pattern
+	// internal/core relies on.
+	if !reflect.DeepEqual(save, []int{1, 2, 3, 4, 5}) {
+		t.Fatalf("saved copy corrupted: %v", save)
+	}
+}
+
+func TestWriteWithNoSharersReturnsNilInvalidate(t *testing.T) {
+	d := New()
+	if r := d.Write(7, 4); r.Invalidate != nil || r.Dirty {
+		t.Fatalf("cold write returned work: %+v", r)
+	}
+	d.Read(8, 4)
+	if r := d.Write(8, 4); r.Invalidate != nil || r.Dirty {
+		t.Fatalf("sole-sharer upgrade returned work: %+v", r)
+	}
+}
+
+func TestForEachVisitsActiveBlocksInOrder(t *testing.T) {
+	d := New()
+	blocks := []uint64{9 * blocksPerPage, 2, blocksPerPage + 1, 700*blocksPerPage + 127}
+	for _, b := range blocks {
+		d.Read(b, 1)
+	}
+	d.Writeback(2, 1) // not exclusive: no-op, stays active
+	var got []uint64
+	d.ForEach(func(b uint64, e Entry) {
+		got = append(got, b)
+		if e.State != SharedState || !e.Sharers.Contains(1) {
+			t.Errorf("block %d entry wrong: %+v", b, e)
+		}
+	})
+	want := []uint64{2, blocksPerPage + 1, 9 * blocksPerPage, 700*blocksPerPage + 127}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("ForEach order = %v, want %v", got, want)
+	}
+	// Draining a block hides it from ForEach.
+	d.Evict(2, 1)
+	got = got[:0]
+	d.ForEach(func(b uint64, e Entry) { got = append(got, b) })
+	if !reflect.DeepEqual(got, want[1:]) {
+		t.Fatalf("ForEach after evict = %v, want %v", got, want[1:])
+	}
+}
+
+func TestCheckStorageFlagsCorruption(t *testing.T) {
+	d := New()
+	d.Read(0, 1)
+	if err := d.CheckStorage(); err != nil {
+		t.Fatalf("healthy storage flagged: %v", err)
+	}
+
+	// Stale memo: points at an array the map no longer holds.
+	d.last = new(dirPage)
+	if err := d.CheckStorage(); err == nil {
+		t.Fatal("stale last-page memo not flagged")
+	}
+	d.last = d.pages[0]
+
+	// Memo naming a key the map lost.
+	d.lastKey = 42
+	if err := d.CheckStorage(); err == nil {
+		t.Fatal("memo with missing key not flagged")
+	}
+	d.lastKey = 0
+
+	// Nil page in the map.
+	d.pages[7] = nil
+	if err := d.CheckStorage(); err == nil {
+		t.Fatal("nil page not flagged")
+	}
+	delete(d.pages, 7)
+
+	if err := d.CheckStorage(); err != nil {
+		t.Fatalf("restored storage still flagged: %v", err)
+	}
+}
+
+func TestCheckFlagsSemanticCorruption(t *testing.T) {
+	cases := []struct {
+		name    string
+		corrupt func(d *Directory)
+	}{
+		{"shared with no sharers", func(d *Directory) {
+			e := d.entry(3)
+			e.State = SharedState
+		}},
+		{"exclusive with sharer bits", func(d *Directory) {
+			e := d.entry(3)
+			e.State = Exclusive
+			e.Owner = 1
+			e.Sharers.Add(2)
+		}},
+		{"owner out of range", func(d *Directory) {
+			e := d.entry(3)
+			e.State = Exclusive
+			e.Owner = MaxProcs
+		}},
+		{"negative owner", func(d *Directory) {
+			e := d.entry(3)
+			e.State = Exclusive
+			e.Owner = -1
+		}},
+		{"unowned with sharers", func(d *Directory) {
+			e := d.entry(3)
+			e.State = Unowned
+			e.Sharers.Add(5)
+		}},
+		{"invalid state", func(d *Directory) {
+			e := d.entry(3)
+			e.State = State(7)
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d := New()
+			d.Read(1, 0)
+			if err := d.Check(); err != nil {
+				t.Fatalf("healthy directory flagged: %v", err)
+			}
+			tc.corrupt(d)
+			if err := d.Check(); err == nil {
+				t.Fatal("corruption not flagged")
+			}
+		})
+	}
+}
+
+func TestFaultDropInvalidationClearsBitsButSkipsList(t *testing.T) {
+	d := New()
+	for p := 0; p < 4; p++ {
+		d.Read(6, p)
+	}
+	d.FaultDropInvalidation(func(block uint64, proc int) bool { return proc == 2 })
+	r := d.Write(6, 0)
+	if want := []int{1, 3}; !reflect.DeepEqual(r.Invalidate, want) {
+		t.Fatalf("Invalidate = %v, want %v (p2 dropped)", r.Invalidate, want)
+	}
+	// The bug is a *lost message*, not directory corruption: the entry
+	// itself transitions cleanly and still passes Check.
+	if e := d.Entry(6); e.State != Exclusive || e.Owner != 0 || e.Sharers.Count() != 0 {
+		t.Fatalf("entry after faulted write: %+v", e)
+	}
+	if err := d.Check(); err != nil {
+		t.Fatalf("faulted write corrupted the directory: %v", err)
+	}
+	d.FaultDropInvalidation(nil)
+	for p := 0; p < 3; p++ {
+		d.Read(9, p)
+	}
+	if r := d.Write(9, 0); !reflect.DeepEqual(r.Invalidate, []int{1, 2}) {
+		t.Fatalf("cleared fault still active: %v", r.Invalidate)
+	}
+}

@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"io"
+	"testing"
+
+	"origin2000/internal/workload"
+)
+
+func TestScaleCheckPropagatesToMachineConfig(t *testing.T) {
+	s := Scale{Div: 64, CacheDiv: 64, Check: true}
+	if cfg := s.Machine(4); !cfg.Check {
+		t.Fatal("Scale.Check not propagated to core.Config")
+	}
+	if cfg := (Scale{Div: 64, CacheDiv: 64}).Machine(4); cfg.Check {
+		t.Fatal("checker enabled without Scale.Check")
+	}
+}
+
+// TestCheckedFigure2FindsNoViolations runs one reduced fig2 iteration with
+// the online coherence checker attached to every machine — the CI smoke
+// for "the checker is silent on the real workloads". A violation surfaces
+// as a run error.
+func TestCheckedFigure2FindsNoViolations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("checked fig2 iteration takes ~10s")
+	}
+	s := TestScale
+	s.Check = true
+	se := NewSession(s)
+	if err := Figure2(se, io.Discard); err != nil {
+		t.Fatalf("checked fig2: %v", err)
+	}
+}
+
+// TestCheckedRunMatchesUncheckedTiming: the checker must observe, never
+// perturb — simulated time with the checker on is identical to off.
+func TestCheckedRunMatchesUncheckedTiming(t *testing.T) {
+	app := AppByName("FFT")
+	params := workload.Params{Size: 1 << 10, Seed: 3}
+	run := func(check bool) float64 {
+		s := TestScale
+		s.Check = check
+		r, err := s.Run(app, 4, params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.Elapsed.Milliseconds()
+	}
+	if on, off := run(true), run(false); on != off {
+		t.Fatalf("checker perturbed simulated time: %v (on) != %v (off)", on, off)
+	}
+}

@@ -44,6 +44,10 @@ type Scale struct {
 	Procs []int
 	// Seed for input generation.
 	Seed int64
+	// Check enables the online coherence-invariant checker on every
+	// machine the scale builds; any experiment run then fails if the
+	// protocol violates an invariant.
+	Check bool
 }
 
 // FullScale runs the paper's actual input sizes.
@@ -77,6 +81,7 @@ func (s Scale) Machine(procs int) core.Config {
 	if cfg.Cache.SizeBytes < 32<<10 {
 		cfg.Cache.SizeBytes = 32 << 10
 	}
+	cfg.Check = s.Check
 	return cfg
 }
 

@@ -1,0 +1,70 @@
+package mempolicy
+
+import "testing"
+
+// The generation counter is the page table's only invalidation signal for
+// the per-processor home TLBs (internal/core): it must bump exactly when an
+// existing translation becomes wrong, and never otherwise — spurious bumps
+// throw away every cached translation machine-wide.
+func TestGenBumpSemantics(t *testing.T) {
+	cases := []struct {
+		name     string
+		run      func(tb *Table)
+		wantBump uint32
+	}{
+		{"fresh table", func(tb *Table) {}, 0},
+		{"first placement of a page", func(tb *Table) {
+			tb.SetHome(10, 1)
+		}, 0},
+		{"first-touch resolution", func(tb *Table) {
+			tb.Home(11, 2)
+		}, 0},
+		{"re-home to the same node", func(tb *Table) {
+			tb.SetHome(10, 1)
+			tb.SetHome(10, 1)
+		}, 0},
+		{"re-home to a different node", func(tb *Table) {
+			tb.SetHome(10, 1)
+			tb.SetHome(10, 2)
+		}, 1},
+		{"two independent moves", func(tb *Table) {
+			tb.SetHome(10, 1)
+			tb.SetHome(11, 1)
+			tb.SetHome(10, 2)
+			tb.SetHome(11, 3)
+		}, 2},
+		{"remote miss below threshold", func(tb *Table) {
+			tb.Home(10, 0)
+			tb.RecordRemoteMiss(10, 1)
+		}, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tb := NewTable(4, FirstTouch, nil)
+			before := tb.Gen()
+			tc.run(tb)
+			if got := tb.Gen() - before; got != tc.wantBump {
+				t.Fatalf("gen bumped %d times, want %d", got, tc.wantBump)
+			}
+		})
+	}
+}
+
+func TestGenBumpsOnMigration(t *testing.T) {
+	tb := NewTable(4, FirstTouch, NewMigrator(4, 2))
+	tb.Home(10, 0) // first touch at node 0
+	before := tb.Gen()
+	var moved bool
+	for i := 0; i < 10 && !moved; i++ {
+		_, moved = tb.RecordRemoteMiss(10, 3)
+	}
+	if !moved {
+		t.Fatal("migration never triggered")
+	}
+	if tb.Gen() == before {
+		t.Fatal("migration did not bump the generation")
+	}
+	if h := tb.Home(10, 0); h != 3 {
+		t.Fatalf("page homed at %d after migration, want 3", h)
+	}
+}
