@@ -17,6 +17,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"testing"
@@ -26,6 +27,7 @@ import (
 	"origin2000/internal/directory"
 	"origin2000/internal/experiments"
 	"origin2000/internal/sim"
+	"origin2000/internal/trace"
 	"origin2000/internal/workload"
 )
 
@@ -178,6 +180,47 @@ func appThroughput(appName string, procs int, s experiments.Scale) (Result, erro
 	}, nil
 }
 
+// traceOverhead measures the tracing subsystem's end-to-end wall-clock cost
+// on one application run (FFT, 32 processors): tracing off, ring-only
+// recording, and lossless recording plus a full Perfetto export. The
+// trace:off entry doubles as the regression guard — it must stay within
+// noise of the untraced app throughput above.
+func traceOverhead(mode string, s experiments.Scale) (Result, error) {
+	app := experiments.AppByName("FFT")
+	if app == nil {
+		return Result{}, fmt.Errorf("FFT app missing")
+	}
+	params := workload.Params{Size: s.BasicSize(app), Seed: 42}
+	var m *core.Machine
+	switch mode {
+	case "ring":
+		s.Trace = trace.Options{Enabled: true}
+	case "full":
+		s.Trace = trace.Options{Enabled: true, Lossless: true}
+	}
+	if s.Trace.Enabled {
+		s.TraceSink = func(_ string, mm *core.Machine) { m = mm }
+	}
+	start := time.Now()
+	r, err := s.Run(app, 32, params)
+	if err != nil {
+		return Result{}, err
+	}
+	if mode == "full" {
+		if err := m.Tracer().WritePerfetto(io.Discard); err != nil {
+			return Result{}, err
+		}
+	}
+	wall := time.Since(start).Seconds()
+	accesses := r.Result.Counters.Reads + r.Result.Counters.Writes
+	return Result{
+		Name:              "trace:" + mode,
+		NsPerOp:           wall * 1e9,
+		WallSeconds:       wall,
+		SimAccessesPerSec: float64(accesses) / wall,
+	}, nil
+}
+
 // nextOut returns the first unused BENCH_<n>.json name.
 func nextOut() string {
 	for n := 1; ; n++ {
@@ -195,10 +238,28 @@ func main() {
 		"compare against the latest BENCH_<n>.json and fail on a >10% ns/op regression")
 	check := flag.Bool("check", false,
 		"run the fig2 and ablation suites with the online coherence checker enabled, then exit")
+	traceOnly := flag.Bool("trace", false,
+		"run only the tracing-overhead measurements (off/ring/full), print them, and exit without a snapshot")
+	artifacts := flag.String("artifacts", "",
+		"with -check: record ring traces and write the failing run's Perfetto trace to this directory")
 	flag.Parse()
 
 	if *check {
-		runChecked()
+		runChecked(*artifacts)
+		return
+	}
+
+	benchScaleEarly := experiments.Scale{Div: 16, CacheDiv: 16}
+	if *traceOnly {
+		for _, mode := range []string{"off", "ring", "full"} {
+			r, err := traceOverhead(mode, benchScaleEarly)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "origin-bench:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("%-32s %12.1f ns/op  %10.2e accesses/s\n",
+				r.Name, r.NsPerOp, r.SimAccessesPerSec)
+		}
 		return
 	}
 
@@ -265,6 +326,15 @@ func main() {
 		add(r)
 	}
 
+	for _, mode := range []string{"off", "ring", "full"} {
+		r, err := traceOverhead(mode, benchScale)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "origin-bench:", err)
+			os.Exit(1)
+		}
+		add(r)
+	}
+
 	data, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "origin-bench:", err)
@@ -289,14 +359,30 @@ func main() {
 
 // runChecked executes the fig2 and ablation suites with the online
 // coherence-invariant checker attached to every machine; any protocol
-// violation fails the run with the checker's full report.
-func runChecked() {
+// violation fails the run with the checker's full report. With an artifacts
+// directory, every machine also records a ring trace, and the failing run's
+// trace — a failed run aborts its experiment, so it is the last machine the
+// sink saw — is exported as a Perfetto artifact.
+func runChecked(artifacts string) {
 	s := experiments.Scale{Div: 16, CacheDiv: 16, Check: true}
+	var lastLabel string
+	var lastMachine *core.Machine
+	if artifacts != "" {
+		s.Trace = trace.Options{Enabled: true}
+		s.TraceSink = func(label string, m *core.Machine) { lastLabel, lastMachine = label, m }
+	}
 	for _, name := range []string{"fig2", "ablation"} {
 		fmt.Printf("checked %s...\n", name)
 		se := experiments.NewSession(s)
 		if err := experiments.Run(name, se, discard{}); err != nil {
 			fmt.Fprintln(os.Stderr, "origin-bench: coherence violation:", err)
+			if lastMachine != nil && lastMachine.Tracer() != nil {
+				if path, werr := trace.WriteArtifact(artifacts, lastLabel, lastMachine.Tracer()); werr != nil {
+					fmt.Fprintln(os.Stderr, "origin-bench: trace artifact:", werr)
+				} else {
+					fmt.Fprintln(os.Stderr, "origin-bench: failing run's trace:", path)
+				}
+			}
 			os.Exit(1)
 		}
 	}

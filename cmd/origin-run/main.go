@@ -17,6 +17,7 @@ import (
 	"origin2000/internal/experiments"
 	"origin2000/internal/perf"
 	"origin2000/internal/topology"
+	"origin2000/internal/trace"
 )
 
 func main() {
@@ -35,6 +36,7 @@ func main() {
 		phases    = flag.Bool("phases", false, "print the per-phase time breakdown (instrumented apps)")
 		ppn       = flag.Int("ppn", 2, "processors per node (Section 7.2)")
 		mapping   = flag.String("mapping", "linear", "process mapping: linear, random, gray, split")
+		traceOut  = flag.String("trace", "", "trace the run and write Perfetto JSON here (see origin-trace for more control)")
 	)
 	flag.Parse()
 
@@ -79,6 +81,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, "sequential run:", err)
 		os.Exit(1)
 	}
+	if *traceOut != "" {
+		cfg.Trace = trace.Options{Enabled: true, Lossless: true}
+	}
 	m := core.New(cfg)
 	if *arrays {
 		m.EnableArrayStats()
@@ -105,6 +110,29 @@ func main() {
 		c.Invalidations, c.Writebacks, c.Prefetches, c.FetchOps)
 	fmt.Printf("contention: hub queueing %.3f ms  memory queueing %.3f ms\n",
 		r.HubQueued.Milliseconds(), r.MemQueued.Milliseconds())
+	if node, q := r.HottestHub(); node >= 0 && q > 0 {
+		fmt.Printf("            hottest hub: node %d (%.3f ms queued)\n", node, q.Milliseconds())
+	}
+	if *traceOut != "" {
+		tr := m.Tracer()
+		f, err := os.Create(*traceOut)
+		if err == nil {
+			err = tr.WritePerfetto(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "trace export:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace:      %d events -> %s (open at ui.perfetto.dev)\n",
+			tr.EventsRecorded(), *traceOut)
+		fmt.Println()
+		fmt.Println(perf.Table(tr.PageReport(10)))
+		fmt.Println(perf.Table(tr.SyncReport(10)))
+		fmt.Println(perf.Table(tr.LatencyReport()))
+	}
 	if *breakdown {
 		fmt.Println()
 		fmt.Println(perf.Continuum(r.PerProc, 64, 12))

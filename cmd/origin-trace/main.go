@@ -1,0 +1,126 @@
+// Command origin-trace runs one application with the virtual-time event
+// tracer enabled and exports the run: a Perfetto/Chrome trace-event JSON
+// (load it at ui.perfetto.dev), an optional compact binary event stream, and
+// the online attribution tables — per-page and per-block sharing heatmaps,
+// per-sync-object wait rankings, and latency/queueing histograms.
+//
+// Usage:
+//
+//	origin-trace -app Ocean [-procs 32] [-size 0] [-variant ""] [-scale 8]
+//	             [-steps N] [-seed 42] [-prefetch] [-ring 8192] [-lossless]
+//	             [-out FILE.perfetto.json] [-bin FILE.trc] [-top 10]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"origin2000/internal/core"
+	"origin2000/internal/experiments"
+	"origin2000/internal/perf"
+	"origin2000/internal/trace"
+)
+
+func main() {
+	var (
+		appName  = flag.String("app", "Ocean", "application name (origin-run -list)")
+		procs    = flag.Int("procs", 32, "processor count")
+		size     = flag.Int("size", 0, "problem size in app units (0 = basic size)")
+		variant  = flag.String("variant", "", "algorithm variant")
+		scale    = flag.Int("scale", 8, "divide problem sizes and cache by this factor")
+		steps    = flag.Int("steps", 0, "timesteps/frames (0 = app default)")
+		seed     = flag.Int64("seed", 42, "input seed")
+		prefetch = flag.Bool("prefetch", false, "enable remote-data prefetching")
+		ring     = flag.Int("ring", trace.DefaultRingSize, "per-processor event ring capacity")
+		lossless = flag.Bool("lossless", false, "spill full rings to memory (keep every event)")
+		out      = flag.String("out", "", "Perfetto JSON output (default <app>.perfetto.json)")
+		bin      = flag.String("bin", "", "also write the compact binary event stream here")
+		top      = flag.Int("top", 10, "rows per attribution table")
+	)
+	flag.Parse()
+
+	app := experiments.AppByName(*appName)
+	if app == nil {
+		fmt.Fprintf(os.Stderr, "origin-trace: unknown app %q; see origin-run -list\n", *appName)
+		os.Exit(2)
+	}
+	s := experiments.Scale{Div: *scale, CacheDiv: *scale, Steps: *steps, Seed: *seed}
+	paperSize := *size
+	if paperSize == 0 {
+		paperSize = app.BasicSize()
+	}
+	params := s.Params(app, paperSize, *variant)
+	params.Prefetch = *prefetch
+
+	cfg := s.Machine(*procs)
+	cfg.Trace = trace.Options{Enabled: true, RingSize: *ring, Lossless: *lossless}
+	m := core.New(cfg)
+	if err := app.Run(m, params); err != nil {
+		fmt.Fprintln(os.Stderr, "origin-trace:", err)
+		os.Exit(1)
+	}
+	tr := m.Tracer()
+	r := m.Result()
+
+	path := *out
+	if path == "" {
+		path = fmt.Sprintf("%s.perfetto.json", app.Name())
+	}
+	if err := writeFile(path, tr.WritePerfetto); err != nil {
+		fmt.Fprintln(os.Stderr, "origin-trace:", err)
+		os.Exit(1)
+	}
+	if *bin != "" {
+		if err := writeFile(*bin, tr.WriteBinary); err != nil {
+			fmt.Fprintln(os.Stderr, "origin-trace:", err)
+			os.Exit(1)
+		}
+	}
+
+	fmt.Printf("%s size=%d variant=%q procs=%d (scale 1/%d): %.3f ms simulated\n",
+		app.Name(), params.Size, params.Variant, *procs, *scale, m.Elapsed().Milliseconds())
+	fmt.Printf("events: %d recorded, %d dropped (ring %d%s)\n",
+		tr.EventsRecorded(), tr.EventsDropped(), *ring, losslessNote(*lossless))
+	fmt.Printf("trace:  %s (open at ui.perfetto.dev)\n", path)
+	if *bin != "" {
+		fmt.Printf("binary: %s\n", *bin)
+	}
+	if node, q := r.HottestHub(); node >= 0 && q > 0 {
+		fmt.Printf("hottest hub: node %d with %.3f ms queueing (machine total %.3f ms)\n",
+			node, q.Milliseconds(), r.HubQueued.Milliseconds())
+	}
+	fmt.Printf("top-%d pages hold %.1f%% of remote misses\n", *top, 100*tr.RemoteMissShare(*top))
+
+	section := func(title string, rows [][]string) {
+		if len(rows) <= 1 {
+			return
+		}
+		fmt.Printf("\n%s\n%s", title, perf.Table(rows))
+	}
+	section("Per-page sharing heat (worst first)", tr.PageReport(*top))
+	section("Per-block sharing heat (worst first)", tr.BlockReport(*top))
+	section("Synchronization wait ranking", tr.SyncReport(*top))
+	section("Access latency by class", tr.LatencyReport())
+	section("Queueing delay by resource", tr.QueueReport())
+}
+
+func losslessNote(on bool) string {
+	if on {
+		return ", lossless"
+	}
+	return ""
+}
+
+func writeFile(path string, write func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

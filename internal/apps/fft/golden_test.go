@@ -1,10 +1,12 @@
 package fft
 
 import (
+	"fmt"
 	"math/cmplx"
 	"testing"
 
 	"origin2000/internal/core"
+	"origin2000/internal/trace"
 	"origin2000/internal/workload"
 )
 
@@ -18,7 +20,33 @@ func TestGoldenOutputMatchesNaiveDFT(t *testing.T) {
 	const n = 1 << 10 // dim 32, so 32 processors get one row each
 	var golden []complex128
 	var first []complex128
+	curProcs := 0
+	// On any failure (Errorf or Fatalf — defers run after Goexit), re-run
+	// the failing proc count traced and ship the trace as a CI artifact.
+	defer func() {
+		if !t.Failed() || curProcs == 0 {
+			return
+		}
+		path, err := trace.CaptureArtifact(fmt.Sprintf("fft-golden-p%d", curProcs),
+			func(o trace.Options) (*trace.Tracer, error) {
+				cfg := core.Origin2000(curProcs)
+				cfg.Check = true
+				cfg.Trace = o
+				m := core.New(cfg)
+				f, err := build(m, workload.Params{Size: n, Seed: 11})
+				if err != nil {
+					return m.Tracer(), err
+				}
+				return m.Tracer(), m.Run(f.body)
+			})
+		if path != "" {
+			t.Logf("failure trace written to %s", path)
+		} else if err != nil {
+			t.Logf("failure trace capture failed: %v", err)
+		}
+	}()
 	for _, procs := range []int{1, 4, 32} {
+		curProcs = procs
 		cfg := core.Origin2000(procs)
 		cfg.Check = true
 		m := core.New(cfg)

@@ -1,10 +1,12 @@
 package ocean
 
 import (
+	"fmt"
 	"math"
 	"testing"
 
 	"origin2000/internal/core"
+	"origin2000/internal/trace"
 	"origin2000/internal/workload"
 )
 
@@ -24,15 +26,33 @@ func TestGoldenChecksumAcrossProcCounts(t *testing.T) {
 		t.Fatalf("reference checksum not finite: %g", want)
 	}
 	for _, procs := range []int{1, 4, 32} {
-		cfg := core.Origin2000(procs)
-		cfg.Check = true
-		m := core.New(cfg)
-		got, err := RunForSum(m, workload.Params{Size: size, Seed: seed, Steps: steps})
+		procs := procs
+		run := func(o trace.Options) (*core.Machine, float64, error) {
+			cfg := core.Origin2000(procs)
+			cfg.Check = true
+			cfg.Trace = o
+			m := core.New(cfg)
+			got, err := RunForSum(m, workload.Params{Size: size, Seed: seed, Steps: steps})
+			return m, got, err
+		}
+		_, got, err := run(trace.Options{})
+		if err == nil && got == want {
+			continue
+		}
+		// Failed: re-run the identical (deterministic) scenario traced and
+		// ship the event stream as a CI artifact.
+		if path, aerr := trace.CaptureArtifact(fmt.Sprintf("ocean-golden-p%d", procs),
+			func(o trace.Options) (*trace.Tracer, error) {
+				m, _, err := run(o)
+				return m.Tracer(), err
+			}); path != "" {
+			t.Logf("failure trace written to %s", path)
+		} else if aerr != nil {
+			t.Logf("failure trace capture failed: %v", aerr)
+		}
 		if err != nil {
 			t.Fatalf("procs=%d: %v", procs, err)
 		}
-		if got != want {
-			t.Errorf("procs=%d: checksum %g != reference %g", procs, got, want)
-		}
+		t.Errorf("procs=%d: checksum %g != reference %g", procs, got, want)
 	}
 }

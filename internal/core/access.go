@@ -5,6 +5,7 @@ import (
 	"origin2000/internal/mempolicy"
 	"origin2000/internal/sim"
 	"origin2000/internal/topology"
+	"origin2000/internal/trace"
 )
 
 // access is the demand load/store path: cache lookup, then on a miss the
@@ -49,16 +50,20 @@ func (p *Proc) access(addr uint64, write bool, kind sim.StatKind) {
 func (p *Proc) transaction(block uint64, home int, write bool) (complete sim.Time, dirty bool, queued sim.Time) {
 	m := p.m
 	lat := &m.cfg.Lat
+	tr := m.tracer
 	t := p.sp.Now() + lat.ProcOverhead
 
-	acq := func(r *sim.Resource, occ sim.Time) {
+	acq := func(r *sim.Resource, occ sim.Time, qc trace.QueueClass, unit int) {
 		start := r.Acquire(t, occ)
+		if tr != nil && start > t {
+			tr.QueueDelay(p.ID(), t, start-t, qc, unit)
+		}
 		queued += start - t
 		t = start
 	}
 
 	// Outgoing through the local Hub.
-	acq(&m.hubs[p.node], lat.HubOcc)
+	acq(&m.hubs[p.node], lat.HubOcc, trace.QHub, p.node)
 	t += lat.HubTime
 
 	remote := home != p.node
@@ -67,19 +72,19 @@ func (p *Proc) transaction(block uint64, home int, write bool) (complete sim.Tim
 	if remote {
 		t += lat.RemoteExtra
 		fwd = m.fabric.Route(p.router, homeRouter)
-		acq(&m.routers[p.router], lat.RouterOcc)
+		acq(&m.routers[p.router], lat.RouterOcc, trace.QRouter, p.router)
 		t += sim.Time(fwd.Hops) * lat.RouterTime
 		if fwd.Meta >= 0 {
-			acq(&m.metas[fwd.Meta], lat.MetaOcc)
+			acq(&m.metas[fwd.Meta], lat.MetaOcc, trace.QMeta, fwd.Meta)
 			t += lat.MetaExtra
 		}
-		acq(&m.routers[homeRouter], lat.RouterOcc)
-		acq(&m.hubs[home], lat.HubOcc)
+		acq(&m.routers[homeRouter], lat.RouterOcc, trace.QRouter, homeRouter)
+		acq(&m.hubs[home], lat.HubOcc, trace.QHub, home)
 		t += lat.HubTime
 	}
 
 	// Home memory + directory lookup.
-	acq(&m.mems[home], lat.MemOcc)
+	acq(&m.mems[home], lat.MemOcc, trace.QMem, home)
 	t += lat.MemTime
 
 	var invalidate []int
@@ -110,13 +115,16 @@ func (p *Proc) transaction(block uint64, home int, write bool) (complete sim.Tim
 		// supplies the data directly to the requester; a sharing
 		// writeback refreshes the home memory off the critical path.
 		op := m.procs[owner]
+		if tr != nil {
+			tr.Intervention(owner, p.sp.Now(), block, pageOfBlock(block), p.ID(), write)
+		}
 		f2 := m.fabric.Route(homeRouter, op.router)
 		t += sim.Time(f2.Hops) * lat.RouterTime
 		if f2.Meta >= 0 {
-			acq(&m.metas[f2.Meta], lat.MetaOcc)
+			acq(&m.metas[f2.Meta], lat.MetaOcc, trace.QMeta, f2.Meta)
 			t += lat.MetaExtra
 		}
-		acq(&m.hubs[op.node], lat.HubOcc)
+		acq(&m.hubs[op.node], lat.HubOcc, trace.QHub, op.node)
 		t += lat.HubTime + lat.CacheResponse
 		if write {
 			op.cache.Invalidate(block)
@@ -133,7 +141,7 @@ func (p *Proc) transaction(block uint64, home int, write bool) (complete sim.Tim
 		f3 := m.fabric.Route(op.router, p.router)
 		t += sim.Time(f3.Hops) * lat.RouterTime
 		if f3.Meta >= 0 {
-			acq(&m.metas[f3.Meta], lat.MetaOcc)
+			acq(&m.metas[f3.Meta], lat.MetaOcc, trace.QMeta, f3.Meta)
 			t += lat.MetaExtra
 		}
 		t += lat.HubTime // into the requesting node
@@ -159,6 +167,9 @@ func (p *Proc) transaction(block uint64, home int, write bool) (complete sim.Tim
 			delete(sp.prefetch, block)
 			if ck := m.check; ck != nil {
 				ck.OnInvalidate(s, block, p.sp.Now())
+			}
+			if tr != nil {
+				tr.InvalRecv(s, p.sp.Now(), block, pageOfBlock(block), p.ID())
 			}
 			m.hubs[home].Acquire(t, lat.InvalOcc)
 			out := m.fabric.Route(homeRouter, sp.router)
@@ -212,9 +223,20 @@ func (p *Proc) demandMiss(block, addr uint64, write bool, kind sim.StatKind) {
 	}
 	c.ContentionStall += queued
 	m.noteMiss(addr, dirty, remote, latency, int(c.Invalidations-invalsBefore))
+	if tr := m.tracer; tr != nil {
+		ekind := trace.EvMissLocal
+		switch {
+		case dirty:
+			ekind = trace.EvMissRemoteDirty
+		case remote:
+			ekind = trace.EvMissRemoteClean
+		}
+		tr.Miss(p.ID(), p.sp.Now(), latency, block, page, home,
+			int(c.Invalidations-invalsBefore), m.dir.SharerWidth(block), ekind)
+	}
 
 	if remote {
-		p.recordMigration(page, block, complete, kind)
+		p.recordMigration(page, home, complete, kind)
 	} else if m.migrator != nil && m.pages.Migration() {
 		c.MigratedAccesses++ // local thanks to earlier placement/migration
 	}
@@ -228,6 +250,7 @@ func (p *Proc) upgrade(block, addr uint64, kind sim.StatKind) {
 	page := mempolicy.PageOf(addr)
 	home := p.homeOf(page)
 
+	invalsBefore := c.Invalidations
 	complete, _, queued := p.transaction(block, home, true)
 	p.cache.SetState(block, cache.Modified)
 	if ck := p.m.check; ck != nil {
@@ -243,6 +266,10 @@ func (p *Proc) upgrade(block, addr uint64, kind sim.StatKind) {
 		c.LocalStall += latency
 	}
 	c.ContentionStall += queued
+	if tr := p.m.tracer; tr != nil {
+		tr.Miss(p.ID(), p.sp.Now(), latency, block, page, home,
+			int(c.Invalidations-invalsBefore), p.m.dir.SharerWidth(block), trace.EvUpgrade)
+	}
 	p.sp.Advance(latency, kind)
 }
 
@@ -266,6 +293,9 @@ func (p *Proc) evictVictim(v cache.Victim, at sim.Time) {
 		if ck := m.check; ck != nil {
 			ck.OnWriteback(p.ID(), v.Block, p.sp.Now())
 		}
+		if tr := m.tracer; tr != nil {
+			tr.Writeback(p.ID(), at, v.Block, vpage, vhome)
+		}
 	} else {
 		m.dir.Evict(v.Block, p.ID())
 		if ck := m.check; ck != nil {
@@ -275,8 +305,8 @@ func (p *Proc) evictVictim(v cache.Victim, at sim.Time) {
 }
 
 // recordMigration feeds the dynamic-migration policy and charges the cost
-// of a triggered page move.
-func (p *Proc) recordMigration(page, block uint64, at sim.Time, kind sim.StatKind) {
+// of a triggered page move. oldHome is the page's home before the miss.
+func (p *Proc) recordMigration(page uint64, oldHome int, at sim.Time, kind sim.StatKind) {
 	m := p.m
 	if m.migrator == nil {
 		return
@@ -289,37 +319,43 @@ func (p *Proc) recordMigration(page, block uint64, at sim.Time, kind sim.StatKin
 	blocks := sim.Time(mempolicy.PageBytes / BlockBytes)
 	m.mems[newHome].Acquire(at, blocks*lat.PageMovePerBlock)
 	p.sp.Counters.PageMigrations++
+	if tr := m.tracer; tr != nil {
+		tr.Migration(p.ID(), p.sp.Now(), page, oldHome, newHome)
+	}
 	// The triggering access eats the shootdown/copy latency.
 	p.sp.Advance(lat.MigrationFreeze, kind)
-	_ = block
 }
 
 // fetchOp performs an uncached, at-memory fetch&op at addr's home.
 func (p *Proc) fetchOp(addr uint64, kind sim.StatKind) {
 	m := p.m
 	lat := &m.cfg.Lat
+	tr := m.tracer
 	page := mempolicy.PageOf(addr)
 	home := p.homeOf(page)
 	t := p.sp.Now() + lat.ProcOverhead
 	var queued sim.Time
-	acq := func(r *sim.Resource, occ sim.Time) {
+	acq := func(r *sim.Resource, occ sim.Time, qc trace.QueueClass, unit int) {
 		start := r.Acquire(t, occ)
+		if tr != nil && start > t {
+			tr.QueueDelay(p.ID(), t, start-t, qc, unit)
+		}
 		queued += start - t
 		t = start
 	}
-	acq(&m.hubs[p.node], lat.HubOcc)
+	acq(&m.hubs[p.node], lat.HubOcc, trace.QHub, p.node)
 	t += lat.HubTime
 	if home != p.node {
 		t += lat.RemoteExtra
 		route := m.fabric.Route(p.router, m.routerOfNode(home))
 		t += sim.Time(route.Hops) * lat.RouterTime
 		if route.Meta >= 0 {
-			acq(&m.metas[route.Meta], lat.MetaOcc)
+			acq(&m.metas[route.Meta], lat.MetaOcc, trace.QMeta, route.Meta)
 			t += lat.MetaExtra
 		}
-		acq(&m.hubs[home], lat.HubOcc)
+		acq(&m.hubs[home], lat.HubOcc, trace.QHub, home)
 		t += lat.HubTime
-		acq(&m.mems[home], lat.FetchOpOcc)
+		acq(&m.mems[home], lat.FetchOpOcc, trace.QMem, home)
 		t += lat.FetchOpTime
 		t += lat.HubTime + sim.Time(route.Hops)*lat.RouterTime
 		if route.Meta >= 0 {
@@ -327,11 +363,14 @@ func (p *Proc) fetchOp(addr uint64, kind sim.StatKind) {
 		}
 		t += lat.HubTime
 	} else {
-		acq(&m.mems[home], lat.FetchOpOcc)
+		acq(&m.mems[home], lat.FetchOpOcc, trace.QMem, home)
 		t += lat.FetchOpTime + lat.HubTime
 	}
 	p.sp.Counters.FetchOps++
 	p.sp.Counters.ContentionStall += queued
+	if tr != nil {
+		tr.FetchOp(p.ID(), p.sp.Now(), t-p.sp.Now(), addr>>blockShift, home)
+	}
 	p.sp.Advance(t-p.sp.Now(), kind)
 }
 
@@ -371,6 +410,9 @@ func (p *Proc) Prefetch(addr uint64) {
 	if ck := m.check; ck != nil {
 		ck.OnFill(p.ID(), block, false, p.sp.Now())
 		ck.OnTxnEnd(p.ID(), block, p.sp.Now())
+	}
+	if tr := m.tracer; tr != nil {
+		tr.Prefetch(p.ID(), p.sp.Now(), complete-p.sp.Now(), block, home)
 	}
 	p.prefetch[block] = complete
 	p.prefetchQ = append(p.prefetchQ, block)

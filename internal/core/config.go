@@ -14,6 +14,7 @@ import (
 	"origin2000/internal/mempolicy"
 	"origin2000/internal/sim"
 	"origin2000/internal/topology"
+	"origin2000/internal/trace"
 )
 
 // Latencies holds the timing components of the memory system. All values
@@ -135,6 +136,12 @@ type Config struct {
 	// image, and Run fails with the violations found. Off by default; the
 	// demand path pays only a nil check when disabled.
 	Check bool
+	// Trace configures the virtual-time event tracer (internal/trace):
+	// per-processor event rings, sharing heatmaps, latency histograms, and
+	// Perfetto export. It follows the same discipline as Check — off by
+	// default, nothing but nil checks on the hot path when disabled, and
+	// zero simulated-time perturbation when enabled.
+	Trace trace.Options
 }
 
 // Origin2000 returns the configuration of the paper's machine with the

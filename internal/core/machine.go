@@ -10,6 +10,7 @@ import (
 	"origin2000/internal/perf"
 	"origin2000/internal/sim"
 	"origin2000/internal/topology"
+	"origin2000/internal/trace"
 )
 
 // BlockBytes is the coherence granularity (the Origin's 128-byte L2 block).
@@ -29,6 +30,7 @@ type Machine struct {
 	migrator *mempolicy.Migrator
 	dir      *directory.Directory
 	check    *check.Checker // nil unless Config.Check
+	tracer   *trace.Tracer  // nil unless Config.Trace.Enabled
 	procs    []*Proc
 	mapping  topology.Mapping
 
@@ -106,6 +108,10 @@ func New(cfg Config) *Machine {
 	}
 	if cfg.Check {
 		m.check = check.New(cfg.Procs, m.dir)
+	}
+	if cfg.Trace.Enabled {
+		m.tracer = trace.New(cfg.Procs, cfg.Trace)
+		m.attachTracer()
 	}
 	m.procs = make([]*Proc, cfg.Procs)
 	for i := range m.procs {
@@ -212,17 +218,36 @@ func (m *Machine) Result() perf.Result {
 		}
 		r.Counters.Add(&p.sp.Counters)
 	}
+	// Queueing and busy time are reported per node/router — machine-wide
+	// sums hide the hot Hub that a single contended page creates — with
+	// the scalar totals derived from them.
+	r.HubQueuedPerNode = make([]sim.Time, len(m.hubs))
+	r.MemQueuedPerNode = make([]sim.Time, len(m.mems))
+	r.HubBusyPerNode = make([]sim.Time, len(m.hubs))
 	for i := range m.hubs {
-		r.HubQueued += m.hubs[i].Queued()
-		r.MemQueued += m.mems[i].Queued()
-		r.HubBusy += m.hubs[i].Busy()
+		r.HubQueuedPerNode[i] = m.hubs[i].Queued()
+		r.MemQueuedPerNode[i] = m.mems[i].Queued()
+		r.HubBusyPerNode[i] = m.hubs[i].Busy()
+		r.HubQueued += r.HubQueuedPerNode[i]
+		r.MemQueued += r.MemQueuedPerNode[i]
+		r.HubBusy += r.HubBusyPerNode[i]
 	}
-	for i := range m.metas {
-		r.MetaQueued += m.metas[i].Queued()
+	r.RouterQueuedPerRouter = make([]sim.Time, len(m.routers))
+	for i := range m.routers {
+		r.RouterQueuedPerRouter[i] = m.routers[i].Queued()
+		r.RouterQueued += r.RouterQueuedPerRouter[i]
+	}
+	if len(m.metas) > 0 {
+		r.MetaQueuedPerMeta = make([]sim.Time, len(m.metas))
+		for i := range m.metas {
+			r.MetaQueuedPerMeta[i] = m.metas[i].Queued()
+			r.MetaQueued += r.MetaQueuedPerMeta[i]
+		}
 	}
 	if m.migrator != nil {
 		r.Migrations = m.migrator.Migrations
 	}
+	r.Trace = m.tracer
 	return r
 }
 

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"origin2000/internal/mempolicy"
+	"origin2000/internal/sim"
+	"origin2000/internal/trace"
+)
+
+// Tracing glue: the machine owns an optional *trace.Tracer (built when
+// Config.Trace.Enabled) and every observation site in the model is gated on
+// it with a nil check, exactly like the online checker. The tracer only
+// reads virtual clocks — it never advances them — so enabling it perturbs
+// simulated time by zero.
+
+// pageOfBlock returns the 16 KB page containing a 128-byte block.
+func pageOfBlock(block uint64) uint64 { return block >> (mempolicy.PageShift - blockShift) }
+
+// attachTracer installs the tracer's observation taps on the machine's
+// shared resources and page table. Called once from New.
+func (m *Machine) attachTracer() {
+	tr := m.tracer
+	for i := range m.hubs {
+		m.hubs[i].Observe = tr.ResourceObserver(trace.QHub, i)
+		m.mems[i].Observe = tr.ResourceObserver(trace.QMem, i)
+	}
+	for i := range m.routers {
+		m.routers[i].Observe = tr.ResourceObserver(trace.QRouter, i)
+	}
+	for i := range m.metas {
+		m.metas[i].Observe = tr.ResourceObserver(trace.QMeta, i)
+	}
+	m.pages.OnRemap = tr.PageRemapped
+}
+
+// Tracer exposes the event tracer (nil unless Config.Trace.Enabled).
+func (m *Machine) Tracer() *trace.Tracer { return m.tracer }
+
+// TraceRegisterSync names a synchronization object for wait attribution
+// (no-op when tracing is off). The synchronization primitives call it at
+// construction with their identifying address and a kind label.
+func (m *Machine) TraceRegisterSync(obj uint64, label string) {
+	if tr := m.tracer; tr != nil {
+		tr.RegisterSync(obj, label)
+	}
+}
+
+// TraceSyncWait records one blocking wait episode at a sync object:
+// start is the wait's beginning in virtual time, span its length
+// (no-op when tracing is off).
+func (p *Proc) TraceSyncWait(obj uint64, start, span sim.Time) {
+	if tr := p.m.tracer; tr != nil {
+		tr.SyncWait(p.ID(), obj, start, span)
+	}
+}
+
+// TraceSyncAcquire records one lock acquisition with its request-to-grant
+// wait span, zero when uncontended (no-op when tracing is off).
+func (p *Proc) TraceSyncAcquire(obj uint64, start, span sim.Time) {
+	if tr := p.m.tracer; tr != nil {
+		tr.SyncAcquire(p.ID(), obj, start, span)
+	}
+}

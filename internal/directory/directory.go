@@ -175,6 +175,23 @@ func (d *Directory) Blocks() int {
 	return n
 }
 
+// SharerWidth reports how many caches currently hold block: the sharer-set
+// size when Shared, 1 when Exclusive, 0 when Unowned. The tracing layer
+// samples it after each transition to build sharer-width-over-time heat.
+func (d *Directory) SharerWidth(block uint64) int {
+	e := d.peek(block)
+	if e == nil {
+		return 0
+	}
+	switch e.State {
+	case SharedState:
+		return e.Sharers.Count()
+	case Exclusive:
+		return 1
+	}
+	return 0
+}
+
 // ReadResult describes how a read miss must be satisfied.
 type ReadResult struct {
 	// Dirty reports that a third-party cache owned the block; the home

@@ -27,6 +27,7 @@ import (
 	"origin2000/internal/core"
 	"origin2000/internal/perf"
 	"origin2000/internal/sim"
+	"origin2000/internal/trace"
 	"origin2000/internal/workload"
 )
 
@@ -48,6 +49,13 @@ type Scale struct {
 	// machine the scale builds; any experiment run then fails if the
 	// protocol violates an invariant.
 	Check bool
+	// Trace configures the event tracer on every machine the scale
+	// builds (zero value = tracing off).
+	Trace trace.Options
+	// TraceSink, when set together with Trace.Enabled, receives every
+	// machine RunConfig executes — including failed runs, whose traces
+	// are exactly the interesting ones — labeled "<app>-p<procs>-s<size>".
+	TraceSink func(label string, m *core.Machine)
 }
 
 // FullScale runs the paper's actual input sizes.
@@ -82,6 +90,7 @@ func (s Scale) Machine(procs int) core.Config {
 		cfg.Cache.SizeBytes = 32 << 10
 	}
 	cfg.Check = s.Check
+	cfg.Trace = s.Trace
 	return cfg
 }
 
@@ -257,10 +266,16 @@ func (s Scale) Run(app workload.App, procs int, params workload.Params) (RunResu
 	return s.RunConfig(app, s.Machine(procs), params)
 }
 
-// RunConfig executes app on a machine built from cfg.
+// RunConfig executes app on a machine built from cfg. When a TraceSink is
+// installed it sees the machine after the run, even a failed one — the
+// failing execution's trace is the one worth exporting.
 func (s Scale) RunConfig(app workload.App, cfg core.Config, params workload.Params) (RunResult, error) {
 	m := core.New(cfg)
-	if err := app.Run(m, params); err != nil {
+	err := app.Run(m, params)
+	if s.TraceSink != nil {
+		s.TraceSink(fmt.Sprintf("%s-p%d-s%d", app.Name(), cfg.Procs, params.Size), m)
+	}
+	if err != nil {
 		return RunResult{}, fmt.Errorf("%s (procs=%d, size=%d, variant=%q): %w",
 			app.Name(), cfg.Procs, params.Size, params.Variant, err)
 	}

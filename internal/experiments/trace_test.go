@@ -1,0 +1,193 @@
+package experiments
+
+import (
+	"bytes"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"origin2000/internal/core"
+	"origin2000/internal/trace"
+	"origin2000/internal/workload"
+)
+
+// traceRun executes app on a traced machine and returns the machine.
+func traceRun(t *testing.T, s Scale, appName string, procs int, o trace.Options) *core.Machine {
+	t.Helper()
+	app := AppByName(appName)
+	if app == nil {
+		t.Fatalf("unknown app %q", appName)
+	}
+	cfg := s.Machine(procs)
+	cfg.Trace = o
+	m := core.New(cfg)
+	if err := app.Run(m, s.Params(app, app.BasicSize(), "")); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestTraceDeterminism pins the tracing regression contract: a 32-processor
+// FFT run's exported trace — Perfetto JSON and compact binary alike — must
+// be bit-identical run to run and across GOMAXPROCS settings. Everything the
+// tracer records is a pure function of the deterministic simulation, so any
+// byte of divergence is a scheduler or recording-order bug.
+func TestTraceDeterminism(t *testing.T) {
+	s := Scale{Div: 64, CacheDiv: 64}
+	export := func() (pf, bin []byte) {
+		m := traceRun(t, s, "FFT", 32, trace.Options{Enabled: true, Lossless: true})
+		var pfb, binb bytes.Buffer
+		if err := m.Tracer().WritePerfetto(&pfb); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Tracer().WriteBinary(&binb); err != nil {
+			t.Fatal(err)
+		}
+		return pfb.Bytes(), binb.Bytes()
+	}
+
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+
+	runtime.GOMAXPROCS(1)
+	pf1, bin1 := export()
+	pf2, bin2 := export()
+	if !bytes.Equal(pf1, pf2) {
+		t.Error("Perfetto trace differs run to run at GOMAXPROCS=1")
+	}
+	if !bytes.Equal(bin1, bin2) {
+		t.Error("binary trace differs run to run at GOMAXPROCS=1")
+	}
+
+	runtime.GOMAXPROCS(4)
+	pf3, bin3 := export()
+	if !bytes.Equal(pf1, pf3) {
+		t.Error("Perfetto trace differs between GOMAXPROCS=1 and 4")
+	}
+	if !bytes.Equal(bin1, bin3) {
+		t.Error("binary trace differs between GOMAXPROCS=1 and 4")
+	}
+	if len(pf1) == 0 || len(bin1) == 0 {
+		t.Fatal("exports are empty")
+	}
+}
+
+// TestTraceZeroPerturbation verifies the Check-style discipline: enabling
+// the tracer must not move a single virtual clock. Elapsed time, every
+// per-processor breakdown, every counter, and the per-node queueing totals
+// of a traced run must equal the untraced run's exactly.
+func TestTraceZeroPerturbation(t *testing.T) {
+	s := Scale{Div: 64, CacheDiv: 64}
+	plain := traceRun(t, s, "FFT", 32, trace.Options{})
+	traced := traceRun(t, s, "FFT", 32, trace.Options{Enabled: true, Lossless: true})
+
+	if plain.Elapsed() != traced.Elapsed() {
+		t.Errorf("elapsed differs: untraced %d, traced %d", plain.Elapsed(), traced.Elapsed())
+	}
+	rp, rt := plain.Result(), traced.Result()
+	if rp.Trace != nil {
+		t.Error("untraced run carries a tracer")
+	}
+	if rt.Trace == nil {
+		t.Error("traced run lost its tracer")
+	}
+	rp.Trace, rt.Trace = nil, nil
+	if !reflect.DeepEqual(rp, rt) {
+		t.Errorf("results diverge with tracing on:\nuntraced %+v\ntraced   %+v", rp, rt)
+	}
+}
+
+// TestOceanTraceAttribution is the end-to-end acceptance check: a traced
+// 32-processor Ocean run must export a decodable Perfetto trace, the heat
+// tables must agree exactly with the machine's own miss counters, and the
+// top-ranked pages must concentrate the remote misses (that concentration
+// is the whole point of the attribution layer — it names the pages to fix).
+func TestOceanTraceAttribution(t *testing.T) {
+	s := Scale{Div: 64, CacheDiv: 64}
+	m := traceRun(t, s, "Ocean", 32, trace.Options{Enabled: true, Lossless: true})
+	tr := m.Tracer()
+
+	var buf bytes.Buffer
+	if err := tr.WritePerfetto(&buf); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := trace.DecodePerfetto(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("exported trace does not decode: %v", err)
+	}
+	orig := tr.AllEvents()
+	if len(decoded) != len(orig) {
+		t.Fatalf("decoded %d streams, want %d", len(decoded), len(orig))
+	}
+	total := 0
+	for p := range orig {
+		if len(decoded[p]) != len(orig[p]) {
+			t.Fatalf("proc %d: decoded %d events, want %d", p, len(decoded[p]), len(orig[p]))
+		}
+		total += len(orig[p])
+	}
+	if total == 0 {
+		t.Fatal("trace is empty")
+	}
+
+	// The heat tables are built from the same event sites as the machine
+	// counters; their totals must agree exactly.
+	c := m.Result().Counters
+	var local, clean, dirty, upgrades, invSent, invRecv int64
+	for _, h := range tr.TopPages(0) {
+		local += h.LocalMisses
+		clean += h.RemoteClean
+		dirty += h.RemoteDirty
+		upgrades += h.Upgrades
+		invSent += h.InvalsSent
+		invRecv += h.InvalsRecv
+	}
+	if local != c.LocalMisses || clean != c.RemoteClean || dirty != c.RemoteDirty {
+		t.Errorf("heat miss totals (%d/%d/%d) disagree with counters (%d/%d/%d)",
+			local, clean, dirty, c.LocalMisses, c.RemoteClean, c.RemoteDirty)
+	}
+	if upgrades != c.Upgrades {
+		t.Errorf("heat upgrades %d != counter %d", upgrades, c.Upgrades)
+	}
+	if invSent != c.Invalidations || invRecv != c.Invalidations {
+		t.Errorf("heat invalidations sent %d / received %d != counter %d",
+			invSent, invRecv, c.Invalidations)
+	}
+
+	const topN = 20
+	if share := tr.RemoteMissShare(topN); share < 0.5 {
+		t.Errorf("top-%d pages hold only %.1f%% of remote misses, want >= 50%%", topN, 100*share)
+	}
+
+	// Barrier waits must be attributed.
+	syncs := tr.TopSync(1)
+	if len(syncs) == 0 || syncs[0].TotalWait <= 0 {
+		t.Errorf("no synchronization wait attributed: %+v", syncs)
+	}
+}
+
+// TestTraceSinkSeesFailedRuns pins the flight-recorder contract RunConfig
+// gives CI: the TraceSink receives the machine even when the run fails, so
+// the failing execution's trace can be exported.
+func TestTraceSinkSeesFailedRuns(t *testing.T) {
+	var label string
+	var sunk *core.Machine
+	s := Scale{Div: 64, CacheDiv: 64,
+		Trace: trace.Options{Enabled: true},
+	}
+	s.TraceSink = func(l string, m *core.Machine) { label, sunk = l, m }
+	app := AppByName("FFT")
+	params := workload.Params{Size: -1, Seed: 42} // invalid size: the run must fail
+	if _, err := s.RunConfig(app, s.Machine(4), params); err == nil {
+		t.Skip("invalid size did not fail; sink-on-failure untestable this way")
+	}
+	if sunk == nil {
+		t.Fatal("TraceSink not called for a failed run")
+	}
+	if sunk.Tracer() == nil {
+		t.Error("sunk machine has no tracer despite Trace.Enabled")
+	}
+	if label == "" {
+		t.Error("sink label empty")
+	}
+}

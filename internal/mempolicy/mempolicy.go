@@ -40,6 +40,12 @@ type Table struct {
 	homes    map[uint64]int32
 	migrator *Migrator
 	gen      uint32 // bumped whenever an existing page->home mapping changes
+
+	// OnRemap, when set, observes every move of an already-homed page —
+	// dynamic migrations and overriding SetHome calls alike — with the
+	// page's previous and new home. The tracing layer uses it for
+	// per-page migration heat; it must not mutate placement state.
+	OnRemap func(page uint64, from, to int)
 }
 
 // NewTable creates a page table over numNodes nodes with the given default
@@ -119,6 +125,9 @@ func (t *Table) Choose(page uint64, touchNode int) int {
 func (t *Table) SetHome(page uint64, node int) {
 	if h, ok := t.homes[page]; ok && int(h) != node {
 		t.gen++ // an existing mapping moved: cached translations are stale
+		if t.OnRemap != nil {
+			t.OnRemap(page, int(h), node)
+		}
 	}
 	t.homes[page] = int32(node)
 }
@@ -141,8 +150,12 @@ func (t *Table) RecordRemoteMiss(page uint64, node int) (newHome int, migrated b
 	if !ok {
 		return 0, false
 	}
+	from := int(t.homes[page])
 	t.homes[page] = int32(to)
 	t.gen++ // the page moved: cached translations are stale
+	if t.OnRemap != nil {
+		t.OnRemap(page, from, to)
+	}
 	return to, true
 }
 

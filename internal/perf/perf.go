@@ -9,6 +9,7 @@ import (
 	"strings"
 
 	"origin2000/internal/sim"
+	"origin2000/internal/trace"
 )
 
 // Breakdown is one processor's execution time split into the paper's three
@@ -46,12 +47,37 @@ type Result struct {
 	PerProc []Breakdown
 	// Counters aggregates the per-processor machine-event counters.
 	Counters sim.Counters
-	// Queueing totals at shared resources (contention diagnostics).
-	HubQueued  sim.Time
-	MemQueued  sim.Time
-	MetaQueued sim.Time
-	HubBusy    sim.Time
-	Migrations int64
+	// Queueing totals at shared resources (contention diagnostics),
+	// derived from the per-node slices below.
+	HubQueued    sim.Time
+	MemQueued    sim.Time
+	RouterQueued sim.Time
+	MetaQueued   sim.Time
+	HubBusy      sim.Time
+	// Per-node (per-router, per-metarouter) queueing and busy time. The
+	// machine-global sums above hide exactly the pathology they exist to
+	// diagnose — one hot Hub behind a contended page — so the slices are
+	// the primary data; indexed by node/router/metarouter id.
+	HubQueuedPerNode      []sim.Time
+	MemQueuedPerNode      []sim.Time
+	HubBusyPerNode        []sim.Time
+	RouterQueuedPerRouter []sim.Time
+	MetaQueuedPerMeta     []sim.Time
+	Migrations            int64
+	// Trace is the run's event tracer (nil unless tracing was enabled).
+	Trace *trace.Tracer
+}
+
+// HottestHub returns the node whose Hub accumulated the most queueing
+// delay, with that delay (-1, 0 when per-node data is absent).
+func (r Result) HottestHub() (node int, queued sim.Time) {
+	node = -1
+	for i, q := range r.HubQueuedPerNode {
+		if q > queued || node < 0 {
+			node, queued = i, q
+		}
+	}
+	return node, queued
 }
 
 // Average returns the mean per-processor breakdown.

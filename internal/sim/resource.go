@@ -14,6 +14,13 @@ type Resource struct {
 	// Name identifies the resource in diagnostics ("hub3", "router0", ...).
 	Name string
 
+	// Observe, when set, is called on every acquisition with the request
+	// time, the granted service start, and the occupancy — the tracing
+	// layer's tap for building queueing-delay distributions. It must not
+	// mutate simulated state; when nil (the default) Acquire pays one
+	// branch.
+	Observe func(at, start, occupancy Time)
+
 	freeAt   Time
 	busy     Time
 	acquires int64
@@ -27,6 +34,9 @@ type Resource struct {
 func (r *Resource) Acquire(t, occupancy Time) Time {
 	if occupancy == 0 {
 		r.acquires++
+		if r.Observe != nil {
+			r.Observe(t, t, 0)
+		}
 		return t
 	}
 	start := t
@@ -37,6 +47,9 @@ func (r *Resource) Acquire(t, occupancy Time) Time {
 	r.freeAt = start + occupancy
 	r.busy += occupancy
 	r.acquires++
+	if r.Observe != nil {
+		r.Observe(t, start, occupancy)
+	}
 	return start
 }
 

@@ -80,6 +80,7 @@ func NewBarrier(m *core.Machine, n int, alg BarrierAlgorithm) *Barrier {
 	}
 	for b.rounds = 0; 1<<b.rounds < n; b.rounds++ {
 	}
+	m.TraceRegisterSync(b.counter.Base(), "barrier")
 	return b
 }
 
@@ -117,6 +118,7 @@ func (b *Barrier) Wait(p *core.Proc) {
 		span := p.Now() - arrival
 		p.ChargeSync(span)
 		c.SyncWait += span
+		p.TraceSyncWait(b.counter.Base(), arrival, span)
 		b.exitProtocol(p)
 		return
 	}
@@ -155,7 +157,9 @@ func (b *Barrier) Wait(p *core.Proc) {
 		p.WakeAt(waiters[i], releaseAt)
 	}
 	if releaseAt > p.Now() {
-		c.SyncWait += releaseAt - p.Now()
+		span := releaseAt - p.Now()
+		c.SyncWait += span
+		p.TraceSyncWait(b.counter.Base(), p.Now(), span)
 		p.SyncAdvanceTo(releaseAt)
 	}
 	b.exitProtocol(p)
@@ -227,7 +231,7 @@ type Lock struct {
 
 // NewLock creates a lock on m.
 func NewLock(m *core.Machine, alg LockAlgorithm) *Lock {
-	return &Lock{
+	l := &Lock{
 		m:      m,
 		alg:    alg,
 		ticket: m.Alloc("lock.ticket", 1, core.BlockBytes),
@@ -235,6 +239,8 @@ func NewLock(m *core.Machine, alg LockAlgorithm) *Lock {
 		slots:  m.Alloc("lock.slots", m.NumProcs(), core.BlockBytes),
 		holder: -1,
 	}
+	l.m.TraceRegisterSync(l.ticket.Base(), "lock")
+	return l
 }
 
 // Acquire obtains the lock, blocking in virtual time while it is held.
@@ -253,6 +259,7 @@ func (l *Lock) Acquire(p *core.Proc) {
 	if !l.held {
 		l.held = true
 		l.holder = p.ID()
+		p.TraceSyncAcquire(l.ticket.Base(), p.Now(), 0)
 		return
 	}
 	req := p.Now()
@@ -261,6 +268,7 @@ func (l *Lock) Acquire(p *core.Proc) {
 	span := p.Now() - req
 	p.ChargeSync(span)
 	c.SyncWait += span
+	p.TraceSyncAcquire(l.ticket.Base(), req, span)
 	// Observe the handoff: re-read the spin target.
 	before = p.Now()
 	switch l.alg {

@@ -1,0 +1,59 @@
+package trace
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Failure flight recorder: when a checked experiment or a golden-output
+// test fails, CI re-runs the scenario with tracing enabled and uploads the
+// Perfetto trace as an artifact, so every red build ships the event stream
+// that explains it.
+
+// ArtifactEnv is the environment variable naming the directory failure
+// traces are written to. Empty (unset) disables artifact capture.
+const ArtifactEnv = "ORIGIN_TRACE_ARTIFACTS"
+
+// ArtifactDir reports the failure-artifact directory, or "" when capture is
+// off.
+func ArtifactDir() string { return os.Getenv(ArtifactEnv) }
+
+// WriteArtifact writes the tracer's Perfetto trace to
+// dir/<name>.perfetto.json (creating dir) and returns the path.
+func WriteArtifact(dir, name string, t *Tracer) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, name+".perfetto.json")
+	f, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	if err := t.WritePerfetto(f); err != nil {
+		f.Close()
+		return "", err
+	}
+	return path, f.Close()
+}
+
+// CaptureArtifact re-runs a failing scenario with tracing enabled and
+// writes its Perfetto trace to the ArtifactDir. run receives the trace
+// options to install on the re-run's machine and returns that machine's
+// tracer. It is a no-op returning ("", nil) when artifact capture is off;
+// callers log the returned path. The re-run is deterministic, so the
+// captured trace is the failing execution, not an approximation of it.
+func CaptureArtifact(name string, run func(Options) (*Tracer, error)) (string, error) {
+	dir := ArtifactDir()
+	if dir == "" {
+		return "", nil
+	}
+	t, err := run(Options{Enabled: true, Lossless: true})
+	if err != nil && t == nil {
+		return "", fmt.Errorf("trace: artifact re-run %s: %w", name, err)
+	}
+	if t == nil {
+		return "", fmt.Errorf("trace: artifact re-run %s returned no tracer", name)
+	}
+	return WriteArtifact(dir, name, t)
+}

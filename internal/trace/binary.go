@@ -1,0 +1,129 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"origin2000/internal/sim"
+)
+
+// Compact binary trace format, for round-tripping event streams in tests
+// and archiving full runs cheaply: varint-encoded with per-processor
+// delta-coded timestamps. Event times within one processor's stream are
+// nearly sorted (waits are stamped at their start, which can precede the
+// previous event's stamp), so deltas are signed.
+
+// binaryMagic identifies the format; bump the trailing digit on change.
+var binaryMagic = []byte("ORGNTRC1")
+
+// EncodeBinary writes per-processor event streams in the compact binary
+// format.
+func EncodeBinary(w io.Writer, procs [][]Event) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(binaryMagic); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	putU := func(v uint64) {
+		bw.Write(buf[:binary.PutUvarint(buf[:], v)])
+	}
+	putI := func(v int64) {
+		bw.Write(buf[:binary.PutVarint(buf[:], v)])
+	}
+	putU(uint64(len(procs)))
+	for _, evs := range procs {
+		putU(uint64(len(evs)))
+		var prev sim.Time
+		for _, ev := range evs {
+			putI(int64(ev.Time - prev))
+			prev = ev.Time
+			putU(uint64(ev.Dur))
+			putU(ev.Addr)
+			putI(int64(ev.Arg))
+			putI(int64(ev.Node))
+			bw.WriteByte(byte(ev.Kind))
+		}
+	}
+	return bw.Flush()
+}
+
+// DecodeBinary parses a stream written by EncodeBinary.
+func DecodeBinary(r io.Reader) ([][]Event, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(binaryMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("trace: binary decode: %w", err)
+	}
+	if string(magic) != string(binaryMagic) {
+		return nil, fmt.Errorf("trace: binary decode: bad magic %q", magic)
+	}
+	getU := func() (uint64, error) { return binary.ReadUvarint(br) }
+	getI := func() (int64, error) { return binary.ReadVarint(br) }
+	np, err := getU()
+	if err != nil {
+		return nil, fmt.Errorf("trace: binary decode: %w", err)
+	}
+	const maxProcs = 1 << 20 // sanity bound against corrupt headers
+	if np == 0 || np > maxProcs {
+		return nil, fmt.Errorf("trace: binary decode: implausible proc count %d", np)
+	}
+	procs := make([][]Event, np)
+	for p := range procs {
+		n, err := getU()
+		if err != nil {
+			return nil, fmt.Errorf("trace: binary decode: proc %d: %w", p, err)
+		}
+		capHint := n
+		if capHint > 1<<16 { // don't trust a corrupt count with one big alloc
+			capHint = 1 << 16
+		}
+		evs := make([]Event, 0, capHint)
+		var prev sim.Time
+		for i := uint64(0); i < n; i++ {
+			var ev Event
+			dt, err := getI()
+			if err != nil {
+				return nil, fmt.Errorf("trace: binary decode: proc %d event %d: %w", p, i, err)
+			}
+			ev.Time = prev + sim.Time(dt)
+			prev = ev.Time
+			d, err := getU()
+			if err != nil {
+				return nil, err
+			}
+			ev.Dur = sim.Time(d)
+			if ev.Addr, err = getU(); err != nil {
+				return nil, err
+			}
+			arg, err := getI()
+			if err != nil {
+				return nil, err
+			}
+			ev.Arg = int32(arg)
+			node, err := getI()
+			if err != nil {
+				return nil, err
+			}
+			ev.Node = int16(node)
+			k, err := br.ReadByte()
+			if err != nil {
+				return nil, err
+			}
+			if k >= uint8(numKinds) {
+				return nil, fmt.Errorf("trace: binary decode: unknown event kind %d", k)
+			}
+			ev.Kind = Kind(k)
+			evs = append(evs, ev)
+		}
+		procs[p] = evs
+	}
+	return procs, nil
+}
+
+// WriteBinary exports the tracer's surviving event streams in the compact
+// binary format.
+func (t *Tracer) WriteBinary(w io.Writer) error {
+	return EncodeBinary(w, t.AllEvents())
+}

@@ -1,0 +1,131 @@
+package trace
+
+import (
+	"math/bits"
+
+	"origin2000/internal/sim"
+)
+
+// Histogram is a log-bucketed (HDR-style) latency histogram over sim.Time
+// values. Values below 2^histSubBits land in exact unit buckets; above
+// that, each power-of-two octave is split into 2^histSubBits linear
+// sub-buckets, so relative error is bounded by 1/2^histSubBits everywhere.
+// The bucket array is fixed-size: recording never allocates.
+type Histogram struct {
+	counts [histBuckets]int64
+	total  int64
+	sum    sim.Time
+	max    sim.Time
+	min    sim.Time
+}
+
+const (
+	// histSubBits sets the resolution: 2^histSubBits sub-buckets per
+	// octave (relative error <= 1/8 with 3 bits).
+	histSubBits = 3
+	histSub     = 1 << histSubBits
+	// histBuckets covers the full non-negative int64 range.
+	histBuckets = (64-histSubBits)*histSub + histSub
+)
+
+// bucketOf maps a value to its bucket index. The mapping is monotone and
+// contiguous: bucket boundaries are exact integers, so tests can pin them.
+func bucketOf(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	if v < histSub {
+		return int(v)
+	}
+	e := 63 - bits.LeadingZeros64(uint64(v))
+	return (e-histSubBits)*histSub + int(v>>uint(e-histSubBits))
+}
+
+// BucketLow returns the smallest value that maps to bucket idx.
+func BucketLow(idx int) int64 {
+	if idx < histSub {
+		return int64(idx)
+	}
+	shift := (idx - histSub) / histSub
+	m := idx - shift*histSub
+	return int64(m) << uint(shift)
+}
+
+// Record adds one value to the histogram.
+func (h *Histogram) Record(v sim.Time) {
+	h.counts[bucketOf(int64(v))]++
+	if h.total == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.total++
+	h.sum += v
+}
+
+// Count returns the number of recorded values.
+func (h *Histogram) Count() int64 { return h.total }
+
+// Sum returns the total of all recorded values.
+func (h *Histogram) Sum() sim.Time { return h.sum }
+
+// Max returns the largest recorded value (0 when empty).
+func (h *Histogram) Max() sim.Time {
+	if h.total == 0 {
+		return 0
+	}
+	return h.max
+}
+
+// Min returns the smallest recorded value (0 when empty).
+func (h *Histogram) Min() sim.Time {
+	if h.total == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Mean returns the average recorded value (0 when empty).
+func (h *Histogram) Mean() sim.Time {
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / sim.Time(h.total)
+}
+
+// Quantile returns the lower bound of the bucket containing the q-quantile
+// (q in [0,1]); quantiles are therefore deterministic and conservative.
+func (h *Histogram) Quantile(q float64) sim.Time {
+	if h.total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(q * float64(h.total-1))
+	var seen int64
+	for i := range h.counts {
+		seen += h.counts[i]
+		if seen > rank {
+			return sim.Time(BucketLow(i))
+		}
+	}
+	return h.max
+}
+
+// Nonzero returns the number of values recorded above zero.
+func (h *Histogram) Nonzero() int64 { return h.total - h.counts[0] }
+
+// Buckets calls fn for every non-empty bucket in ascending value order with
+// the bucket's inclusive lower bound and its count.
+func (h *Histogram) Buckets(fn func(low int64, count int64)) {
+	for i := range h.counts {
+		if h.counts[i] != 0 {
+			fn(BucketLow(i), h.counts[i])
+		}
+	}
+}

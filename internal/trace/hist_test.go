@@ -1,0 +1,109 @@
+package trace
+
+import (
+	"math"
+	"testing"
+
+	"origin2000/internal/sim"
+)
+
+// TestBucketBoundaries pins the log-bucket mapping at the exact boundary
+// values: sub-unit buckets, octave edges, and the last value of each
+// sub-bucket. BucketLow must be the exact inverse on bucket lower bounds.
+func TestBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want int
+	}{
+		{0, 0}, {1, 1}, {7, 7}, // exact unit buckets below 2^3
+		{8, 8}, {9, 9}, {15, 15}, // first octave: still unit-width
+		{16, 16}, {17, 16}, {18, 17}, // second octave: width-2 sub-buckets
+		{31, 23},
+		{32, 24}, {35, 24}, {36, 25}, // width-4 sub-buckets
+		{63, 31},
+		{64, 32},
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.v); got != c.want {
+			t.Errorf("bucketOf(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+	if got := bucketOf(-5); got != 0 {
+		t.Errorf("bucketOf(-5) = %d, want 0 (clamped)", got)
+	}
+}
+
+func TestBucketLowIsInverse(t *testing.T) {
+	for idx := 0; idx < histBuckets; idx++ {
+		low := BucketLow(idx)
+		if low < 0 { // top buckets overflow int64; stop there
+			break
+		}
+		if got := bucketOf(low); got != idx {
+			t.Fatalf("bucketOf(BucketLow(%d)=%d) = %d", idx, low, got)
+		}
+		if low > 0 {
+			if got := bucketOf(low - 1); got != idx-1 {
+				t.Fatalf("bucketOf(%d) = %d, want %d (bucket %d's lower bound is exclusive below)",
+					low-1, got, idx-1, idx)
+			}
+		}
+	}
+}
+
+func TestBucketOfIsMonotone(t *testing.T) {
+	prev := -1
+	for v := int64(0); v < 1<<16; v++ {
+		b := bucketOf(v)
+		if b < prev {
+			t.Fatalf("bucketOf not monotone at %d: %d < %d", v, b, prev)
+		}
+		prev = b
+	}
+}
+
+// TestHistogramRelativeError verifies the HDR property: every recorded value
+// lands in a bucket whose lower bound is within 1/8 below it.
+func TestHistogramRelativeError(t *testing.T) {
+	for _, v := range []int64{1, 7, 8, 100, 1234, 99999, 1 << 40} {
+		low := BucketLow(bucketOf(v))
+		if low > v {
+			t.Errorf("BucketLow(bucketOf(%d)) = %d > value", v, low)
+		}
+		if float64(v-low) > math.Ceil(float64(v)/histSub) {
+			t.Errorf("value %d: bucket low %d further than 1/%d relative error", v, low, histSub)
+		}
+	}
+}
+
+func TestHistogramStats(t *testing.T) {
+	var h Histogram
+	if h.Mean() != 0 || h.Quantile(0.5) != 0 || h.Max() != 0 || h.Min() != 0 {
+		t.Error("empty histogram must report zeros")
+	}
+	vals := []sim.Time{10, 20, 30, 40, 1000}
+	for _, v := range vals {
+		h.Record(v)
+	}
+	if h.Count() != 5 || h.Sum() != 1100 || h.Mean() != 220 {
+		t.Errorf("count/sum/mean = %d/%d/%d", h.Count(), h.Sum(), h.Mean())
+	}
+	if h.Min() != 10 || h.Max() != 1000 {
+		t.Errorf("min/max = %d/%d", h.Min(), h.Max())
+	}
+	// Quantiles are bucket lower bounds: deterministic and conservative.
+	if q := h.Quantile(0); q != sim.Time(BucketLow(bucketOf(10))) {
+		t.Errorf("q0 = %d", q)
+	}
+	if q := h.Quantile(1); q > 1000 || q < 896 {
+		t.Errorf("q1 = %d, want the bucket containing 1000", q)
+	}
+	if q50, q90 := h.Quantile(0.5), h.Quantile(0.9); q50 > q90 {
+		t.Errorf("quantiles not monotone: p50 %d > p90 %d", q50, q90)
+	}
+	var total int64
+	h.Buckets(func(_ int64, c int64) { total += c })
+	if total != 5 {
+		t.Errorf("bucket counts sum to %d", total)
+	}
+}

@@ -1,0 +1,146 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"origin2000/internal/sim"
+)
+
+// Perfetto (Chrome trace-event JSON) export. A run opens directly in
+// ui.perfetto.dev / chrome://tracing: one thread track per simulated
+// processor carrying the event slices (misses, sync waits, queue entries as
+// duration slices; instantaneous events as zero-duration slices) plus
+// counter tracks sampling per-resource queueing delay.
+//
+// The writer is deterministic — a pure function of the per-processor event
+// slices, with hand-formatted fixed-point timestamps — and every event line
+// embeds its exact picosecond payload in "args", so DecodePerfetto restores
+// the event slices exactly and re-encoding is byte-identical. That makes
+// the JSON itself a lossless interchange format, not just a viewer feed.
+
+// perfettoTool names the producer in the trace header (and is checked by
+// the decoder as a format guard).
+const perfettoTool = "origin2000-trace/1"
+
+// pfTS renders a virtual time as the microsecond fixed-point string the
+// trace-event format expects, at full picosecond precision.
+func pfTS(t sim.Time) string {
+	return fmt.Sprintf("%d.%06d", t/sim.Microsecond, t%sim.Microsecond)
+}
+
+// ExportPerfetto writes per-processor event streams as Chrome trace-event
+// JSON. It is a pure function of procs, so decode→re-encode round-trips to
+// identical bytes.
+func ExportPerfetto(w io.Writer, procs [][]Event) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "{\"displayTimeUnit\":\"ns\",\"otherData\":{\"tool\":%q,\"procs\":\"%d\"},\"traceEvents\":[\n",
+		perfettoTool, len(procs))
+	fmt.Fprintf(bw, "{\"ph\":\"M\",\"pid\":0,\"name\":\"process_name\",\"args\":{\"name\":\"origin2000\"}}")
+	for p := range procs {
+		fmt.Fprintf(bw, ",\n{\"ph\":\"M\",\"pid\":0,\"tid\":%d,\"name\":\"thread_name\",\"args\":{\"name\":\"cpu%d\"}}", p, p)
+	}
+	for p, evs := range procs {
+		for _, ev := range evs {
+			fmt.Fprintf(bw,
+				",\n{\"ph\":\"X\",\"pid\":0,\"tid\":%d,\"ts\":%s,\"dur\":%s,\"name\":%q,\"cat\":\"machine\","+
+					"\"args\":{\"k\":%d,\"t\":%d,\"d\":%d,\"a\":%d,\"g\":%d,\"n\":%d}}",
+				p, pfTS(ev.Time), pfTS(ev.Dur), ev.Kind.String(),
+				ev.Kind, int64(ev.Time), int64(ev.Dur), ev.Addr, ev.Arg, ev.Node)
+			// Queue events also feed a per-resource counter track so
+			// contention hot spots are visible without opening slices.
+			switch ev.Kind {
+			case EvHubQueue, EvMemQueue, EvRouterQueue, EvMetaQueue:
+				fmt.Fprintf(bw, ",\n{\"ph\":\"C\",\"pid\":0,\"ts\":%s,\"name\":\"%s%d delay (ns)\",\"args\":{\"ns\":%d}}",
+					pfTS(ev.Time), counterPrefix(ev.Kind), ev.Node, int64(ev.Dur)/int64(sim.Nanosecond))
+			}
+		}
+	}
+	fmt.Fprintf(bw, "\n]}\n")
+	return bw.Flush()
+}
+
+func counterPrefix(k Kind) string {
+	switch k {
+	case EvHubQueue:
+		return "hub"
+	case EvMemQueue:
+		return "mem"
+	case EvRouterQueue:
+		return "router"
+	default:
+		return "meta"
+	}
+}
+
+// pfFile/pfEvent mirror the subset of the trace-event schema the decoder
+// needs; everything else (counter samples, metadata) is derived on encode
+// and therefore skipped on decode.
+type pfFile struct {
+	OtherData   map[string]string `json:"otherData"`
+	TraceEvents []pfEvent         `json:"traceEvents"`
+}
+
+type pfEvent struct {
+	Ph   string  `json:"ph"`
+	Tid  int     `json:"tid"`
+	Args *pfArgs `json:"args"`
+}
+
+type pfArgs struct {
+	K *uint8 `json:"k"`
+	T int64  `json:"t"`
+	D int64  `json:"d"`
+	A uint64 `json:"a"`
+	G int32  `json:"g"`
+	N int16  `json:"n"`
+}
+
+// DecodePerfetto parses a trace written by ExportPerfetto back into
+// per-processor event streams.
+func DecodePerfetto(r io.Reader) ([][]Event, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	var f pfFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("trace: perfetto decode: %w", err)
+	}
+	if tool := f.OtherData["tool"]; tool != perfettoTool {
+		return nil, fmt.Errorf("trace: perfetto decode: not an origin2000 trace (tool=%q)", tool)
+	}
+	n, err := strconv.Atoi(f.OtherData["procs"])
+	if err != nil || n < 1 {
+		return nil, fmt.Errorf("trace: perfetto decode: bad proc count %q", f.OtherData["procs"])
+	}
+	procs := make([][]Event, n)
+	for _, e := range f.TraceEvents {
+		if e.Ph != "X" || e.Args == nil || e.Args.K == nil {
+			continue // metadata or derived counter sample
+		}
+		if e.Tid < 0 || e.Tid >= n {
+			return nil, fmt.Errorf("trace: perfetto decode: event tid %d out of range [0,%d)", e.Tid, n)
+		}
+		if *e.Args.K >= uint8(numKinds) {
+			return nil, fmt.Errorf("trace: perfetto decode: unknown event kind %d", *e.Args.K)
+		}
+		procs[e.Tid] = append(procs[e.Tid], Event{
+			Time: sim.Time(e.Args.T),
+			Dur:  sim.Time(e.Args.D),
+			Addr: e.Args.A,
+			Arg:  e.Args.G,
+			Node: e.Args.N,
+			Kind: Kind(*e.Args.K),
+		})
+	}
+	return procs, nil
+}
+
+// WritePerfetto exports the tracer's surviving event streams.
+func (t *Tracer) WritePerfetto(w io.Writer) error {
+	return ExportPerfetto(w, t.AllEvents())
+}

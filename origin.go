@@ -31,6 +31,7 @@ import (
 	"origin2000/internal/sim"
 	"origin2000/internal/synchro"
 	"origin2000/internal/topology"
+	"origin2000/internal/trace"
 	"origin2000/internal/workload"
 )
 
@@ -75,6 +76,17 @@ type PhaseBreakdown = core.PhaseBreakdown
 
 // Time is a virtual time or duration in picoseconds.
 type Time = sim.Time
+
+// TraceOptions configures the virtual-time event tracer on Config.Trace:
+// per-processor ring buffers (lossless when asked), Perfetto export, and
+// per-page/per-sync attribution, all without moving a single virtual clock.
+type TraceOptions = trace.Options
+
+// Tracer is a machine's event tracer (Machine.Tracer, nil unless enabled).
+type Tracer = trace.Tracer
+
+// TraceEvent is one recorded virtual-time event.
+type TraceEvent = trace.Event
 
 // Scale divides problem sizes and the cache relative to the paper.
 type Scale = experiments.Scale
