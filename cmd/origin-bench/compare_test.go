@@ -120,3 +120,41 @@ func TestCompareAgainstBaselineEndToEnd(t *testing.T) {
 		t.Fatal("missing baseline not an error")
 	}
 }
+
+func TestNextOutRecordsSlotNumber(t *testing.T) {
+	dir := t.TempDir()
+	wd, _ := os.Getwd()
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(wd)
+
+	name, n := nextOut()
+	if name != "BENCH_1.json" || n != 1 {
+		t.Fatalf("empty dir: nextOut() = %q, %d", name, n)
+	}
+	for _, f := range []string{"BENCH_1.json", "BENCH_2.json"} {
+		if err := os.WriteFile(f, []byte("{}"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	name, n = nextOut()
+	if name != "BENCH_3.json" || n != 3 {
+		t.Fatalf("after 1,2: nextOut() = %q, %d", name, n)
+	}
+}
+
+func TestSeqOfParsesSlotFromPath(t *testing.T) {
+	for _, tc := range []struct {
+		path string
+		want int
+	}{
+		{"BENCH_7.json", 7},
+		{filepath.Join("some", "dir", "BENCH_12.json"), 12},
+		{"custom.json", 0},
+	} {
+		if got := seqOf(tc.path); got != tc.want {
+			t.Errorf("seqOf(%q) = %d, want %d", tc.path, got, tc.want)
+		}
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"runtime"
 	"testing"
 	"time"
@@ -26,6 +27,7 @@ import (
 	"origin2000/internal/core"
 	"origin2000/internal/directory"
 	"origin2000/internal/experiments"
+	"origin2000/internal/metrics"
 	"origin2000/internal/sim"
 	"origin2000/internal/trace"
 	"origin2000/internal/workload"
@@ -48,7 +50,11 @@ type Result struct {
 
 // Snapshot is the schema of a BENCH_<n>.json file.
 type Snapshot struct {
-	Schema    string   `json:"schema"`
+	Schema    string `json:"schema"`
+	// Seq is the <n> of the BENCH_<n>.json slot this snapshot was written
+	// to, so the file's position in the perf trajectory survives renames
+	// and copies. Zero when the output name carries no number.
+	Seq       int      `json:"seq,omitempty"`
 	Date      string   `json:"date"`
 	GoVersion string   `json:"go_version"`
 	CPUs      int      `json:"cpus"`
@@ -221,14 +227,57 @@ func traceOverhead(mode string, s experiments.Scale) (Result, error) {
 	}, nil
 }
 
-// nextOut returns the first unused BENCH_<n>.json name.
-func nextOut() string {
+// metricsOverhead measures the virtual-time metrics sampler's end-to-end
+// wall-clock cost on one application run (FFT, 32 processors): sampling off,
+// and sampling at the default 50µs interval and at an aggressive 5µs one.
+// The metrics:off entry is the regression guard for the disabled-path cost
+// (a nil check per virtual-clock advance); the sampled entries bound what a
+// dashboard-grade interval costs.
+func metricsOverhead(mode string, s experiments.Scale) (Result, error) {
+	app := experiments.AppByName("FFT")
+	if app == nil {
+		return Result{}, fmt.Errorf("FFT app missing")
+	}
+	params := workload.Params{Size: s.BasicSize(app), Seed: 42}
+	switch mode {
+	case "50us":
+		s.Metrics = metrics.Options{Enabled: true, Interval: 50 * sim.Microsecond}
+	case "5us":
+		s.Metrics = metrics.Options{Enabled: true, Interval: 5 * sim.Microsecond}
+	}
+	start := time.Now()
+	r, err := s.Run(app, 32, params)
+	if err != nil {
+		return Result{}, err
+	}
+	wall := time.Since(start).Seconds()
+	accesses := r.Result.Counters.Reads + r.Result.Counters.Writes
+	return Result{
+		Name:              "metrics:" + mode,
+		NsPerOp:           wall * 1e9,
+		WallSeconds:       wall,
+		SimAccessesPerSec: float64(accesses) / wall,
+	}, nil
+}
+
+// nextOut returns the first unused BENCH_<n>.json name and its slot number.
+func nextOut() (string, int) {
 	for n := 1; ; n++ {
 		name := fmt.Sprintf("BENCH_%d.json", n)
 		if _, err := os.Stat(name); os.IsNotExist(err) {
-			return name
+			return name, n
 		}
 	}
+}
+
+// seqOf extracts the <n> from a BENCH_<n>.json path, or 0 if the name does
+// not follow the scheme.
+func seqOf(path string) int {
+	var n int
+	if _, err := fmt.Sscanf(filepath.Base(path), "BENCH_%d.json", &n); err != nil {
+		return 0
+	}
+	return n
 }
 
 func main() {
@@ -273,8 +322,11 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	seq := 0
 	if *out == "" {
-		*out = nextOut()
+		*out, seq = nextOut()
+	} else {
+		seq = seqOf(*out)
 	}
 	// Fail on an unwritable output path now, not after a 40-second suite.
 	if f, err := os.OpenFile(*out, os.O_CREATE|os.O_WRONLY, 0o644); err != nil {
@@ -287,6 +339,7 @@ func main() {
 	benchScale := experiments.Scale{Div: 16, CacheDiv: 16}
 	snap := Snapshot{
 		Schema:    "origin-bench/v1",
+		Seq:       seq,
 		Date:      time.Now().UTC().Format(time.RFC3339),
 		GoVersion: runtime.Version(),
 		CPUs:      runtime.NumCPU(),
@@ -328,6 +381,15 @@ func main() {
 
 	for _, mode := range []string{"off", "ring", "full"} {
 		r, err := traceOverhead(mode, benchScale)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "origin-bench:", err)
+			os.Exit(1)
+		}
+		add(r)
+	}
+
+	for _, mode := range []string{"off", "50us", "5us"} {
+		r, err := metricsOverhead(mode, benchScale)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "origin-bench:", err)
 			os.Exit(1)

@@ -1,0 +1,202 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"origin2000/internal/metrics"
+	"origin2000/internal/trace"
+)
+
+// TestDashSmoke is the CI headless smoke test: boot the server on an
+// ephemeral port, start a 4-processor FFT sweep, and assert that the SSE
+// stream, the Prometheus endpoint, the CSV export and the artifact export
+// all deliver well-formed payloads. On failure the run's CSV series is
+// written to the ORIGIN_TRACE_ARTIFACTS directory (when set) so CI uploads
+// it with the failure.
+func TestDashSmoke(t *testing.T) {
+	srv := newServer(64)
+	ts := httptest.NewServer(srv.mux())
+	defer ts.Close()
+
+	saveSeriesOnFailure := func() {
+		dir := trace.ArtifactDir()
+		if !t.Failed() || dir == "" {
+			return
+		}
+		srv.mu.Lock()
+		defer srv.mu.Unlock()
+		if len(srv.runs) == 0 {
+			return
+		}
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Logf("artifact dir: %v", err)
+			return
+		}
+		path := filepath.Join(dir, "dash-smoke-run0.csv")
+		f, err := os.Create(path)
+		if err != nil {
+			t.Logf("artifact create: %v", err)
+			return
+		}
+		metrics.WriteMachineCSV(f, srv.runs[0].samples)
+		f.Close()
+		t.Logf("wrote failing run's series to %s", path)
+	}
+	defer saveSeriesOnFailure()
+
+	// Subscribe to SSE before starting, so no event can be missed.
+	evResp, err := http.Get(ts.URL + "/api/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer evResp.Body.Close()
+	if ct := evResp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("SSE Content-Type = %q", ct)
+	}
+
+	// The dashboard page must be served.
+	page := get(t, ts.URL+"/")
+	if !strings.Contains(page, "origin-dash") || !strings.Contains(page, "EventSource") {
+		t.Error("dashboard HTML missing expected content")
+	}
+
+	// Start a 4-processor FFT sweep.
+	var started struct {
+		Runs []int `json:"runs"`
+	}
+	if err := json.Unmarshal([]byte(get(t, ts.URL+"/api/start?app=FFT&procs=4&scale=64")), &started); err != nil {
+		t.Fatalf("start response: %v", err)
+	}
+	if len(started.Runs) != 1 {
+		t.Fatalf("started runs = %v, want one", started.Runs)
+	}
+
+	// Read SSE until the run completes: we must see at least one
+	// well-formed sample event and the final done run event.
+	type sampleEvent struct {
+		Run int `json:"run"`
+		metrics.MachineSample
+	}
+	var sawSample, sawDone bool
+	deadline := time.After(60 * time.Second)
+	events := make(chan [2]string, 64)
+	go func() {
+		defer close(events)
+		sc := bufio.NewScanner(evResp.Body)
+		var name string
+		for sc.Scan() {
+			line := sc.Text()
+			if v, ok := strings.CutPrefix(line, "event: "); ok {
+				name = v
+			} else if v, ok := strings.CutPrefix(line, "data: "); ok {
+				events <- [2]string{name, v}
+			}
+		}
+	}()
+	for !(sawSample && sawDone) {
+		select {
+		case ev, ok := <-events:
+			if !ok {
+				t.Fatal("SSE stream closed before the run finished")
+			}
+			switch ev[0] {
+			case "sample":
+				var se sampleEvent
+				if err := json.Unmarshal([]byte(ev[1]), &se); err != nil {
+					t.Fatalf("malformed sample event %q: %v", ev[1], err)
+				}
+				if se.At <= 0 {
+					t.Fatalf("sample with non-positive virtual time: %+v", se)
+				}
+				sawSample = true
+			case "run":
+				var rs runState
+				if err := json.Unmarshal([]byte(ev[1]), &rs); err != nil {
+					t.Fatalf("malformed run event %q: %v", ev[1], err)
+				}
+				if rs.Status == "failed" {
+					t.Fatalf("run failed: %s", rs.Error)
+				}
+				if rs.Status == "done" {
+					if rs.ElapsedMs <= 0 {
+						t.Fatalf("done run with no elapsed time: %+v", rs)
+					}
+					sawDone = true
+				}
+			}
+		case <-deadline:
+			t.Fatalf("timed out waiting for SSE (sample=%v done=%v)", sawSample, sawDone)
+		}
+	}
+
+	// Prometheus exposition must carry the run's gauges.
+	prom := get(t, ts.URL+"/metrics")
+	for _, want := range []string{
+		"# TYPE origin_run_status gauge",
+		`origin_run_status{run="0",app="FFT",procs="4"} 1`,
+		`origin_run_elapsed_ms{run="0",app="FFT",procs="4"}`,
+		"# TYPE origin_busy_ms gauge",
+		"origin_virtual_time_ms",
+	} {
+		if !strings.Contains(prom, want) {
+			t.Errorf("/metrics missing %q\n%s", want, prom)
+		}
+	}
+
+	// CSV export: header plus at least one row, rectangular.
+	csv := get(t, ts.URL+"/api/csv?run=0")
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("CSV has %d lines", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "at_ps,epoch,busy_ps") {
+		t.Errorf("CSV header = %q", lines[0])
+	}
+	cols := strings.Count(lines[0], ",")
+	for i, line := range lines[1:] {
+		if strings.Count(line, ",") != cols {
+			t.Errorf("CSV row %d not rectangular: %q", i, line)
+		}
+	}
+
+	// Artifact export: schema-valid JSON usable as an origin-diff side.
+	var art metrics.Artifact
+	if err := json.Unmarshal([]byte(get(t, ts.URL+"/api/artifact?run=0")), &art); err != nil {
+		t.Fatalf("artifact: %v", err)
+	}
+	if art.Schema != metrics.ArtifactSchema || len(art.PerProc) != 4 || len(art.Machine) == 0 {
+		t.Errorf("artifact malformed: schema=%q procs=%d samples=%d",
+			art.Schema, len(art.PerProc), len(art.Machine))
+	}
+
+	// Unknown run ids are 404s, not panics.
+	if resp, err := http.Get(ts.URL + "/api/csv?run=99"); err != nil || resp.StatusCode != http.StatusNotFound {
+		t.Errorf("csv for unknown run: %v %v", resp.Status, err)
+	}
+}
+
+func get(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s\n%s", url, resp.Status, body)
+	}
+	return string(body)
+}

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"testing"
+
+	"origin2000/internal/metrics"
+)
+
+// TestDiffExactAttribution is the PR's acceptance criterion for origin-diff:
+// comparing a first-touch FFT run against a round-robin one must produce a
+// component breakdown whose total equals the measured virtual-time delta
+// exactly — not approximately.
+func TestDiffExactAttribution(t *testing.T) {
+	base := runBase{appName: "FFT", procs: 8, scale: 64, seed: 42}
+	a, err := runSpec("placement=ft", base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := runSpec("placement=rr", base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := metrics.Diff(a, b)
+	if r.Delta == 0 {
+		t.Fatal("first-touch and round-robin runs have identical elapsed time; the comparison is vacuous")
+	}
+	if got := r.ComponentTotal(); got != r.Delta {
+		t.Errorf("ComponentTotal() = %d, want exactly Delta = %d", got, r.Delta)
+	}
+	if len(r.Epochs) == 0 {
+		t.Errorf("no aligned epochs (note: %q); FFT runs the same barrier structure under both placements", r.EpochNote)
+	}
+	if len(r.Pages) == 0 || len(r.Syncs) == 0 {
+		t.Errorf("attribution tables empty: pages=%d syncs=%d", len(r.Pages), len(r.Syncs))
+	}
+	// Round-robin on FFT costs time through remote misses; the memory
+	// component should carry most of the delta.
+	var mem metrics.Component
+	for _, c := range r.Components {
+		if c.Name == "memory stall" {
+			mem = c
+		}
+	}
+	if r.Delta > 0 && mem.Delta <= 0 {
+		t.Errorf("expected the delta to be memory-driven, got components %+v", r.Components)
+	}
+}
+
+// TestApplySpecRejectsUnknownKeys pins spec parsing errors.
+func TestApplySpecRejectsUnknownKeys(t *testing.T) {
+	base := runBase{appName: "FFT", procs: 4, scale: 64, seed: 42}
+	if _, err := runSpec("bogus=1", base); err == nil {
+		t.Error("unknown spec key accepted")
+	}
+	if _, err := runSpec("placement=diagonal", base); err == nil {
+		t.Error("bad placement value accepted")
+	}
+}

@@ -241,6 +241,7 @@ func (p *Proc) demandMiss(block, addr uint64, write bool, kind sim.StatKind) {
 		c.MigratedAccesses++ // local thanks to earlier placement/migration
 	}
 	p.sp.Advance(latency, kind)
+	p.tickMetrics()
 }
 
 // upgrade handles a write hit on a Shared line: ownership is obtained from
@@ -271,6 +272,7 @@ func (p *Proc) upgrade(block, addr uint64, kind sim.StatKind) {
 			int(c.Invalidations-invalsBefore), p.m.dir.SharerWidth(block), trace.EvUpgrade)
 	}
 	p.sp.Advance(latency, kind)
+	p.tickMetrics()
 }
 
 // evictVictim handles a line displaced from the requester's cache: dirty
@@ -372,6 +374,7 @@ func (p *Proc) fetchOp(addr uint64, kind sim.StatKind) {
 		tr.FetchOp(p.ID(), p.sp.Now(), t-p.sp.Now(), addr>>blockShift, home)
 	}
 	p.sp.Advance(t-p.sp.Now(), kind)
+	p.tickMetrics()
 }
 
 // Prefetch issues a non-binding software prefetch for addr. The line is

@@ -12,6 +12,7 @@ package core
 import (
 	"origin2000/internal/cache"
 	"origin2000/internal/mempolicy"
+	"origin2000/internal/metrics"
 	"origin2000/internal/sim"
 	"origin2000/internal/topology"
 	"origin2000/internal/trace"
@@ -142,6 +143,12 @@ type Config struct {
 	// default, nothing but nil checks on the hot path when disabled, and
 	// zero simulated-time perturbation when enabled.
 	Trace trace.Options
+	// Metrics configures the virtual-time sampler (internal/metrics):
+	// per-processor breakdown series, per-node queueing series, directory
+	// state mix and miss-class rates on a fixed virtual-time grid. Same
+	// contract as Check and Trace — zero cost off, zero timing
+	// perturbation on, bit-identical series across runs and GOMAXPROCS.
+	Metrics metrics.Options
 }
 
 // Origin2000 returns the configuration of the paper's machine with the

@@ -7,6 +7,7 @@ import (
 	"origin2000/internal/check"
 	"origin2000/internal/directory"
 	"origin2000/internal/mempolicy"
+	"origin2000/internal/metrics"
 	"origin2000/internal/perf"
 	"origin2000/internal/sim"
 	"origin2000/internal/topology"
@@ -29,8 +30,9 @@ type Machine struct {
 	pages    *mempolicy.Table
 	migrator *mempolicy.Migrator
 	dir      *directory.Directory
-	check    *check.Checker // nil unless Config.Check
-	tracer   *trace.Tracer  // nil unless Config.Trace.Enabled
+	check    *check.Checker   // nil unless Config.Check
+	tracer   *trace.Tracer    // nil unless Config.Trace.Enabled
+	sampler  *metrics.Sampler // nil unless Config.Metrics.Enabled
 	procs    []*Proc
 	mapping  topology.Mapping
 
@@ -112,6 +114,9 @@ func New(cfg Config) *Machine {
 	if cfg.Trace.Enabled {
 		m.tracer = trace.New(cfg.Procs, cfg.Trace)
 		m.attachTracer()
+	}
+	if cfg.Metrics.Enabled {
+		m.sampler = metrics.New(cfg.Procs, cfg.Metrics)
 	}
 	m.procs = make([]*Proc, cfg.Procs)
 	for i := range m.procs {
@@ -248,6 +253,12 @@ func (m *Machine) Result() perf.Result {
 		r.Migrations = m.migrator.Migrations
 	}
 	r.Trace = m.tracer
+	if m.sampler != nil {
+		// Close the series with an end-of-run sample so the final state is
+		// always observable even when the run ends mid-interval.
+		m.sampler.RecordFinal(m.machineSample(r.Elapsed))
+		r.Metrics = m.sampler
+	}
 	return r
 }
 

@@ -75,10 +75,16 @@ func (p *Proc) Breakdown() (busy, memory, sync sim.Time) {
 }
 
 // Compute charges d of useful computation.
-func (p *Proc) Compute(d sim.Time) { p.sp.Advance(d, sim.StatBusy) }
+func (p *Proc) Compute(d sim.Time) {
+	p.sp.Advance(d, sim.StatBusy)
+	p.tickMetrics()
+}
 
 // ComputeCycles charges n processor cycles of useful computation.
-func (p *Proc) ComputeCycles(n int64) { p.sp.Advance(p.m.Cycles(n), sim.StatBusy) }
+func (p *Proc) ComputeCycles(n int64) {
+	p.sp.Advance(p.m.Cycles(n), sim.StatBusy)
+	p.tickMetrics()
+}
 
 // Yield gives the scheduler a chance to run another processor; long
 // stretches of Go computation with no simulated references should call it.
@@ -126,11 +132,17 @@ func (p *Proc) WakeAt(q *Proc, t sim.Time) { p.sp.Wake(q.sp, t) }
 
 // ChargeSync records d of synchronization time without moving the clock
 // (used after Block/WakeAt to attribute waiting time).
-func (p *Proc) ChargeSync(d sim.Time) { p.sp.Charge(d, sim.StatSync) }
+func (p *Proc) ChargeSync(d sim.Time) {
+	p.sp.Charge(d, sim.StatSync)
+	p.tickMetrics()
+}
 
 // SyncAdvanceTo moves the clock forward to t (no-op if already past),
 // charging the elapsed span to the Sync bucket.
-func (p *Proc) SyncAdvanceTo(t sim.Time) { p.sp.AdvanceTo(t, sim.StatSync) }
+func (p *Proc) SyncAdvanceTo(t sim.Time) {
+	p.sp.AdvanceTo(t, sim.StatSync)
+	p.tickMetrics()
+}
 
 // CacheContains reports whether addr's block is in this processor's cache
 // (diagnostics and tests).

@@ -109,6 +109,12 @@ type Directory struct {
 	last    *dirPage // memo of the most recently touched page
 	scratch []int    // reused invalidation list (see Write)
 
+	// nShared and nExclusive count entries in each active state,
+	// maintained incrementally on every transition so the metrics
+	// sampler's directory-state-mix snapshot is O(1) instead of a scan.
+	nShared    int
+	nExclusive int
+
 	// dropInval is a fault-injection hook for the verification layer's own
 	// tests (internal/check): when set, Write omits matching processors
 	// from the invalidation list while still clearing their sharer bits —
@@ -208,6 +214,7 @@ func (d *Directory) Read(block uint64, requester int) ReadResult {
 	switch e.State {
 	case Unowned:
 		e.State = SharedState
+		d.nShared++
 		e.Sharers.Add(requester)
 		return ReadResult{}
 	case SharedState:
@@ -216,6 +223,8 @@ func (d *Directory) Read(block uint64, requester int) ReadResult {
 	default: // Exclusive
 		owner := int(e.Owner)
 		e.State = SharedState
+		d.nExclusive--
+		d.nShared++
 		e.Sharers.Add(owner)
 		e.Sharers.Add(requester)
 		return ReadResult{Dirty: true, Owner: owner}
@@ -265,11 +274,15 @@ func (d *Directory) Write(block uint64, requester int) WriteResult {
 			r.Invalidate = inv
 		}
 		e.Sharers.Clear()
+		d.nShared--
+		d.nExclusive++
 	case Exclusive:
 		if int(e.Owner) != requester {
 			r.Dirty = true
 			r.Owner = int(e.Owner)
 		}
+	default: // Unowned
+		d.nExclusive++
 	}
 	e.State = Exclusive
 	e.Owner = int16(requester)
@@ -285,6 +298,7 @@ func (d *Directory) Writeback(block uint64, owner int) {
 		return
 	}
 	e.State = Unowned
+	d.nExclusive--
 }
 
 // Evict records that proc silently dropped a clean (Shared) copy.
@@ -296,8 +310,14 @@ func (d *Directory) Evict(block uint64, proc int) {
 	e.Sharers.Remove(proc)
 	if e.Sharers.Count() == 0 {
 		e.State = Unowned
+		d.nShared--
 	}
 }
+
+// StateCounts reports how many blocks are currently in the Shared and
+// Exclusive directory states. The counts are maintained incrementally on
+// every transition; the metrics sampler reads them at each machine sample.
+func (d *Directory) StateCounts() (shared, exclusive int) { return d.nShared, d.nExclusive }
 
 // ForEach calls fn for every block with active (non-Unowned) directory
 // state, in ascending block order. The verification layer (internal/check)

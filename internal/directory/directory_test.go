@@ -153,3 +153,47 @@ func TestReaderAfterWriterSeesSingleSharerChain(t *testing.T) {
 		t.Fatalf("invalidate = %v, want %v", w.Invalidate, want)
 	}
 }
+
+// TestStateCountsTrackTransitions pins the incremental shared/exclusive
+// counters (the metrics sampler's O(1) directory-state-mix source) against a
+// ForEach recount under random traffic: they must agree after any operation
+// sequence.
+func TestStateCountsTrackTransitions(t *testing.T) {
+	recount := func(d *Directory) (shared, exclusive int) {
+		d.ForEach(func(block uint64, e Entry) {
+			switch e.State {
+			case SharedState:
+				shared++
+			case Exclusive:
+				exclusive++
+			}
+		})
+		return shared, exclusive
+	}
+	f := func(ops []uint16) bool {
+		d := New()
+		for _, op := range ops {
+			block := uint64(op>>8) % 8
+			proc := int(op>>2) % MaxProcs
+			switch op % 4 {
+			case 0:
+				d.Read(block, proc)
+			case 1:
+				d.Write(block, proc)
+			case 2:
+				d.Writeback(block, proc)
+			case 3:
+				d.Evict(block, proc)
+			}
+			gotS, gotE := d.StateCounts()
+			wantS, wantE := recount(d)
+			if gotS != wantS || gotE != wantE {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

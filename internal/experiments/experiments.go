@@ -25,6 +25,7 @@ import (
 	"origin2000/internal/apps/watern"
 	"origin2000/internal/apps/waters"
 	"origin2000/internal/core"
+	"origin2000/internal/metrics"
 	"origin2000/internal/perf"
 	"origin2000/internal/sim"
 	"origin2000/internal/trace"
@@ -52,6 +53,9 @@ type Scale struct {
 	// Trace configures the event tracer on every machine the scale
 	// builds (zero value = tracing off).
 	Trace trace.Options
+	// Metrics configures the virtual-time sampler on every machine the
+	// scale builds (zero value = sampling off).
+	Metrics metrics.Options
 	// TraceSink, when set together with Trace.Enabled, receives every
 	// machine RunConfig executes — including failed runs, whose traces
 	// are exactly the interesting ones — labeled "<app>-p<procs>-s<size>".
@@ -91,6 +95,7 @@ func (s Scale) Machine(procs int) core.Config {
 	}
 	cfg.Check = s.Check
 	cfg.Trace = s.Trace
+	cfg.Metrics = s.Metrics
 	return cfg
 }
 

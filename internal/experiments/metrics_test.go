@@ -1,0 +1,203 @@
+package experiments
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"origin2000/internal/core"
+	"origin2000/internal/metrics"
+	"origin2000/internal/sim"
+	"origin2000/internal/workload"
+)
+
+// metricsRun executes one scaled run with the sampler on and returns the
+// captured machine (via TraceSink, which sees it unconditionally) and the
+// run result.
+func metricsRun(t *testing.T, appName string, procs int, interval sim.Time) (*core.Machine, RunResult) {
+	t.Helper()
+	app := AppByName(appName)
+	if app == nil {
+		t.Fatalf("unknown app %q", appName)
+	}
+	s := Scale{Div: 64, CacheDiv: 64}
+	s.Metrics = metrics.Options{Enabled: true, Interval: interval}
+	var captured *core.Machine
+	s.TraceSink = func(label string, m *core.Machine) { captured = m }
+	r, err := s.Run(app, procs, s.Params(app, app.BasicSize(), ""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if captured == nil {
+		t.Fatal("TraceSink did not capture the machine")
+	}
+	return captured, r
+}
+
+// TestMetricsDeterminism is the tentpole acceptance criterion: a 32-processor
+// FFT run with the sampler on must produce a bit-identical simulated elapsed
+// time and bit-identical per-processor and machine-wide sample series across
+// GOMAXPROCS=1 and GOMAXPROCS=8.
+func TestMetricsDeterminism(t *testing.T) {
+	type capture struct {
+		Elapsed sim.Time
+		PerProc [][]metrics.ProcSample
+		Machine []metrics.MachineSample
+		Epochs  []sim.Time
+	}
+	run := func(t *testing.T) capture {
+		m, r := metricsRun(t, "FFT", 32, 10*sim.Microsecond)
+		s := m.Sampler()
+		if s == nil {
+			t.Fatal("sampler not constructed despite Metrics.Enabled")
+		}
+		return capture{
+			Elapsed: r.Elapsed,
+			PerProc: s.AllProcSeries(),
+			Machine: s.MachineSeries(),
+			Epochs:  s.Epochs(),
+		}
+	}
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+
+	runtime.GOMAXPROCS(1)
+	first := run(t)
+	if first.Elapsed <= 0 {
+		t.Fatal("run recorded no elapsed time")
+	}
+	var n int
+	for _, ps := range first.PerProc {
+		n += len(ps)
+	}
+	if n == 0 || len(first.Machine) == 0 {
+		t.Fatalf("sampler recorded nothing (proc samples=%d, machine samples=%d)", n, len(first.Machine))
+	}
+	if len(first.Epochs) == 0 {
+		t.Error("no barrier epochs recorded for FFT (it has global barriers)")
+	}
+
+	runtime.GOMAXPROCS(8)
+	second := run(t)
+	if first.Elapsed != second.Elapsed {
+		t.Errorf("elapsed differs across GOMAXPROCS 1 vs 8: %d vs %d", first.Elapsed, second.Elapsed)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Error("metrics series differ across GOMAXPROCS 1 vs 8")
+	}
+}
+
+// TestMetricsZeroPerturbation pins the sampler contract's other half:
+// enabling sampling must not change the simulation. Elapsed time, every
+// per-processor breakdown, and every counter must be identical with metrics
+// off and on.
+func TestMetricsZeroPerturbation(t *testing.T) {
+	app := AppByName("Ocean")
+	run := func(enabled bool) RunResult {
+		s := Scale{Div: 64, CacheDiv: 64}
+		s.Metrics = metrics.Options{Enabled: enabled, Interval: 10 * sim.Microsecond}
+		r, err := s.Run(app, 16, s.Params(app, app.BasicSize(), ""))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	off := run(false)
+	on := run(true)
+	if on.Result.Metrics == nil {
+		t.Fatal("metrics-on run returned no sampler")
+	}
+	// The sampler pointer itself differs by construction; compare the
+	// simulation-visible state only.
+	on.Result.Metrics = nil
+	if !reflect.DeepEqual(off, on) {
+		t.Errorf("enabling metrics perturbed the run:\noff: %+v\non:  %+v", off, on)
+	}
+}
+
+// TestPerNodeQueueingSums pins the perf.Result per-node queueing slices
+// (satellite of the metrics PR): on a 32-processor Ocean run the per-node
+// slices must be the primary data, summing exactly to the machine-global
+// scalar totals.
+func TestPerNodeQueueingSums(t *testing.T) {
+	app := AppByName("Ocean")
+	s := Scale{Div: 64, CacheDiv: 64}
+	r, err := s.Run(app, 32, s.Params(app, app.BasicSize(), ""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := r.Result
+	sum := func(ts []sim.Time) sim.Time {
+		var t sim.Time
+		for _, v := range ts {
+			t += v
+		}
+		return t
+	}
+	if got := sum(res.HubQueuedPerNode); got != res.HubQueued {
+		t.Errorf("HubQueuedPerNode sums to %d, scalar total %d", got, res.HubQueued)
+	}
+	if got := sum(res.MemQueuedPerNode); got != res.MemQueued {
+		t.Errorf("MemQueuedPerNode sums to %d, scalar total %d", got, res.MemQueued)
+	}
+	if got := sum(res.HubBusyPerNode); got != res.HubBusy {
+		t.Errorf("HubBusyPerNode sums to %d, scalar total %d", got, res.HubBusy)
+	}
+	if got := sum(res.RouterQueuedPerRouter); got != res.RouterQueued {
+		t.Errorf("RouterQueuedPerRouter sums to %d, scalar total %d", got, res.RouterQueued)
+	}
+	if got := sum(res.MetaQueuedPerMeta); got != res.MetaQueued {
+		t.Errorf("MetaQueuedPerMeta sums to %d, scalar total %d", got, res.MetaQueued)
+	}
+	if len(res.HubQueuedPerNode) != 16 { // 32 procs / 2 per node
+		t.Errorf("expected 16 per-node entries, got %d", len(res.HubQueuedPerNode))
+	}
+	if res.HubQueued == 0 {
+		t.Error("Ocean at 32 procs produced no Hub queueing; the test is vacuous")
+	}
+}
+
+// TestBuildArtifact exercises the artifact builder end to end: series,
+// epochs, pages and syncs populated, JSON round-trip intact.
+func TestBuildArtifact(t *testing.T) {
+	app := AppByName("FFT")
+	s := Scale{Div: 64, CacheDiv: 64}
+	s.Metrics = metrics.Options{Enabled: true, Interval: 10 * sim.Microsecond}
+	s.Trace.Enabled = true
+	var a metrics.Artifact
+	var params workload.Params
+	s.TraceSink = func(label string, m *core.Machine) {
+		a = BuildArtifact(label, app, params, m)
+	}
+	params = s.Params(app, app.BasicSize(), "")
+	if _, err := s.Run(app, 8, params); err != nil {
+		t.Fatal(err)
+	}
+	if a.Schema != metrics.ArtifactSchema {
+		t.Fatalf("artifact not built (schema %q)", a.Schema)
+	}
+	if len(a.PerProc) != 8 || a.Elapsed <= 0 {
+		t.Errorf("artifact missing per-proc state: procs=%d elapsed=%d", len(a.PerProc), a.Elapsed)
+	}
+	if len(a.Machine) == 0 || len(a.Epochs) == 0 {
+		t.Errorf("artifact missing series: machine=%d epochs=%d", len(a.Machine), len(a.Epochs))
+	}
+	if len(a.Pages) == 0 || len(a.Syncs) == 0 {
+		t.Errorf("artifact missing trace tables: pages=%d syncs=%d", len(a.Pages), len(a.Syncs))
+	}
+	if cp := a.CriticalProc(); cp < 0 || cp >= 8 {
+		t.Errorf("critical proc out of range: %d", cp)
+	}
+
+	path := t.TempDir() + "/a.json"
+	if err := a.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := metrics.ReadArtifact(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Elapsed != a.Elapsed || len(back.Machine) != len(a.Machine) || len(back.PerProc) != len(a.PerProc) {
+		t.Error("artifact JSON round-trip lost data")
+	}
+}

@@ -1,0 +1,311 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+
+	"origin2000/internal/sim"
+)
+
+// Differential attribution: given two run artifacts, explain where the
+// virtual-time delta went. This mechanizes the comparison the paper makes
+// for every restructuring ("the transpose now costs X less, but barrier
+// wait grew by Y"): the top-level component breakdown is exact — it sums to
+// the measured delta — and the epoch, page and sync tables localize it.
+
+// Component is one row of the exact top-level breakdown.
+type Component struct {
+	Name  string
+	A, B  sim.Time
+	Delta sim.Time
+}
+
+// EpochDelta compares one aligned phase epoch (the span between successive
+// barrier releases) across the two runs.
+type EpochDelta struct {
+	Index int
+	A, B  sim.Time // epoch duration in each run
+	Delta sim.Time
+}
+
+// PageDelta compares one page's stall contribution across the two runs.
+type PageDelta struct {
+	Page           uint64
+	StallA, StallB sim.Time
+	Delta          sim.Time
+	RemoteA        int64
+	RemoteB        int64
+}
+
+// SyncDelta compares one synchronization object's total wait across runs.
+// Objects are joined by label (registration order), which is stable for
+// identical program structure.
+type SyncDelta struct {
+	Label        string
+	WaitA, WaitB sim.Time
+	Delta        sim.Time
+}
+
+// Report is the differential attribution of run B relative to run A.
+type Report struct {
+	LabelA, LabelB   string
+	ElapsedA         sim.Time
+	ElapsedB         sim.Time
+	Delta            sim.Time // ElapsedB - ElapsedA
+	CriticalA        int      // critical-path processor in each run
+	CriticalB        int
+	// Components is the exact decomposition: the critical-path processor's
+	// Busy/Memory/Sync deltas plus a residual (nonzero only if a run's
+	// critical processor has unaccounted clock time). Summing Delta over
+	// Components always reproduces Report.Delta exactly.
+	Components []Component
+	// SubMemory and SubSync split the memory and sync components by the
+	// critical processors' counters (informational: the counter buckets
+	// overlap the breakdown buckets but are not partitions of them).
+	SubMemory []Component
+	SubSync   []Component
+	// Epochs aligns the runs phase by phase when both recorded the same
+	// number of barrier-release marks; EpochNote explains when they differ.
+	Epochs    []EpochDelta
+	EpochNote string
+	// Pages and Syncs are the top movers by stall/wait delta.
+	Pages []PageDelta
+	Syncs []SyncDelta
+}
+
+// Diff attributes the virtual-time delta between two runs.
+func Diff(a, b Artifact) Report {
+	r := Report{
+		LabelA:   a.Label,
+		LabelB:   b.Label,
+		ElapsedA: a.Elapsed,
+		ElapsedB: b.Elapsed,
+		Delta:    b.Elapsed - a.Elapsed,
+	}
+	r.CriticalA, r.CriticalB = a.CriticalProc(), b.CriticalProc()
+
+	var ca, cb ProcStat
+	if r.CriticalA >= 0 {
+		ca = a.PerProc[r.CriticalA]
+	}
+	if r.CriticalB >= 0 {
+		cb = b.PerProc[r.CriticalB]
+	}
+	comp := func(name string, va, vb sim.Time) Component {
+		return Component{Name: name, A: va, B: vb, Delta: vb - va}
+	}
+	r.Components = []Component{
+		comp("busy", ca.Busy, cb.Busy),
+		comp("memory stall", ca.Memory, cb.Memory),
+		comp("sync", ca.Sync, cb.Sync),
+	}
+	// The critical processor's accounted time can differ from the run's
+	// elapsed time (another processor's clock may have coasted past it
+	// without charging a bucket); the residual keeps the sum exact.
+	var acc sim.Time
+	for _, c := range r.Components {
+		acc += c.Delta
+	}
+	if resid := r.Delta - acc; resid != 0 {
+		r.Components = append(r.Components,
+			comp("residual", a.Elapsed-ca.Total(), b.Elapsed-cb.Total()))
+	}
+
+	r.SubMemory = []Component{
+		comp("local stall", ca.Counters.LocalStall, cb.Counters.LocalStall),
+		comp("remote stall", ca.Counters.RemoteStall, cb.Counters.RemoteStall),
+		comp("contention (queueing)", ca.Counters.ContentionStall, cb.Counters.ContentionStall),
+	}
+	r.SubSync = []Component{
+		comp("sync wait (imbalance)", ca.Counters.SyncWait, cb.Counters.SyncWait),
+		comp("sync overhead", ca.Counters.SyncOverhead, cb.Counters.SyncOverhead),
+	}
+
+	r.diffEpochs(a, b)
+	r.diffPages(a, b)
+	r.diffSyncs(a, b)
+	return r
+}
+
+// epochSpans converts barrier-release marks into per-epoch durations (the
+// first epoch starts at time zero).
+func epochSpans(marks []sim.Time) []sim.Time {
+	spans := make([]sim.Time, len(marks))
+	var prev sim.Time
+	for i, m := range marks {
+		spans[i] = m - prev
+		prev = m
+	}
+	return spans
+}
+
+func (r *Report) diffEpochs(a, b Artifact) {
+	switch {
+	case len(a.Epochs) == 0 || len(b.Epochs) == 0:
+		r.EpochNote = "no phase epochs recorded (runs without barrier marks)"
+		return
+	case len(a.Epochs) != len(b.Epochs):
+		r.EpochNote = fmt.Sprintf(
+			"epoch counts differ (%d vs %d): program structure changed, per-epoch alignment skipped",
+			len(a.Epochs), len(b.Epochs))
+		return
+	}
+	sa, sb := epochSpans(a.Epochs), epochSpans(b.Epochs)
+	for i := range sa {
+		r.Epochs = append(r.Epochs, EpochDelta{Index: i, A: sa[i], B: sb[i], Delta: sb[i] - sa[i]})
+	}
+}
+
+func (r *Report) diffPages(a, b Artifact) {
+	type pair struct{ a, b PageHeat }
+	joined := map[uint64]*pair{}
+	for _, p := range a.Pages {
+		jp := &pair{a: p}
+		joined[p.Page] = jp
+	}
+	for _, p := range b.Pages {
+		jp := joined[p.Page]
+		if jp == nil {
+			jp = &pair{}
+			joined[p.Page] = jp
+		}
+		jp.b = p
+	}
+	for page, jp := range joined {
+		d := jp.b.Stall - jp.a.Stall
+		if d == 0 && jp.a.RemoteMisses == jp.b.RemoteMisses {
+			continue
+		}
+		r.Pages = append(r.Pages, PageDelta{
+			Page: page, StallA: jp.a.Stall, StallB: jp.b.Stall, Delta: d,
+			RemoteA: jp.a.RemoteMisses, RemoteB: jp.b.RemoteMisses,
+		})
+	}
+	sort.Slice(r.Pages, func(i, j int) bool {
+		di, dj := abs(r.Pages[i].Delta), abs(r.Pages[j].Delta)
+		if di != dj {
+			return di > dj
+		}
+		return r.Pages[i].Page < r.Pages[j].Page
+	})
+}
+
+func (r *Report) diffSyncs(a, b Artifact) {
+	type pair struct{ a, b SyncSite }
+	joined := map[string]*pair{}
+	for _, s := range a.Syncs {
+		jp := &pair{a: s}
+		joined[s.Label] = jp
+	}
+	for _, s := range b.Syncs {
+		jp := joined[s.Label]
+		if jp == nil {
+			jp = &pair{}
+			joined[s.Label] = jp
+		}
+		jp.b = s
+	}
+	for label, jp := range joined {
+		d := jp.b.TotalWait - jp.a.TotalWait
+		if d == 0 {
+			continue
+		}
+		r.Syncs = append(r.Syncs, SyncDelta{Label: label, WaitA: jp.a.TotalWait, WaitB: jp.b.TotalWait, Delta: d})
+	}
+	sort.Slice(r.Syncs, func(i, j int) bool {
+		di, dj := abs(r.Syncs[i].Delta), abs(r.Syncs[j].Delta)
+		if di != dj {
+			return di > dj
+		}
+		return r.Syncs[i].Label < r.Syncs[j].Label
+	})
+}
+
+func abs(t sim.Time) sim.Time {
+	if t < 0 {
+		return -t
+	}
+	return t
+}
+
+// ComponentTotal sums the exact component deltas; it equals Report.Delta.
+func (r *Report) ComponentTotal() sim.Time {
+	var t sim.Time
+	for _, c := range r.Components {
+		t += c.Delta
+	}
+	return t
+}
+
+func ms(t sim.Time) string { return fmt.Sprintf("%.3f", t.Milliseconds()) }
+
+func componentRows(title string, comps []Component) [][]string {
+	rows := [][]string{{title, "A (ms)", "B (ms)", "delta (ms)"}}
+	for _, c := range comps {
+		rows = append(rows, []string{c.Name, ms(c.A), ms(c.B), ms(c.Delta)})
+	}
+	return rows
+}
+
+// ComponentRows renders the exact breakdown as table rows (header first),
+// closing with the total row that equals the measured delta.
+func (r *Report) ComponentRows() [][]string {
+	rows := componentRows("component", r.Components)
+	rows = append(rows, []string{"TOTAL", ms(r.ElapsedA), ms(r.ElapsedB), ms(r.ComponentTotal())})
+	return rows
+}
+
+// SubMemoryRows renders the informational memory-stall sub-attribution.
+func (r *Report) SubMemoryRows() [][]string { return componentRows("memory component", r.SubMemory) }
+
+// SubSyncRows renders the informational sync sub-attribution.
+func (r *Report) SubSyncRows() [][]string { return componentRows("sync component", r.SubSync) }
+
+// EpochRows renders the top-n epochs by absolute delta (all when n <= 0),
+// in epoch order.
+func (r *Report) EpochRows(n int) [][]string {
+	rows := [][]string{{"epoch", "A (ms)", "B (ms)", "delta (ms)"}}
+	idx := make([]int, len(r.Epochs))
+	for i := range idx {
+		idx[i] = i
+	}
+	if n > 0 && len(idx) > n {
+		sort.Slice(idx, func(i, j int) bool {
+			return abs(r.Epochs[idx[i]].Delta) > abs(r.Epochs[idx[j]].Delta)
+		})
+		idx = idx[:n]
+		sort.Ints(idx)
+	}
+	for _, i := range idx {
+		e := r.Epochs[i]
+		rows = append(rows, []string{fmt.Sprint(e.Index), ms(e.A), ms(e.B), ms(e.Delta)})
+	}
+	return rows
+}
+
+// PageRows renders the top-n page movers.
+func (r *Report) PageRows(n int) [][]string {
+	rows := [][]string{{"page", "stall A (ms)", "stall B (ms)", "delta (ms)", "remote A", "remote B"}}
+	for i, p := range r.Pages {
+		if n > 0 && i >= n {
+			break
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%#x", p.Page), ms(p.StallA), ms(p.StallB), ms(p.Delta),
+			fmt.Sprint(p.RemoteA), fmt.Sprint(p.RemoteB),
+		})
+	}
+	return rows
+}
+
+// SyncRows renders the top-n sync-object movers.
+func (r *Report) SyncRows(n int) [][]string {
+	rows := [][]string{{"object", "wait A (ms)", "wait B (ms)", "delta (ms)"}}
+	for i, s := range r.Syncs {
+		if n > 0 && i >= n {
+			break
+		}
+		rows = append(rows, []string{s.Label, ms(s.WaitA), ms(s.WaitB), ms(s.Delta)})
+	}
+	return rows
+}

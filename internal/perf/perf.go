@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"strings"
 
+	"origin2000/internal/metrics"
 	"origin2000/internal/sim"
 	"origin2000/internal/trace"
 )
@@ -66,14 +67,18 @@ type Result struct {
 	Migrations            int64
 	// Trace is the run's event tracer (nil unless tracing was enabled).
 	Trace *trace.Tracer
+	// Metrics is the run's virtual-time sampler (nil unless sampling was
+	// enabled); it holds the per-processor and machine-wide series.
+	Metrics *metrics.Sampler
 }
 
 // HottestHub returns the node whose Hub accumulated the most queueing
-// delay, with that delay (-1, 0 when per-node data is absent).
+// delay, with that delay (-1, 0 when per-node data is absent). Ties are
+// broken toward the lowest node id so the answer is deterministic.
 func (r Result) HottestHub() (node int, queued sim.Time) {
 	node = -1
 	for i, q := range r.HubQueuedPerNode {
-		if q > queued || node < 0 {
+		if node < 0 || q > queued {
 			node, queued = i, q
 		}
 	}

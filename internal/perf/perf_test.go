@@ -109,3 +109,20 @@ func TestCurvesRendersSeriesAndThreshold(t *testing.T) {
 		t.Error("legend missing")
 	}
 }
+
+// TestHottestHubDeterministicTieBreak pins the tie-breaking rule: with equal
+// queueing on two nodes the lowest node id must win, deterministically, and
+// an all-zero machine must still name node 0 rather than -1.
+func TestHottestHubDeterministicTieBreak(t *testing.T) {
+	r := Result{HubQueuedPerNode: []sim.Time{0, 5, 5}}
+	if node, q := r.HottestHub(); node != 1 || q != 5 {
+		t.Errorf("HottestHub() = (%d, %d), want (1, 5): ties must go to the lowest node id", node, q)
+	}
+	r = Result{HubQueuedPerNode: []sim.Time{0, 0, 0, 0}}
+	if node, q := r.HottestHub(); node != 0 || q != 0 {
+		t.Errorf("HottestHub() on an idle machine = (%d, %d), want (0, 0)", node, q)
+	}
+	if node, q := (Result{}).HottestHub(); node != -1 || q != 0 {
+		t.Errorf("HottestHub() without per-node data = (%d, %d), want (-1, 0)", node, q)
+	}
+}

@@ -56,6 +56,16 @@ func (r *Resource) Acquire(t, occupancy Time) Time {
 // Busy returns the total occupancy served so far.
 func (r *Resource) Busy() Time { return r.busy }
 
+// Backlog reports how far the resource's committed occupancy extends past
+// now — the instantaneous queue depth in time units (zero when the resource
+// would serve a new transaction immediately).
+func (r *Resource) Backlog(now Time) Time {
+	if r.freeAt <= now {
+		return 0
+	}
+	return r.freeAt - now
+}
+
 // Queued returns the total queueing delay inflicted so far.
 func (r *Resource) Queued() Time { return r.queued }
 

@@ -153,6 +153,11 @@ func (b *Barrier) Wait(p *core.Proc) {
 		}
 	}
 	c.SyncOverhead += p.Now() - beforeRel
+	if b.n == b.m.NumProcs() {
+		// A full-machine release is a phase boundary: record it so the
+		// tracer and the metrics sampler can align runs epoch by epoch.
+		p.MarkEpoch(releaseAt)
+	}
 	for _, i := range order {
 		p.WakeAt(waiters[i], releaseAt)
 	}

@@ -124,6 +124,8 @@ type Tracer struct {
 
 	lat   [NumLatClasses]Histogram
 	queue [NumQueueClasses]Histogram
+
+	epochs []sim.Time
 }
 
 // New creates a tracer for procs processors.
@@ -288,6 +290,15 @@ func (t *Tracer) SyncAcquire(proc int, obj uint64, start, span sim.Time) {
 	s.Waits++
 	s.observe(span)
 }
+
+// EpochMark records a phase boundary — a full-machine barrier release — at
+// virtual time now. The release is computed by one deterministic processor
+// (the last arriver), so the sequence of marks is a stable signature of the
+// program's phase structure, usable to align runs of the same program.
+func (t *Tracer) EpochMark(now sim.Time) { t.epochs = append(t.epochs, now) }
+
+// Epochs returns the phase-boundary times recorded so far, in order.
+func (t *Tracer) Epochs() []sim.Time { return t.epochs }
 
 // Events returns processor proc's surviving event stream, oldest first.
 func (t *Tracer) Events(proc int) []Event { return t.rings[proc].events() }
