@@ -20,6 +20,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"reflect"
 	"runtime"
 	"testing"
 	"time"
@@ -46,6 +47,13 @@ type Result struct {
 	// WallSeconds is the wall-clock cost of a single operation, for the
 	// experiment-scale entries.
 	WallSeconds float64 `json:"wall_seconds,omitempty"`
+	// SpeedupVsSerial is wall-clock speedup over the serial engine row
+	// (engine:parallel rows only; bounded by the host's core count).
+	SpeedupVsSerial float64 `json:"speedup_vs_serial,omitempty"`
+	// ShardChainsPerWindow is the schedule's average number of phase-1
+	// chains per window — the parallelism the workload exposes to the
+	// engine, independent of how many host cores are available to use it.
+	ShardChainsPerWindow float64 `json:"shard_chains_per_window,omitempty"`
 }
 
 // Snapshot is the schema of a BENCH_<n>.json file.
@@ -260,6 +268,79 @@ func metricsOverhead(mode string, s experiments.Scale) (Result, error) {
 	}, nil
 }
 
+// bestOf runs a single-shot wall-clock measurement n times and keeps the
+// fastest. The simulated run is deterministic, so every attempt measures
+// the identical workload; the minimum is the attempt least disturbed by
+// whatever else the host was doing, which matters on the small shared
+// containers these snapshots are usually taken on (run-to-run spread on
+// one of those exceeds 15% single-shot).
+func bestOf(n int, run func() (Result, error)) (Result, error) {
+	best, err := run()
+	if err != nil {
+		return Result{}, err
+	}
+	for i := 1; i < n; i++ {
+		r, err := run()
+		if err != nil {
+			return Result{}, err
+		}
+		if r.NsPerOp < best.NsPerOp {
+			best = r
+		}
+	}
+	return best, nil
+}
+
+// bestBench is bestOf for testing.Benchmark-based measurements: it keeps
+// the attempt with the lowest ns/op.
+func bestBench(n int, run func() testing.BenchmarkResult) testing.BenchmarkResult {
+	best := run()
+	for i := 1; i < n; i++ {
+		r := run()
+		if r.N > 0 && best.N > 0 &&
+			float64(r.T.Nanoseconds())/float64(r.N) < float64(best.T.Nanoseconds())/float64(best.N) {
+			best = r
+		}
+	}
+	return best
+}
+
+// engineSweepApps is the Figure 2 sweep's largest point: three
+// memory-system-bound applications at 128 processors.
+var engineSweepApps = []string{"FFT", "Ocean", "Radix"}
+
+// engineSweep runs the 128-processor Figure 2 sweep under the given engine
+// and worker count, returning the total wall-clock, every run's result (for
+// the bit-identity guard against the serial engine), and the schedule's
+// average phase-1 chains per window.
+func engineSweep(engine string, workers int, s experiments.Scale) (wall float64, results []experiments.RunResult, chainsPerWindow float64, err error) {
+	s.Engine, s.Workers = engine, workers
+	var m *core.Machine
+	s.TraceSink = func(_ string, mm *core.Machine) { m = mm }
+	var windows, chains int64
+	start := time.Now()
+	for _, name := range engineSweepApps {
+		app := experiments.AppByName(name)
+		if app == nil {
+			return 0, nil, 0, fmt.Errorf("unknown app %q", name)
+		}
+		params := workload.Params{Size: s.BasicSize(app), Seed: 42}
+		r, rerr := s.Run(app, 128, params)
+		if rerr != nil {
+			return 0, nil, 0, rerr
+		}
+		results = append(results, r)
+		w, c, _ := m.SchedStats()
+		windows += w
+		chains += c
+	}
+	wall = time.Since(start).Seconds()
+	if windows > 0 {
+		chainsPerWindow = float64(chains) / float64(windows)
+	}
+	return wall, results, chainsPerWindow, nil
+}
+
 // nextOut returns the first unused BENCH_<n>.json name and its slot number.
 func nextOut() (string, int) {
 	for n := 1; ; n++ {
@@ -335,6 +416,10 @@ func main() {
 	} else {
 		f.Close()
 	}
+	// Announce the slot up front, before the suite's minutes of work, so an
+	// interrupted run never leaves doubt about which file it was writing
+	// (the numbering scheme is documented in README.md).
+	fmt.Printf("snapshot slot: %s (seq %d)\n", *out, seq)
 
 	benchScale := experiments.Scale{Div: 16, CacheDiv: 16}
 	snap := Snapshot{
@@ -352,17 +437,24 @@ func main() {
 		if r.SimAccessesPerSec > 0 {
 			fmt.Printf("  %10.2e accesses/s", r.SimAccessesPerSec)
 		}
+		if r.SpeedupVsSerial > 0 {
+			fmt.Printf("  %.2fx vs serial", r.SpeedupVsSerial)
+		}
 		fmt.Println()
 	}
 
-	add(fromBenchmark("access:hit", benchAccess("hit"), 1))
-	add(fromBenchmark("access:local-miss", benchAccess("local"), 1))
-	add(fromBenchmark("access:remote-miss", benchAccess("remote"), 1))
-	add(fromBenchmark("scheduler:round-trip", benchSchedulerRoundTrip(), 0))
-	add(fromBenchmark("directory:write-fanout", benchDirectoryWrite(), 0))
+	for _, mode := range []string{"hit", "local", "remote"} {
+		mode := mode
+		name := map[string]string{"hit": "access:hit", "local": "access:local-miss", "remote": "access:remote-miss"}[mode]
+		add(fromBenchmark(name, bestBench(3, func() testing.BenchmarkResult { return benchAccess(mode) }), 1))
+	}
+	add(fromBenchmark("scheduler:round-trip", bestBench(3, benchSchedulerRoundTrip), 0))
+	add(fromBenchmark("directory:write-fanout", bestBench(3, benchDirectoryWrite), 0))
 
 	for _, name := range []string{"fig2", "ablation"} {
-		r := fromBenchmark("experiment:"+name, benchExperiment(name, benchScale), 0)
+		name := name
+		r := fromBenchmark("experiment:"+name,
+			bestBench(2, func() testing.BenchmarkResult { return benchExperiment(name, benchScale) }), 0)
 		r.WallSeconds = r.NsPerOp / 1e9
 		add(r)
 	}
@@ -371,7 +463,10 @@ func main() {
 		app   string
 		procs int
 	}{{"FFT", 32}, {"Radix", 32}} {
-		r, err := appThroughput(spec.app, spec.procs, benchScale)
+		spec := spec
+		r, err := bestOf(3, func() (Result, error) {
+			return appThroughput(spec.app, spec.procs, benchScale)
+		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "origin-bench:", err)
 			os.Exit(1)
@@ -380,7 +475,10 @@ func main() {
 	}
 
 	for _, mode := range []string{"off", "ring", "full"} {
-		r, err := traceOverhead(mode, benchScale)
+		mode := mode
+		r, err := bestOf(3, func() (Result, error) {
+			return traceOverhead(mode, benchScale)
+		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "origin-bench:", err)
 			os.Exit(1)
@@ -389,12 +487,73 @@ func main() {
 	}
 
 	for _, mode := range []string{"off", "50us", "5us"} {
-		r, err := metricsOverhead(mode, benchScale)
+		mode := mode
+		r, err := bestOf(3, func() (Result, error) {
+			return metricsOverhead(mode, benchScale)
+		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "origin-bench:", err)
 			os.Exit(1)
 		}
 		add(r)
+	}
+
+	// Engine speedup rows: the 128-processor Figure 2 sweep under the
+	// serial reference engine and under the parallel engine at 1/2/4/8
+	// host workers. Every parallel run is guarded bit-for-bit against the
+	// serial results before its timing is recorded — a wall-clock win that
+	// changes a single counter is a bug, not a speedup. Wall-clock gain is
+	// bounded by the host's cores (the CPUs field above); the
+	// shard-chains-per-window column records the parallelism the schedule
+	// exposes regardless.
+	// The sweeps are deterministic, so repeats measure the identical
+	// schedule; keep the fastest of two to damp host noise (the bit-identity
+	// guard still checks every attempt).
+	const sweepAttempts = 2
+	serialWall, serialRes, serialChains, err := engineSweep("serial", 0, benchScale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "origin-bench:", err)
+		os.Exit(1)
+	}
+	for i := 1; i < sweepAttempts; i++ {
+		wall, _, _, err := engineSweep("serial", 0, benchScale)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "origin-bench:", err)
+			os.Exit(1)
+		}
+		if wall < serialWall {
+			serialWall = wall
+		}
+	}
+	add(Result{
+		Name:                 "engine:serial fig2-128",
+		NsPerOp:              serialWall * 1e9,
+		WallSeconds:          serialWall,
+		ShardChainsPerWindow: serialChains,
+	})
+	for _, w := range []int{1, 2, 4, 8} {
+		var bestWall, chains float64
+		for i := 0; i < sweepAttempts; i++ {
+			wall, res, c, err := engineSweep("parallel", w, benchScale)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "origin-bench:", err)
+				os.Exit(1)
+			}
+			if !reflect.DeepEqual(res, serialRes) {
+				fmt.Fprintf(os.Stderr, "origin-bench: parallel engine (workers=%d) diverged from serial results\n", w)
+				os.Exit(1)
+			}
+			if i == 0 || wall < bestWall {
+				bestWall, chains = wall, c
+			}
+		}
+		add(Result{
+			Name:                 fmt.Sprintf("engine:parallel workers=%d fig2-128", w),
+			NsPerOp:              bestWall * 1e9,
+			WallSeconds:          bestWall,
+			SpeedupVsSerial:      serialWall / bestWall,
+			ShardChainsPerWindow: chains,
+		})
 	}
 
 	data, err := json.MarshalIndent(snap, "", "  ")

@@ -29,12 +29,18 @@ import (
 
 func main() {
 	var (
-		addr  = flag.String("addr", "localhost:8080", "listen address")
-		scale = flag.Int("scale", 64, "default problem/cache scale divisor for sweeps")
+		addr    = flag.String("addr", "localhost:8080", "listen address")
+		scale   = flag.Int("scale", 64, "default problem/cache scale divisor for sweeps")
+		engine  = flag.String("engine", "serial", "execution engine for sweeps: serial or parallel")
+		workers = flag.Int("workers", 0, "host workers for -engine=parallel (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
-	srv := newServer(*scale)
+	if *engine != "serial" && *engine != "parallel" {
+		fmt.Fprintf(os.Stderr, "unknown engine %q (serial or parallel)\n", *engine)
+		os.Exit(2)
+	}
+	srv := newServer(*scale, *engine, *workers)
 	log.Printf("origin-dash listening on http://%s/", *addr)
 	if err := http.ListenAndServe(*addr, srv.mux()); err != nil {
 		fmt.Fprintln(os.Stderr, err)

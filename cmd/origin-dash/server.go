@@ -44,18 +44,22 @@ type sseEvent struct {
 // server owns the runs and the SSE subscriber set.
 type server struct {
 	defaultScale int
+	engine       string
+	workers      int
 
 	mu   sync.Mutex
 	runs []*runState
 	subs map[chan sseEvent]struct{}
 }
 
-func newServer(defaultScale int) *server {
+func newServer(defaultScale int, engine string, workers int) *server {
 	if defaultScale < 1 {
 		defaultScale = 64
 	}
 	return &server{
 		defaultScale: defaultScale,
+		engine:       engine,
+		workers:      workers,
 		subs:         make(map[chan sseEvent]struct{}),
 	}
 }
@@ -169,7 +173,11 @@ func (s *server) handleStart(w http.ResponseWriter, r *http.Request) {
 func (s *server) sweep(wapp workload.App, ids, procCounts []int, scaleDiv int, interval sim.Time) {
 	for i, procs := range procCounts {
 		id := ids[i]
-		sc := experiments.Scale{Div: scaleDiv, CacheDiv: scaleDiv}
+		// Dashboard sweeps always sample metrics, which pins the parallel
+		// engine to one worker (observer policy); the flag still selects the
+		// engine so the windowed scheduler path gets exercised end to end.
+		sc := experiments.Scale{Div: scaleDiv, CacheDiv: scaleDiv,
+			Engine: s.engine, Workers: s.workers}
 		sc.Trace.Enabled = true
 		sc.Metrics = metrics.Options{
 			Enabled:  true,

@@ -5,6 +5,7 @@
 //
 //	origin-run -app FFT [-procs 64] [-size 1048576] [-variant ""] [-prefetch]
 //	           [-scale 8] [-breakdown] [-ppn 2] [-mapping linear|random|gray|split]
+//	           [-engine serial|parallel] [-workers 0]
 package main
 
 import (
@@ -37,6 +38,8 @@ func main() {
 		ppn       = flag.Int("ppn", 2, "processors per node (Section 7.2)")
 		mapping   = flag.String("mapping", "linear", "process mapping: linear, random, gray, split")
 		traceOut  = flag.String("trace", "", "trace the run and write Perfetto JSON here (see origin-trace for more control)")
+		engine    = flag.String("engine", "serial", "execution engine: serial, or parallel (bit-identical, faster wall clock)")
+		workers   = flag.Int("workers", 0, "host workers for -engine=parallel (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -52,7 +55,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown app %q; use -list\n", *appName)
 		os.Exit(2)
 	}
-	s := experiments.Scale{Div: *scale, CacheDiv: *scale, Steps: *steps, Seed: *seed}
+	if *engine != "serial" && *engine != "parallel" {
+		fmt.Fprintf(os.Stderr, "unknown engine %q (serial or parallel)\n", *engine)
+		os.Exit(2)
+	}
+	s := experiments.Scale{Div: *scale, CacheDiv: *scale, Steps: *steps, Seed: *seed,
+		Engine: *engine, Workers: *workers}
 	se := experiments.NewSession(s)
 	paperSize := *size
 	if paperSize == 0 {

@@ -178,6 +178,28 @@ func (c *Cache) Fill(block uint64, s State) (victim Victim, evicted bool) {
 	return victim, evicted
 }
 
+// PeekVictim predicts, without mutating any cache state, the line Fill
+// would displace to make room for block. It replicates Fill's way choice
+// exactly (an invalid way first, else the LRU way), so the engine's shard
+// classifier can learn a miss's victim — whose home directory the eviction
+// will touch — before deciding whether the transaction stays shard-local.
+func (c *Cache) PeekVictim(block uint64) (victim Victim, evicted bool) {
+	base := c.setOf(block) * c.assoc
+	way := -1
+	var oldest uint64 = ^uint64(0)
+	for w := 0; w < c.assoc; w++ {
+		i := base + w
+		if c.state[i] == Invalid {
+			return Victim{}, false
+		}
+		if c.age[i] < oldest {
+			oldest = c.age[i]
+			way = i
+		}
+	}
+	return Victim{Block: c.tags[way], State: c.state[way]}, true
+}
+
 // SetState changes the state of a present block; it panics if absent.
 func (c *Cache) SetState(block uint64, s State) {
 	i := c.find(block)

@@ -31,7 +31,7 @@ func runTrace(tr check.Trace, fault func(block uint64, proc int) bool) error {
 	}
 	m := core.New(cfg)
 	if fault != nil {
-		m.Directory().FaultDropInvalidation(fault)
+		m.FaultDropInvalidation(fault)
 	}
 	blocks := tr.Blocks()
 	elemsPerBlock := core.BlockBytes / 8

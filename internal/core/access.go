@@ -36,6 +36,22 @@ func (p *Proc) access(addr uint64, write bool, kind sim.StatKind) {
 		}
 		return
 	}
+	// Miss or upgrade. Decide whether the whole transaction stays inside
+	// this processor's shard; if not, suspend until the window's serialized
+	// commit phase and hold the section open until the transaction is done
+	// (it may span window edges). A commit that ran while we waited may
+	// have invalidated our Shared copy, so re-probe the cache afterwards —
+	// an upgrade can demote to a full miss, never the reverse (only this
+	// processor fills this cache, so Invalid lines stay Invalid across the
+	// wait). When AwaitGlobal reports that nothing ran in between, the
+	// first probe is still current and the re-probe is skipped.
+	page := mempolicy.PageOf(addr)
+	if !p.shardLocal(block, page, write, st == cache.Shared) {
+		if p.sp.AwaitGlobal() {
+			st = p.cache.Lookup(block)
+		}
+		defer p.sp.EndGlobal()
+	}
 	if st == cache.Shared && write {
 		p.upgrade(block, addr, kind)
 		return
@@ -90,7 +106,7 @@ func (p *Proc) transaction(block uint64, home int, write bool) (complete sim.Tim
 	var invalidate []int
 	var owner = -1
 	if write {
-		res := m.dir.Write(block, p.ID())
+		res := m.dirs[home].Write(block, p.ID())
 		invalidate = res.Invalidate
 		if res.Dirty {
 			dirty = true
@@ -100,7 +116,7 @@ func (p *Proc) transaction(block uint64, home int, write bool) (complete sim.Tim
 			ck.OnDirWrite(block, p.ID(), res, p.sp.Now())
 		}
 	} else {
-		res := m.dir.Read(block, p.ID())
+		res := m.dirs[home].Read(block, p.ID())
 		if res.Dirty {
 			dirty = true
 			owner = res.Owner
@@ -232,7 +248,7 @@ func (p *Proc) demandMiss(block, addr uint64, write bool, kind sim.StatKind) {
 			ekind = trace.EvMissRemoteClean
 		}
 		tr.Miss(p.ID(), p.sp.Now(), latency, block, page, home,
-			int(c.Invalidations-invalsBefore), m.dir.SharerWidth(block), ekind)
+			int(c.Invalidations-invalsBefore), m.dirs[home].SharerWidth(block), ekind)
 	}
 
 	if remote {
@@ -269,7 +285,7 @@ func (p *Proc) upgrade(block, addr uint64, kind sim.StatKind) {
 	c.ContentionStall += queued
 	if tr := p.m.tracer; tr != nil {
 		tr.Miss(p.ID(), p.sp.Now(), latency, block, page, home,
-			int(c.Invalidations-invalsBefore), p.m.dir.SharerWidth(block), trace.EvUpgrade)
+			int(c.Invalidations-invalsBefore), p.m.dirs[home].SharerWidth(block), trace.EvUpgrade)
 	}
 	p.sp.Advance(latency, kind)
 	p.tickMetrics()
@@ -290,7 +306,7 @@ func (p *Proc) evictVictim(v cache.Victim, at sim.Time) {
 			m.hubs[vhome].Acquire(at, lat.WritebackOcc)
 		}
 		m.mems[vhome].Acquire(at, lat.WritebackOcc)
-		m.dir.Writeback(v.Block, p.ID())
+		m.dirs[vhome].Writeback(v.Block, p.ID())
 		p.sp.Counters.Writebacks++
 		if ck := m.check; ck != nil {
 			ck.OnWriteback(p.ID(), v.Block, p.sp.Now())
@@ -299,7 +315,7 @@ func (p *Proc) evictVictim(v cache.Victim, at sim.Time) {
 			tr.Writeback(p.ID(), at, v.Block, vpage, vhome)
 		}
 	} else {
-		m.dir.Evict(v.Block, p.ID())
+		m.dirs[vhome].Evict(v.Block, p.ID())
 		if ck := m.check; ck != nil {
 			ck.OnEvict(p.ID(), v.Block, p.sp.Now())
 		}
@@ -313,6 +329,8 @@ func (p *Proc) recordMigration(page uint64, oldHome int, at sim.Time, kind sim.S
 	if m.migrator == nil {
 		return
 	}
+	// The page table's OnRemap hook (Machine.pageRemapped) moves the page's
+	// directory records from the old home's directory to the new one.
 	newHome, migrated := m.pages.RecordRemoteMiss(page, p.node)
 	if !migrated {
 		return
@@ -334,6 +352,10 @@ func (p *Proc) fetchOp(addr uint64, kind sim.StatKind) {
 	lat := &m.cfg.Lat
 	tr := m.tracer
 	page := mempolicy.PageOf(addr)
+	if !p.fetchOpInShard(page) {
+		p.sp.AwaitGlobal()
+		defer p.sp.EndGlobal()
+	}
 	home := p.homeOf(page)
 	t := p.sp.Now() + lat.ProcOverhead
 	var queued sim.Time
@@ -405,6 +427,12 @@ func (p *Proc) Prefetch(addr uint64) {
 	}
 	m := p.m
 	page := mempolicy.PageOf(addr)
+	// A prefetch walks the same coherence path as a read miss, so it uses
+	// the same shard classification.
+	if !p.shardLocal(block, page, false, false) {
+		p.sp.AwaitGlobal()
+		defer p.sp.EndGlobal()
+	}
 	home := p.homeOf(page)
 	complete, _, _ := p.transaction(block, home, false)
 	if victim, evicted := p.cache.Fill(block, cache.Shared); evicted {

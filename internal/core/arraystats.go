@@ -53,6 +53,10 @@ func (m *Machine) EnableArrayStats() {
 	if m.arrays == nil {
 		m.arrays = &arrayIndex{}
 	}
+	// Attribution sums into shared per-array totals from the miss path, so
+	// the engine must not run shards concurrently. The schedule (and every
+	// simulated result) is identical at any worker count.
+	m.eng.SetWorkers(1)
 }
 
 // ArrayStats returns per-allocation statistics (nil unless

@@ -10,6 +10,8 @@
 package core
 
 import (
+	"fmt"
+
 	"origin2000/internal/cache"
 	"origin2000/internal/mempolicy"
 	"origin2000/internal/metrics"
@@ -62,6 +64,20 @@ type Latencies struct {
 	// MigrationFreeze is latency charged to the access triggering a
 	// migration (TLB shootdown and copy initiation).
 	MigrationFreeze sim.Time
+}
+
+// Lookahead returns the minimum latency of any cross-node interaction: a
+// request must traverse the requester's Hub, at least one router hop, and
+// the home Hub before it can touch another node's state. This is the
+// conservative-parallel engine's lookahead: state owned by another shard
+// cannot be affected sooner than Lookahead after an operation issues, so a
+// window no wider than Lookahead could never miss a cross-shard hazard.
+// In practice the engine runs wider windows (Config.Quantum) and instead
+// serializes every cross-shard operation through the window's commit
+// phase, which preserves exactness at any width; Lookahead is kept as the
+// documented lower bound the window is clamped to.
+func (l Latencies) Lookahead() sim.Time {
+	return l.HubTime + l.RouterTime + l.HubTime
 }
 
 // Origin2000Latencies models the paper's machine (Table 1 row 1).
@@ -149,6 +165,16 @@ type Config struct {
 	// contract as Check and Trace — zero cost off, zero timing
 	// perturbation on, bit-identical series across runs and GOMAXPROCS.
 	Metrics metrics.Options
+	// Engine selects the execution schedule: "serial" (the default — the
+	// windowed reference schedule on one host worker) or "parallel" (the
+	// identical schedule with the window's shard phase spread over
+	// Workers host workers). The two are bit-identical by construction;
+	// see DESIGN.md §11.
+	Engine string
+	// Workers bounds the host workers of the parallel engine (0 means
+	// GOMAXPROCS). Ignored under Engine "serial". Any value produces
+	// bit-identical results; it only changes wall-clock speed.
+	Workers int
 }
 
 // Origin2000 returns the configuration of the paper's machine with the
@@ -253,5 +279,17 @@ func (c *Config) normalize() {
 	}
 	if c.MaxPrefetch <= 0 {
 		c.MaxPrefetch = 8
+	}
+	switch c.Engine {
+	case "", "serial":
+		c.Engine = "serial"
+	case "parallel":
+	default:
+		panic(fmt.Sprintf("core: unknown engine %q (want serial or parallel)", c.Engine))
+	}
+	// The window may not be narrower than the machine's cross-node
+	// lookahead; see Latencies.Lookahead.
+	if c.Quantum > 0 && c.Quantum < c.Lat.Lookahead() {
+		c.Quantum = c.Lat.Lookahead()
 	}
 }

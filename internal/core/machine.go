@@ -29,10 +29,10 @@ type Machine struct {
 	fabric   *topology.Fabric
 	pages    *mempolicy.Table
 	migrator *mempolicy.Migrator
-	dir      *directory.Directory
-	check    *check.Checker   // nil unless Config.Check
-	tracer   *trace.Tracer    // nil unless Config.Trace.Enabled
-	sampler  *metrics.Sampler // nil unless Config.Metrics.Enabled
+	dirs     []*directory.Directory // per-node home directories (shard-local)
+	check    *check.Checker         // nil unless Config.Check
+	tracer   *trace.Tracer          // nil unless Config.Trace.Enabled
+	sampler  *metrics.Sampler       // nil unless Config.Metrics.Enabled
 	procs    []*Proc
 	mapping  topology.Mapping
 
@@ -49,7 +49,6 @@ type Machine struct {
 	nodePages []int       // pages homed per node (for NodeMemBytes spill)
 	maxNodePg int         // 0 = unbounded
 	arrays    *arrayIndex // per-allocation attribution (nil = off)
-	phases    map[string]*perf.Breakdown
 
 	// placeFn is the first-touch placement hook passed to Table.Resolve,
 	// built once so the hot path never allocates a closure.
@@ -68,7 +67,7 @@ func New(cfg Config) *Machine {
 		cfg:        cfg,
 		eng:        sim.NewEngine(cfg.Procs, cfg.Quantum),
 		fabric:     topology.NewFabricModules(numRouters, cfg.ForceMetarouters),
-		dir:        directory.New(),
+		dirs:       make([]*directory.Directory, numNodes),
 		numNodes:   numNodes,
 		numRouters: numRouters,
 		hubs:       make([]sim.Resource, numNodes),
@@ -80,6 +79,7 @@ func New(cfg Config) *Machine {
 	for i := range m.hubs {
 		m.hubs[i].Name = fmt.Sprintf("hub%d", i)
 		m.mems[i].Name = fmt.Sprintf("mem%d", i)
+		m.dirs[i] = directory.New()
 	}
 	for i := range m.routers {
 		m.routers[i].Name = fmt.Sprintf("router%d", i)
@@ -94,6 +94,7 @@ func New(cfg Config) *Machine {
 		m.migrator = mempolicy.NewMigrator(numNodes, cfg.MigrationThreshold)
 	}
 	m.pages = mempolicy.NewTable(numNodes, cfg.Placement, m.migrator)
+	m.pages.OnRemap = m.pageRemapped
 	if cfg.NodeMemBytes > 0 {
 		m.maxNodePg = int(cfg.NodeMemBytes / mempolicy.PageBytes)
 		if m.maxNodePg < 1 {
@@ -109,7 +110,7 @@ func New(cfg Config) *Machine {
 		panic("core: mapping must be a permutation of the processor ids")
 	}
 	if cfg.Check {
-		m.check = check.New(cfg.Procs, m.dir)
+		m.check = check.New(cfg.Procs, &multiDir{m: m})
 	}
 	if cfg.Trace.Enabled {
 		m.tracer = trace.New(cfg.Procs, cfg.Trace)
@@ -134,6 +135,7 @@ func New(cfg Config) *Machine {
 			m.check.AttachCache(i, m.procs[i].cache)
 		}
 	}
+	m.setupShards()
 	return m
 }
 
@@ -152,8 +154,31 @@ func (m *Machine) Fabric() *topology.Fabric { return m.fabric }
 // Cycles converts processor cycles to virtual time at the machine's clock.
 func (m *Machine) Cycles(n int64) sim.Time { return sim.Time(n) * m.cycle }
 
-// Directory exposes the coherence directory (test/diagnostic use).
-func (m *Machine) Directory() *directory.Directory { return m.dir }
+// Directories exposes the per-node coherence directories, indexed by home
+// node (test/diagnostic use).
+func (m *Machine) Directories() []*directory.Directory { return m.dirs }
+
+// dirAt returns the directory of the given home node.
+func (m *Machine) dirAt(home int) *directory.Directory { return m.dirs[home] }
+
+// DirectoryCheck audits every node's directory for internal-invariant
+// violations (test/diagnostic use).
+func (m *Machine) DirectoryCheck() error {
+	for _, d := range m.dirs {
+		if err := d.Check(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FaultDropInvalidation installs the lost-invalidation fault hook on every
+// node's directory (verification-layer tests only).
+func (m *Machine) FaultDropInvalidation(fn func(block uint64, proc int) bool) {
+	for _, d := range m.dirs {
+		d.FaultDropInvalidation(fn)
+	}
+}
 
 // PageTable exposes page placement (test/diagnostic use).
 func (m *Machine) PageTable() *mempolicy.Table { return m.pages }
@@ -207,6 +232,13 @@ func (m *Machine) Checker() *check.Checker { return m.check }
 
 // Elapsed returns the parallel completion time so far.
 func (m *Machine) Elapsed() sim.Time { return m.eng.MaxTime() }
+
+// SchedStats exposes the engine's scheduling-shape statistics — windowed
+// rounds, phase-1 shard chains dispatched, commit-queue entries — for the
+// benchmark harness (see sim.Engine.SchedStats).
+func (m *Machine) SchedStats() (windows, shardChains, commits int64) {
+	return m.eng.SchedStats()
+}
 
 // Result summarizes the run for the metrics layer.
 func (m *Machine) Result() perf.Result {
@@ -289,3 +321,15 @@ func (m *Machine) homeOf(page uint64, touchNode int) int {
 
 // routerOfNode returns the router a node hangs off.
 func (m *Machine) routerOfNode(node int) int { return node / m.cfg.NodesPerRouter }
+
+// pageRemapped observes every move of an already-homed page — dynamic
+// migration and overriding SetHome alike — via the page table's OnRemap
+// hook. Each node's directory is authoritative for exactly the blocks it
+// homes, so the page's directory records must follow its home; the tracer's
+// per-page migration heat rides the same hook.
+func (m *Machine) pageRemapped(page uint64, from, to int) {
+	m.dirs[from].MovePage(page, m.dirs[to])
+	if tr := m.tracer; tr != nil {
+		tr.PageRemapped(page, from, to)
+	}
+}

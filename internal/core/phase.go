@@ -13,10 +13,15 @@ import (
 // This reproduces what the paper did with pixie/prof — locating the
 // routine a bottleneck lives in — as a first-class machine feature.
 
-// phaseState tracks one processor's attribution.
+// phaseState tracks one processor's attribution. Each processor accumulates
+// into its own totals map so SetPhase never touches shared state — the
+// parallel engine may run processors of different shards concurrently inside
+// a window — and PhaseBreakdowns merges the per-processor maps in processor
+// order (integer sums, so the merge is order-insensitive anyway).
 type phaseState struct {
 	name string
 	snap perf.Breakdown
+	acc  map[string]*perf.Breakdown
 }
 
 func (p *Proc) snapshot() perf.Breakdown {
@@ -32,28 +37,41 @@ func (p *Proc) snapshot() perf.Breakdown {
 // ends attribution.
 func (p *Proc) SetPhase(name string) {
 	now := p.snapshot()
+	acc := p.phase.acc
 	if p.phase.name != "" {
-		m := p.m
-		if m.phases == nil {
-			m.phases = make(map[string]*perf.Breakdown)
+		if acc == nil {
+			acc = make(map[string]*perf.Breakdown)
 		}
-		b, ok := m.phases[p.phase.name]
+		b, ok := acc[p.phase.name]
 		if !ok {
 			b = &perf.Breakdown{}
-			m.phases[p.phase.name] = b
+			acc[p.phase.name] = b
 		}
 		b.Busy += now.Busy - p.phase.snap.Busy
 		b.Memory += now.Memory - p.phase.snap.Memory
 		b.Sync += now.Sync - p.phase.snap.Sync
 	}
-	p.phase = phaseState{name: name, snap: now}
+	p.phase = phaseState{name: name, snap: now, acc: acc}
 }
 
 // PhaseBreakdowns returns the per-phase time totals accumulated by
 // SetPhase, summed over processors, in descending total order.
 func (m *Machine) PhaseBreakdowns() []PhaseBreakdown {
-	out := make([]PhaseBreakdown, 0, len(m.phases))
-	for name, b := range m.phases {
+	merged := map[string]*perf.Breakdown{}
+	for _, p := range m.procs {
+		for name, b := range p.phase.acc {
+			t, ok := merged[name]
+			if !ok {
+				t = &perf.Breakdown{}
+				merged[name] = t
+			}
+			t.Busy += b.Busy
+			t.Memory += b.Memory
+			t.Sync += b.Sync
+		}
+	}
+	out := make([]PhaseBreakdown, 0, len(merged))
+	for name, b := range merged {
 		out = append(out, PhaseBreakdown{Name: name, Breakdown: *b})
 	}
 	sort.Slice(out, func(i, j int) bool {

@@ -51,6 +51,23 @@ func (p *Proc) homeOf(page uint64) int {
 	return h
 }
 
+// peekHome resolves a page's home node without placing it: a TLB hit (or a
+// table hit, which refills the TLB) reports the placed home; an unplaced
+// page reports ok=false. The shard classifier uses it on every miss, so the
+// common repeat-page case must stay off the shared table.
+func (p *Proc) peekHome(page uint64) (int, bool) {
+	e := &p.homeTLB[page&(homeTLBSize-1)]
+	gen := p.m.pages.Gen()
+	if e.page == page && e.gen == gen {
+		return int(e.home), true
+	}
+	h, ok := p.m.pages.Lookup(page)
+	if ok {
+		*e = homeTLBEntry{page: page, home: int32(h), gen: gen}
+	}
+	return h, ok
+}
+
 // ID returns the logical process id in [0, NumProcs).
 func (p *Proc) ID() int { return p.sp.ID() }
 
@@ -127,8 +144,16 @@ func (p *Proc) FetchOp(addr uint64) { p.fetchOp(addr, sim.StatSync) }
 func (p *Proc) Block() { p.sp.Block() }
 
 // WakeAt resumes q with its clock at least t; the waiting span is charged
-// to q's Sync bucket by the primitive that coordinated the wait.
-func (p *Proc) WakeAt(q *Proc, t sim.Time) { p.sp.Wake(q.sp, t) }
+// to q's Sync bucket by the primitive that coordinated the wait. Waking a
+// processor of another shard is a cross-shard interaction, so WakeAt first
+// enters the window's serialized commit phase (a no-op when the caller is
+// already committing, which every synchro primitive is after its own
+// GlobalSection).
+func (p *Proc) WakeAt(q *Proc, t sim.Time) {
+	p.sp.AwaitGlobal()
+	p.sp.Wake(q.sp, t)
+	p.sp.EndGlobal()
+}
 
 // ChargeSync records d of synchronization time without moving the clock
 // (used after Block/WakeAt to attribute waiting time).

@@ -16,20 +16,23 @@ import (
 func pageOfBlock(block uint64) uint64 { return block >> (mempolicy.PageShift - blockShift) }
 
 // attachTracer installs the tracer's observation taps on the machine's
-// shared resources and page table. Called once from New.
+// shared resources. Called once from New. Each observer carries its
+// resource's shard (= router) so per-shard queue histograms stay
+// race-free under the parallel engine; metarouters are only reached by
+// cross-module — and therefore commit-phase — traffic, so they share
+// bucket 0.
 func (m *Machine) attachTracer() {
 	tr := m.tracer
 	for i := range m.hubs {
-		m.hubs[i].Observe = tr.ResourceObserver(trace.QHub, i)
-		m.mems[i].Observe = tr.ResourceObserver(trace.QMem, i)
+		m.hubs[i].Observe = tr.ResourceObserver(trace.QHub, i, m.routerOfNode(i))
+		m.mems[i].Observe = tr.ResourceObserver(trace.QMem, i, m.routerOfNode(i))
 	}
 	for i := range m.routers {
-		m.routers[i].Observe = tr.ResourceObserver(trace.QRouter, i)
+		m.routers[i].Observe = tr.ResourceObserver(trace.QRouter, i, i)
 	}
 	for i := range m.metas {
-		m.metas[i].Observe = tr.ResourceObserver(trace.QMeta, i)
+		m.metas[i].Observe = tr.ResourceObserver(trace.QMeta, i, 0)
 	}
-	m.pages.OnRemap = tr.PageRemapped
 }
 
 // Tracer exposes the event tracer (nil unless Config.Trace.Enabled).

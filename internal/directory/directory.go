@@ -314,6 +314,55 @@ func (d *Directory) Evict(block uint64, proc int) {
 	}
 }
 
+// MovePage transfers the directory records of every block on the 16 KB
+// page (page = block >> 7, which equals the machine's memory page number)
+// from d to dst, preserving both directories' incremental state counts.
+// The machine calls it when page migration rehomes a page, so that each
+// node's directory stays authoritative for exactly the blocks it homes.
+func (d *Directory) MovePage(page uint64, dst *Directory) {
+	if d == dst {
+		return
+	}
+	pg, ok := d.pages[page]
+	if !ok {
+		return
+	}
+	nS, nX := 0, 0
+	for i := range pg {
+		switch pg[i].State {
+		case SharedState:
+			nS++
+		case Exclusive:
+			nX++
+		}
+	}
+	delete(d.pages, page)
+	if d.lastKey == page {
+		d.last = nil
+	}
+	d.nShared -= nS
+	d.nExclusive -= nX
+	// A page has one home at a time, so dst normally has no record of it;
+	// if a stale empty page was ever materialized there, retire its counts
+	// before overwriting.
+	if old, exists := dst.pages[page]; exists {
+		for i := range old {
+			switch old[i].State {
+			case SharedState:
+				dst.nShared--
+			case Exclusive:
+				dst.nExclusive--
+			}
+		}
+	}
+	dst.pages[page] = pg
+	if dst.lastKey == page {
+		dst.last = pg
+	}
+	dst.nShared += nS
+	dst.nExclusive += nX
+}
+
 // StateCounts reports how many blocks are currently in the Shared and
 // Exclusive directory states. The counts are maintained incrementally on
 // every transition; the metrics sampler reads them at each machine sample.
@@ -359,9 +408,9 @@ func (d *Directory) CheckStorage() error {
 			return fmt.Errorf("directory: last-page memo for page %d aliases a stale array", d.lastKey)
 		}
 	}
-	if cap(d.scratch) > 0 && len(d.pages) == 0 {
-		return fmt.Errorf("directory: scratch list allocated with no pages touched")
-	}
+	// Note: an allocated scratch list with an empty page map is legal — page
+	// migration (MovePage) can drain a directory that has already performed
+	// invalidating writes.
 	return nil
 }
 

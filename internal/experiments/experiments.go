@@ -60,6 +60,13 @@ type Scale struct {
 	// machine RunConfig executes — including failed runs, whose traces
 	// are exactly the interesting ones — labeled "<app>-p<procs>-s<size>".
 	TraceSink func(label string, m *core.Machine)
+	// Engine selects the execution engine on every machine the scale
+	// builds: "serial" (default) or "parallel" (bit-identical, uses
+	// Workers host cores).
+	Engine string
+	// Workers bounds the parallel engine's host workers (0 = GOMAXPROCS;
+	// ignored for the serial engine).
+	Workers int
 }
 
 // FullScale runs the paper's actual input sizes.
@@ -96,6 +103,8 @@ func (s Scale) Machine(procs int) core.Config {
 	cfg.Check = s.Check
 	cfg.Trace = s.Trace
 	cfg.Metrics = s.Metrics
+	cfg.Engine = s.Engine
+	cfg.Workers = s.Workers
 	return cfg
 }
 

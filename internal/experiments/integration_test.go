@@ -135,7 +135,7 @@ func TestDirectoryConsistentAfterEveryApp(t *testing.T) {
 			if err := app.Run(m, s.Params(app, app.BasicSize(), "")); err != nil {
 				t.Fatal(err)
 			}
-			if err := m.Directory().Check(); err != nil {
+			if err := m.DirectoryCheck(); err != nil {
 				t.Error(err)
 			}
 		})

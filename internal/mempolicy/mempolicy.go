@@ -132,6 +132,15 @@ func (t *Table) SetHome(page uint64, node int) {
 	t.homes[page] = int32(node)
 }
 
+// Lookup returns the page's home without assigning one, reporting whether
+// the page is placed. The engine's shard classifier uses it on the hot
+// path: an unplaced page's first touch mutates placement state, so it must
+// run in the serialized commit phase, which Resolve then handles.
+func (t *Table) Lookup(page uint64) (home int, ok bool) {
+	h, ok := t.homes[page]
+	return int(h), ok
+}
+
 // Placed reports whether a page already has a home.
 func (t *Table) Placed(page uint64) bool {
 	_, ok := t.homes[page]

@@ -67,11 +67,15 @@ type Proc struct {
 	id        int
 	e         *Engine
 	now       Time
-	limit     Time
+	limit     Time // park when now exceeds this (window edge - 1)
 	resume    chan struct{}
 	blocked   bool
 	finished  bool
-	heapIndex int
+	heapIndex int  // index in its shard heap or the commit heap; -1 when in neither
+	shard     int  // static shard assignment (SetShards)
+	mode      int8 // modePhase1 or modeCommit
+	global    int  // open AwaitGlobal sections; >0 pins the proc to the commit chain
+	seq       int64
 	stats     [numStats]Time
 
 	// Counters holds machine-model event counts for this processor.
@@ -87,6 +91,14 @@ func (p *Proc) Engine() *Engine { return p.e }
 // Now returns the processor's current virtual time.
 func (p *Proc) Now() Time { return p.now }
 
+// Shard returns the processor's shard index.
+func (p *Proc) Shard() int { return p.shard }
+
+// Seq returns the processor's most recent commit sequence number: its
+// position in the global (virtual time, proc, seq) commit order the last
+// time it entered the commit phase. Diagnostics only.
+func (p *Proc) Seq() int64 { return p.seq }
+
 // Stat returns the accumulated time charged to bucket k.
 func (p *Proc) Stat(k StatKind) Time { return p.stats[k] }
 
@@ -100,7 +112,7 @@ func (p *Proc) Total() Time {
 }
 
 // Advance moves the clock forward by d and charges d to bucket k,
-// yielding to the scheduler if the quantum is exhausted.
+// yielding to the scheduler if the window is exhausted.
 func (p *Proc) Advance(d Time, k StatKind) {
 	if d < 0 {
 		panic("sim: negative advance")
@@ -108,7 +120,7 @@ func (p *Proc) Advance(d Time, k StatKind) {
 	p.now += d
 	p.stats[k] += d
 	if p.now > p.limit {
-		p.yield()
+		p.windowPark()
 	}
 }
 
@@ -130,11 +142,11 @@ func (p *Proc) Charge(d Time, k StatKind) {
 }
 
 // Yield voluntarily returns control to the scheduler if this processor has
-// exceeded its quantum. Long computations that do not touch simulated
+// exhausted its window. Long computations that do not touch simulated
 // memory should call it periodically.
 func (p *Proc) Yield() {
 	if p.now > p.limit {
-		p.yield()
+		p.windowPark()
 	}
 }
 
@@ -148,46 +160,163 @@ func (p *Proc) park() {
 	}
 }
 
-// yield returns control to the scheduler after a quantum expiry. Fast path:
-// if this processor is still the (clock, id) minimum, it extends its own
-// run-ahead limit and keeps running with no channel traffic at all.
-// Otherwise control passes directly to the min-clock runnable processor's
-// goroutine — one handoff, no trip through the central Run loop.
-func (p *Proc) yield() {
-	e := p.e
-	if len(e.heap) == 0 {
-		p.limit = maxTime
-		return
-	}
-	if m := e.heap[0]; p.now < m.now || (p.now == m.now && p.id < m.id) {
-		p.limit = m.now + e.quantum
-		return
-	}
-	e.heap.push(p)
-	e.resumeNext()
+// windowPark suspends this processor at the window edge: it hands its chain
+// to the next processor and parks until a later window resumes it.
+func (p *Proc) windowPark() {
+	p.chainStep()
 	p.park()
+}
+
+// chainStep continues this processor's chain after it stops running (window
+// edge, Block, AwaitGlobal, or finish): it resumes the next processor of
+// its phase-1 shard heap or of the commit heap, or reports the chain done
+// to the coordinator. In phase 1 only processors of p's shard touch the
+// shard heap, so chains from different shards never share mutable state.
+func (p *Proc) chainStep() {
+	e := p.e
+	if e.inline {
+		e.yieldCh <- yieldEvent{p: p, kind: evChainDone, shard: -1}
+		return
+	}
+	if p.mode == modeCommit {
+		if len(e.commit) > 0 {
+			q := e.commit.pop()
+			q.mode = modeCommit
+			q.limit = e.windowEnd - 1
+			q.resume <- struct{}{}
+			return
+		}
+		if e.singleChain() && e.turnover() {
+			return
+		}
+		e.yieldCh <- yieldEvent{p: p, kind: evChainDone, shard: -1}
+		return
+	}
+	h := &e.shardHeaps[p.shard]
+	if len(*h) > 0 {
+		q := h.pop()
+		q.mode = modePhase1
+		q.limit = e.windowEnd - 1
+		q.resume <- struct{}{}
+		return
+	}
+	if e.singleChain() {
+		// Only one chain ever runs at a time, so when it runs dry this
+		// goroutine can continue the schedule itself — next shard chain,
+		// then the phase barrier and the commit chain, then the next
+		// window — instead of round-tripping through the coordinator. The
+		// dispatch order is exactly the coordinator's (ascending shards,
+		// shard-major staged merge, (time, id) commits), so the schedule
+		// is unchanged.
+		for s := p.shard + 1; s < e.numShards; s++ {
+			if e.startShard(s) {
+				return
+			}
+		}
+		for s := range e.staged {
+			for _, q := range e.staged[s] {
+				e.commitSeq++
+				q.seq = e.commitSeq
+				e.commit.push(q)
+			}
+			e.staged[s] = e.staged[s][:0]
+		}
+		if len(e.commit) > 0 {
+			q := e.commit.pop()
+			q.mode = modeCommit
+			q.limit = e.windowEnd - 1
+			q.resume <- struct{}{}
+			return
+		}
+		if e.turnover() {
+			return
+		}
+	}
+	e.yieldCh <- yieldEvent{p: p, kind: evChainDone, shard: p.shard}
+}
+
+// AwaitGlobal serializes this processor into the commit phase before an
+// operation that may touch another shard's state. In phase 1 the processor
+// suspends at its current clock and resumes — with the clock unchanged — in
+// the window's serial commit phase, in global (virtual time, proc) order.
+// In the commit phase (and in inline mode) it is already serialized: it
+// continues immediately while it precedes every queued commit, or re-queues
+// itself to keep commits in (virtual time, proc) order. With a single
+// shard nothing is ever cross-shard, but the call still imposes the same
+// commit schedule, so results are identical to a sharded run.
+//
+// The section stays open until the matching EndGlobal: across window
+// edges and Block/Wake cycles in between, the processor is rescheduled on
+// the commit chain — never on a phase-1 shard chain — so the cross-shard
+// operation can span windows without ever running concurrently with
+// another shard. Sections nest (a cross-shard access inside a barrier
+// protocol opens a second one); the processor returns to phase-1
+// scheduling when the outermost section closes.
+// The return value reports whether the processor actually suspended: false
+// means no other processor can have run between the call and the return,
+// so simulated state the caller probed just before is still current. The
+// value is a pure function of the deterministic schedule, so decisions
+// keyed on it are identical across engines and worker counts.
+func (p *Proc) AwaitGlobal() bool {
+	e := p.e
+	p.global++
+	if p.mode == modeCommit {
+		if len(e.commit) == 0 {
+			return false
+		}
+		if m := e.commit[0]; p.now < m.now || (p.now == m.now && p.id < m.id) {
+			return false
+		}
+		// A queued commit precedes us: hand the chain to it and wait our
+		// turn. (The new minimum cannot be p: the old minimum beat it.)
+		e.commit.push(p)
+		q := e.commit.pop()
+		q.mode = modeCommit
+		q.limit = e.windowEnd - 1
+		q.resume <- struct{}{}
+		p.park()
+		return true
+	}
+	// Phase 1: stage for this window's commit phase and continue the
+	// shard chain. The coordinator merges staged processors into the
+	// commit heap at the phase barrier.
+	e.staged[p.shard] = append(e.staged[p.shard], p)
+	p.chainStep()
+	p.park()
+	p.mode = modeCommit
+	return true
+}
+
+// EndGlobal closes the section opened by the matching AwaitGlobal. The
+// processor keeps executing serially until the window edge (the schedule is
+// a function of virtual time only, so this costs nothing in determinism);
+// from the next window on it is scheduled on its shard's phase-1 chain
+// again.
+func (p *Proc) EndGlobal() {
+	if p.global <= 0 {
+		panic("sim: EndGlobal without a matching AwaitGlobal")
+	}
+	p.global--
 }
 
 // Block suspends this processor until another processor calls Wake on it.
 // The caller is responsible for charging the waiting time (see Wake).
 func (p *Proc) Block() {
 	p.blocked = true
-	e := p.e
-	if len(e.heap) > 0 {
-		e.resumeNext()
-	} else {
-		// Nothing runnable and this processor is blocked: every
-		// unfinished processor is now stuck, so report a deadlock.
-		e.yieldCh <- yieldEvent{p: p, kind: yieldIdle}
-	}
+	p.chainStep()
 	p.park()
 }
 
-// Wake makes q runnable again with its clock advanced to at least t. It
-// must be called by the currently running processor (the scheduler is
-// parked while application code runs, so the ready queue is safe to touch).
-// The time q spent blocked is not charged automatically; the waker or the
+// Wake makes q runnable again with its clock advanced to at least t. The
+// time q spent blocked is not charged automatically; the waker or the
 // wakee charges it to the appropriate bucket.
+//
+// In the commit phase (where all synchronization runs — see AwaitGlobal) a
+// wake inside the current window queues q for commit in (virtual time,
+// proc) order; a later wake leaves q parked for its window. In phase 1
+// only same-shard wakes are legal. In inline mode waking a peer ends the
+// mode: the waker parks at its next advance and the engine returns to
+// windowed scheduling.
 func (p *Proc) Wake(q *Proc, t Time) {
 	if !q.blocked {
 		panic("sim: Wake on a processor that is not blocked")
@@ -196,12 +325,24 @@ func (p *Proc) Wake(q *Proc, t Time) {
 		q.now = t
 	}
 	q.blocked = false
-	p.e.heap.push(q)
-	// The waker may have been resumed with a generous (even unbounded)
-	// run-ahead limit while q was blocked; now that q is runnable the
-	// waker must yield once it passes q's clock, or q would starve.
-	if limit := q.now + p.e.quantum; p.limit > limit {
-		p.limit = limit
+	e := p.e
+	if e.inline {
+		if p.limit > p.now-1 {
+			p.limit = p.now - 1
+		}
+		return
+	}
+	if p.mode == modeCommit {
+		if q.now < e.windowEnd {
+			e.commit.push(q)
+		}
+		return
+	}
+	if q.shard != p.shard {
+		panic("sim: cross-shard Wake outside a global section")
+	}
+	if q.now < e.windowEnd {
+		e.shardHeaps[p.shard].push(q)
 	}
 }
 

@@ -2,22 +2,59 @@
 // engine for multiprocessor performance simulation.
 //
 // Each simulated processor runs application code in its own goroutine and
-// owns a virtual clock. Exactly one processor goroutine executes at a time;
-// the engine always resumes the runnable processor with the smallest clock
-// and lets it run ahead until its clock exceeds the next processor's clock
-// by a quantum, it blocks on synchronization, or it finishes. Scheduling is
-// deterministic: ties are broken by processor id, so two runs of the same
-// program produce identical virtual times and statistics.
+// owns a virtual clock. Execution proceeds in conservative time windows:
+// the engine repeatedly picks the window [T, T+W) that contains the
+// smallest runnable clock (W is the window from NewEngine, the old
+// scheduling quantum) and runs every processor whose clock falls inside it
+// up to the window edge, in two phases:
 //
-// Control passes directly from a yielding processor goroutine to the next
-// min-clock processor's goroutine (one channel handoff per switch); the
-// central Run loop is involved only at start, when a processor finishes,
-// for deadlock detection, and for panic propagation.
+//   - Phase 1 executes each shard's processors independently. A shard is a
+//     statically assigned group of processors (SetShards; by default all
+//     processors form one shard) whose simulated state is disjoint from
+//     every other shard's, so shards may execute on different host cores
+//     with no synchronization beyond the window barrier. Within a shard,
+//     processors run one at a time in deterministic (clock, id) order. An
+//     operation that would touch another shard's state calls AwaitGlobal,
+//     which suspends the processor into the commit queue.
+//
+//   - Phase 2 (commit) is single-threaded: suspended processors resume in
+//     deterministic (virtual time, proc) order and perform their
+//     cross-shard operations, continuing until they block, finish, or
+//     reach the window edge.
+//
+// The two-phase schedule is identical at any worker count (SetWorkers):
+// phase 1 shards are state-disjoint so their relative execution order
+// cannot affect results, and phase 2 is always serial. A run with 8 host
+// workers is therefore bit-identical to a run with 1 — same clocks, same
+// statistics, same event order within every shard and within commit.
+//
+// Control passes directly between processor goroutines (one channel
+// handoff per switch) along per-shard chains and along the commit chain;
+// the central Run loop is involved once per chain per window, at window
+// boundaries, for deadlock detection, and for panic propagation.
+//
+// When exactly one processor is runnable the engine enters an inline mode
+// with no window bookkeeping at all, so sequential executions (and the
+// sequential sections of parallel ones) pay no windowing overhead.
 //
 // Shared hardware resources (memory controllers, network routers, ...) are
 // modeled as Resource timelines: a transaction occupies a resource for some
 // duration and queues behind earlier transactions, which is how the engine
 // models contention.
+//
+// # Deterministic tie-breaks
+//
+// Every scheduling decision in the engine breaks virtual-time ties by
+// processor id, so two runs of the same program produce identical virtual
+// times and statistics:
+//
+//   - shard run order (phase 1): (clock, id) min-heap per shard
+//   - commit order (phase 2): (suspend time, id) min-heap
+//   - commit fast path: the running processor keeps executing only while
+//     it is strictly (clock, id)-less than the commit-queue minimum
+//   - deadlock reports: blocked ids sorted ascending
+//   - panic propagation: when several shards panic in one window, the
+//     panic from the lowest processor id is re-raised
 package sim
 
 import (
@@ -88,27 +125,37 @@ func (k StatKind) String() string {
 	return fmt.Sprintf("StatKind(%d)", int(k))
 }
 
-// DefaultQuantum is the default run-ahead bound. A processor may execute
-// until its clock exceeds the next-lowest runnable clock by this much before
-// control passes to that processor. Smaller quanta order resource
-// acquisitions more precisely; larger quanta run faster.
+// DefaultQuantum is the default window width W. Processors inside a window
+// may run up to W ahead of each other before the window barrier reorders
+// them; smaller windows order resource acquisitions more precisely, larger
+// windows run faster. (The name survives from the pre-windowed engine,
+// whose run-ahead quantum played the same accuracy-vs-speed role with the
+// same default.)
 const DefaultQuantum = 1 * Microsecond
 
-type yieldKind int
+// Proc execution modes within a window.
+const (
+	// modePhase1: running inside its shard, restricted to shard-local state.
+	modePhase1 int8 = iota
+	// modeCommit: running in the serial commit phase (or inline mode),
+	// free to touch any state.
+	modeCommit
+)
+
+type eventKind int
 
 const (
-	// yieldFinished: a processor's body returned.
-	yieldFinished yieldKind = iota
-	// yieldIdle: a processor blocked with no runnable peers (deadlock).
-	yieldIdle
-	// yieldPanic: a processor's body panicked.
-	yieldPanic
+	// evChainDone: a phase-1 shard chain or the commit chain ran dry.
+	evChainDone eventKind = iota
+	// evPanic: a processor's body panicked; terminates its chain.
+	evPanic
 )
 
 type yieldEvent struct {
-	p    *Proc
-	kind yieldKind
-	err  any // panic value when kind == yieldPanic
+	p     *Proc
+	kind  eventKind
+	shard int // chain identity: shard index, or -1 for the commit chain
+	err   any // panic value when kind == evPanic
 }
 
 // abandonRun is panicked by parked processor goroutines when the engine
@@ -118,17 +165,34 @@ type abandonRun struct{}
 
 // Engine coordinates a set of simulated processors.
 type Engine struct {
-	procs     []*Proc
-	heap      procHeap
-	quantum   Time
+	procs   []*Proc
+	window  Time // window width W (NewEngine's quantum)
+	workers int  // max concurrently executing shard chains in phase 1
+
+	numShards  int
+	shardHeaps []procHeap // phase-1 run queues, one per shard
+	staged     [][]*Proc  // per-shard AwaitGlobal arrivals, merged at the phase barrier
+	commit     procHeap   // phase-2 queue, ordered (suspend time, id)
+	commitSeq  int64      // total commits so far; stamps Proc.seq at merge
+
+	windowEnd Time // current window edge (exclusive); maxTime in inline mode
+	inline    bool // exactly one runnable processor: no windowing at all
+
+	// Scheduling-shape statistics (deterministic: derived from the
+	// schedule, not from host timing). windows counts windowed rounds,
+	// shardChains the phase-1 chains dispatched across them — their ratio
+	// is the average number of chains a window offers to run concurrently.
+	windows     int64
+	shardChains int64
+
 	yieldCh   chan yieldEvent
 	abandoned bool // set before resuming parked goroutines to unwind them
 	wg        sync.WaitGroup
-	finished  int
 }
 
-// NewEngine creates an engine with n processors and the given scheduling
-// quantum (DefaultQuantum if quantum <= 0).
+// NewEngine creates an engine with n processors and the given window width
+// (DefaultQuantum if quantum <= 0). The engine starts with one shard
+// containing every processor and one worker; see SetShards and SetWorkers.
 func NewEngine(n int, quantum Time) *Engine {
 	if n <= 0 {
 		panic("sim: engine needs at least one processor")
@@ -137,7 +201,8 @@ func NewEngine(n int, quantum Time) *Engine {
 		quantum = DefaultQuantum
 	}
 	e := &Engine{
-		quantum: quantum,
+		window:  quantum,
+		workers: 1,
 		yieldCh: make(chan yieldEvent),
 	}
 	e.procs = make([]*Proc, n)
@@ -152,8 +217,54 @@ func NewEngine(n int, quantum Time) *Engine {
 			heapIndex: -1,
 		}
 	}
+	e.setShardCount(1)
 	return e
 }
+
+// SetShards assigns processor i to shard shardOf[i] (0 <= shard < n).
+// Shards must partition simulated state: a processor running in phase 1
+// may only touch state owned by its own shard, and must call AwaitGlobal
+// before any operation that crosses shards. Call before Run.
+func (e *Engine) SetShards(shardOf []int, n int) {
+	if len(shardOf) != len(e.procs) {
+		panic("sim: SetShards length mismatch")
+	}
+	if n < 1 {
+		n = 1
+	}
+	for i, s := range shardOf {
+		if s < 0 || s >= n {
+			panic("sim: SetShards shard index out of range")
+		}
+		e.procs[i].shard = s
+	}
+	e.setShardCount(n)
+}
+
+func (e *Engine) setShardCount(n int) {
+	e.numShards = n
+	e.shardHeaps = make([]procHeap, n)
+	e.staged = make([][]*Proc, n)
+}
+
+// NumShards reports the number of shards.
+func (e *Engine) NumShards() int { return e.numShards }
+
+// SetWorkers bounds how many shard chains execute concurrently in phase 1.
+// Results are bit-identical at any worker count; 1 (the default) is the
+// serial reference schedule.
+func (e *Engine) SetWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	e.workers = n
+}
+
+// Workers reports the phase-1 worker bound.
+func (e *Engine) Workers() int { return e.workers }
+
+// Window reports the window width W.
+func (e *Engine) Window() Time { return e.window }
 
 // NumProcs reports the number of simulated processors.
 func (e *Engine) NumProcs() int { return len(e.procs) }
@@ -186,51 +297,239 @@ func (d *DeadlockError) Error() string {
 // Run may be called repeatedly; virtual clocks and statistics carry over, so
 // successive phases accumulate. Use Reset to start fresh.
 func (e *Engine) Run(body func(p *Proc)) error {
-	e.finished = 0
-	e.heap = e.heap[:0]
 	e.abandoned = false
+	e.inline = false
+	e.commit = e.commit[:0]
+	for s := range e.shardHeaps {
+		e.shardHeaps[s] = e.shardHeaps[s][:0]
+		e.staged[s] = e.staged[s][:0]
+	}
 	for _, p := range e.procs {
 		p.finished = false
 		p.blocked = false
-		e.heap.push(p)
+		p.mode = modePhase1
+		p.global = 0
+		p.heapIndex = -1
 		e.wg.Add(1)
 		go e.runProc(p, body)
 	}
-	// Start the min-clock processor. From here control passes directly
-	// between processor goroutines; the loop below sees only terminal
-	// events.
-	e.resumeNext()
 	for {
-		ev := <-e.yieldCh
-		switch ev.kind {
-		case yieldFinished:
-			e.finished++
-			if e.finished == len(e.procs) {
-				return nil
+		// Between windows every live processor is parked: finished,
+		// blocked in Block, or runnable and waiting for its next window.
+		runnable, finished := 0, 0
+		var minNow Time = maxTime
+		var lone *Proc
+		for _, p := range e.procs {
+			switch {
+			case p.finished:
+				finished++
+			case !p.blocked:
+				runnable++
+				lone = p
+				if p.now < minNow {
+					minNow = p.now
+				}
 			}
-			if len(e.heap) == 0 {
-				return e.deadlock()
-			}
-			e.resumeNext()
-		case yieldIdle:
+		}
+		if finished == len(e.procs) {
+			return nil
+		}
+		if runnable == 0 {
 			return e.deadlock()
-		case yieldPanic:
-			e.release() // unwind parked goroutines before re-raising
-			panic(ev.err)
+		}
+		if runnable == 1 {
+			// Inline mode: a single runnable processor needs no
+			// windowing. It runs until it finishes, blocks, or wakes a
+			// peer (which ends inline mode at its next advance).
+			e.inline = true
+			e.windowEnd = maxTime
+			lone.mode = modeCommit
+			lone.limit = maxTime
+			lone.resume <- struct{}{}
+			e.awaitChains(1)
+			e.inline = false
+			continue
+		}
+
+		// Window [T, T+W) around the smallest runnable clock. Windows
+		// with no runnable clocks are never scheduled.
+		T := minNow - minNow%e.window
+		e.windowEnd = T + e.window
+
+		// Phase 1: per-shard chains over the processors inside the window.
+		// A processor inside an open global section (its cross-shard
+		// operation spans the window edge, or it was woken mid-protocol)
+		// must stay serialized: it skips phase 1 and rejoins the commit
+		// chain directly.
+		for _, p := range e.procs {
+			if p.finished || p.blocked || p.now >= e.windowEnd {
+				continue
+			}
+			if p.global > 0 {
+				p.mode = modeCommit
+				e.commit.push(p)
+			} else {
+				e.shardHeaps[p.shard].push(p)
+			}
+		}
+		e.windows++
+		dispatched := 0
+		outstanding := 0
+		for dispatched < e.numShards && outstanding < e.workers {
+			if e.startShard(dispatched) {
+				outstanding++
+			}
+			dispatched++
+		}
+		for outstanding > 0 {
+			ev := <-e.yieldCh
+			outstanding--
+			if ev.kind == evPanic {
+				e.propagate(ev, outstanding)
+			}
+			for dispatched < e.numShards && outstanding < e.workers {
+				if e.startShard(dispatched) {
+					outstanding++
+				}
+				dispatched++
+			}
+		}
+
+		// Phase barrier: merge the shards' AwaitGlobal arrivals into the
+		// commit queue. The heap orders commits by (suspend time, id), so
+		// the merge result is independent of shard execution order; the
+		// shard-major visit order only assigns the diagnostic seq stamps.
+		for s := range e.staged {
+			for _, p := range e.staged[s] {
+				e.commitSeq++
+				p.seq = e.commitSeq
+				e.commit.push(p)
+			}
+			e.staged[s] = e.staged[s][:0]
+		}
+
+		// Phase 2: one serial commit chain in (suspend time, id) order.
+		if len(e.commit) > 0 {
+			p := e.commit.pop()
+			p.mode = modeCommit
+			p.limit = e.windowEnd - 1
+			p.resume <- struct{}{}
+			e.awaitChains(1)
 		}
 	}
 }
 
-// resumeNext pops the min-clock runnable processor, sets its run-ahead
-// limit from the new heap minimum, and transfers control to it.
-func (e *Engine) resumeNext() {
-	p := e.heap.pop()
-	if len(e.heap) > 0 {
-		p.limit = e.heap[0].now + e.quantum
-	} else {
-		p.limit = maxTime
+// startShard dispatches shard s's phase-1 chain by resuming its (clock, id)
+// minimum, reporting whether the shard had any work.
+func (e *Engine) startShard(s int) bool {
+	h := &e.shardHeaps[s]
+	if len(*h) == 0 {
+		return false
 	}
+	p := h.pop()
+	p.mode = modePhase1
+	p.limit = e.windowEnd - 1
+	e.shardChains++
 	p.resume <- struct{}{}
+	return true
+}
+
+// singleChain reports whether at most one chain can ever be executing, so
+// a dying chain may continue the schedule in-chain (see Proc.chainStep)
+// instead of waking the coordinator: either the engine has a single shard,
+// or phase 1 is limited to one worker.
+func (e *Engine) singleChain() bool {
+	return e.workers == 1 || e.numShards == 1
+}
+
+// turnover opens the next window from inside the chain (singleChain
+// engines only): when the last chain of a window runs dry the window is
+// over, and the chain itself can start the next one, skipping two
+// coordinator round-trips per window. The schedule is exactly the one the
+// coordinator would have produced — same window base, same heap order,
+// same commit stamps — so results and SchedStats are unchanged. Returns
+// false (the caller then wakes the coordinator) when the run is over,
+// deadlocked, or down to one runnable processor: finish, deadlock
+// reporting, and inline mode stay with the coordinator.
+func (e *Engine) turnover() bool {
+	runnable := 0
+	var minNow Time = maxTime
+	for _, q := range e.procs {
+		if q.finished || q.blocked {
+			continue
+		}
+		runnable++
+		if q.now < minNow {
+			minNow = q.now
+		}
+	}
+	if runnable < 2 {
+		return false
+	}
+	T := minNow - minNow%e.window
+	e.windowEnd = T + e.window
+	for _, q := range e.procs {
+		if q.finished || q.blocked || q.now >= e.windowEnd {
+			continue
+		}
+		if q.global > 0 {
+			q.mode = modeCommit
+			e.commit.push(q)
+		} else {
+			e.shardHeaps[q.shard].push(q)
+		}
+	}
+	e.windows++
+	for s := 0; s < e.numShards; s++ {
+		if e.startShard(s) {
+			return true
+		}
+	}
+	// Every processor in the window is inside an open global section: the
+	// window is all commit phase.
+	q := e.commit.pop()
+	q.mode = modeCommit
+	q.limit = e.windowEnd - 1
+	q.resume <- struct{}{}
+	return true
+}
+
+// SchedStats reports the schedule's shape: windowed rounds executed,
+// phase-1 shard chains dispatched across them, and processors merged into
+// commit queues. shardChains/windows is the average number of chains a
+// window offered to run concurrently — the schedule's available
+// parallelism, identical at any worker count. Inline-mode execution counts
+// toward none of these.
+func (e *Engine) SchedStats() (windows, shardChains, commits int64) {
+	return e.windows, e.shardChains, e.commitSeq
+}
+
+// awaitChains waits for n chains to terminate, re-raising on panic events.
+func (e *Engine) awaitChains(n int) {
+	for n > 0 {
+		ev := <-e.yieldCh
+		n--
+		if ev.kind == evPanic {
+			e.propagate(ev, n)
+		}
+	}
+}
+
+// propagate drains the remaining outstanding chains after a panic, picks
+// the deterministic winner when several shards panicked in the same window
+// (lowest processor id), unwinds every parked goroutine, and re-raises.
+// It never returns.
+func (e *Engine) propagate(first yieldEvent, outstanding int) {
+	winner := first
+	for outstanding > 0 {
+		ev := <-e.yieldCh
+		outstanding--
+		if ev.kind == evPanic && ev.p.id < winner.p.id {
+			winner = ev
+		}
+	}
+	e.release()
+	panic(winner.err)
 }
 
 // deadlock collects the blocked processor set and releases every parked
@@ -250,16 +549,25 @@ func (e *Engine) deadlock() error {
 // release unwinds every parked processor goroutine (they observe the
 // abandoned flag, panic abandonRun, and exit) and waits for them, so no
 // stale goroutine can steal a resume token from a later Run. It must only
-// be called from Run with no processor goroutine executing: parked
-// goroutines are exactly those blocked in Block or sitting in the heap.
+// be called from Run with no chain executing: every unfinished processor
+// is then parked on its resume channel. (Panicked processors are marked
+// finished before their event is sent.)
 func (e *Engine) release() {
 	e.abandoned = true
 	for _, p := range e.procs {
-		if p.blocked || p.heapIndex >= 0 {
+		if !p.finished {
 			p.resume <- struct{}{}
 		}
 	}
 	e.wg.Wait()
+	e.commit = e.commit[:0]
+	for s := range e.shardHeaps {
+		e.shardHeaps[s] = e.shardHeaps[s][:0]
+		e.staged[s] = e.staged[s][:0]
+	}
+	for _, p := range e.procs {
+		p.heapIndex = -1
+	}
 }
 
 func (e *Engine) runProc(p *Proc, body func(*Proc)) {
@@ -269,15 +577,14 @@ func (e *Engine) runProc(p *Proc, body func(*Proc)) {
 			if _, ok := r.(abandonRun); ok {
 				return // run abandoned (deadlock/panic); just exit
 			}
-			// Exactly one processor goroutine executes at a time, so
-			// the Run loop is necessarily waiting on yieldCh here.
-			e.yieldCh <- yieldEvent{p: p, kind: yieldPanic, err: r}
+			p.finished = true
+			e.yieldCh <- yieldEvent{p: p, kind: evPanic, shard: p.shard, err: r}
 		}
 	}()
 	p.park()
 	body(p)
 	p.finished = true
-	e.yieldCh <- yieldEvent{p: p, kind: yieldFinished}
+	p.chainStep()
 }
 
 // MaxTime returns the largest processor clock: the parallel completion time.
@@ -299,9 +606,15 @@ func (e *Engine) Reset() {
 		p.limit = 0
 		p.blocked = false
 		p.finished = false
+		p.mode = modePhase1
+		p.global = 0
+		p.seq = 0
 		for k := range p.stats {
 			p.stats[k] = 0
 		}
 		p.Counters = Counters{}
 	}
+	e.commitSeq = 0
+	e.windows = 0
+	e.shardChains = 0
 }

@@ -54,6 +54,10 @@ func (tp *TaskPool) Pending() int {
 // Get returns the next task for p: from its own queue, or stolen from
 // another processor's. ok is false when every queue is empty.
 func (tp *TaskPool) Get(p *core.Proc) (task int, ok bool) {
+	// Queue lengths of every processor are probed (and stolen from), so
+	// the whole operation runs in the window's serialized commit phase.
+	p.GlobalSection()
+	defer p.EndGlobal()
 	me := p.ID()
 	n := len(tp.queues)
 	// Fast path: own queue.

@@ -90,6 +90,12 @@ func (b *Barrier) N() int { return b.n }
 // Wait blocks until all n processors have arrived. The waiting span is
 // charged to the Sync bucket; arrival and release traffic is simulated.
 func (b *Barrier) Wait(p *core.Proc) {
+	// The barrier's arrival list and wake bookkeeping are shared between
+	// every participant, so the whole protocol — including the code a
+	// waiter runs after its Block returns — runs in the window's
+	// serialized commit phase.
+	p.GlobalSection()
+	defer p.EndGlobal()
 	c := p.Stats()
 	c.BarrierWaits++
 	before := p.Now()
@@ -250,6 +256,9 @@ func NewLock(m *core.Machine, alg LockAlgorithm) *Lock {
 
 // Acquire obtains the lock, blocking in virtual time while it is held.
 func (l *Lock) Acquire(p *core.Proc) {
+	// The lock's queue and holder state are shared: commit-phase only.
+	p.GlobalSection()
+	defer p.EndGlobal()
 	c := p.Stats()
 	c.LockAcquires++
 	before := p.Now()
@@ -288,6 +297,8 @@ func (l *Lock) Acquire(p *core.Proc) {
 
 // Release hands the lock to the earliest waiter (by request time), if any.
 func (l *Lock) Release(p *core.Proc) {
+	p.GlobalSection()
+	defer p.EndGlobal()
 	if !l.held || l.holder != p.ID() {
 		panic("synchro: Release by non-holder")
 	}

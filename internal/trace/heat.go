@@ -60,6 +60,26 @@ func (h *HeatStat) observe(kind Kind, stall sim.Time, invals, sharers int) {
 	h.Samples++
 }
 
+// add folds o into h: counters and sums are additive, extrema take the
+// max. Used to merge per-shard heat buckets; every operation commutes, so
+// the merged result is independent of fold order.
+func (h *HeatStat) add(o *HeatStat) {
+	h.LocalMisses += o.LocalMisses
+	h.RemoteClean += o.RemoteClean
+	h.RemoteDirty += o.RemoteDirty
+	h.Upgrades += o.Upgrades
+	h.InvalsSent += o.InvalsSent
+	h.InvalsRecv += o.InvalsRecv
+	h.Interventions += o.Interventions
+	h.Migrations += o.Migrations
+	if o.MaxSharers > h.MaxSharers {
+		h.MaxSharers = o.MaxSharers
+	}
+	h.SharerSum += o.SharerSum
+	h.Samples += o.Samples
+	h.Stall += o.Stall
+}
+
 // Heat is one ranked heatmap entry: a page or block number plus its stats.
 type Heat struct {
 	Key uint64

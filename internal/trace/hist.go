@@ -64,6 +64,26 @@ func (h *Histogram) Record(v sim.Time) {
 	h.sum += v
 }
 
+// Merge folds histogram o into h (bucket-wise addition; extrema take the
+// max/min of the two). Merging commutes, so per-shard histograms combine
+// into the same distribution in any order.
+func (h *Histogram) Merge(o *Histogram) {
+	if o.total == 0 {
+		return
+	}
+	for i := range h.counts {
+		h.counts[i] += o.counts[i]
+	}
+	if h.total == 0 || o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+	h.total += o.total
+	h.sum += o.sum
+}
+
 // Count returns the number of recorded values.
 func (h *Histogram) Count() int64 { return h.total }
 

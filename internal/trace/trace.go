@@ -110,36 +110,64 @@ func missLatClass(k Kind) LatClass {
 	return LatLocal
 }
 
-// Tracer records and aggregates one machine's event stream. All methods are
-// called from simulated-processor goroutines, which the engine serializes,
-// so no locking is needed and recording order is deterministic.
+// Tracer records and aggregates one machine's event stream.
+//
+// Recording is lock-free by shard confinement: under the windowed engine,
+// phase-1 events only ever involve processors and resources of the acting
+// processor's shard, and commit-phase events run serialized, so every
+// mutable structure is either per-processor (the rings), per-shard (the
+// heat maps and histograms, see traceBucket), or commit-only (sync stats
+// and epoch marks). Readers merge the per-shard buckets in fixed shard
+// order, so merged output is bit-identical at any host worker count.
 type Tracer struct {
 	opts  Options
 	rings []ring
 
-	pages  map[uint64]*HeatStat
-	blocks map[uint64]*HeatStat
-	syncs  map[uint64]*SyncStat
-	syncN  map[string]int
+	shardOf []int         // processor -> bucket index (all zero until SetShards)
+	buckets []traceBucket // per-shard attribution state
 
-	lat   [NumLatClasses]Histogram
-	queue [NumQueueClasses]Histogram
+	syncs map[uint64]*SyncStat
+	syncN map[string]int
 
 	epochs []sim.Time
 }
 
-// New creates a tracer for procs processors.
+// traceBucket is the attribution state one shard mutates during the
+// engine's parallel phase. Bucket contents are a pure function of the
+// (deterministic) schedule, and every field merges commutatively — sums,
+// or max for extrema — so the merged view does not depend on how work was
+// spread over host workers.
+type traceBucket struct {
+	pages  map[uint64]*HeatStat
+	blocks map[uint64]*HeatStat
+	lat    [NumLatClasses]Histogram
+	queue  [NumQueueClasses]Histogram
+}
+
+func newTraceBuckets(n int) []traceBucket {
+	if n < 1 {
+		n = 1
+	}
+	b := make([]traceBucket, n)
+	for i := range b {
+		b[i].pages = make(map[uint64]*HeatStat)
+		b[i].blocks = make(map[uint64]*HeatStat)
+	}
+	return b
+}
+
+// New creates a tracer for procs processors (one shard until SetShards).
 func New(procs int, o Options) *Tracer {
 	if procs < 1 {
 		procs = 1
 	}
 	t := &Tracer{
-		opts:   o,
-		rings:  make([]ring, procs),
-		pages:  make(map[uint64]*HeatStat),
-		blocks: make(map[uint64]*HeatStat),
-		syncs:  make(map[uint64]*SyncStat),
-		syncN:  make(map[string]int),
+		opts:    o,
+		rings:   make([]ring, procs),
+		shardOf: make([]int, procs),
+		buckets: newTraceBuckets(1),
+		syncs:   make(map[uint64]*SyncStat),
+		syncN:   make(map[string]int),
 	}
 	for i := range t.rings {
 		t.rings[i] = newRing(o.RingSize, o.Lossless)
@@ -147,29 +175,46 @@ func New(procs int, o Options) *Tracer {
 	return t
 }
 
+// SetShards installs the engine's shard map: shardOf[i] is processor i's
+// shard, numShards the bucket count. Must be called before any event is
+// recorded; the machine wires it when it wires the engine's shards.
+func (t *Tracer) SetShards(shardOf []int, numShards int) {
+	copy(t.shardOf, shardOf)
+	t.buckets = newTraceBuckets(numShards)
+}
+
+// NumShards reports the attribution bucket count.
+func (t *Tracer) NumShards() int { return len(t.buckets) }
+
 // Procs reports the number of per-processor event streams.
 func (t *Tracer) Procs() int { return len(t.rings) }
 
 // Options returns the tracer's configuration.
 func (t *Tracer) Options() Options { return t.opts }
 
-func (t *Tracer) pageHeat(page uint64) *HeatStat {
-	h := t.pages[page]
+func (b *traceBucket) pageHeat(page uint64) *HeatStat {
+	h := b.pages[page]
 	if h == nil {
 		h = &HeatStat{}
-		t.pages[page] = h
+		b.pages[page] = h
 	}
 	return h
 }
 
-func (t *Tracer) blockHeat(block uint64) *HeatStat {
-	h := t.blocks[block]
+func (b *traceBucket) blockHeat(block uint64) *HeatStat {
+	h := b.blocks[block]
 	if h == nil {
 		h = &HeatStat{}
-		t.blocks[block] = h
+		b.blocks[block] = h
 	}
 	return h
 }
+
+// bucket returns the attribution bucket of the processor acting in an
+// event. During phase 1 the actor is always in the recording shard; during
+// the commit phase any bucket would be safe, and using the actor's keeps
+// the choice schedule-determined.
+func (t *Tracer) bucket(proc int) *traceBucket { return &t.buckets[t.shardOf[proc]] }
 
 // Miss records one demand miss or upgrade: kind must be EvMissLocal,
 // EvMissRemoteClean, EvMissRemoteDirty or EvUpgrade. now is the issue time,
@@ -177,17 +222,19 @@ func (t *Tracer) blockHeat(block uint64) *HeatStat {
 // the post-transition sharer-set width of the block.
 func (t *Tracer) Miss(proc int, now, lat sim.Time, block, page uint64, home, invals, sharers int, kind Kind) {
 	t.rings[proc].record(Event{Time: now, Dur: lat, Addr: block, Arg: int32(invals), Node: int16(home), Kind: kind})
-	t.pageHeat(page).observe(kind, lat, invals, sharers)
-	t.blockHeat(block).observe(kind, lat, invals, sharers)
-	t.lat[missLatClass(kind)].Record(lat)
+	b := t.bucket(proc)
+	b.pageHeat(page).observe(kind, lat, invals, sharers)
+	b.blockHeat(block).observe(kind, lat, invals, sharers)
+	b.lat[missLatClass(kind)].Record(lat)
 }
 
 // InvalRecv records that victim's cached copy of block was invalidated by
 // requester's write.
 func (t *Tracer) InvalRecv(victim int, now sim.Time, block, page uint64, requester int) {
 	t.rings[victim].record(Event{Time: now, Addr: block, Node: int16(requester), Kind: EvInvalRecv})
-	t.pageHeat(page).InvalsRecv++
-	t.blockHeat(block).InvalsRecv++
+	b := t.bucket(victim)
+	b.pageHeat(page).InvalsRecv++
+	b.blockHeat(block).InvalsRecv++
 }
 
 // Intervention records that owner received a forwarded intervention for
@@ -209,7 +256,7 @@ func (t *Tracer) Prefetch(proc int, now, dur sim.Time, block uint64, home int) {
 // FetchOp records one uncached at-memory fetch&op.
 func (t *Tracer) FetchOp(proc int, now, dur sim.Time, block uint64, home int) {
 	t.rings[proc].record(Event{Time: now, Dur: dur, Addr: block, Node: int16(home), Kind: EvFetchOp})
-	t.lat[LatFetchOp].Record(dur)
+	t.bucket(proc).lat[LatFetchOp].Record(dur)
 }
 
 // Writeback records a dirty victim written back to its home.
@@ -225,9 +272,11 @@ func (t *Tracer) Migration(proc int, now sim.Time, page uint64, from, to int) {
 }
 
 // PageRemapped observes every page move — dynamic migration and overriding
-// manual placement — via the page table's OnRemap hook.
+// manual placement — via the page table's OnRemap hook. Page moves always
+// run in the serialized commit phase (migration follows a cross-classified
+// remote miss), so bucket 0 is race-free for them.
 func (t *Tracer) PageRemapped(page uint64, from, to int) {
-	t.pageHeat(page).Migrations++
+	t.buckets[0].pageHeat(page).Migrations++
 }
 
 // QueueDelay records a transaction queueing for delay behind earlier
@@ -239,11 +288,13 @@ func (t *Tracer) QueueDelay(proc int, now, delay sim.Time, class QueueClass, nod
 
 // ResourceObserver returns a sim.Resource observer that feeds the class's
 // queueing-delay histogram from every acquisition (including zero-delay
-// ones, so the distribution reflects the uncontended mass too).
-func (t *Tracer) ResourceObserver(class QueueClass, node int) func(at, start, occ sim.Time) {
-	h := &t.queue[class]
+// ones, so the distribution reflects the uncontended mass too). shard is
+// the owning resource's shard (metarouters, which only cross-module — and
+// therefore commit-phase — traffic touches, pass 0). The bucket is indexed
+// at observation time, after the machine has installed the shard map.
+func (t *Tracer) ResourceObserver(class QueueClass, node, shard int) func(at, start, occ sim.Time) {
 	return func(at, start, occ sim.Time) {
-		h.Record(start - at)
+		t.buckets[shard].queue[class].Record(start - at)
 	}
 }
 
@@ -333,10 +384,30 @@ func (t *Tracer) EventsDropped() int64 {
 	return n
 }
 
+// mergedHeat folds one heat map kind across the shard buckets, in shard
+// order (the fold is commutative, so the order only matters for clarity).
+func (t *Tracer) mergedHeat(sel func(*traceBucket) map[uint64]*HeatStat) map[uint64]*HeatStat {
+	if len(t.buckets) == 1 {
+		return sel(&t.buckets[0])
+	}
+	out := make(map[uint64]*HeatStat)
+	for i := range t.buckets {
+		for k, h := range sel(&t.buckets[i]) {
+			m := out[k]
+			if m == nil {
+				m = &HeatStat{}
+				out[k] = m
+			}
+			m.add(h)
+		}
+	}
+	return out
+}
+
 // TopPages returns the per-page heatmap ranked by remote misses, then
 // stall. n <= 0 returns every page.
 func (t *Tracer) TopPages(n int) []Heat {
-	out := rankHeat(t.pages)
+	out := rankHeat(t.mergedHeat(func(b *traceBucket) map[uint64]*HeatStat { return b.pages }))
 	if n > 0 && len(out) > n {
 		out = out[:n]
 	}
@@ -345,7 +416,7 @@ func (t *Tracer) TopPages(n int) []Heat {
 
 // TopBlocks returns the per-block heatmap ranked like TopPages.
 func (t *Tracer) TopBlocks(n int) []Heat {
-	out := rankHeat(t.blocks)
+	out := rankHeat(t.mergedHeat(func(b *traceBucket) map[uint64]*HeatStat { return b.blocks }))
 	if n > 0 && len(out) > n {
 		out = out[:n]
 	}
@@ -390,11 +461,31 @@ func (t *Tracer) TopSync(n int) []SyncStat {
 	return out
 }
 
-// LatencyHist returns the access-latency histogram for class c.
-func (t *Tracer) LatencyHist(c LatClass) *Histogram { return &t.lat[c] }
+// LatencyHist returns the access-latency histogram for class c, merged
+// across shards.
+func (t *Tracer) LatencyHist(c LatClass) *Histogram {
+	if len(t.buckets) == 1 {
+		return &t.buckets[0].lat[c]
+	}
+	m := &Histogram{}
+	for i := range t.buckets {
+		m.Merge(&t.buckets[i].lat[c])
+	}
+	return m
+}
 
-// QueueHist returns the queueing-delay histogram for class c.
-func (t *Tracer) QueueHist(c QueueClass) *Histogram { return &t.queue[c] }
+// QueueHist returns the queueing-delay histogram for class c, merged
+// across shards.
+func (t *Tracer) QueueHist(c QueueClass) *Histogram {
+	if len(t.buckets) == 1 {
+		return &t.buckets[0].queue[c]
+	}
+	m := &Histogram{}
+	for i := range t.buckets {
+		m.Merge(&t.buckets[i].queue[c])
+	}
+	return m
+}
 
 // PageReport renders the top-n page heatmap as table rows (header first).
 func (t *Tracer) PageReport(n int) [][]string { return heatRows(t.TopPages(n), "page", n) }
@@ -441,10 +532,11 @@ func histRow(name string, h *Histogram) []string {
 func (t *Tracer) LatencyReport() [][]string {
 	rows := [][]string{{"latency", "count", "mean(ns)", "p50(ns)", "p90(ns)", "p99(ns)", "max(ns)"}}
 	for c := LatClass(0); c < NumLatClasses; c++ {
-		if t.lat[c].Count() == 0 {
+		h := t.LatencyHist(c)
+		if h.Count() == 0 {
 			continue
 		}
-		rows = append(rows, histRow(c.String(), &t.lat[c]))
+		rows = append(rows, histRow(c.String(), h))
 	}
 	return rows
 }
@@ -455,10 +547,11 @@ func (t *Tracer) LatencyReport() [][]string {
 func (t *Tracer) QueueReport() [][]string {
 	rows := [][]string{{"queue", "count", "mean(ns)", "p50(ns)", "p90(ns)", "p99(ns)", "max(ns)"}}
 	for c := QueueClass(0); c < NumQueueClasses; c++ {
-		if t.queue[c].Count() == 0 {
+		h := t.QueueHist(c)
+		if h.Count() == 0 {
 			continue
 		}
-		rows = append(rows, histRow(c.String(), &t.queue[c]))
+		rows = append(rows, histRow(c.String(), h))
 	}
 	return rows
 }
