@@ -21,12 +21,19 @@ type Diff struct {
 	NewAllocs int64
 	// Regressed marks a ns/op slowdown beyond the threshold.
 	Regressed bool
+	// HostChanged marks a wall-clock row whose recorded core counts
+	// differ between the snapshots: the numbers are not like-for-like,
+	// so the movement is reported but never counted as a regression.
+	HostChanged bool
 }
 
 func (d Diff) String() string {
 	status := "ok"
-	if d.Regressed {
+	switch {
+	case d.Regressed:
 		status = "REGRESSED"
+	case d.HostChanged:
+		status = "host changed; informational"
 	}
 	s := fmt.Sprintf("%-32s %12.1f -> %12.1f ns/op  %+6.1f%%  [%s]",
 		d.Name, d.OldNs, d.NewNs, 100*d.Ratio, status)
@@ -36,10 +43,24 @@ func (d Diff) String() string {
 	return s
 }
 
-// compareSnapshots matches results by name and computes the ns/op movement
-// of each measurement present in both snapshots. Wall-clock-dominated
-// entries (the experiment and app throughput rows) are compared too — they
-// are noisier, so only the threshold decides, not the noise model.
+// rowCPUs resolves the core count a row was measured on: the per-row
+// field when recorded (engine rows), else the snapshot-level one.
+func rowCPUs(s Snapshot, r Result) int {
+	if r.CPUs > 0 {
+		return r.CPUs
+	}
+	return s.CPUs
+}
+
+// compareSnapshots matches results by exact name — "engine:serial" rows
+// compare only against "engine:serial", "workers=4" only against
+// "workers=4" — and computes the ns/op movement of each measurement
+// present in both snapshots. Wall-clock-dominated entries (the experiment
+// and app throughput rows) are compared too — they are noisier, so only
+// the threshold decides, not the noise model. A matched pair measured on
+// hosts with different core counts is reported but marked informational:
+// a wall-clock delta between a 1-core and an 8-core host is a host
+// property, not a code regression.
 func compareSnapshots(old, cur Snapshot, threshold float64) []Diff {
 	base := map[string]Result{}
 	for _, r := range old.Results {
@@ -59,13 +80,50 @@ func compareSnapshots(old, cur Snapshot, threshold float64) []Diff {
 			OldAllocs: b.AllocsPerOp,
 			NewAllocs: r.AllocsPerOp,
 		}
+		d.HostChanged = rowCPUs(old, b) != rowCPUs(cur, r)
 		// Multiplicative form avoids float artifacts right at the
 		// threshold (110/100-1 is not exactly 0.10).
-		d.Regressed = r.NsPerOp > b.NsPerOp*(1+threshold)
+		d.Regressed = !d.HostChanged && r.NsPerOp > b.NsPerOp*(1+threshold)
 		diffs = append(diffs, d)
 	}
 	sort.Slice(diffs, func(i, j int) bool { return diffs[i].Ratio > diffs[j].Ratio })
 	return diffs
+}
+
+// missingFromCurrent lists baseline measurements with no counterpart in
+// the current snapshot. A vanished row means the suite silently lost
+// coverage — the failure mode -compare exists to catch — so the caller
+// treats any entry here as an error, not a skip.
+func missingFromCurrent(old, cur Snapshot) []string {
+	have := map[string]bool{}
+	for _, r := range cur.Results {
+		have[r.Name] = true
+	}
+	var missing []string
+	for _, r := range old.Results {
+		if !have[r.Name] {
+			missing = append(missing, r.Name)
+		}
+	}
+	return missing
+}
+
+// newInCurrent lists current measurements with no baseline counterpart
+// (freshly added rows). They cannot be compared yet, but they are
+// reported so a typo'd row name shows up as one new + one missing row
+// instead of disappearing from the report entirely.
+func newInCurrent(old, cur Snapshot) []string {
+	have := map[string]bool{}
+	for _, r := range old.Results {
+		have[r.Name] = true
+	}
+	var fresh []string
+	for _, r := range cur.Results {
+		if !have[r.Name] {
+			fresh = append(fresh, r.Name)
+		}
+	}
+	return fresh
 }
 
 // regressions filters diffs down to the failures.
@@ -122,6 +180,17 @@ func compareAgainstBaseline(path string, cur Snapshot, threshold float64) (repor
 	fmt.Fprintf(&b, "comparison vs %s (threshold %+.0f%%):\n", path, 100*threshold)
 	for _, d := range diffs {
 		fmt.Fprintln(&b, " ", d)
+	}
+	for _, name := range newInCurrent(base, cur) {
+		fmt.Fprintf(&b, "  %-32s new measurement, no baseline\n", name)
+	}
+	missing := missingFromCurrent(base, cur)
+	for _, name := range missing {
+		fmt.Fprintf(&b, "  %-32s MISSING: present in baseline, absent now\n", name)
+	}
+	if len(missing) != 0 {
+		return b.String(), fmt.Errorf("%d baseline measurement(s) missing from the new snapshot: %s",
+			len(missing), strings.Join(missing, ", "))
 	}
 	if bad := regressions(diffs); len(bad) != 0 {
 		names := make([]string, len(bad))

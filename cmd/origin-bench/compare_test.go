@@ -20,10 +20,10 @@ func TestCompareFlagsOnlyRegressionsBeyondThreshold(t *testing.T) {
 		Result{Name: "gone", NsPerOp: 50},
 	)
 	cur := snap(
-		Result{Name: "access:hit", NsPerOp: 109, AllocsPerOp: 0},  // +9%: ok
-		Result{Name: "access:local-miss", NsPerOp: 1201},          // +20.1%: regressed
-		Result{Name: "scheduler:round-trip", NsPerOp: 400},        // improvement
-		Result{Name: "new-measurement", NsPerOp: 1},               // no baseline
+		Result{Name: "access:hit", NsPerOp: 109, AllocsPerOp: 0}, // +9%: ok
+		Result{Name: "access:local-miss", NsPerOp: 1201},         // +20.1%: regressed
+		Result{Name: "scheduler:round-trip", NsPerOp: 400},       // improvement
+		Result{Name: "new-measurement", NsPerOp: 1},              // no baseline
 	)
 	diffs := compareSnapshots(old, cur, regressionThreshold)
 	if len(diffs) != 3 {
@@ -104,7 +104,10 @@ func TestCompareAgainstBaselineEndToEnd(t *testing.T) {
 		t.Fatalf("report lacks per-measurement rows:\n%s", report)
 	}
 
-	slow := snap(Result{Name: "access:hit", NsPerOp: 150})
+	slow := snap(
+		Result{Name: "access:hit", NsPerOp: 150},
+		Result{Name: "directory:write-fanout", NsPerOp: 190},
+	)
 	report, err = compareAgainstBaseline(path, slow, regressionThreshold)
 	if err == nil {
 		t.Fatal("50% regression not failed")
@@ -118,6 +121,83 @@ func TestCompareAgainstBaselineEndToEnd(t *testing.T) {
 
 	if _, err := compareAgainstBaseline(filepath.Join(dir, "BENCH_9.json"), healthy, 0.1); err == nil {
 		t.Fatal("missing baseline not an error")
+	}
+}
+
+func TestCompareFailsOnMissingBaselineRow(t *testing.T) {
+	dir := t.TempDir()
+	base := snap(
+		Result{Name: "access:hit", NsPerOp: 100},
+		Result{Name: "engine:serial fig2-128", NsPerOp: 5e9},
+	)
+	data, _ := json.Marshal(base)
+	path := filepath.Join(dir, "BENCH_1.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// The engine row vanished: must fail loudly, not silently skip.
+	cur := snap(Result{Name: "access:hit", NsPerOp: 100})
+	report, err := compareAgainstBaseline(path, cur, regressionThreshold)
+	if err == nil {
+		t.Fatal("vanished baseline row not an error")
+	}
+	if !strings.Contains(err.Error(), "engine:serial fig2-128") {
+		t.Fatalf("error does not name the missing row: %v", err)
+	}
+	if !strings.Contains(report, "MISSING") {
+		t.Fatalf("report does not mark the missing row:\n%s", report)
+	}
+	// New rows are reported but never fatal (a growing suite is healthy).
+	grown := snap(
+		Result{Name: "access:hit", NsPerOp: 100},
+		Result{Name: "engine:serial fig2-128", NsPerOp: 5e9},
+		Result{Name: "engine:serial adaptive fig2-128", NsPerOp: 4e9},
+	)
+	report, err = compareAgainstBaseline(path, grown, regressionThreshold)
+	if err != nil {
+		t.Fatalf("new row failed the comparison: %v", err)
+	}
+	if !strings.Contains(report, "new measurement, no baseline") {
+		t.Fatalf("report does not announce the new row:\n%s", report)
+	}
+}
+
+func TestCompareHostChangeIsInformational(t *testing.T) {
+	// Same row, 1-core baseline vs 8-core current: a 3x wall-clock shift
+	// is a host property, not a regression.
+	old := snap(Result{Name: "engine:parallel workers=4 fig2-128", NsPerOp: 9e9, CPUs: 1})
+	old.CPUs = 1
+	cur := snap(Result{Name: "engine:parallel workers=4 fig2-128", NsPerOp: 2.7e10, CPUs: 8})
+	cur.CPUs = 8
+	diffs := compareSnapshots(old, cur, regressionThreshold)
+	if len(diffs) != 1 {
+		t.Fatalf("got %d diffs, want 1", len(diffs))
+	}
+	d := diffs[0]
+	if !d.HostChanged {
+		t.Fatal("cpu mismatch not marked HostChanged")
+	}
+	if d.Regressed {
+		t.Fatal("cpu-mismatched row counted as regression")
+	}
+	if !strings.Contains(d.String(), "host changed") {
+		t.Fatalf("rendering does not flag the host change: %s", d)
+	}
+	// Per-row CPUs beats the snapshot-level field when present.
+	if got := rowCPUs(old, old.Results[0]); got != 1 {
+		t.Fatalf("rowCPUs = %d, want per-row 1", got)
+	}
+	if got := rowCPUs(old, Result{Name: "x"}); got != 1 {
+		t.Fatalf("rowCPUs fallback = %d, want snapshot-level 1", got)
+	}
+}
+
+func TestSpeedupClaim(t *testing.T) {
+	if got := speedupClaim(1); got != "unproven" {
+		t.Fatalf("speedupClaim(1) = %q", got)
+	}
+	if got := speedupClaim(8); got != "measured" {
+		t.Fatalf("speedupClaim(8) = %q", got)
 	}
 }
 

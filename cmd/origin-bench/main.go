@@ -54,11 +54,38 @@ type Result struct {
 	// chains per window — the parallelism the workload exposes to the
 	// engine, independent of how many host cores are available to use it.
 	ShardChainsPerWindow float64 `json:"shard_chains_per_window,omitempty"`
+	// CommitRunsPerWindow is the average number of serial commit-chain
+	// resumes per window: how much of each window fell back to serialized
+	// execution.
+	CommitRunsPerWindow float64 `json:"commit_runs_per_window,omitempty"`
+	// CommitShare is CommitRuns/(CommitRuns+ShardChains): the serialized
+	// fraction of all chain dispatches. 0 = perfectly shard-parallel,
+	// 1 = fully serialized.
+	CommitShare float64 `json:"commit_share,omitempty"`
+	// AvgWindowNS is the average conservative-window width in virtual
+	// nanoseconds (engine rows; varies only under -window adaptive).
+	AvgWindowNS float64 `json:"avg_window_ns,omitempty"`
+	// CPUs is the host core count the row was measured on. Wall-clock
+	// rows are only comparable across snapshots when it matches.
+	CPUs int `json:"cpus,omitempty"`
+	// SpeedupClaim qualifies SpeedupVsSerial: "measured" when the host
+	// had cores to demonstrate it, "unproven" on a single-core host
+	// (where a parallel engine can only tie or lose and the claim says
+	// nothing about multi-core behavior).
+	SpeedupClaim string `json:"speedup_claim,omitempty"`
+}
+
+// speedupClaim labels a wall-clock speedup row for the host it ran on.
+func speedupClaim(cpus int) string {
+	if cpus < 2 {
+		return "unproven"
+	}
+	return "measured"
 }
 
 // Snapshot is the schema of a BENCH_<n>.json file.
 type Snapshot struct {
-	Schema    string `json:"schema"`
+	Schema string `json:"schema"`
 	// Seq is the <n> of the BENCH_<n>.json slot this snapshot was written
 	// to, so the file's position in the perf trajectory survives renames
 	// and copies. Zero when the output name carries no number.
@@ -309,36 +336,57 @@ func bestBench(n int, run func() testing.BenchmarkResult) testing.BenchmarkResul
 // memory-system-bound applications at 128 processors.
 var engineSweepApps = []string{"FFT", "Ocean", "Radix"}
 
-// engineSweep runs the 128-processor Figure 2 sweep under the given engine
-// and worker count, returning the total wall-clock, every run's result (for
-// the bit-identity guard against the serial engine), and the schedule's
-// average phase-1 chains per window.
-func engineSweep(engine string, workers int, s experiments.Scale) (wall float64, results []experiments.RunResult, chainsPerWindow float64, err error) {
-	s.Engine, s.Workers = engine, workers
+// engineSweep runs the 128-processor Figure 2 sweep under the given engine,
+// worker count, and window policy, returning the total wall-clock, every
+// run's result (for the bit-identity guard against the serial engine), and
+// the aggregated schedule shape across the sweep's runs.
+func engineSweep(engine string, workers int, window string, s experiments.Scale) (wall float64, results []experiments.RunResult, shape sim.SchedShape, err error) {
+	s.Engine, s.Workers, s.Window = engine, workers, window
 	var m *core.Machine
 	s.TraceSink = func(_ string, mm *core.Machine) { m = mm }
-	var windows, chains int64
 	start := time.Now()
 	for _, name := range engineSweepApps {
 		app := experiments.AppByName(name)
 		if app == nil {
-			return 0, nil, 0, fmt.Errorf("unknown app %q", name)
+			return 0, nil, shape, fmt.Errorf("unknown app %q", name)
 		}
 		params := workload.Params{Size: s.BasicSize(app), Seed: 42}
 		r, rerr := s.Run(app, 128, params)
 		if rerr != nil {
-			return 0, nil, 0, rerr
+			return 0, nil, shape, rerr
 		}
 		results = append(results, r)
-		w, c, _ := m.SchedStats()
-		windows += w
-		chains += c
+		sh := m.SchedShape()
+		shape.Windows += sh.Windows
+		shape.ShardChains += sh.ShardChains
+		shape.Commits += sh.Commits
+		shape.CommitRuns += sh.CommitRuns
+		shape.RunAheadSpans += sh.RunAheadSpans
+		shape.RunAheadHandoffs += sh.RunAheadHandoffs
+		shape.WindowWidthSum += sh.WindowWidthSum
 	}
 	wall = time.Since(start).Seconds()
-	if windows > 0 {
-		chainsPerWindow = float64(chains) / float64(windows)
+	return wall, results, shape, nil
+}
+
+// engineRow assembles one engine-sweep snapshot row from a sweep's wall
+// clock and aggregated schedule shape.
+func engineRow(name string, wall float64, shape sim.SchedShape) Result {
+	r := Result{
+		Name:        name,
+		NsPerOp:     wall * 1e9,
+		WallSeconds: wall,
+		CPUs:        runtime.NumCPU(),
 	}
-	return wall, results, chainsPerWindow, nil
+	if shape.Windows > 0 {
+		r.ShardChainsPerWindow = float64(shape.ShardChains) / float64(shape.Windows)
+		r.CommitRunsPerWindow = float64(shape.CommitRuns) / float64(shape.Windows)
+		r.AvgWindowNS = float64(shape.WindowWidthSum) / float64(shape.Windows) / float64(sim.Nanosecond)
+	}
+	if total := shape.CommitRuns + shape.ShardChains; total > 0 {
+		r.CommitShare = float64(shape.CommitRuns) / float64(total)
+	}
+	return r
 }
 
 // nextOut returns the first unused BENCH_<n>.json name and its slot number.
@@ -438,7 +486,7 @@ func main() {
 			fmt.Printf("  %10.2e accesses/s", r.SimAccessesPerSec)
 		}
 		if r.SpeedupVsSerial > 0 {
-			fmt.Printf("  %.2fx vs serial", r.SpeedupVsSerial)
+			fmt.Printf("  %.2fx vs serial (%s)", r.SpeedupVsSerial, r.SpeedupClaim)
 		}
 		fmt.Println()
 	}
@@ -454,7 +502,7 @@ func main() {
 	for _, name := range []string{"fig2", "ablation"} {
 		name := name
 		r := fromBenchmark("experiment:"+name,
-			bestBench(2, func() testing.BenchmarkResult { return benchExperiment(name, benchScale) }), 0)
+			bestBench(3, func() testing.BenchmarkResult { return benchExperiment(name, benchScale) }), 0)
 		r.WallSeconds = r.NsPerOp / 1e9
 		add(r)
 	}
@@ -507,53 +555,69 @@ func main() {
 	// shard-chains-per-window column records the parallelism the schedule
 	// exposes regardless.
 	// The sweeps are deterministic, so repeats measure the identical
-	// schedule; keep the fastest of two to damp host noise (the bit-identity
-	// guard still checks every attempt).
-	const sweepAttempts = 2
-	serialWall, serialRes, serialChains, err := engineSweep("serial", 0, benchScale)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "origin-bench:", err)
-		os.Exit(1)
-	}
-	for i := 1; i < sweepAttempts; i++ {
-		wall, _, _, err := engineSweep("serial", 0, benchScale)
+	// schedule; keep the fastest of three to damp host noise (the
+	// bit-identity guard still checks every attempt).
+	const sweepAttempts = 3
+	sweepSerial := func(window string) (float64, []experiments.RunResult, sim.SchedShape) {
+		wall, res, shape, err := engineSweep("serial", 0, window, benchScale)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "origin-bench:", err)
 			os.Exit(1)
 		}
-		if wall < serialWall {
-			serialWall = wall
-		}
-	}
-	add(Result{
-		Name:                 "engine:serial fig2-128",
-		NsPerOp:              serialWall * 1e9,
-		WallSeconds:          serialWall,
-		ShardChainsPerWindow: serialChains,
-	})
-	for _, w := range []int{1, 2, 4, 8} {
-		var bestWall, chains float64
-		for i := 0; i < sweepAttempts; i++ {
-			wall, res, c, err := engineSweep("parallel", w, benchScale)
+		for i := 1; i < sweepAttempts; i++ {
+			w, _, _, err := engineSweep("serial", 0, window, benchScale)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "origin-bench:", err)
 				os.Exit(1)
 			}
-			if !reflect.DeepEqual(res, serialRes) {
-				fmt.Fprintf(os.Stderr, "origin-bench: parallel engine (workers=%d) diverged from serial results\n", w)
+			if w < wall {
+				wall = w
+			}
+		}
+		return wall, res, shape
+	}
+	sweepParallel := func(workers int, window string, ref []experiments.RunResult) (float64, sim.SchedShape) {
+		var bestWall float64
+		var bestShape sim.SchedShape
+		for i := 0; i < sweepAttempts; i++ {
+			wall, res, shape, err := engineSweep("parallel", workers, window, benchScale)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "origin-bench:", err)
+				os.Exit(1)
+			}
+			if !reflect.DeepEqual(res, ref) {
+				fmt.Fprintf(os.Stderr, "origin-bench: parallel engine (workers=%d window=%q) diverged from serial results\n", workers, window)
 				os.Exit(1)
 			}
 			if i == 0 || wall < bestWall {
-				bestWall, chains = wall, c
+				bestWall, bestShape = wall, shape
 			}
 		}
-		add(Result{
-			Name:                 fmt.Sprintf("engine:parallel workers=%d fig2-128", w),
-			NsPerOp:              bestWall * 1e9,
-			WallSeconds:          bestWall,
-			SpeedupVsSerial:      serialWall / bestWall,
-			ShardChainsPerWindow: chains,
-		})
+		return bestWall, bestShape
+	}
+
+	serialWall, serialRes, serialShape := sweepSerial("")
+	add(engineRow("engine:serial fig2-128", serialWall, serialShape))
+	for _, w := range []int{1, 2, 4, 8} {
+		wall, shape := sweepParallel(w, "", serialRes)
+		r := engineRow(fmt.Sprintf("engine:parallel workers=%d fig2-128", w), wall, shape)
+		r.SpeedupVsSerial = serialWall / wall
+		r.SpeedupClaim = speedupClaim(runtime.NumCPU())
+		add(r)
+	}
+
+	// Adaptive-window sweep: same fig2-128 runs under -window adaptive.
+	// Adaptive widths change the schedule (and so the simulated results),
+	// so the bit-identity guard for its parallel row is the adaptive
+	// serial run, never the fixed-window one.
+	adWall, adRes, adShape := sweepSerial("adaptive")
+	add(engineRow("engine:serial adaptive fig2-128", adWall, adShape))
+	{
+		wall, shape := sweepParallel(4, "adaptive", adRes)
+		r := engineRow("engine:parallel workers=4 adaptive fig2-128", wall, shape)
+		r.SpeedupVsSerial = adWall / wall
+		r.SpeedupClaim = speedupClaim(runtime.NumCPU())
+		add(r)
 	}
 
 	data, err := json.MarshalIndent(snap, "", "  ")

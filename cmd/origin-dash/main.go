@@ -25,6 +25,8 @@ import (
 	"log"
 	"net/http"
 	"os"
+
+	"origin2000/internal/core"
 )
 
 func main() {
@@ -33,6 +35,7 @@ func main() {
 		scale   = flag.Int("scale", 64, "default problem/cache scale divisor for sweeps")
 		engine  = flag.String("engine", "serial", "execution engine for sweeps: serial or parallel")
 		workers = flag.Int("workers", 0, "host workers for -engine=parallel (0 = GOMAXPROCS)")
+		window  = flag.String("window", "fixed", "window policy: fixed, fixed:<dur>, adaptive, adaptive:<dur>")
 	)
 	flag.Parse()
 
@@ -40,7 +43,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown engine %q (serial or parallel)\n", *engine)
 		os.Exit(2)
 	}
-	srv := newServer(*scale, *engine, *workers)
+	if _, _, _, err := core.ParseWindowSpec(*window); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	srv := newServer(*scale, *engine, *workers, *window)
 	log.Printf("origin-dash listening on http://%s/", *addr)
 	if err := http.ListenAndServe(*addr, srv.mux()); err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -46,13 +46,14 @@ type server struct {
 	defaultScale int
 	engine       string
 	workers      int
+	window       string
 
 	mu   sync.Mutex
 	runs []*runState
 	subs map[chan sseEvent]struct{}
 }
 
-func newServer(defaultScale int, engine string, workers int) *server {
+func newServer(defaultScale int, engine string, workers int, window string) *server {
 	if defaultScale < 1 {
 		defaultScale = 64
 	}
@@ -60,6 +61,7 @@ func newServer(defaultScale int, engine string, workers int) *server {
 		defaultScale: defaultScale,
 		engine:       engine,
 		workers:      workers,
+		window:       window,
 		subs:         make(map[chan sseEvent]struct{}),
 	}
 }
@@ -177,7 +179,7 @@ func (s *server) sweep(wapp workload.App, ids, procCounts []int, scaleDiv int, i
 		// engine to one worker (observer policy); the flag still selects the
 		// engine so the windowed scheduler path gets exercised end to end.
 		sc := experiments.Scale{Div: scaleDiv, CacheDiv: scaleDiv,
-			Engine: s.engine, Workers: s.workers}
+			Engine: s.engine, Workers: s.workers, Window: s.window}
 		sc.Trace.Enabled = true
 		sc.Metrics = metrics.Options{
 			Enabled:  true,

@@ -23,7 +23,7 @@ import (
 // written to the ORIGIN_TRACE_ARTIFACTS directory (when set) so CI uploads
 // it with the failure.
 func TestDashSmoke(t *testing.T) {
-	srv := newServer(64, "parallel", 2)
+	srv := newServer(64, "parallel", 2, "adaptive")
 	ts := httptest.NewServer(srv.mux())
 	defer ts.Close()
 

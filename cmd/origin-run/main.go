@@ -40,6 +40,7 @@ func main() {
 		traceOut  = flag.String("trace", "", "trace the run and write Perfetto JSON here (see origin-trace for more control)")
 		engine    = flag.String("engine", "serial", "execution engine: serial, or parallel (bit-identical, faster wall clock)")
 		workers   = flag.Int("workers", 0, "host workers for -engine=parallel (0 = GOMAXPROCS)")
+		window    = flag.String("window", "fixed", "window policy: fixed, fixed:<dur>, adaptive, adaptive:<dur>")
 	)
 	flag.Parse()
 
@@ -59,8 +60,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown engine %q (serial or parallel)\n", *engine)
 		os.Exit(2)
 	}
+	if _, _, _, err := core.ParseWindowSpec(*window); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	s := experiments.Scale{Div: *scale, CacheDiv: *scale, Steps: *steps, Seed: *seed,
-		Engine: *engine, Workers: *workers}
+		Engine: *engine, Workers: *workers, Window: *window}
 	se := experiments.NewSession(s)
 	paperSize := *size
 	if paperSize == 0 {

@@ -177,6 +177,12 @@ func (p *Proc) transaction(block uint64, home int, write bool) (complete sim.Tim
 	// which overlap with the data transfer.
 	if len(invalidate) > 0 {
 		ackT := t
+		// Home and requester routers are loop constants, so the two routes
+		// depend only on the sharer's router. Sharers cluster on few
+		// routers (one, for well-placed data), so a single-entry memo
+		// removes almost every Route call from the fan-out.
+		memoRouter := -1
+		var memoOut, memoBack topology.Route
 		for _, s := range invalidate {
 			sp := m.procs[s]
 			sp.cache.Invalidate(block)
@@ -188,10 +194,13 @@ func (p *Proc) transaction(block uint64, home int, write bool) (complete sim.Tim
 				tr.InvalRecv(s, p.sp.Now(), block, pageOfBlock(block), p.ID())
 			}
 			m.hubs[home].Acquire(t, lat.InvalOcc)
-			out := m.fabric.Route(homeRouter, sp.router)
-			arrive := t + sim.Time(out.Hops)*lat.RouterTime + lat.HubTime
-			back := m.fabric.Route(sp.router, p.router)
-			ack := arrive + sim.Time(back.Hops)*lat.RouterTime + lat.HubTime
+			if sp.router != memoRouter {
+				memoRouter = sp.router
+				memoOut = m.fabric.Route(homeRouter, sp.router)
+				memoBack = m.fabric.Route(sp.router, p.router)
+			}
+			arrive := t + sim.Time(memoOut.Hops)*lat.RouterTime + lat.HubTime
+			ack := arrive + sim.Time(memoBack.Hops)*lat.RouterTime + lat.HubTime
 			if ack > ackT {
 				ackT = ack
 			}

@@ -11,6 +11,8 @@ package core
 
 import (
 	"fmt"
+	"strings"
+	"time"
 
 	"origin2000/internal/cache"
 	"origin2000/internal/mempolicy"
@@ -175,6 +177,17 @@ type Config struct {
 	// GOMAXPROCS). Ignored under Engine "serial". Any value produces
 	// bit-identical results; it only changes wall-clock speed.
 	Workers int
+	// WindowPolicy selects how the engine sizes its conservative window:
+	// "" or "fixed" keeps the constant width Quantum; "adaptive" lets the
+	// engine resize the window between Quantum and WindowMax from
+	// deterministic virtual-time observables of the committed schedule
+	// (see sim.AdaptWindow). Either policy is bit-identical at any worker
+	// count; they are distinct deterministic schedules, so results are
+	// comparable within a policy, not across policies.
+	WindowPolicy string
+	// WindowMax caps the adaptive window width (0 selects 64x Quantum).
+	// Ignored under WindowPolicy "fixed".
+	WindowMax sim.Time
 }
 
 // Origin2000 returns the configuration of the paper's machine with the
@@ -287,9 +300,49 @@ func (c *Config) normalize() {
 	default:
 		panic(fmt.Sprintf("core: unknown engine %q (want serial or parallel)", c.Engine))
 	}
+	switch c.WindowPolicy {
+	case "", "fixed":
+		c.WindowPolicy = "fixed"
+	case "adaptive":
+	default:
+		panic(fmt.Sprintf("core: unknown window policy %q (want fixed or adaptive)", c.WindowPolicy))
+	}
 	// The window may not be narrower than the machine's cross-node
 	// lookahead; see Latencies.Lookahead.
 	if c.Quantum > 0 && c.Quantum < c.Lat.Lookahead() {
 		c.Quantum = c.Lat.Lookahead()
 	}
+}
+
+// ParseWindowSpec parses a -window flag value into Config fields. Accepted
+// forms:
+//
+//	fixed            the default constant-width window (Config.Quantum)
+//	fixed:<dur>      constant width <dur> (e.g. fixed:4us)
+//	adaptive         adaptive sizing between Quantum and 64x Quantum
+//	adaptive:<dur>   adaptive sizing with ceiling <dur>
+//
+// Durations use Go syntax ("500ns", "4us", "1ms"). The returned quantum is
+// zero unless the spec fixes one, and max is zero unless the spec caps the
+// adaptive width.
+func ParseWindowSpec(spec string) (policy string, quantum, max sim.Time, err error) {
+	head, arg := spec, ""
+	if i := strings.IndexByte(spec, ':'); i >= 0 {
+		head, arg = spec[:i], spec[i+1:]
+	}
+	var d sim.Time
+	if arg != "" {
+		td, perr := time.ParseDuration(arg)
+		if perr != nil || td <= 0 {
+			return "", 0, 0, fmt.Errorf("core: bad window duration %q in %q", arg, spec)
+		}
+		d = sim.Time(td.Nanoseconds()) * sim.Nanosecond
+	}
+	switch head {
+	case "", "fixed":
+		return "fixed", d, 0, nil
+	case "adaptive":
+		return "adaptive", 0, d, nil
+	}
+	return "", 0, 0, fmt.Errorf("core: unknown window policy %q (want fixed[:<dur>] or adaptive[:<dur>])", spec)
 }

@@ -240,6 +240,12 @@ func (m *Machine) SchedStats() (windows, shardChains, commits int64) {
 	return m.eng.SchedStats()
 }
 
+// SchedShape exposes the engine's full scheduling-shape report: windowed
+// rounds, chains, commits, serial commit-chain resumes, and run-ahead
+// fast-path spans. Every field derives from the deterministic schedule, so
+// it is bit-identical at any worker count (see sim.Engine.Shape).
+func (m *Machine) SchedShape() sim.SchedShape { return m.eng.Shape() }
+
 // Result summarizes the run for the metrics layer.
 func (m *Machine) Result() perf.Result {
 	r := perf.Result{

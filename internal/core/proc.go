@@ -35,6 +35,8 @@ type Proc struct {
 	phase     phaseState          // active phase label for attribution
 
 	homeTLB [homeTLBSize]homeTLBEntry // page->home fast path
+
+	wakeScratch []*sim.Proc // reused by WakeAllAt
 }
 
 // homeOf resolves a page's home node, consulting the processor's TLB memo
@@ -152,6 +154,26 @@ func (p *Proc) Block() { p.sp.Block() }
 func (p *Proc) WakeAt(q *Proc, t sim.Time) {
 	p.sp.AwaitGlobal()
 	p.sp.Wake(q.sp, t)
+	p.sp.EndGlobal()
+}
+
+// WakeAllAt resumes every processor in qs with its clock at least t: the
+// batched form of WakeAt for fan-out releases (a barrier's last arriver, a
+// broadcast wakeup). It is schedule-identical to calling WakeAt for each q
+// — the run queues order by (clock, id), so arrival order never matters —
+// but pays one commit-phase entry and one bulk heap rebuild instead of
+// len(qs) ordered inserts.
+func (p *Proc) WakeAllAt(qs []*Proc, t sim.Time) {
+	if len(qs) == 0 {
+		return
+	}
+	sps := p.wakeScratch[:0]
+	for _, q := range qs {
+		sps = append(sps, q.sp)
+	}
+	p.wakeScratch = sps[:0]
+	p.sp.AwaitGlobal()
+	p.sp.WakeBatch(sps, t)
 	p.sp.EndGlobal()
 }
 

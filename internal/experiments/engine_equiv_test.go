@@ -65,11 +65,15 @@ func engineRun(t *testing.T, appName, engine string, workers int,
 
 // TestEngineEquivalenceAllApps is the tentpole's contract: for every
 // application in the study, a 32-processor run under the parallel engine
-// (4 host workers) must be bit-identical to the serial reference engine —
-// the same elapsed time, the same perf.Result down to every per-processor
-// counter, and the same exported trace, byte for byte. The engines share
-// one windowed schedule that is a function of virtual time only, so any
-// divergence is a sharding or merge bug, never an accepted approximation.
+// at 1, 2, and 8 host workers must be bit-identical to the serial
+// reference engine — the same elapsed time, the same perf.Result down to
+// every per-processor counter, and the same exported trace, byte for
+// byte. The engines share one windowed schedule that is a function of
+// virtual time only, so any divergence is a sharding or merge bug, never
+// an accepted approximation. The worker sweep covers the degenerate
+// single-worker case, the first truly concurrent one, and an
+// oversubscribed one (run-ahead entry, window turnover, and work stealing
+// all depend on chain interleaving, which shifts with the worker count).
 func TestEngineEquivalenceAllApps(t *testing.T) {
 	for _, app := range Apps() {
 		name := app.Name()
@@ -86,30 +90,60 @@ func TestEngineEquivalenceAllApps(t *testing.T) {
 				return b.Bytes()
 			}
 			serial, sm := engineRun(t, name, "serial", 0, traced)
-			par, pm := engineRun(t, name, "parallel", 4, traced)
-			if !reflect.DeepEqual(serial, par) {
-				t.Errorf("results differ between engines:\nserial   %+v\nparallel %+v",
-					serial, par)
-			}
-			sb, pb := export(sm), export(pm)
+			sb := export(sm)
 			if len(sb) == 0 {
 				t.Fatal("serial run exported an empty trace")
 			}
-			if !bytes.Equal(sb, pb) {
-				t.Errorf("binary trace differs between engines (%d vs %d bytes)",
-					len(sb), len(pb))
-				saveEngineArtifacts(t, name, sb, pb)
+			for _, workers := range []int{1, 2, 8} {
+				par, pm := engineRun(t, name, "parallel", workers, traced)
+				if !reflect.DeepEqual(serial, par) {
+					t.Errorf("workers=%d results differ between engines:\nserial   %+v\nparallel %+v",
+						workers, serial, par)
+				}
+				pb := export(pm)
+				if !bytes.Equal(sb, pb) {
+					t.Errorf("workers=%d binary trace differs between engines (%d vs %d bytes)",
+						workers, len(sb), len(pb))
+					saveEngineArtifacts(t, name, sb, pb)
+				}
+				// The merged per-shard heat and histogram buckets must fold
+				// to the serial totals too (WriteBinary covers the rings).
+				if !reflect.DeepEqual(sm.Tracer().TopPages(50), pm.Tracer().TopPages(50)) {
+					t.Errorf("workers=%d page heat ranking differs between engines", workers)
+				}
+				if !reflect.DeepEqual(sm.Tracer().LatencyReport(), pm.Tracer().LatencyReport()) {
+					t.Errorf("workers=%d latency histograms differ between engines", workers)
+				}
+				if !reflect.DeepEqual(sm.Tracer().QueueReport(), pm.Tracer().QueueReport()) {
+					t.Errorf("workers=%d queue histograms differ between engines", workers)
+				}
 			}
-			// The merged per-shard heat and histogram buckets must fold to
-			// the serial totals too (WriteBinary covers only the rings).
-			if !reflect.DeepEqual(sm.Tracer().TopPages(50), pm.Tracer().TopPages(50)) {
-				t.Error("page heat ranking differs between engines")
+		})
+	}
+}
+
+// TestEngineEquivalenceAdaptiveWindows extends the contract to adaptive
+// window sizing: the width sequence is a pure function of virtual-time
+// observables (sim.AdaptWindow), so an adaptive run must also be
+// bit-identical across engines and worker counts — and identical whether
+// the serial or the parallel engine resizes. Covers a lock-heavy app
+// (Barnes, whose critical regions span window edges), a barrier-phased one
+// (FFT), and a task-stealing one (Raytrace).
+func TestEngineEquivalenceAdaptiveWindows(t *testing.T) {
+	for _, name := range []string{"Barnes", "FFT", "Raytrace"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			adaptive := func(cfg *core.Config) {
+				cfg.WindowPolicy = "adaptive"
 			}
-			if !reflect.DeepEqual(sm.Tracer().LatencyReport(), pm.Tracer().LatencyReport()) {
-				t.Error("latency histograms differ between engines")
-			}
-			if !reflect.DeepEqual(sm.Tracer().QueueReport(), pm.Tracer().QueueReport()) {
-				t.Error("queue histograms differ between engines")
+			serial, _ := engineRun(t, name, "serial", 0, adaptive)
+			for _, workers := range []int{1, 2, 8} {
+				par, _ := engineRun(t, name, "parallel", workers, adaptive)
+				if !reflect.DeepEqual(serial, par) {
+					t.Errorf("adaptive workers=%d results differ between engines:\nserial   %+v\nparallel %+v",
+						workers, serial, par)
+				}
 			}
 		})
 	}

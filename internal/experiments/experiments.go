@@ -67,6 +67,10 @@ type Scale struct {
 	// Workers bounds the parallel engine's host workers (0 = GOMAXPROCS;
 	// ignored for the serial engine).
 	Workers int
+	// Window selects the engine's window policy in -window flag syntax
+	// ("fixed", "fixed:<dur>", "adaptive", "adaptive:<dur>"; empty =
+	// fixed at the machine's default quantum). See core.ParseWindowSpec.
+	Window string
 }
 
 // FullScale runs the paper's actual input sizes.
@@ -105,6 +109,17 @@ func (s Scale) Machine(procs int) core.Config {
 	cfg.Metrics = s.Metrics
 	cfg.Engine = s.Engine
 	cfg.Workers = s.Workers
+	if s.Window != "" {
+		policy, quantum, max, err := core.ParseWindowSpec(s.Window)
+		if err != nil {
+			panic(err)
+		}
+		cfg.WindowPolicy = policy
+		cfg.WindowMax = max
+		if quantum > 0 {
+			cfg.Quantum = quantum
+		}
+	}
 	return cfg
 }
 

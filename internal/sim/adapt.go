@@ -1,0 +1,86 @@
+package sim
+
+// Adaptive window sizing. The conservative window width W trades fixed
+// scheduling cost against ordering granularity: every window pays a
+// runnable scan, heap fills, and a phase barrier, so round-trip-light
+// phases want wide windows, while sync-heavy phases want narrow ones so
+// cross-shard operations interleave at fine grain. AdaptWindow picks the
+// next width from observables of the schedule that was just committed.
+//
+// Determinism argument: the observables are counts of scheduling events —
+// chains dispatched, processors suspended into commit, commit-chain
+// resumes — accumulated in virtual-time order by the engine. All three are
+// pure functions of the simulated program and the previous window
+// sequence, never of the worker count or host timing (a chain is counted
+// when it is claimed, and the set of claimed chains per window is fixed;
+// the commit phase is always serial). The next width is a pure function of
+// the current width and those observables, so by induction the entire
+// window sequence — and with it the full schedule — is identical on every
+// run at every worker count.
+
+// WindowObs summarizes the schedule committed since the previous window
+// open: the deterministic virtual-time observables AdaptWindow reads.
+type WindowObs struct {
+	// Chains is the number of phase-1 shard chains dispatched: how much
+	// shard-parallel work the span offered.
+	Chains int64
+	// Commits is the number of processors that suspended into a commit
+	// queue: the span's cross-shard traffic (misses leaving their shard,
+	// synchronization operations).
+	Commits int64
+	// CommitRuns is the number of serial commit-chain resumes: how often
+	// the span fell back to serialized execution.
+	CommitRuns int64
+	// Shards is the engine's shard count — a setup constant, recorded here
+	// so the policy can judge phase-1 occupancy (Chains vs the most chains
+	// a window could dispatch concurrently).
+	Shards int64
+}
+
+// AdaptWindow returns the next window width given the current width, the
+// engine's base width (the floor, NewEngine's quantum), the ceiling, and
+// the observables of the span just committed. It is a pure function: same
+// inputs, same width, no hidden state — the property the engine's
+// bit-identity at any worker count rests on.
+//
+// The policy: a span with no commit-chain activity proves nothing crossed
+// shards, so no ordering was at stake and the window doubles (free speed).
+// A span that dispatched fewer chains than the machine has shards also
+// doubles, whatever its commit traffic: phase 1 ran underfilled, so the
+// window's fixed turnover cost was paid for almost no parallel work, and
+// the commit chain serializes the same operations at any width — widening
+// is amortization, not lost interleaving. At full phase-1 occupancy the
+// commit pressure decides: light commit traffic (under a quarter of the
+// chains) still grows, a commit chain that resumed at least once per
+// dispatched chain shrinks hard to restore fine-grained interleaving, and
+// anything between shrinks gently.
+func AdaptWindow(cur, base, max Time, o WindowObs) Time {
+	if base <= 0 {
+		base = DefaultQuantum
+	}
+	if max < base {
+		max = base
+	}
+	if cur < base {
+		cur = base
+	}
+	switch {
+	case o.CommitRuns == 0:
+		cur *= 2
+	case o.Chains < o.Shards:
+		cur *= 2
+	case o.CommitRuns*4 <= o.Chains:
+		cur += cur / 2
+	case o.CommitRuns >= o.Chains:
+		cur /= 4
+	default:
+		cur /= 2
+	}
+	if cur < base {
+		cur = base
+	}
+	if cur > max {
+		cur = max
+	}
+	return cur
+}

@@ -36,6 +36,23 @@ func (h *procHeap) pop() *Proc {
 	return p
 }
 
+// grow appends p without restoring heap order; callers follow a batch of
+// grow calls with one reinit. Splitting the two turns k inserts into one
+// O(n) rebuild (see Proc.WakeBatch).
+func (h *procHeap) grow(p *Proc) {
+	*h = append(*h, p)
+	p.heapIndex = len(*h) - 1
+}
+
+// reinit restores heap order after a batch of grow appends: a bottom-up
+// heapify. down maintains heapIndex through swap, and grow set the indexes
+// of the appended tail, so every index is consistent afterwards.
+func (h *procHeap) reinit() {
+	for i := len(*h)/2 - 1; i >= 0; i-- {
+		h.down(i)
+	}
+}
+
 func (h procHeap) up(i int) {
 	for i > 0 {
 		parent := (i - 1) / 2

@@ -174,12 +174,37 @@ func (p *Proc) windowPark() {
 // shard heap, so chains from different shards never share mutable state.
 func (p *Proc) chainStep() {
 	e := p.e
-	if e.inline {
+	if e.runAhead {
+		// Run-ahead fast path: hand control directly to the next-lowest
+		// runnable clock of the lone active shard. A cross-shard wake
+		// (raExit) invalidates the mode's precondition: drain the heap —
+		// its processors stay runnable and the coordinator re-collects
+		// them — and fall back to windowed scheduling.
+		h := &e.shardHeaps[e.raShard]
+		if e.raExit {
+			for _, q := range *h {
+				q.heapIndex = -1
+			}
+			*h = (*h)[:0]
+			e.runAhead = false
+			e.yieldCh <- yieldEvent{p: p, kind: evChainDone, shard: -1}
+			return
+		}
+		if !p.blocked && !p.finished {
+			h.push(p)
+		}
+		if len(*h) > 0 {
+			e.raHandoffs++
+			e.raResume()
+			return
+		}
+		e.runAhead = false
 		e.yieldCh <- yieldEvent{p: p, kind: evChainDone, shard: -1}
 		return
 	}
 	if p.mode == modeCommit {
 		if len(e.commit) > 0 {
+			e.commitRuns++
 			q := e.commit.pop()
 			q.mode = modeCommit
 			q.limit = e.windowEnd - 1
@@ -200,19 +225,20 @@ func (p *Proc) chainStep() {
 		q.resume <- struct{}{}
 		return
 	}
+	// This chain is dry: claim the next undispatched shard's chain and keep
+	// executing on this host worker (work stealing). The claim order is
+	// shard order regardless of which chains claim, so the schedule is
+	// unchanged; only idle time moves.
+	if e.startNextChain() {
+		return
+	}
 	if e.singleChain() {
 		// Only one chain ever runs at a time, so when it runs dry this
-		// goroutine can continue the schedule itself — next shard chain,
-		// then the phase barrier and the commit chain, then the next
-		// window — instead of round-tripping through the coordinator. The
-		// dispatch order is exactly the coordinator's (ascending shards,
-		// shard-major staged merge, (time, id) commits), so the schedule
-		// is unchanged.
-		for s := p.shard + 1; s < e.numShards; s++ {
-			if e.startShard(s) {
-				return
-			}
-		}
+		// goroutine can continue the schedule itself — the phase barrier
+		// and the commit chain, then the next round — instead of
+		// round-tripping through the coordinator. The order is exactly the
+		// coordinator's (shard-major staged merge, (time, id) commits), so
+		// the schedule is unchanged.
 		for s := range e.staged {
 			for _, q := range e.staged[s] {
 				e.commitSeq++
@@ -222,6 +248,7 @@ func (p *Proc) chainStep() {
 			e.staged[s] = e.staged[s][:0]
 		}
 		if len(e.commit) > 0 {
+			e.commitRuns++
 			q := e.commit.pop()
 			q.mode = modeCommit
 			q.limit = e.windowEnd - 1
@@ -239,11 +266,12 @@ func (p *Proc) chainStep() {
 // operation that may touch another shard's state. In phase 1 the processor
 // suspends at its current clock and resumes — with the clock unchanged — in
 // the window's serial commit phase, in global (virtual time, proc) order.
-// In the commit phase (and in inline mode) it is already serialized: it
-// continues immediately while it precedes every queued commit, or re-queues
-// itself to keep commits in (virtual time, proc) order. With a single
-// shard nothing is ever cross-shard, but the call still imposes the same
-// commit schedule, so results are identical to a sharded run.
+// In the commit phase (and in the run-ahead fast path, where the whole
+// engine is one serial chain) it is already serialized: it continues
+// immediately while it precedes every queued commit, or re-queues itself
+// to keep commits in (virtual time, proc) order. With a single shard
+// nothing is ever cross-shard, but the call still imposes the same commit
+// schedule, so results are identical to a sharded run.
 //
 // The section stays open until the matching EndGlobal: across window
 // edges and Block/Wake cycles in between, the processor is rescheduled on
@@ -270,6 +298,7 @@ func (p *Proc) AwaitGlobal() bool {
 		// A queued commit precedes us: hand the chain to it and wait our
 		// turn. (The new minimum cannot be p: the old minimum beat it.)
 		e.commit.push(p)
+		e.commitRuns++
 		q := e.commit.pop()
 		q.mode = modeCommit
 		q.limit = e.windowEnd - 1
@@ -314,9 +343,10 @@ func (p *Proc) Block() {
 // In the commit phase (where all synchronization runs — see AwaitGlobal) a
 // wake inside the current window queues q for commit in (virtual time,
 // proc) order; a later wake leaves q parked for its window. In phase 1
-// only same-shard wakes are legal. In inline mode waking a peer ends the
-// mode: the waker parks at its next advance and the engine returns to
-// windowed scheduling.
+// only same-shard wakes are legal. In the run-ahead fast path a same-shard
+// wake joins the run-ahead heap (bounding the waker's run-ahead by the
+// wakee's clock); a cross-shard wake ends the mode — the waker yields at
+// its next advance and the engine returns to windowed scheduling.
 func (p *Proc) Wake(q *Proc, t Time) {
 	if !q.blocked {
 		panic("sim: Wake on a processor that is not blocked")
@@ -326,9 +356,17 @@ func (p *Proc) Wake(q *Proc, t Time) {
 	}
 	q.blocked = false
 	e := p.e
-	if e.inline {
-		if p.limit > p.now-1 {
-			p.limit = p.now - 1
+	if e.runAhead {
+		if q.shard != e.raShard {
+			e.raExit = true
+			if p.limit > p.now-1 {
+				p.limit = p.now - 1
+			}
+			return
+		}
+		e.shardHeaps[e.raShard].push(q)
+		if l := q.now + e.window - 1; l < p.limit {
+			p.limit = l
 		}
 		return
 	}
@@ -343,6 +381,64 @@ func (p *Proc) Wake(q *Proc, t Time) {
 	}
 	if q.now < e.windowEnd {
 		e.shardHeaps[p.shard].push(q)
+	}
+}
+
+// WakeBatch wakes every processor in qs with its clock advanced to at
+// least t. It is semantically identical to calling Wake(q, t) for each q
+// in turn — the run queues are (clock, id) heaps, so arrival order never
+// affects the schedule — but rebuilds the destination heap once (a bulk
+// append and one O(n) heapify) instead of paying k ordered inserts: the
+// batched commit-phase wakeup a barrier release fans out. It may only be
+// called from the serialized commit chain or the run-ahead fast path,
+// which is where every synchronization primitive runs (see AwaitGlobal).
+func (p *Proc) WakeBatch(qs []*Proc, t Time) {
+	if len(qs) == 0 {
+		return
+	}
+	e := p.e
+	if !e.runAhead && p.mode != modeCommit {
+		panic("sim: WakeBatch outside the commit phase")
+	}
+	for _, q := range qs {
+		if !q.blocked {
+			panic("sim: Wake on a processor that is not blocked")
+		}
+		if q.now < t {
+			q.now = t
+		}
+		q.blocked = false
+	}
+	if e.runAhead {
+		h := &e.shardHeaps[e.raShard]
+		for _, q := range qs {
+			if q.shard != e.raShard {
+				e.raExit = true
+				continue
+			}
+			h.grow(q)
+		}
+		h.reinit()
+		if e.raExit {
+			if p.limit > p.now-1 {
+				p.limit = p.now - 1
+			}
+		} else if len(*h) > 0 {
+			if l := (*h)[0].now + e.window - 1; l < p.limit {
+				p.limit = l
+			}
+		}
+		return
+	}
+	grown := false
+	for _, q := range qs {
+		if q.now < e.windowEnd {
+			e.commit.grow(q)
+			grown = true
+		}
+	}
+	if grown {
+		e.commit.reinit()
 	}
 }
 

@@ -29,13 +29,43 @@
 // statistics, same event order within every shard and within commit.
 //
 // Control passes directly between processor goroutines (one channel
-// handoff per switch) along per-shard chains and along the commit chain;
-// the central Run loop is involved once per chain per window, at window
-// boundaries, for deadlock detection, and for panic propagation.
+// handoff per switch) along per-shard chains and along the commit chain.
+// Within a window, shard chains are claimed from a shared counter in shard
+// order: a chain that runs dry immediately starts the next unclaimed
+// shard's chain on the same host worker (work stealing), so the central
+// Run loop is involved only at window boundaries, for deadlock detection,
+// and for panic propagation. Which host worker executes a shard never
+// affects results — shards are state-disjoint and the claim order is
+// fixed — so stealing only moves wall-clock time around.
 //
-// When exactly one processor is runnable the engine enters an inline mode
-// with no window bookkeeping at all, so sequential executions (and the
-// sequential sections of parallel ones) pay no windowing overhead.
+// # Run-ahead fast path
+//
+// Whenever every runnable processor belongs to a single shard — one
+// processor alive anywhere, a sequential section of a parallel program, or
+// any program on a single-shard engine — windowed scheduling is pure
+// overhead: there is nothing to run concurrently and nothing to commit.
+// The engine then collapses into a run-ahead mode: the shard's runnable
+// processors form one (clock, id) heap, and control passes directly from
+// processor to processor, each running until it has advanced a window's
+// width past the next-lowest runnable clock. This is the direct-handoff
+// schedule of the original serial engine, with no window bookkeeping and
+// no coordinator round-trips. The mode is entered and exited on conditions
+// that are pure functions of the deterministic simulation state (the
+// runnable set and its shard assignment — never the worker count or host
+// timing), so results remain bit-identical at any worker count. Waking a
+// processor of another shard ends the mode at the waker's next yield.
+//
+// # Adaptive windows
+//
+// With SetAdaptiveWindow the window width is resized at each window open
+// from observables of the committed schedule itself (how many shard chains
+// ran, how many processors crossed shards, how often the serial commit
+// chain resumed since the previous open): spans with no cross-shard work
+// or with phase 1 running underfilled widen the window — turnover is pure
+// overhead there — and commit-heavy spans at full phase-1 occupancy shrink
+// it back toward the base width. The inputs are virtual-time quantities,
+// identical at any worker count, so the resulting schedule is too (see
+// AdaptWindow).
 //
 // Shared hardware resources (memory controllers, network routers, ...) are
 // modeled as Resource timelines: a transaction occupies a resource for some
@@ -52,6 +82,7 @@
 //   - commit order (phase 2): (suspend time, id) min-heap
 //   - commit fast path: the running processor keeps executing only while
 //     it is strictly (clock, id)-less than the commit-queue minimum
+//   - run-ahead handoff order: the same (clock, id) heap
 //   - deadlock reports: blocked ids sorted ascending
 //   - panic propagation: when several shards panic in one window, the
 //     panic from the lowest processor id is re-raised
@@ -62,6 +93,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // Time is a point or duration in virtual time, in picoseconds. Picoseconds
@@ -137,15 +169,16 @@ const DefaultQuantum = 1 * Microsecond
 const (
 	// modePhase1: running inside its shard, restricted to shard-local state.
 	modePhase1 int8 = iota
-	// modeCommit: running in the serial commit phase (or inline mode),
-	// free to touch any state.
+	// modeCommit: running in the serial commit phase (or the run-ahead fast
+	// path), free to touch any state.
 	modeCommit
 )
 
 type eventKind int
 
 const (
-	// evChainDone: a phase-1 shard chain or the commit chain ran dry.
+	// evChainDone: a phase-1 shard chain, the commit chain, or the
+	// run-ahead chain ran dry.
 	evChainDone eventKind = iota
 	// evPanic: a processor's body panicked; terminates its chain.
 	evPanic
@@ -166,8 +199,18 @@ type abandonRun struct{}
 // Engine coordinates a set of simulated processors.
 type Engine struct {
 	procs   []*Proc
-	window  Time // window width W (NewEngine's quantum)
+	window  Time // current window width W
 	workers int  // max concurrently executing shard chains in phase 1
+
+	// Adaptive window sizing (SetAdaptiveWindow). The marks snapshot the
+	// shape counters at the previous window open; the deltas are the
+	// observables AdaptWindow resizes from.
+	windowBase  Time // NewEngine's quantum: the fixed width, and the adaptive floor
+	windowMax   Time // adaptive ceiling
+	adaptive    bool
+	markChains  int64
+	markCommits int64
+	markRuns    int64
 
 	numShards  int
 	shardHeaps []procHeap // phase-1 run queues, one per shard
@@ -175,15 +218,34 @@ type Engine struct {
 	commit     procHeap   // phase-2 queue, ordered (suspend time, id)
 	commitSeq  int64      // total commits so far; stamps Proc.seq at merge
 
-	windowEnd Time // current window edge (exclusive); maxTime in inline mode
-	inline    bool // exactly one runnable processor: no windowing at all
+	windowEnd Time // current window edge (exclusive); maxTime in run-ahead mode
+
+	// Run-ahead fast path: every runnable processor is in shard raShard and
+	// control passes directly between them through the shard's heap. raExit
+	// is set when a cross-shard wake invalidates the mode's precondition.
+	runAhead bool
+	raShard  int
+	raExit   bool
+
+	// stealNext is the next shard index to claim for phase 1. Dispatch
+	// claims shards in index order; a dying chain claims the next one
+	// itself instead of round-tripping through the coordinator. Atomic
+	// because chains of different shards race to claim; the claim order —
+	// and therefore the schedule — is fixed regardless of who wins.
+	stealNext atomic.Int64
 
 	// Scheduling-shape statistics (deterministic: derived from the
 	// schedule, not from host timing). windows counts windowed rounds,
 	// shardChains the phase-1 chains dispatched across them — their ratio
 	// is the average number of chains a window offers to run concurrently.
+	// shardChains is atomic only because concurrent chains increment it;
+	// its total is schedule-determined.
 	windows     int64
-	shardChains int64
+	shardChains atomic.Int64
+	commitRuns  int64 // commit-chain resumes (always serial)
+	widthSum    Time  // total width of windowed rounds
+	raSpans     int64 // run-ahead mode entries
+	raHandoffs  int64 // direct handoffs inside run-ahead mode
 
 	yieldCh   chan yieldEvent
 	abandoned bool // set before resuming parked goroutines to unwind them
@@ -201,9 +263,10 @@ func NewEngine(n int, quantum Time) *Engine {
 		quantum = DefaultQuantum
 	}
 	e := &Engine{
-		window:  quantum,
-		workers: 1,
-		yieldCh: make(chan yieldEvent),
+		window:     quantum,
+		windowBase: quantum,
+		workers:    1,
+		yieldCh:    make(chan yieldEvent),
 	}
 	e.procs = make([]*Proc, n)
 	for i := range e.procs {
@@ -263,8 +326,28 @@ func (e *Engine) SetWorkers(n int) {
 // Workers reports the phase-1 worker bound.
 func (e *Engine) Workers() int { return e.workers }
 
-// Window reports the window width W.
+// Window reports the current window width W (the base width unless
+// adaptive sizing has resized it).
 func (e *Engine) Window() Time { return e.window }
+
+// SetAdaptiveWindow lets the engine resize the window between the base
+// width (NewEngine's quantum) and max (0 selects 64x the base) using the
+// AdaptWindow policy. The policy's inputs are virtual-time observables of
+// the committed schedule, so the resulting schedule — like everything else
+// in the engine — is bit-identical at any worker count. Call before Run.
+func (e *Engine) SetAdaptiveWindow(max Time) {
+	if max <= 0 {
+		max = 64 * e.windowBase
+	}
+	if max < e.windowBase {
+		max = e.windowBase
+	}
+	e.adaptive = true
+	e.windowMax = max
+}
+
+// Adaptive reports whether adaptive window sizing is enabled.
+func (e *Engine) Adaptive() bool { return e.adaptive }
 
 // NumProcs reports the number of simulated processors.
 func (e *Engine) NumProcs() int { return len(e.procs) }
@@ -298,7 +381,8 @@ func (d *DeadlockError) Error() string {
 // successive phases accumulate. Use Reset to start fresh.
 func (e *Engine) Run(body func(p *Proc)) error {
 	e.abandoned = false
-	e.inline = false
+	e.runAhead = false
+	e.raExit = false
 	e.commit = e.commit[:0]
 	for s := range e.shardHeaps {
 		e.shardHeaps[s] = e.shardHeaps[s][:0]
@@ -318,16 +402,20 @@ func (e *Engine) Run(body func(p *Proc)) error {
 		// blocked in Block, or runnable and waiting for its next window.
 		runnable, finished := 0, 0
 		var minNow Time = maxTime
-		var lone *Proc
+		loneShard, oneShard := -1, true
 		for _, p := range e.procs {
 			switch {
 			case p.finished:
 				finished++
 			case !p.blocked:
 				runnable++
-				lone = p
 				if p.now < minNow {
 					minNow = p.now
+				}
+				if loneShard < 0 {
+					loneShard = p.shard
+				} else if p.shard != loneShard {
+					oneShard = false
 				}
 			}
 		}
@@ -337,61 +425,30 @@ func (e *Engine) Run(body func(p *Proc)) error {
 		if runnable == 0 {
 			return e.deadlock()
 		}
-		if runnable == 1 {
-			// Inline mode: a single runnable processor needs no
-			// windowing. It runs until it finishes, blocks, or wakes a
-			// peer (which ends inline mode at its next advance).
-			e.inline = true
-			e.windowEnd = maxTime
-			lone.mode = modeCommit
-			lone.limit = maxTime
-			lone.resume <- struct{}{}
+		if oneShard {
+			// Run-ahead fast path: every runnable processor is in one
+			// shard, so windowing has nothing to order. Control passes
+			// directly between the shard's processors until a cross-shard
+			// wake re-populates another shard.
+			e.enterRunAhead(loneShard)
 			e.awaitChains(1)
-			e.inline = false
 			continue
 		}
 
-		// Window [T, T+W) around the smallest runnable clock. Windows
-		// with no runnable clocks are never scheduled.
-		T := minNow - minNow%e.window
-		e.windowEnd = T + e.window
+		e.openWindow(minNow)
 
-		// Phase 1: per-shard chains over the processors inside the window.
-		// A processor inside an open global section (its cross-shard
-		// operation spans the window edge, or it was woken mid-protocol)
-		// must stay serialized: it skips phase 1 and rejoins the commit
-		// chain directly.
-		for _, p := range e.procs {
-			if p.finished || p.blocked || p.now >= e.windowEnd {
-				continue
-			}
-			if p.global > 0 {
-				p.mode = modeCommit
-				e.commit.push(p)
-			} else {
-				e.shardHeaps[p.shard].push(p)
-			}
-		}
-		e.windows++
-		dispatched := 0
+		// Phase 1: claim shard chains in index order, up to the worker
+		// bound; each dying chain claims the next itself (work stealing),
+		// so one evChainDone arrives per initial claim.
 		outstanding := 0
-		for dispatched < e.numShards && outstanding < e.workers {
-			if e.startShard(dispatched) {
-				outstanding++
-			}
-			dispatched++
+		for outstanding < e.workers && e.startNextChain() {
+			outstanding++
 		}
 		for outstanding > 0 {
 			ev := <-e.yieldCh
 			outstanding--
 			if ev.kind == evPanic {
 				e.propagate(ev, outstanding)
-			}
-			for dispatched < e.numShards && outstanding < e.workers {
-				if e.startShard(dispatched) {
-					outstanding++
-				}
-				dispatched++
 			}
 		}
 
@@ -410,6 +467,7 @@ func (e *Engine) Run(body func(p *Proc)) error {
 
 		// Phase 2: one serial commit chain in (suspend time, id) order.
 		if len(e.commit) > 0 {
+			e.commitRuns++
 			p := e.commit.pop()
 			p.mode = modeCommit
 			p.limit = e.windowEnd - 1
@@ -419,55 +477,33 @@ func (e *Engine) Run(body func(p *Proc)) error {
 	}
 }
 
-// startShard dispatches shard s's phase-1 chain by resuming its (clock, id)
-// minimum, reporting whether the shard had any work.
-func (e *Engine) startShard(s int) bool {
-	h := &e.shardHeaps[s]
-	if len(*h) == 0 {
-		return false
-	}
-	p := h.pop()
-	p.mode = modePhase1
-	p.limit = e.windowEnd - 1
-	e.shardChains++
-	p.resume <- struct{}{}
-	return true
-}
-
-// singleChain reports whether at most one chain can ever be executing, so
-// a dying chain may continue the schedule in-chain (see Proc.chainStep)
-// instead of waking the coordinator: either the engine has a single shard,
-// or phase 1 is limited to one worker.
-func (e *Engine) singleChain() bool {
-	return e.workers == 1 || e.numShards == 1
-}
-
-// turnover opens the next window from inside the chain (singleChain
-// engines only): when the last chain of a window runs dry the window is
-// over, and the chain itself can start the next one, skipping two
-// coordinator round-trips per window. The schedule is exactly the one the
-// coordinator would have produced — same window base, same heap order,
-// same commit stamps — so results and SchedStats are unchanged. Returns
-// false (the caller then wakes the coordinator) when the run is over,
-// deadlocked, or down to one runnable processor: finish, deadlock
-// reporting, and inline mode stay with the coordinator.
-func (e *Engine) turnover() bool {
-	runnable := 0
-	var minNow Time = maxTime
-	for _, q := range e.procs {
-		if q.finished || q.blocked {
-			continue
+// openWindow opens the window [T, T+W) around the smallest runnable clock
+// minNow and queues every in-window processor: the commit heap for open
+// global sections (their cross-shard operation spans the window edge, or
+// they were woken mid-protocol — they must stay serialized), the shard
+// heaps for everyone else. With adaptive sizing enabled it first resizes W
+// from the schedule observed since the previous open. Runs with no chain
+// executing (the coordinator between rounds, or the last chain of the
+// previous window during turnover).
+func (e *Engine) openWindow(minNow Time) {
+	if e.adaptive {
+		chains := e.shardChains.Load()
+		if e.windows > 0 {
+			e.window = AdaptWindow(e.window, e.windowBase, e.windowMax, WindowObs{
+				Chains:     chains - e.markChains,
+				Commits:    e.commitSeq - e.markCommits,
+				CommitRuns: e.commitRuns - e.markRuns,
+				Shards:     int64(e.numShards),
+			})
 		}
-		runnable++
-		if q.now < minNow {
-			minNow = q.now
-		}
-	}
-	if runnable < 2 {
-		return false
+		e.markChains = chains
+		e.markCommits = e.commitSeq
+		e.markRuns = e.commitRuns
 	}
 	T := minNow - minNow%e.window
 	e.windowEnd = T + e.window
+	e.windows++
+	e.widthSum += e.window
 	for _, q := range e.procs {
 		if q.finished || q.blocked || q.now >= e.windowEnd {
 			continue
@@ -479,14 +515,116 @@ func (e *Engine) turnover() bool {
 			e.shardHeaps[q.shard].push(q)
 		}
 	}
-	e.windows++
-	for s := 0; s < e.numShards; s++ {
-		if e.startShard(s) {
-			return true
+	e.stealNext.Store(0)
+}
+
+// startNextChain claims undispatched shards in index order until it finds
+// one with queued work, dispatches that shard's chain by resuming its
+// (clock, id) minimum, and reports whether a chain was started. Safe to
+// call from concurrent chains: the claim counter hands each shard to
+// exactly one caller, and only that caller touches the shard's heap.
+func (e *Engine) startNextChain() bool {
+	for {
+		s := int(e.stealNext.Add(1)) - 1
+		if s >= e.numShards {
+			return false
 		}
+		h := &e.shardHeaps[s]
+		if len(*h) == 0 {
+			continue
+		}
+		p := h.pop()
+		p.mode = modePhase1
+		p.limit = e.windowEnd - 1
+		e.shardChains.Add(1)
+		p.resume <- struct{}{}
+		return true
+	}
+}
+
+// enterRunAhead collapses the engine into the run-ahead fast path: every
+// runnable processor (all in shard s) joins the shard's heap and the
+// minimum runs first. Callable from the coordinator or from the last chain
+// of a dying window (turnover).
+func (e *Engine) enterRunAhead(s int) {
+	e.runAhead = true
+	e.raExit = false
+	e.raShard = s
+	e.raSpans++
+	e.windowEnd = maxTime
+	h := &e.shardHeaps[s]
+	for _, p := range e.procs {
+		if !p.finished && !p.blocked {
+			h.push(p)
+		}
+	}
+	e.raResume()
+}
+
+// raResume pops the run-ahead heap's minimum and resumes it, allowed to
+// run one window width past the next-lowest runnable clock (unbounded when
+// it has no runnable peer).
+func (e *Engine) raResume() {
+	h := &e.shardHeaps[e.raShard]
+	q := h.pop()
+	q.mode = modeCommit
+	if len(*h) > 0 {
+		q.limit = (*h)[0].now + e.window - 1
+	} else {
+		q.limit = maxTime
+	}
+	q.resume <- struct{}{}
+}
+
+// singleChain reports whether at most one chain can ever be executing, so
+// a dying chain may continue the schedule in-chain (see Proc.chainStep)
+// instead of waking the coordinator: either the engine has a single shard,
+// or phase 1 is limited to one worker.
+func (e *Engine) singleChain() bool {
+	return e.workers == 1 || e.numShards == 1
+}
+
+// turnover opens the next scheduling round from inside the chain
+// (singleChain engines only): when the last chain of a window runs dry the
+// window is over, and the chain itself can start the next one — or enter
+// the run-ahead fast path — skipping two coordinator round-trips per
+// round. The decision inputs (the runnable set and its shards) and the
+// dispatch order are exactly the coordinator's, so the schedule is
+// unchanged. Returns false (the caller then wakes the coordinator) when
+// the run is over or deadlocked: finish and deadlock reporting stay with
+// the coordinator.
+func (e *Engine) turnover() bool {
+	runnable := 0
+	var minNow Time = maxTime
+	loneShard, oneShard := -1, true
+	for _, q := range e.procs {
+		if q.finished || q.blocked {
+			continue
+		}
+		runnable++
+		if q.now < minNow {
+			minNow = q.now
+		}
+		if loneShard < 0 {
+			loneShard = q.shard
+		} else if q.shard != loneShard {
+			oneShard = false
+		}
+	}
+	if runnable == 0 {
+		return false
+	}
+	if oneShard {
+		e.enterRunAhead(loneShard)
+		return true
+	}
+	e.openWindow(minNow)
+	if e.startNextChain() {
+		return true
 	}
 	// Every processor in the window is inside an open global section: the
 	// window is all commit phase.
+	e.commitRuns++
 	q := e.commit.pop()
 	q.mode = modeCommit
 	q.limit = e.windowEnd - 1
@@ -498,10 +636,36 @@ func (e *Engine) turnover() bool {
 // phase-1 shard chains dispatched across them, and processors merged into
 // commit queues. shardChains/windows is the average number of chains a
 // window offered to run concurrently — the schedule's available
-// parallelism, identical at any worker count. Inline-mode execution counts
-// toward none of these.
+// parallelism, identical at any worker count. Run-ahead execution counts
+// toward none of these (see Shape).
 func (e *Engine) SchedStats() (windows, shardChains, commits int64) {
-	return e.windows, e.shardChains, e.commitSeq
+	return e.windows, e.shardChains.Load(), e.commitSeq
+}
+
+// SchedShape is the engine's full scheduling-shape report. Every field is
+// derived from the deterministic schedule — never from host timing — so it
+// is bit-identical at any worker count.
+type SchedShape struct {
+	Windows          int64 // windowed rounds executed
+	ShardChains      int64 // phase-1 chains dispatched across them
+	Commits          int64 // processors merged into commit queues
+	CommitRuns       int64 // serial commit-chain resumes
+	RunAheadSpans    int64 // entries into the run-ahead fast path
+	RunAheadHandoffs int64 // direct processor handoffs inside run-ahead spans
+	WindowWidthSum   Time  // total width of windowed rounds (avg = sum/Windows)
+}
+
+// Shape reports the schedule's shape counters.
+func (e *Engine) Shape() SchedShape {
+	return SchedShape{
+		Windows:          e.windows,
+		ShardChains:      e.shardChains.Load(),
+		Commits:          e.commitSeq,
+		CommitRuns:       e.commitRuns,
+		RunAheadSpans:    e.raSpans,
+		RunAheadHandoffs: e.raHandoffs,
+		WindowWidthSum:   e.widthSum,
+	}
 }
 
 // awaitChains waits for n chains to terminate, re-raising on panic events.
@@ -560,6 +724,7 @@ func (e *Engine) release() {
 		}
 	}
 	e.wg.Wait()
+	e.runAhead = false
 	e.commit = e.commit[:0]
 	for s := range e.shardHeaps {
 		e.shardHeaps[s] = e.shardHeaps[s][:0]
@@ -614,7 +779,15 @@ func (e *Engine) Reset() {
 		}
 		p.Counters = Counters{}
 	}
+	e.window = e.windowBase
 	e.commitSeq = 0
 	e.windows = 0
-	e.shardChains = 0
+	e.shardChains.Store(0)
+	e.commitRuns = 0
+	e.widthSum = 0
+	e.raSpans = 0
+	e.raHandoffs = 0
+	e.markChains = 0
+	e.markCommits = 0
+	e.markRuns = 0
 }

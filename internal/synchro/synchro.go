@@ -13,8 +13,6 @@
 package synchro
 
 import (
-	"sort"
-
 	"origin2000/internal/core"
 	"origin2000/internal/sim"
 )
@@ -59,10 +57,9 @@ type Barrier struct {
 	release *core.Array // one line: release flag
 	flags   *core.Array // per-processor lines (tournament)
 
-	waiters  []*core.Proc
-	arrivals []sim.Time
-	maxArr   sim.Time
-	rounds   int
+	waiters []*core.Proc
+	maxArr  sim.Time
+	rounds  int
 }
 
 // NewBarrier creates a barrier for n processors on m.
@@ -118,7 +115,6 @@ func (b *Barrier) Wait(p *core.Proc) {
 	}
 	if len(b.waiters) < b.n-1 {
 		b.waiters = append(b.waiters, p)
-		b.arrivals = append(b.arrivals, arrival)
 		p.Block()
 		// Woken at the release time; the span was imbalance wait.
 		span := p.Now() - arrival
@@ -134,21 +130,8 @@ func (b *Barrier) Wait(p *core.Proc) {
 		// Logarithmic wake-up wave.
 		releaseAt += sim.Time(b.rounds) * wakeStep
 	}
-	// Deterministic wake order regardless of arrival interleaving.
-	order := make([]int, len(b.waiters))
-	for i := range order {
-		order[i] = i
-	}
-	sort.Slice(order, func(i, j int) bool {
-		ii, jj := order[i], order[j]
-		if b.arrivals[ii] != b.arrivals[jj] {
-			return b.arrivals[ii] < b.arrivals[jj]
-		}
-		return b.waiters[ii].ID() < b.waiters[jj].ID()
-	})
 	waiters := b.waiters
 	b.waiters = b.waiters[:0]
-	b.arrivals = b.arrivals[:0]
 	b.maxArr = 0
 	beforeRel := p.Now()
 	if b.alg != BarrierTournament {
@@ -164,9 +147,9 @@ func (b *Barrier) Wait(p *core.Proc) {
 		// tracer and the metrics sampler can align runs epoch by epoch.
 		p.MarkEpoch(releaseAt)
 	}
-	for _, i := range order {
-		p.WakeAt(waiters[i], releaseAt)
-	}
+	// All waiters resume at one release time, so order is immaterial (the
+	// run queues sort by clock then id): release them in a single batch.
+	p.WakeAllAt(waiters, releaseAt)
 	if releaseAt > p.Now() {
 		span := releaseAt - p.Now()
 		c.SyncWait += span
@@ -255,10 +238,17 @@ func NewLock(m *core.Machine, alg LockAlgorithm) *Lock {
 }
 
 // Acquire obtains the lock, blocking in virtual time while it is held.
+//
+// The global section opened here stays open until Release: the critical
+// region mutates host state shared across processors (that is why the app
+// locks), so it must stay on the serialized commit chain.  If the section
+// closed at return, a holder parked at a window edge mid-region would
+// resume on a phase-1 shard chain and its host writes would be unordered
+// against other shards' reads in the same window -- a host data race and,
+// worse, a worker-count-dependent simulation result.
 func (l *Lock) Acquire(p *core.Proc) {
 	// The lock's queue and holder state are shared: commit-phase only.
 	p.GlobalSection()
-	defer p.EndGlobal()
 	c := p.Stats()
 	c.LockAcquires++
 	before := p.Now()
@@ -296,8 +286,8 @@ func (l *Lock) Acquire(p *core.Proc) {
 }
 
 // Release hands the lock to the earliest waiter (by request time), if any.
+// It runs inside -- and closes -- the global section opened by Acquire.
 func (l *Lock) Release(p *core.Proc) {
-	p.GlobalSection()
 	defer p.EndGlobal()
 	if !l.held || l.holder != p.ID() {
 		panic("synchro: Release by non-holder")
