@@ -30,6 +30,7 @@ import (
 	"origin2000/internal/experiments"
 	"origin2000/internal/metrics"
 	"origin2000/internal/sim"
+	"origin2000/internal/snapshot"
 	"origin2000/internal/trace"
 	"origin2000/internal/workload"
 )
@@ -295,6 +296,97 @@ func metricsOverhead(mode string, s experiments.Scale) (Result, error) {
 	}, nil
 }
 
+// ckptOverhead measures checkpoint capture's end-to-end wall-clock cost on
+// one application run (FFT, 32 processors): capture off, and capture on a
+// 1ms and an aggressive 100µs virtual-time grid, each snapshot fully
+// serialized to originckpt/v1 bytes (the cost a user writing files pays).
+// The ckpt:off entry is the regression guard for the disabled path — an
+// unarmed quiescent hook per window.
+func ckptOverhead(mode string, s experiments.Scale) (Result, error) {
+	app := experiments.AppByName("FFT")
+	if app == nil {
+		return Result{}, fmt.Errorf("FFT app missing")
+	}
+	params := workload.Params{Size: s.BasicSize(app), Seed: 42}
+	var every sim.Time
+	switch mode {
+	case "1ms":
+		every = sim.Millisecond
+	case "100us":
+		every = 100 * sim.Microsecond
+	}
+	start := time.Now()
+	var r experiments.RunResult
+	var err error
+	if every == 0 {
+		r, err = s.Run(app, 32, params)
+	} else {
+		cfg := s.Machine(32)
+		cfg.Checkpoint.Every = every
+		cfg.Checkpoint.Spec = s.RunSpec(app, params)
+		cfg.Checkpoint.Sink = func(sn *snapshot.Snapshot) error {
+			_, eerr := sn.Encode()
+			return eerr
+		}
+		r, err = s.RunConfig(app, cfg, params)
+	}
+	if err != nil {
+		return Result{}, err
+	}
+	wall := time.Since(start).Seconds()
+	accesses := r.Result.Counters.Reads + r.Result.Counters.Writes
+	return Result{
+		Name:              "ckpt:" + mode,
+		NsPerOp:           wall * 1e9,
+		WallSeconds:       wall,
+		SimAccessesPerSec: float64(accesses) / wall,
+	}, nil
+}
+
+// ckptBytesPerBlock reports the serialized snapshot's size relative to the
+// simulated state it covers: encoded originckpt bytes divided by directory-
+// tracked blocks, from the last checkpoint of an FFT/32 run. The ratio is
+// the NsPerOp field so -compare tracks format growth like a perf number;
+// BytesPerOp records the absolute snapshot size. Deterministic, so a single
+// shot suffices.
+func ckptBytesPerBlock(s experiments.Scale) (Result, error) {
+	app := experiments.AppByName("FFT")
+	if app == nil {
+		return Result{}, fmt.Errorf("FFT app missing")
+	}
+	params := workload.Params{Size: s.BasicSize(app), Seed: 42}
+	var last *snapshot.Snapshot
+	cfg := s.Machine(32)
+	cfg.Checkpoint.Every = sim.Millisecond
+	cfg.Checkpoint.Spec = s.RunSpec(app, params)
+	cfg.Checkpoint.Sink = func(sn *snapshot.Snapshot) error {
+		last = sn
+		return nil
+	}
+	if _, err := s.RunConfig(app, cfg, params); err != nil {
+		return Result{}, err
+	}
+	if last == nil {
+		return Result{}, fmt.Errorf("ckpt:bytes-per-block: run too short, no snapshot captured")
+	}
+	data, err := last.Encode()
+	if err != nil {
+		return Result{}, err
+	}
+	blocks := 0
+	for _, d := range last.Directories {
+		blocks += len(d.Blocks)
+	}
+	if blocks == 0 {
+		return Result{}, fmt.Errorf("ckpt:bytes-per-block: snapshot tracks no blocks")
+	}
+	return Result{
+		Name:       "ckpt:bytes-per-block",
+		NsPerOp:    float64(len(data)) / float64(blocks),
+		BytesPerOp: int64(len(data)),
+	}, nil
+}
+
 // bestOf runs a single-shot wall-clock measurement n times and keeps the
 // fastest. The simulated run is deterministic, so every attempt measures
 // the identical workload; the minimum is the attempt least disturbed by
@@ -543,6 +635,24 @@ func main() {
 			fmt.Fprintln(os.Stderr, "origin-bench:", err)
 			os.Exit(1)
 		}
+		add(r)
+	}
+
+	for _, mode := range []string{"off", "1ms", "100us"} {
+		mode := mode
+		r, err := bestOf(3, func() (Result, error) {
+			return ckptOverhead(mode, benchScale)
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "origin-bench:", err)
+			os.Exit(1)
+		}
+		add(r)
+	}
+	if r, err := ckptBytesPerBlock(benchScale); err != nil {
+		fmt.Fprintln(os.Stderr, "origin-bench:", err)
+		os.Exit(1)
+	} else {
 		add(r)
 	}
 

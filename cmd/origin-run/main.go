@@ -6,17 +6,35 @@
 //	origin-run -app FFT [-procs 64] [-size 1048576] [-variant ""] [-prefetch]
 //	           [-scale 8] [-breakdown] [-ppn 2] [-mapping linear|random|gray|split]
 //	           [-engine serial|parallel] [-workers 0]
+//	           [-checkpoint-every 1ms] [-checkpoint-dir checkpoints]
+//	origin-run -resume checkpoints/ckpt-000002.originckpt [-engine parallel]
+//	origin-run -bisect checkpoints [-fault-drop-inval N]
+//
+// -checkpoint-every captures an originckpt/v1 snapshot of the whole machine
+// at each quiescent window boundary on the given virtual-time grid.
+// -resume replays the run deterministically to the snapshot's quiescent
+// point, proves byte-equality of the live state against the recorded state,
+// and continues — producing output identical to the uninterrupted run.
+// -bisect audits a directory of checkpoints for coherence corruption,
+// binary-searches for the first bad window, and replays it with the online
+// checker to pinpoint the fault. See DESIGN.md §13.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"sort"
 	"strings"
+	"time"
 
 	"origin2000/internal/core"
 	"origin2000/internal/experiments"
 	"origin2000/internal/perf"
+	"origin2000/internal/sim"
+	"origin2000/internal/snapshot"
 	"origin2000/internal/topology"
 	"origin2000/internal/trace"
 )
@@ -41,6 +59,11 @@ func main() {
 		engine    = flag.String("engine", "serial", "execution engine: serial, or parallel (bit-identical, faster wall clock)")
 		workers   = flag.Int("workers", 0, "host workers for -engine=parallel (0 = GOMAXPROCS)")
 		window    = flag.String("window", "fixed", "window policy: fixed, fixed:<dur>, adaptive, adaptive:<dur>")
+		ckptEvery = flag.String("checkpoint-every", "", "capture an originckpt snapshot every virtual duration (e.g. 1ms, 100us)")
+		ckptDir   = flag.String("checkpoint-dir", "checkpoints", "directory for -checkpoint-every snapshot files")
+		resumeF   = flag.String("resume", "", "resume from an originckpt file: replay to its quiescent point, prove state equality, continue")
+		bisectF   = flag.String("bisect", "", "bisect a directory of checkpoints to the first window that breaks coherence")
+		faultDrop = flag.Int("fault-drop-inval", 0, "fault injection: silently drop the Nth invalidation the directory sends (demo for -bisect)")
 	)
 	flag.Parse()
 
@@ -49,6 +72,23 @@ func main() {
 			fmt.Printf("%-16s unit=%-12s basic=%-8d variants=%q\n",
 				a.Name(), a.Unit(), a.BasicSize(), a.Variants())
 		}
+		return
+	}
+	var every sim.Time
+	if *ckptEvery != "" {
+		d, err := time.ParseDuration(*ckptEvery)
+		if err != nil || d <= 0 {
+			fmt.Fprintf(os.Stderr, "bad -checkpoint-every %q (want a positive Go duration like 1ms)\n", *ckptEvery)
+			os.Exit(2)
+		}
+		every = sim.Time(d.Nanoseconds()) * sim.Nanosecond
+	}
+	if *bisectF != "" {
+		runBisect(*bisectF, *faultDrop)
+		return
+	}
+	if *resumeF != "" {
+		runResume(*resumeF, *engine, *workers, every, *ckptDir)
 		return
 	}
 	app := experiments.AppByName(*appName)
@@ -97,9 +137,25 @@ func main() {
 	if *traceOut != "" {
 		cfg.Trace = trace.Options{Enabled: true, Lossless: true}
 	}
+	if every > 0 {
+		if err := os.MkdirAll(*ckptDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "checkpoint dir:", err)
+			os.Exit(1)
+		}
+		cfg.Checkpoint.Every = every
+		cfg.Checkpoint.Dir = *ckptDir
+		cfg.Checkpoint.Spec = se.Scale.RunSpec(app, params)
+	}
 	m := core.New(cfg)
 	if *arrays {
 		m.EnableArrayStats()
+	}
+	if *faultDrop > 0 {
+		n := 0
+		m.FaultDropInvalidation(func(block uint64, proc int) bool {
+			n++
+			return n == *faultDrop
+		})
 	}
 	if err := app.Run(m, params); err != nil {
 		fmt.Fprintln(os.Stderr, "parallel run:", err)
@@ -123,6 +179,10 @@ func main() {
 		c.Invalidations, c.Writebacks, c.Prefetches, c.FetchOps)
 	fmt.Printf("contention: hub queueing %.3f ms  memory queueing %.3f ms\n",
 		r.HubQueued.Milliseconds(), r.MemQueued.Milliseconds())
+	if every > 0 {
+		fmt.Printf("checkpoints: %d files -> %s (resume with -resume <file>, audit with -bisect %s)\n",
+			len(m.Checkpoints()), *ckptDir, *ckptDir)
+	}
 	if node, q := r.HottestHub(); node >= 0 && q > 0 {
 		fmt.Printf("            hottest hub: node %d (%.3f ms queued)\n", node, q.Milliseconds())
 	}
@@ -178,4 +238,135 @@ func main() {
 			fmt.Println(perf.Table(rows))
 		}
 	}
+}
+
+// summarize prints the post-run breakdown shared by the resume path.
+func summarize(m *core.Machine) {
+	r := m.Result()
+	avg := r.Average()
+	busy, mem, sync := avg.Fractions()
+	fmt.Printf("parallel:   %10.3f ms\n", m.Elapsed().Milliseconds())
+	fmt.Printf("breakdown:  busy %.1f%%  memory %.1f%%  sync %.1f%%\n", 100*busy, 100*mem, 100*sync)
+	c := r.Counters
+	fmt.Printf("misses:     local %d  remote-clean %d  remote-dirty %d  (hits %d)\n",
+		c.LocalMisses, c.RemoteClean, c.RemoteDirty, c.Hits)
+	fmt.Printf("traffic:    invalidations %d  writebacks %d  prefetches %d  fetch&ops %d\n",
+		c.Invalidations, c.Writebacks, c.Prefetches, c.FetchOps)
+}
+
+// runResume implements -resume: decode the snapshot, rebuild the exact
+// machine configuration and workload parameters its header records, replay
+// to the recorded quiescent point under the requested engine, prove state
+// equality, and run to completion. The window policy always comes from the
+// snapshot (the quiescent-sequence numbering depends on it); the engine and
+// worker count may be changed freely — results are bit-identical.
+func runResume(path, engine string, workers int, every sim.Time, ckptDir string) {
+	sn, err := snapshot.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "resume:", err)
+		os.Exit(1)
+	}
+	spec := sn.Header.Spec
+	app := experiments.AppByName(spec.App)
+	if app == nil {
+		fmt.Fprintf(os.Stderr, "resume: snapshot names unknown app %q\n", spec.App)
+		os.Exit(1)
+	}
+	params := experiments.SpecParams(spec)
+	var cfg core.Config
+	if err := json.Unmarshal(sn.Header.Config, &cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "resume: snapshot header config:", err)
+		os.Exit(1)
+	}
+	cfg.Checkpoint = core.CheckpointConfig{Spec: spec}
+	cfg.Engine = engine
+	cfg.Workers = workers
+	if every > 0 {
+		if err := os.MkdirAll(ckptDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "checkpoint dir:", err)
+			os.Exit(1)
+		}
+		cfg.Checkpoint.Every = every
+		cfg.Checkpoint.Dir = ckptDir
+	}
+	s := experiments.Scale{Div: spec.Div, CacheDiv: spec.CacheDiv, Steps: spec.Steps, Seed: spec.Seed,
+		Engine: engine, Workers: workers}
+	var m *core.Machine
+	s.OnMachine = func(mm *core.Machine) { m = mm }
+	fmt.Printf("resuming %s size=%d procs=%d from %s (quiescent seq %d, t=%v)\n",
+		spec.App, spec.Size, sn.Header.Procs, path, sn.Header.QuiesSeq, sn.Header.VirtualTime)
+	if _, err := s.ResumeConfig(app, cfg, params, sn); err != nil {
+		fmt.Fprintln(os.Stderr, "resume:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("state proof: live replay matches recorded state at seq %d — resumed\n", sn.Header.QuiesSeq)
+	summarize(m)
+	if every > 0 {
+		fmt.Printf("checkpoints: %d files -> %s\n", len(m.Checkpoints()), ckptDir)
+	}
+}
+
+// runBisect implements -bisect: read every checkpoint in the directory,
+// audit each serialized state for directory/cache disagreement, binary-
+// search for the first corrupt one, and replay that window with the online
+// coherence checker to pinpoint the fault. Exits 1 when a fault is found
+// (so scripts can branch on it), 0 when all checkpoints audit clean.
+func runBisect(dir string, faultDrop int) {
+	files, err := filepath.Glob(filepath.Join(dir, "ckpt-*.originckpt"))
+	if err != nil || len(files) == 0 {
+		fmt.Fprintf(os.Stderr, "bisect: no ckpt-*.originckpt files in %s\n", dir)
+		os.Exit(2)
+	}
+	sort.Strings(files)
+	snaps := make([]*snapshot.Snapshot, len(files))
+	for i, f := range files {
+		if snaps[i], err = snapshot.ReadFile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "bisect: %s: %v\n", f, err)
+			os.Exit(1)
+		}
+	}
+	spec := snaps[len(snaps)-1].Header.Spec
+	app := experiments.AppByName(spec.App)
+	if app == nil {
+		fmt.Fprintf(os.Stderr, "bisect: snapshots name unknown app %q\n", spec.App)
+		os.Exit(1)
+	}
+	params := experiments.SpecParams(spec)
+	s := experiments.Scale{Div: spec.Div, CacheDiv: spec.CacheDiv, Steps: spec.Steps, Seed: spec.Seed}
+	if faultDrop > 0 {
+		// The confirming replay re-executes the run, so a fault seeded at
+		// capture time must be seeded again to reproduce.
+		s.OnMachine = func(m *core.Machine) {
+			n := 0
+			m.FaultDropInvalidation(func(block uint64, proc int) bool {
+				n++
+				return n == faultDrop
+			})
+		}
+	}
+	fmt.Printf("bisecting %d checkpoints of %s size=%d procs=%d\n",
+		len(snaps), spec.App, spec.Size, snaps[len(snaps)-1].Header.Procs)
+	rep, err := s.BisectViolation(app, snaps[len(snaps)-1].Header.Procs, params, snaps)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bisect:", err)
+		os.Exit(1)
+	}
+	if rep.FirstBad < 0 {
+		fmt.Println("all checkpoints audit clean; no coherence fault found")
+		return
+	}
+	fmt.Printf("first corrupt checkpoint: %s\n", files[rep.FirstBad])
+	fmt.Printf("fault window: (%v, %v]  (quiescent seq %d..%d)\n",
+		rep.WindowStart, rep.WindowEnd, rep.SeqStart, rep.SeqEnd)
+	for _, a := range rep.Audit {
+		fmt.Printf("  audit:   block %-8d proc %-3d %s\n", a.Block, a.Proc, a.Msg)
+	}
+	for _, v := range rep.Violations {
+		fmt.Printf("  checker: t=%-14v proc %-3d block %-8d %s\n", v.At, v.Proc, v.Block, v.Msg)
+	}
+	if len(rep.Violations) == 0 {
+		fmt.Println("  (checker replay found no violation inside the window; the corruption")
+		fmt.Println("   predates detection — inspect the audit findings above)")
+	}
+	os.Exit(1)
 }

@@ -4,17 +4,33 @@
 // Usage:
 //
 //	origin-sweep -app Barnes [-procs 32,64,128] [-variant spatial] [-scale 8]
+//	             [-warm-start checkpoints/sweep]
+//
+// -warm-start keeps one originckpt/v1 checkpoint per sweep configuration in
+// the given directory. The first sweep captures them; later sweeps resume
+// each configuration from its saved checkpoint, re-proving byte-equality of
+// the replayed state against the recorded state before continuing. Because
+// resume is replay-based the simulation work is re-executed either way —
+// what the warm start buys is the proof: a sweep that resumes cleanly is
+// guaranteed to be reproducing the checkpointed results, and a simulator
+// change that alters any configuration's schedule fails its resume loudly
+// instead of silently shifting the curves.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 
 	"origin2000/internal/experiments"
 	"origin2000/internal/perf"
+	"origin2000/internal/sim"
+	"origin2000/internal/snapshot"
+	"origin2000/internal/workload"
 )
 
 func main() {
@@ -24,6 +40,7 @@ func main() {
 		variant   = flag.String("variant", "", "also plot this variant against the original")
 		scale     = flag.Int("scale", 8, "divide problem sizes and cache by this factor")
 		seed      = flag.Int64("seed", 42, "input seed")
+		warmDir   = flag.String("warm-start", "", "directory of per-configuration checkpoints: capture on first sweep, resume (with state proof) on later ones")
 	)
 	flag.Parse()
 
@@ -42,6 +59,14 @@ func main() {
 		procs = append(procs, v)
 	}
 	se := experiments.NewSession(experiments.Scale{Div: *scale, CacheDiv: *scale, Seed: *seed})
+	var warm *warmStarter
+	if *warmDir != "" {
+		if err := os.MkdirAll(*warmDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "warm-start dir:", err)
+			os.Exit(1)
+		}
+		warm = &warmStarter{dir: *warmDir}
+	}
 
 	variants := []string{""}
 	if *variant != "" {
@@ -62,7 +87,13 @@ func main() {
 			s := perf.Series{Label: label, Marker: markers[mi%len(markers)]}
 			mi++
 			for _, size := range app.SweepSizes() {
-				eff, _, err := se.Efficiency(app, p, size, v)
+				var eff float64
+				var err error
+				if warm != nil {
+					eff, err = warm.efficiency(se, app, p, size, v)
+				} else {
+					eff, _, err = se.Efficiency(app, p, size, v)
+				}
 				if err != nil {
 					fmt.Fprintln(os.Stderr, "error:", err)
 					os.Exit(1)
@@ -76,4 +107,75 @@ func main() {
 	fmt.Printf("%s efficiency vs problem size (x = %s, scale 1/%d)\n\n",
 		app.Name(), app.Unit(), se.Scale.Div)
 	fmt.Println(perf.Curves(series, 64, 14, 1.2))
+	if warm != nil {
+		fmt.Printf("warm-start: %d configurations resumed with state proofs, %d captured fresh -> %s\n",
+			warm.resumed, warm.fresh, warm.dir)
+	}
+}
+
+// warmStarter resumes sweep configurations from per-config checkpoints,
+// capturing one for any configuration that lacks it.
+type warmStarter struct {
+	dir            string
+	resumed, fresh int
+}
+
+// efficiency measures one sweep point. With a matching checkpoint on disk
+// the run resumes from it — re-proving the replayed state byte-equal to the
+// recorded state at the checkpoint's quiescent point — and a divergence
+// (the simulator no longer reproduces the checkpointed run) falls back to a
+// fresh capture after a loud warning.
+func (w *warmStarter) efficiency(se *experiments.Session, app workload.App, procs, paperSize int, variant string) (float64, error) {
+	s := se.Scale
+	params := s.Params(app, paperSize, variant)
+	seq, err := se.Sequential(app, paperSize)
+	if err != nil {
+		return 0, err
+	}
+	spec := s.RunSpec(app, params)
+	vtag := variant
+	if vtag == "" {
+		vtag = "orig"
+	}
+	path := filepath.Join(w.dir, fmt.Sprintf("sweep-%s-%s-p%d-s%d-d%d.originckpt",
+		app.Name(), vtag, procs, params.Size, s.Div))
+	if sn, rerr := snapshot.ReadFile(path); rerr == nil && sn.Header.Spec == spec && sn.Header.Procs == procs {
+		r, resErr := s.ResumeRun(app, procs, params, sn)
+		if resErr == nil {
+			w.resumed++
+			return perf.Efficiency(seq, r.Elapsed, procs), nil
+		}
+		var div *snapshot.DivergenceError
+		if errors.As(resErr, &div) {
+			fmt.Fprintf(os.Stderr, "warm-start: %s: %v — the simulator no longer reproduces this checkpoint; recapturing\n", path, resErr)
+		} else {
+			fmt.Fprintf(os.Stderr, "warm-start: %s: %v; recapturing\n", path, resErr)
+		}
+	}
+	// Cold path: run once with capture enabled, keeping only the last
+	// quiescent snapshot. The grid is sized from the sequential time so a
+	// handful of capture points land inside the parallel run.
+	every := seq / sim.Time(4*procs)
+	if every <= 0 {
+		every = 1
+	}
+	var last *snapshot.Snapshot
+	cfg := s.Machine(procs)
+	cfg.Checkpoint.Every = every
+	cfg.Checkpoint.Spec = spec
+	cfg.Checkpoint.Sink = func(sn *snapshot.Snapshot) error {
+		last = sn
+		return nil
+	}
+	r, err := s.RunConfig(app, cfg, params)
+	if err != nil {
+		return 0, err
+	}
+	w.fresh++
+	if last != nil {
+		if werr := last.WriteFile(path); werr != nil {
+			fmt.Fprintf(os.Stderr, "warm-start: save %s: %v\n", path, werr)
+		}
+	}
+	return perf.Efficiency(seq, r.Elapsed, procs), nil
 }

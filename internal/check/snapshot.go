@@ -1,0 +1,128 @@
+package check
+
+import (
+	"fmt"
+	"sort"
+
+	"origin2000/internal/cache"
+	"origin2000/internal/directory"
+	"origin2000/internal/sim"
+)
+
+// LineSnap is one processor's expected cache line in a BlockSnap.
+type LineSnap struct {
+	Proc  int         `json:"proc"`
+	State cache.State `json:"state"`
+	Ver   uint64      `json:"ver"`
+}
+
+// BlockSnap is the checker's serialized mirror state for one block. Held is
+// sorted by processor; Hist is the history ring's events oldest-first with
+// HistN the ring's total-event counter (the write cursor is HistN mod the
+// ring size, so the pair reconstructs the ring array byte-for-byte).
+type BlockSnap struct {
+	Block    uint64            `json:"block"`
+	DirState directory.State   `json:"dir_state"`
+	Owner    int16             `json:"owner"`
+	Sharers  directory.Sharers `json:"sharers"`
+	Ver      uint64            `json:"ver"`
+	Held     []LineSnap        `json:"held,omitempty"`
+	HistN    int               `json:"hist_n,omitempty"`
+	Hist     []Event           `json:"hist,omitempty"`
+}
+
+// Snap is the checker's full serializable state: every block mirror in
+// ascending block order, the per-processor clocks, the violation log, and
+// the event counter. The directory view and cache attachments are wiring,
+// not state — a restored checker is rebuilt with New/AttachCache first.
+type Snap struct {
+	Blocks        []BlockSnap  `json:"blocks"`
+	Clocks        []sim.Time   `json:"clocks"`
+	MaxViolations int          `json:"max_violations"`
+	Violations    []*Violation `json:"violations,omitempty"`
+	Dropped       int          `json:"dropped,omitempty"`
+	Events        int64        `json:"events"`
+}
+
+// Snap captures the checker's state in canonical order.
+func (c *Checker) Snap() Snap {
+	s := Snap{
+		Clocks:        append([]sim.Time(nil), c.clocks...),
+		MaxViolations: c.MaxViolations,
+		Violations:    c.violations,
+		Dropped:       c.dropped,
+		Events:        c.events,
+	}
+	keys := make([]uint64, 0, len(c.blocks))
+	for blk := range c.blocks {
+		keys = append(keys, blk)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	s.Blocks = make([]BlockSnap, 0, len(keys))
+	for _, blk := range keys {
+		b := c.blocks[blk]
+		bs := BlockSnap{
+			Block:    blk,
+			DirState: b.dirState,
+			Owner:    b.owner,
+			Sharers:  b.sharers,
+			Ver:      b.ver,
+		}
+		if len(b.held) > 0 {
+			bs.Held = make([]LineSnap, 0, len(b.held))
+			for p, ln := range b.held {
+				bs.Held = append(bs.Held, LineSnap{Proc: p, State: ln.state, Ver: ln.ver})
+			}
+			sort.Slice(bs.Held, func(i, j int) bool { return bs.Held[i].Proc < bs.Held[j].Proc })
+		}
+		if b.hist != nil {
+			bs.HistN = b.hist.n
+			bs.Hist = b.hist.snapshot()
+		}
+		s.Blocks = append(s.Blocks, bs)
+	}
+	return s
+}
+
+// Restore overwrites the checker's state from a snapshot. The checker must
+// have been created for the same processor count.
+func (c *Checker) Restore(s Snap) error {
+	if len(s.Clocks) != len(c.clocks) {
+		return fmt.Errorf("check: snapshot has %d processor clocks, checker has %d",
+			len(s.Clocks), len(c.clocks))
+	}
+	copy(c.clocks, s.Clocks)
+	c.MaxViolations = s.MaxViolations
+	c.violations = s.Violations
+	c.dropped = s.Dropped
+	c.events = s.Events
+	c.blocks = make(map[uint64]*blockMirror, len(s.Blocks))
+	for _, bs := range s.Blocks {
+		b := &blockMirror{
+			dirState: bs.DirState,
+			owner:    bs.Owner,
+			sharers:  bs.Sharers,
+			ver:      bs.Ver,
+			held:     make(map[int]lineMirror, len(bs.Held)),
+		}
+		for _, ln := range bs.Held {
+			b.held[ln.Proc] = lineMirror{state: ln.State, ver: ln.Ver}
+		}
+		if bs.HistN > 0 {
+			if len(bs.Hist) > ringSize {
+				return fmt.Errorf("check: block %#x snapshot history has %d events (ring holds %d)",
+					bs.Block, len(bs.Hist), ringSize)
+			}
+			r := &ring{n: bs.HistN, idx: bs.HistN % ringSize}
+			// Rebuild the ring array exactly as live recording left it: the
+			// k retained events end at the write cursor.
+			k := len(bs.Hist)
+			for i, e := range bs.Hist {
+				r.ev[(r.idx-k+i+ringSize)%ringSize] = e
+			}
+			b.hist = r
+		}
+		c.blocks[bs.Block] = b
+	}
+	return nil
+}

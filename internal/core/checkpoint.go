@@ -1,0 +1,350 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"runtime"
+	"sort"
+
+	"origin2000/internal/check"
+	"origin2000/internal/metrics"
+	"origin2000/internal/sim"
+	"origin2000/internal/snapshot"
+	"origin2000/internal/trace"
+)
+
+// Checkpoint capture and replay-based resume (DESIGN.md §13).
+//
+// The engine reports every round boundary through its quiescent hook; at
+// boundaries where no processor has a global section open the machine's
+// entire observable state is a pure function of the deterministic schedule
+// prefix, so it can be serialized (capture) or compared against a prior
+// serialization (resume proof). Goroutine stacks are not serializable, so
+// resume re-executes the prefix with observers muted — they are not
+// constructed, and every observer call site is already nil-gated — then at
+// the recorded quiescent point proves byte equality of the simulation
+// sections, restores the observer sections into freshly built observers,
+// and unmutes. The simulated schedule never depends on observer presence
+// (see shard.go), so the muted prefix is bit-identical to the recorded one.
+
+// ErrStopped is the panic value the quiescent hook raises when a run
+// reaches Checkpoint.StopAtSeq. Drivers that set StopAtSeq recover it; it
+// never escapes a run that did not ask to stop.
+var ErrStopped = errors.New("core: run stopped at requested quiescent point")
+
+// EffectiveWorkers reports the host-worker count a normalized configuration
+// runs with, and whether an observer forced it down to one (the checker and
+// the metrics sampler read cross-shard state from their event hooks, so
+// either forces a single worker; see setupShards).
+func EffectiveWorkers(cfg *Config) (workers int, forced bool) {
+	workers = 1
+	if cfg.Engine == "parallel" {
+		workers = cfg.Workers
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+	}
+	if cfg.Check || cfg.Metrics.Enabled {
+		return 1, true
+	}
+	return workers, false
+}
+
+// syncSnapReg is one synchronization primitive's registered state provider.
+// Primitives are constructed by deterministic program code, so registration
+// order — and therefore the syncs section — is deterministic.
+type syncSnapReg struct {
+	base uint64
+	kind string
+	fn   func() any
+}
+
+// RegisterStateSnap registers a host-state provider for a synchronization
+// primitive, keyed by the primitive's identifying simulated address. The
+// returned state must be JSON-serializable and deterministic; it is
+// captured into every snapshot's syncs section as a proof obligation of
+// resume (replay rebuilds the primitives themselves).
+func (m *Machine) RegisterStateSnap(base uint64, kind string, fn func() any) {
+	m.syncSnaps = append(m.syncSnaps, syncSnapReg{base: base, kind: kind, fn: fn})
+}
+
+// ckptState is the per-machine checkpoint/resume state machine driven by
+// the engine's quiescent hook.
+type ckptState struct {
+	every   sim.Time
+	next    sim.Time
+	dir     string
+	sink    func(*snapshot.Snapshot) error
+	stopAt  int64
+	resume  *snapshot.Snapshot
+	written []string
+	count   int
+}
+
+// initCheckpoint arms the quiescent hook when the configuration asks for
+// capture, resume, or a stop point.
+func (m *Machine) initCheckpoint() {
+	ck := &m.cfg.Checkpoint
+	if ck.Every <= 0 && ck.Resume == nil && ck.StopAtSeq <= 0 {
+		return
+	}
+	m.ckpt = &ckptState{
+		every:  ck.Every,
+		next:   ck.Every,
+		dir:    ck.Dir,
+		sink:   ck.Sink,
+		stopAt: ck.StopAtSeq,
+		resume: ck.Resume,
+	}
+	m.eng.SetQuiescentHook(m.onQuiescent)
+}
+
+// Checkpoints returns the paths of the snapshot files written so far (when
+// Checkpoint.Dir is set), in capture order.
+func (m *Machine) Checkpoints() []string {
+	if m.ckpt == nil {
+		return nil
+	}
+	return m.ckpt.written
+}
+
+// Resuming reports whether the machine is still replaying toward a resume
+// point with observers muted.
+func (m *Machine) Resuming() bool { return m.ckpt != nil && m.ckpt.resume != nil }
+
+// onQuiescent is the engine's quiescent hook: it drives resume proof,
+// requested stops, and periodic capture. It runs on the scheduling
+// boundary, so any failure must leave via panic; the engine propagates the
+// value out of Run and resume/bisect drivers recover the typed values
+// (snapshot.DivergenceError, ErrStopped).
+func (m *Machine) onQuiescent(seq int64, minNow sim.Time, quiet bool) {
+	ck := m.ckpt
+	if rs := ck.resume; rs != nil {
+		target := rs.Header.QuiesSeq
+		if seq < target {
+			return
+		}
+		if seq > target {
+			panic(&snapshot.DivergenceError{Section: "header", Seq: seq, At: minNow,
+				Msg: fmt.Sprintf("replay skipped past quiescent point %d", target)})
+		}
+		if !quiet {
+			panic(&snapshot.DivergenceError{Section: "header", Seq: seq, At: minNow,
+				Msg: "replay reached the recorded quiescent point with a global section open"})
+		}
+		live := m.capture(seq, minNow)
+		if sec, ok := snapshot.ProveEqual(live, rs); !ok {
+			panic(&snapshot.DivergenceError{Section: sec, Seq: seq, At: minNow,
+				Msg: "replayed state does not match the snapshot"})
+		}
+		if err := m.unmute(rs); err != nil {
+			panic(&snapshot.DivergenceError{Section: "header", Seq: seq, At: minNow, Msg: err.Error()})
+		}
+		ck.resume = nil
+		if ck.every > 0 {
+			// Continue the capture grid exactly where the recorded run's
+			// would have been, so a resumed run emits the same remaining
+			// checkpoints as an uninterrupted one.
+			for ck.next <= minNow {
+				ck.next += ck.every
+			}
+		}
+		return
+	}
+	if ck.stopAt > 0 && seq >= ck.stopAt {
+		panic(ErrStopped)
+	}
+	if ck.every <= 0 || !quiet || minNow < ck.next {
+		return
+	}
+	s := m.capture(seq, minNow)
+	if err := m.emit(s); err != nil {
+		panic(fmt.Errorf("core: checkpoint at t=%v: %w", minNow, err))
+	}
+	for ck.next <= minNow {
+		ck.next += ck.every
+	}
+}
+
+// capture serializes the machine at a quiescent point. Everything that can
+// influence the rest of the run — or that an observer has accumulated — is
+// included; host-side memos with no observable effect (the per-processor
+// home TLB, the diagnostic array index) are deliberately not.
+func (m *Machine) capture(seq int64, minNow sim.Time) *snapshot.Snapshot {
+	workers, forced := EffectiveWorkers(&m.cfg)
+	s := &snapshot.Snapshot{
+		Header: snapshot.Header{
+			Version:       snapshot.Version,
+			Procs:         m.cfg.Procs,
+			Engine:        m.cfg.Engine,
+			Workers:       workers,
+			WorkersForced: forced,
+			QuiesSeq:      seq,
+			VirtualTime:   minNow,
+			Spec:          m.cfg.Checkpoint.Spec,
+		},
+		Engine: m.eng.Snap(),
+	}
+	if cfgJSON, err := json.Marshal(&m.cfg); err == nil {
+		s.Header.Config = cfgJSON
+	}
+	s.Procs = make([]snapshot.ProcSnap, len(m.procs))
+	for i, p := range m.procs {
+		s.Procs[i] = p.snapState()
+	}
+	for _, p := range m.procs {
+		s.Caches = append(s.Caches, p.cache.Snap())
+	}
+	for _, d := range m.dirs {
+		s.Directories = append(s.Directories, d.Snap())
+	}
+	s.MemPolicy = m.pages.Snap()
+	s.Resources.Hubs = resourceSnaps(m.hubs)
+	s.Resources.Mems = resourceSnaps(m.mems)
+	s.Resources.Routers = resourceSnaps(m.routers)
+	s.Resources.Metas = resourceSnaps(m.metas)
+	s.Memory = snapshot.MemorySnap{
+		NextAddr:  m.nextAddr,
+		NodePages: append([]int(nil), m.nodePages...),
+	}
+	for _, reg := range m.syncSnaps {
+		state, err := json.Marshal(reg.fn())
+		if err != nil {
+			panic(fmt.Errorf("core: checkpoint: sync %q at %#x: %w", reg.kind, reg.base, err))
+		}
+		s.Syncs = append(s.Syncs, snapshot.SyncRecord{Base: reg.base, Kind: reg.kind, State: state})
+	}
+	if m.check != nil {
+		cs := m.check.Snap()
+		s.Checker = &cs
+	}
+	if m.tracer != nil {
+		ts := m.tracer.Snap()
+		s.Tracer = &ts
+	}
+	if m.sampler != nil {
+		ms := m.sampler.Snap()
+		s.Metrics = &ms
+	}
+	return s
+}
+
+// snapState captures one processor's machine-level state (the scheduling
+// state lives in the engine section).
+func (p *Proc) snapState() snapshot.ProcSnap {
+	ps := snapshot.ProcSnap{
+		Phase: p.phase.name,
+		PhaseMark: snapshot.Breakdown{
+			Busy:   p.phase.snap.Busy,
+			Memory: p.phase.snap.Memory,
+			Sync:   p.phase.snap.Sync,
+		},
+	}
+	if len(p.prefetch) > 0 {
+		ps.Prefetch = make([]snapshot.PrefetchEntry, 0, len(p.prefetch))
+		for blk, ready := range p.prefetch {
+			ps.Prefetch = append(ps.Prefetch, snapshot.PrefetchEntry{Block: blk, Ready: ready})
+		}
+		sort.Slice(ps.Prefetch, func(i, j int) bool { return ps.Prefetch[i].Block < ps.Prefetch[j].Block })
+	}
+	if len(p.prefetchQ) > 0 {
+		ps.PrefetchQ = append([]uint64(nil), p.prefetchQ...)
+	}
+	if len(p.phase.acc) > 0 {
+		names := make([]string, 0, len(p.phase.acc))
+		for name := range p.phase.acc {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		ps.PhaseAcc = make([]snapshot.PhaseTotal, 0, len(names))
+		for _, name := range names {
+			b := p.phase.acc[name]
+			ps.PhaseAcc = append(ps.PhaseAcc, snapshot.PhaseTotal{
+				Name:      name,
+				Breakdown: snapshot.Breakdown{Busy: b.Busy, Memory: b.Memory, Sync: b.Sync},
+			})
+		}
+	}
+	return ps
+}
+
+func resourceSnaps(rs []sim.Resource) []sim.ResourceSnap {
+	if len(rs) == 0 {
+		return nil
+	}
+	out := make([]sim.ResourceSnap, len(rs))
+	for i := range rs {
+		out[i] = rs[i].Snap()
+	}
+	return out
+}
+
+// emit writes a captured snapshot to the configured destinations.
+func (m *Machine) emit(s *snapshot.Snapshot) error {
+	ck := m.ckpt
+	if ck.dir != "" {
+		path := filepath.Join(ck.dir, fmt.Sprintf("ckpt-%06d.originckpt", ck.count))
+		if err := s.WriteFile(path); err != nil {
+			return err
+		}
+		ck.written = append(ck.written, path)
+	}
+	ck.count++
+	if ck.sink != nil {
+		return ck.sink(s)
+	}
+	return nil
+}
+
+// unmute builds the run's observers at the resume point and restores their
+// recorded state. The configuration's observer set must match the
+// snapshot's: a checked run cannot resume from an unchecked snapshot or
+// vice versa — the observers would have missed the prefix.
+func (m *Machine) unmute(rs *snapshot.Snapshot) error {
+	cfg := &m.cfg
+	if cfg.Check != (rs.Checker != nil) {
+		return fmt.Errorf("core: resume: run has Check=%v but snapshot checker section present=%v",
+			cfg.Check, rs.Checker != nil)
+	}
+	if cfg.Trace.Enabled != (rs.Tracer != nil) {
+		return fmt.Errorf("core: resume: run has Trace.Enabled=%v but snapshot tracer section present=%v",
+			cfg.Trace.Enabled, rs.Tracer != nil)
+	}
+	if cfg.Metrics.Enabled != (rs.Metrics != nil) {
+		return fmt.Errorf("core: resume: run has Metrics.Enabled=%v but snapshot metrics section present=%v",
+			cfg.Metrics.Enabled, rs.Metrics != nil)
+	}
+	if cfg.Check {
+		ck := check.New(cfg.Procs, &multiDir{m: m})
+		for i, p := range m.procs {
+			ck.AttachCache(i, p.cache)
+		}
+		if err := ck.Restore(*rs.Checker); err != nil {
+			return err
+		}
+		m.check = ck
+	}
+	if cfg.Trace.Enabled {
+		tr := trace.New(cfg.Procs, cfg.Trace)
+		shardOf := make([]int, cfg.Procs)
+		for i, p := range m.procs {
+			shardOf[i] = p.router
+		}
+		tr.SetShards(shardOf, m.numRouters)
+		if err := tr.Restore(*rs.Tracer); err != nil {
+			return err
+		}
+		m.tracer = tr
+		m.attachTracer()
+	}
+	if cfg.Metrics.Enabled {
+		sm := metrics.New(cfg.Procs, cfg.Metrics)
+		if err := sm.Restore(*rs.Metrics); err != nil {
+			return err
+		}
+		m.sampler = sm
+	}
+	return nil
+}

@@ -18,6 +18,7 @@ import (
 	"origin2000/internal/mempolicy"
 	"origin2000/internal/metrics"
 	"origin2000/internal/sim"
+	"origin2000/internal/snapshot"
 	"origin2000/internal/topology"
 	"origin2000/internal/trace"
 )
@@ -188,6 +189,35 @@ type Config struct {
 	// WindowMax caps the adaptive window width (0 selects 64x Quantum).
 	// Ignored under WindowPolicy "fixed".
 	WindowMax sim.Time
+	// Checkpoint configures originckpt/v1 snapshots at quiescent window
+	// boundaries, replay-based resume, and time-travel bisection; see
+	// internal/snapshot and DESIGN.md §13. Zero value disables everything.
+	Checkpoint CheckpointConfig
+}
+
+// CheckpointConfig controls checkpointing and resume for one run.
+type CheckpointConfig struct {
+	// Every emits a snapshot at the first quiescent window boundary at or
+	// after each multiple of this virtual duration. Zero disables capture.
+	Every sim.Time
+	// Dir receives one ckpt-NNNNNN.originckpt file per snapshot when
+	// non-empty.
+	Dir string
+	// Spec is recorded verbatim in every snapshot header so drivers can
+	// rebuild the run.
+	Spec snapshot.RunSpec
+	// StopAtSeq halts the run (via ErrStopped) at the first quiescent point
+	// whose sequence number reaches this value. Zero means run to
+	// completion. Used by bisection replays.
+	StopAtSeq int64
+	// Sink, when set, receives every captured snapshot (after Dir, if both
+	// are set). A Sink error aborts the run. Not serializable.
+	Sink func(*snapshot.Snapshot) error `json:"-"`
+	// Resume, when set, makes the machine re-execute deterministically with
+	// observers muted until the snapshot's quiescent point, prove state
+	// equality byte-for-byte, restore observer state, and continue. Not
+	// serializable.
+	Resume *snapshot.Snapshot `json:"-"`
 }
 
 // Origin2000 returns the configuration of the paper's machine with the

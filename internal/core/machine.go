@@ -53,6 +53,9 @@ type Machine struct {
 	// placeFn is the first-touch placement hook passed to Table.Resolve,
 	// built once so the hot path never allocates a closure.
 	placeFn func(choice int) int
+
+	ckpt      *ckptState    // nil unless Config.Checkpoint is armed
+	syncSnaps []syncSnapReg // registered sync-primitive state providers
 }
 
 // New builds a machine from cfg.
@@ -109,14 +112,19 @@ func New(cfg Config) *Machine {
 	if len(m.mapping) != cfg.Procs || !m.mapping.Valid() {
 		panic("core: mapping must be a permutation of the processor ids")
 	}
-	if cfg.Check {
+	// A resuming machine replays the prefix with observers muted: they are
+	// not constructed here, and every observer call site is nil-gated, so
+	// the replayed schedule is the recorded one. The resume proof rebuilds
+	// and restores them at the recorded quiescent point (see unmute).
+	resuming := cfg.Checkpoint.Resume != nil
+	if cfg.Check && !resuming {
 		m.check = check.New(cfg.Procs, &multiDir{m: m})
 	}
-	if cfg.Trace.Enabled {
+	if cfg.Trace.Enabled && !resuming {
 		m.tracer = trace.New(cfg.Procs, cfg.Trace)
 		m.attachTracer()
 	}
-	if cfg.Metrics.Enabled {
+	if cfg.Metrics.Enabled && !resuming {
 		m.sampler = metrics.New(cfg.Procs, cfg.Metrics)
 	}
 	m.procs = make([]*Proc, cfg.Procs)
@@ -136,6 +144,7 @@ func New(cfg Config) *Machine {
 		}
 	}
 	m.setupShards()
+	m.initCheckpoint()
 	return m
 }
 

@@ -1,8 +1,6 @@
 package core
 
 import (
-	"runtime"
-
 	"origin2000/internal/directory"
 	"origin2000/internal/mempolicy"
 )
@@ -39,16 +37,7 @@ func (m *Machine) setupShards() {
 	if tr := m.tracer; tr != nil {
 		tr.SetShards(shardOf, m.numRouters)
 	}
-	workers := 1
-	if m.cfg.Engine == "parallel" {
-		workers = m.cfg.Workers
-		if workers <= 0 {
-			workers = runtime.GOMAXPROCS(0)
-		}
-	}
-	if m.cfg.Check || m.cfg.Metrics.Enabled {
-		workers = 1
-	}
+	workers, _ := EffectiveWorkers(&m.cfg)
 	m.eng.SetWorkers(workers)
 }
 

@@ -1,0 +1,32 @@
+package directory
+
+// BlockSnap is the serializable directory record of one active block.
+type BlockSnap struct {
+	Block   uint64  `json:"block"`
+	State   State   `json:"state"`
+	Sharers Sharers `json:"sharers"`
+	Owner   int16   `json:"owner"`
+}
+
+// Snap is the serializable state of one home directory: every block with
+// active (non-Unowned) state in ascending block order — the same canonical
+// order ForEach visits — plus the incremental state-mix counters.
+type Snap struct {
+	Blocks    []BlockSnap `json:"blocks"`
+	Shared    int         `json:"shared"`
+	Exclusive int         `json:"exclusive"`
+}
+
+// Snap captures the directory's active entries in canonical order.
+func (d *Directory) Snap() Snap {
+	s := Snap{Shared: d.nShared, Exclusive: d.nExclusive}
+	d.ForEach(func(block uint64, e Entry) {
+		s.Blocks = append(s.Blocks, BlockSnap{
+			Block:   block,
+			State:   e.State,
+			Sharers: e.Sharers,
+			Owner:   e.Owner,
+		})
+	})
+	return s
+}

@@ -1,0 +1,503 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"origin2000/internal/core"
+	"origin2000/internal/metrics"
+	"origin2000/internal/snapshot"
+	"origin2000/internal/trace"
+	"origin2000/internal/workload"
+)
+
+// The correctness tier of the checkpoint conformance suite (DESIGN.md §13):
+// resuming from a mid-run snapshot must reproduce the uninterrupted run
+// exactly — the same RunResult down to every counter, the same trace bytes,
+// the same metrics series, the same checker verdict — under both engines
+// and across worker counts. The scale matches the engine-equivalence suite
+// (Div 64, 32 processors).
+
+// saveCkptArtifacts drops a diverging snapshot pair into the CI artifact
+// directory (ORIGIN_TRACE_ARTIFACTS) for offline diffing.
+func saveCkptArtifacts(t *testing.T, label string, recorded, live *snapshot.Snapshot) {
+	dir := trace.ArtifactDir()
+	if dir == "" {
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Logf("artifact dir: %v", err)
+		return
+	}
+	for _, f := range []struct {
+		role string
+		s    *snapshot.Snapshot
+	}{{"recorded", recorded}, {"live", live}} {
+		if f.s == nil {
+			continue
+		}
+		path := filepath.Join(dir, fmt.Sprintf("ckpt-%s-%s.originckpt", label, f.role))
+		if err := f.s.WriteFile(path); err != nil {
+			t.Logf("artifact write: %v", err)
+			continue
+		}
+		t.Logf("saved %s", path)
+	}
+}
+
+// ckptParams returns (app, params) at the conformance scale.
+func ckptParams(t *testing.T, appName string) (workload.App, workload.Params) {
+	t.Helper()
+	app := AppByName(appName)
+	if app == nil {
+		t.Fatalf("unknown app %q", appName)
+	}
+	s := Scale{Div: 64, CacheDiv: 64}
+	return app, s.Params(app, app.BasicSize(), "")
+}
+
+// exportTrace serializes a machine's event trace.
+func exportTrace(t *testing.T, m *core.Machine) []byte {
+	t.Helper()
+	var b bytes.Buffer
+	if err := m.Tracer().WriteBinary(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.Bytes()
+}
+
+// scrubResult nulls the live observer handles inside a RunResult so
+// DeepEqual compares the simulation outcome, not tracer/sampler internals
+// (ring cursors and buffer rotation differ after a Restore even when the
+// logical content — which the tests compare separately via exported bytes
+// and series — is identical).
+func scrubResult(r RunResult) RunResult {
+	r.Result.Trace = nil
+	r.Result.Metrics = nil
+	return r
+}
+
+// headerProvenanceOnly reports whether two snapshot headers agree on
+// everything except which engine/worker count produced them — the one
+// difference a cross-engine resume is allowed to leave behind.
+func headerProvenanceOnly(t *testing.T, a, b snapshot.Header) bool {
+	t.Helper()
+	var ca, cb core.Config
+	if err := json.Unmarshal(a.Config, &ca); err != nil {
+		t.Fatalf("header config does not parse: %v", err)
+	}
+	if err := json.Unmarshal(b.Config, &cb); err != nil {
+		t.Fatalf("header config does not parse: %v", err)
+	}
+	ca.Engine, cb.Engine = "", ""
+	ca.Workers, cb.Workers = 0, 0
+	a.Engine, b.Engine = "", ""
+	a.Workers, b.Workers = 0, 0
+	a.Config, b.Config = nil, nil
+	return reflect.DeepEqual(a, b) && reflect.DeepEqual(ca, cb)
+}
+
+// TestResumeEquivalenceAllApps is the tentpole's contract: for every
+// application, checkpoint a traced 32-processor run mid-flight, resume from
+// the middle snapshot under the serial engine and the parallel engine at
+// 1, 2, and 8 workers, and require the resumed runs to be indistinguishable
+// from the uninterrupted one — equal RunResult and byte-equal exported
+// trace — and every checkpoint the resumed run still emits to byte-match
+// the uninterrupted run's.
+func TestResumeEquivalenceAllApps(t *testing.T) {
+	for _, app := range Apps() {
+		name := app.Name()
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			app, params := ckptParams(t, name)
+			s := Scale{Div: 64, CacheDiv: 64, Trace: trace.Options{Enabled: true, Lossless: true}}
+			var straightM *core.Machine
+			s.TraceSink = func(_ string, mm *core.Machine) { straightM = mm }
+
+			// Uninterrupted reference run.
+			straight, err := s.Run(app, 32, params)
+			if err != nil {
+				t.Fatal(err)
+			}
+			straightTrace := exportTrace(t, straightM)
+			if straight.Elapsed <= 0 {
+				t.Fatal("reference run has no elapsed time")
+			}
+
+			// The same run with periodic capture: four snapshots, and the
+			// capture itself must not perturb the simulation.
+			every := straight.Elapsed / 4
+			ckptRun, snaps, err := s.RunCheckpointed(app, 32, params, every, "")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(scrubResult(straight), scrubResult(ckptRun)) {
+				t.Fatalf("capture perturbed the run:\nstraight %+v\ncaptured %+v", straight, ckptRun)
+			}
+			if len(snaps) == 0 {
+				t.Fatalf("no snapshots captured (elapsed %v, every %v)", straight.Elapsed, every)
+			}
+			for i, sn := range snaps {
+				if err := sn.Validate(); err != nil {
+					t.Fatalf("snapshot %d fails Validate: %v", i, err)
+				}
+			}
+			mid := snaps[len(snaps)/2]
+
+			for _, eng := range []struct {
+				engine  string
+				workers int
+			}{{"serial", 0}, {"parallel", 1}, {"parallel", 2}, {"parallel", 8}} {
+				label := fmt.Sprintf("%s-w%d", eng.engine, eng.workers)
+				rs := Scale{Div: 64, CacheDiv: 64, Engine: eng.engine, Workers: eng.workers,
+					Trace: trace.Options{Enabled: true, Lossless: true}}
+				var resumedM *core.Machine
+				rs.TraceSink = func(_ string, mm *core.Machine) { resumedM = mm }
+				cfg := rs.Machine(32)
+				cfg.Checkpoint.Spec = rs.RunSpec(app, params)
+				cfg.Checkpoint.Every = every
+				var resumedSnaps []*snapshot.Snapshot
+				cfg.Checkpoint.Sink = func(sn *snapshot.Snapshot) error {
+					resumedSnaps = append(resumedSnaps, sn)
+					return nil
+				}
+				resumed, err := rs.ResumeConfig(app, cfg, params, mid)
+				if err != nil {
+					t.Fatalf("%s: resume: %v", label, err)
+				}
+				if !reflect.DeepEqual(scrubResult(straight), scrubResult(resumed)) {
+					t.Errorf("%s: resumed result differs from the uninterrupted run:\nstraight %+v\nresumed  %+v",
+						label, straight, resumed)
+				}
+				rb := exportTrace(t, resumedM)
+				if !bytes.Equal(straightTrace, rb) {
+					t.Errorf("%s: resumed trace differs (%d vs %d bytes)", label, len(straightTrace), len(rb))
+				}
+				// The resumed run keeps capturing past the resume point; its
+				// snapshots must byte-match the uninterrupted run's tail.
+				tail := snaps[len(snaps)/2+1:]
+				if len(resumedSnaps) != len(tail) {
+					t.Errorf("%s: resumed run emitted %d snapshots after the resume point, uninterrupted run emitted %d",
+						label, len(resumedSnaps), len(tail))
+				}
+				for i := 0; i < len(tail) && i < len(resumedSnaps); i++ {
+					sec, ok := snapshot.Diff(tail[i], resumedSnaps[i])
+					if !ok && sec == "header" && headerProvenanceOnly(t, tail[i].Header, resumedSnaps[i].Header) {
+						// The header records the engine and worker count that
+						// produced the file — legitimate provenance, expected
+						// to differ when resuming under another engine. Every
+						// machine-state section already matched.
+						continue
+					}
+					if !ok {
+						t.Errorf("%s: post-resume snapshot %d differs in section %q", label, i, sec)
+						saveCkptArtifacts(t, fmt.Sprintf("%s-%s-%d", name, label, i), tail[i], resumedSnaps[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestResumeObserverEquivalence extends the contract to the stateful
+// observers: a run with the coherence checker and the metrics sampler
+// enabled is checkpointed mid-flight and resumed; the resumed run's checker
+// verdict and sample series must equal the uninterrupted run's. (Either
+// observer forces one worker, so the engines differ only in name here.)
+func TestResumeObserverEquivalence(t *testing.T) {
+	for _, name := range []string{"FFT", "Raytrace"} {
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			app, params := ckptParams(t, name)
+			s := Scale{Div: 64, CacheDiv: 64, Check: true, Metrics: metrics.Options{Enabled: true}}
+			var straightM *core.Machine
+			s.TraceSink = func(_ string, mm *core.Machine) { straightM = mm }
+			straight, err := s.Run(app, 32, params)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, snaps, err := s.RunCheckpointed(app, 32, params, straight.Elapsed/2, "")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(snaps) == 0 {
+				t.Fatal("no snapshots captured")
+			}
+			sn := snaps[len(snaps)-1]
+			if sn.Checker == nil || sn.Metrics == nil {
+				t.Fatal("snapshot is missing the observer sections")
+			}
+			if !sn.Header.WorkersForced {
+				t.Fatal("snapshot does not record the workers=1 forcing")
+			}
+			for _, engine := range []string{"serial", "parallel"} {
+				rs := Scale{Div: 64, CacheDiv: 64, Engine: engine, Check: true,
+					Metrics: metrics.Options{Enabled: true}}
+				var resumedM *core.Machine
+				rs.TraceSink = func(_ string, mm *core.Machine) { resumedM = mm }
+				resumed, err := rs.ResumeRun(app, 32, params, sn)
+				if err != nil {
+					t.Fatalf("%s: resume: %v", engine, err)
+				}
+				if !reflect.DeepEqual(scrubResult(straight), scrubResult(resumed)) {
+					t.Errorf("%s: resumed result differs:\nstraight %+v\nresumed  %+v", engine, straight, resumed)
+				}
+				sc, rc := straightM.Checker(), resumedM.Checker()
+				if rc == nil {
+					t.Fatalf("%s: resumed run has no checker", engine)
+				}
+				if !reflect.DeepEqual(sc.Violations(), rc.Violations()) {
+					t.Errorf("%s: checker verdicts differ", engine)
+				}
+				ss, rsamp := straightM.Sampler(), resumedM.Sampler()
+				if rsamp == nil {
+					t.Fatalf("%s: resumed run has no sampler", engine)
+				}
+				if !reflect.DeepEqual(ss.MachineSeries(), rsamp.MachineSeries()) {
+					t.Errorf("%s: machine sample series differ", engine)
+				}
+				if !reflect.DeepEqual(ss.AllProcSeries(), rsamp.AllProcSeries()) {
+					t.Errorf("%s: per-processor sample series differ", engine)
+				}
+				if !reflect.DeepEqual(ss.Epochs(), rsamp.Epochs()) {
+					t.Errorf("%s: epoch marks differ", engine)
+				}
+			}
+		})
+	}
+}
+
+// TestResumeFromDisk proves the full file round-trip: snapshots written by
+// -checkpoint-every decode from disk and resume bit-identically.
+func TestResumeFromDisk(t *testing.T) {
+	app, params := ckptParams(t, "FFT")
+	s := Scale{Div: 64, CacheDiv: 64}
+	straight, err := s.Run(app, 32, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	_, _, err = s.RunCheckpointed(app, 32, params, straight.Elapsed/3, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "ckpt-*.originckpt"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no checkpoint files written (err=%v)", err)
+	}
+	sn, err := snapshot.ReadFile(files[len(files)-1])
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	resumed, err := s.ResumeRun(app, 32, params, sn)
+	if err != nil {
+		t.Fatalf("resume from disk: %v", err)
+	}
+	if !reflect.DeepEqual(straight, resumed) {
+		t.Errorf("disk-resumed result differs:\nstraight %+v\nresumed  %+v", straight, resumed)
+	}
+}
+
+// TestResumeDivergenceDetected tampers with a snapshot's simulation state;
+// the resume proof must fail with a DivergenceError naming the section
+// rather than continue from wrong state.
+func TestResumeDivergenceDetected(t *testing.T) {
+	app, params := ckptParams(t, "FFT")
+	s := Scale{Div: 64, CacheDiv: 64}
+	straight, err := s.Run(app, 32, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, snaps, err := s.RunCheckpointed(app, 32, params, straight.Elapsed/2, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) == 0 {
+		t.Fatal("no snapshots captured")
+	}
+	sn := snaps[0]
+	sn.Caches[3].Clock += 17
+	_, err = s.ResumeRun(app, 32, params, sn)
+	div, ok := err.(*snapshot.DivergenceError)
+	if !ok {
+		t.Fatalf("tampered resume returned %T (%v), want *snapshot.DivergenceError", err, err)
+	}
+	if div.Section != "caches" {
+		t.Errorf("divergence reported in section %q, want caches", div.Section)
+	}
+	if div.Seq != sn.Header.QuiesSeq {
+		t.Errorf("divergence at seq %d, want the snapshot's quiescent point %d", div.Seq, sn.Header.QuiesSeq)
+	}
+}
+
+// TestResumeWorkersMismatch: a snapshot from a run whose worker count was
+// forced to one (checker on) must refuse a resume that requests more
+// workers, loudly, before any replay happens.
+func TestResumeWorkersMismatch(t *testing.T) {
+	app, params := ckptParams(t, "FFT")
+	s := Scale{Div: 64, CacheDiv: 64, Check: true}
+	straight, err := s.Run(app, 32, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, snaps, err := s.RunCheckpointed(app, 32, params, straight.Elapsed/2, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) == 0 {
+		t.Fatal("no snapshots captured")
+	}
+	sn := snaps[0]
+	if !sn.Header.WorkersForced {
+		t.Fatal("checked run's snapshot does not record the workers=1 forcing")
+	}
+	rs := Scale{Div: 64, CacheDiv: 64, Engine: "parallel", Workers: 8, Check: true}
+	_, err = rs.ResumeRun(app, 32, params, sn)
+	if err == nil {
+		t.Fatal("resume with 8 workers of a forced-single-worker snapshot succeeded")
+	}
+	if !strings.Contains(err.Error(), "workers") {
+		t.Errorf("error does not explain the workers mismatch: %v", err)
+	}
+}
+
+// TestBisectDroppedInvalidation is the time-travel acceptance test: seed a
+// lost-invalidation fault mid-run, checkpoint periodically, and require the
+// bisection to land on exactly the window containing the drop — confirmed
+// by a checker replay whose violation times fall inside that window.
+func TestBisectDroppedInvalidation(t *testing.T) {
+	// Ocean writes heavily enough to send ~18k invalidations at this scale,
+	// and a stale line it leaves behind survives to the end of the run (the
+	// audit verdict stays monotone), which is what makes the binary search
+	// sound. FFT would be useless here: it sends none at all.
+	app, params := ckptParams(t, "Ocean")
+	const dropAt = 8000 // drop the Nth invalidation the directory sends
+	s := Scale{Div: 64, CacheDiv: 64}
+	s.OnMachine = func(m *core.Machine) {
+		n := 0
+		m.FaultDropInvalidation(func(block uint64, proc int) bool {
+			n++
+			return n == dropAt
+		})
+	}
+
+	// Healthy elapsed time sizes the checkpoint grid (the faulted run only
+	// differs in timing noise).
+	healthy, err := Scale{Div: 64, CacheDiv: 64}.Run(app, 32, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	every := healthy.Elapsed / 8
+
+	_, snaps, err := s.RunCheckpointed(app, 32, params, every, "")
+	if err != nil {
+		t.Fatalf("faulted run failed outright: %v", err)
+	}
+	if len(snaps) < 3 {
+		t.Fatalf("only %d snapshots captured; the bisection needs a few", len(snaps))
+	}
+
+	rep, err := s.BisectViolation(app, 32, params, snaps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FirstBad < 0 {
+		t.Fatal("bisection found no corrupt checkpoint despite the seeded fault")
+	}
+	if len(rep.Audit) == 0 {
+		t.Fatal("report carries no static audit findings")
+	}
+	// The binary search must agree with an exhaustive scan: everything
+	// before FirstBad audits clean, FirstBad audits dirty.
+	for i := 0; i < rep.FirstBad; i++ {
+		if v := snapshot.AuditState(snaps[i]); len(v) != 0 {
+			t.Fatalf("snapshot %d (< FirstBad=%d) audits dirty: %v", i, rep.FirstBad, v)
+		}
+	}
+	if v := snapshot.AuditState(snaps[rep.FirstBad]); len(v) == 0 {
+		t.Fatalf("snapshot FirstBad=%d audits clean", rep.FirstBad)
+	}
+	// The confirming replay must have tripped the coherence checker inside
+	// the reported window — the drop itself, not just its aftermath.
+	if len(rep.Violations) == 0 {
+		t.Fatalf("confirming replay found no checker violations in window (%v, %v]",
+			rep.WindowStart, rep.WindowEnd)
+	}
+	foundDrop := false
+	for _, v := range rep.Violations {
+		if v.At <= rep.WindowStart || v.At > rep.WindowEnd {
+			t.Errorf("violation at %v outside the reported window (%v, %v]", v.At, rep.WindowStart, rep.WindowEnd)
+		}
+		if strings.Contains(v.Msg, "invalidation") {
+			foundDrop = true
+		}
+	}
+	if !foundDrop {
+		t.Errorf("no violation names the dropped invalidation; got: %v", rep.Violations[0])
+	}
+}
+
+// TestBisectCleanRun: a healthy run's checkpoints audit clean and the
+// bisection reports no fault.
+func TestBisectCleanRun(t *testing.T) {
+	app, params := ckptParams(t, "FFT")
+	s := Scale{Div: 64, CacheDiv: 64}
+	straight, err := s.Run(app, 32, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, snaps, err := s.RunCheckpointed(app, 32, params, straight.Elapsed/4, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.BisectViolation(app, 32, params, snaps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FirstBad != -1 {
+		t.Fatalf("clean run bisected to snapshot %d: %v", rep.FirstBad, rep.Audit)
+	}
+}
+
+// TestScaleResumeSmoke is the scale tier: a 128-processor Figure 2 point is
+// checkpointed and resumed at full machine width. Gated like the speedup
+// smoke — set ORIGIN_CKPT_SCALE_SMOKE=1 to run (CI runs it nightly-style).
+func TestScaleResumeSmoke(t *testing.T) {
+	if os.Getenv("ORIGIN_CKPT_SCALE_SMOKE") == "" {
+		t.Skip("set ORIGIN_CKPT_SCALE_SMOKE=1 to run the 128-processor resume smoke")
+	}
+	app, _ := ckptParams(t, "FFT")
+	s := Scale{Div: 64, CacheDiv: 64}
+	params := s.Params(app, app.BasicSize(), "")
+	straight, err := s.Run(app, 128, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, snaps, err := s.RunCheckpointed(app, 128, params, straight.Elapsed/2, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) == 0 {
+		t.Fatal("no snapshots captured")
+	}
+	for _, eng := range []struct {
+		engine  string
+		workers int
+	}{{"serial", 0}, {"parallel", 8}} {
+		rs := Scale{Div: 64, CacheDiv: 64, Engine: eng.engine, Workers: eng.workers}
+		resumed, err := rs.ResumeRun(app, 128, params, snaps[len(snaps)-1])
+		if err != nil {
+			t.Fatalf("%s-w%d: %v", eng.engine, eng.workers, err)
+		}
+		if !reflect.DeepEqual(straight, resumed) {
+			t.Errorf("%s-w%d: 128-processor resume differs:\nstraight %+v\nresumed  %+v",
+				eng.engine, eng.workers, straight, resumed)
+		}
+	}
+}

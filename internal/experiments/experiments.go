@@ -71,6 +71,10 @@ type Scale struct {
 	// ("fixed", "fixed:<dur>", "adaptive", "adaptive:<dur>"; empty =
 	// fixed at the machine's default quantum). See core.ParseWindowSpec.
 	Window string
+	// OnMachine, when set, sees every machine RunConfig builds before the
+	// application runs on it — the hook fault-injection and checkpoint
+	// tests use to reach Machine-level knobs the Config does not carry.
+	OnMachine func(m *core.Machine)
 }
 
 // FullScale runs the paper's actual input sizes.
@@ -300,6 +304,9 @@ func (s Scale) Run(app workload.App, procs int, params workload.Params) (RunResu
 // failing execution's trace is the one worth exporting.
 func (s Scale) RunConfig(app workload.App, cfg core.Config, params workload.Params) (RunResult, error) {
 	m := core.New(cfg)
+	if s.OnMachine != nil {
+		s.OnMachine(m)
+	}
 	err := app.Run(m, params)
 	if s.TraceSink != nil {
 		s.TraceSink(fmt.Sprintf("%s-p%d-s%d", app.Name(), cfg.Procs, params.Size), m)

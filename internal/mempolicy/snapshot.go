@@ -1,0 +1,60 @@
+package mempolicy
+
+import "sort"
+
+// PageHome is one page->home mapping in a TableSnap.
+type PageHome struct {
+	Page uint64 `json:"page"`
+	Home int32  `json:"home"`
+}
+
+// PageCounts is one page's per-node remote-miss counters in a MigratorSnap.
+type PageCounts struct {
+	Page   uint64  `json:"page"`
+	Counts []int32 `json:"counts"`
+}
+
+// MigratorSnap is the serializable state of the migration policy.
+type MigratorSnap struct {
+	Threshold  int          `json:"threshold"`
+	Migrations int64        `json:"migrations"`
+	Counts     []PageCounts `json:"counts,omitempty"`
+}
+
+// TableSnap is the serializable placement state: the default policy, the
+// remap generation, and every page->home mapping in ascending page order.
+type TableSnap struct {
+	Kind     string        `json:"kind"`
+	Gen      uint32        `json:"gen"`
+	Homes    []PageHome    `json:"homes,omitempty"`
+	Migrator *MigratorSnap `json:"migrator,omitempty"`
+}
+
+// Snap captures the table's placement state in canonical (page-sorted)
+// order.
+func (t *Table) Snap() TableSnap {
+	s := TableSnap{Kind: t.kind.String(), Gen: t.gen}
+	if len(t.homes) > 0 {
+		s.Homes = make([]PageHome, 0, len(t.homes))
+		for page, home := range t.homes {
+			s.Homes = append(s.Homes, PageHome{Page: page, Home: home})
+		}
+		sort.Slice(s.Homes, func(i, j int) bool { return s.Homes[i].Page < s.Homes[j].Page })
+	}
+	if t.migrator != nil {
+		s.Migrator = t.migrator.snap()
+	}
+	return s
+}
+
+func (m *Migrator) snap() *MigratorSnap {
+	s := &MigratorSnap{Threshold: m.Threshold, Migrations: m.Migrations}
+	if len(m.counts) > 0 {
+		s.Counts = make([]PageCounts, 0, len(m.counts))
+		for page, c := range m.counts {
+			s.Counts = append(s.Counts, PageCounts{Page: page, Counts: append([]int32(nil), c...)})
+		}
+		sort.Slice(s.Counts, func(i, j int) bool { return s.Counts[i].Page < s.Counts[j].Page })
+	}
+	return s
+}

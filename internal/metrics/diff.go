@@ -48,12 +48,12 @@ type SyncDelta struct {
 
 // Report is the differential attribution of run B relative to run A.
 type Report struct {
-	LabelA, LabelB   string
-	ElapsedA         sim.Time
-	ElapsedB         sim.Time
-	Delta            sim.Time // ElapsedB - ElapsedA
-	CriticalA        int      // critical-path processor in each run
-	CriticalB        int
+	LabelA, LabelB string
+	ElapsedA       sim.Time
+	ElapsedB       sim.Time
+	Delta          sim.Time // ElapsedB - ElapsedA
+	CriticalA      int      // critical-path processor in each run
+	CriticalB      int
 	// Components is the exact decomposition: the critical-path processor's
 	// Busy/Memory/Sync deltas plus a residual (nonzero only if a run's
 	// critical processor has unaccounted clock time). Summing Delta over

@@ -247,6 +247,14 @@ type Engine struct {
 	raSpans     int64 // run-ahead mode entries
 	raHandoffs  int64 // direct handoffs inside run-ahead mode
 
+	// Quiescent hook (SetQuiescentHook): called at every round open — the
+	// only points where every processor is parked and a consistent snapshot
+	// of the machine exists. quiesSeq counts round opens; it is carried
+	// across Run calls (multi-phase programs) and reset by Reset, so it
+	// addresses rounds stably across an entire experiment.
+	quiescent QuiescentHook
+	quiesSeq  int64
+
 	yieldCh   chan yieldEvent
 	abandoned bool // set before resuming parked goroutines to unwind them
 	wg        sync.WaitGroup
@@ -403,20 +411,26 @@ func (e *Engine) Run(body func(p *Proc)) error {
 		runnable, finished := 0, 0
 		var minNow Time = maxTime
 		loneShard, oneShard := -1, true
+		quiet := true
 		for _, p := range e.procs {
-			switch {
-			case p.finished:
+			if p.finished {
 				finished++
-			case !p.blocked:
-				runnable++
-				if p.now < minNow {
-					minNow = p.now
-				}
-				if loneShard < 0 {
-					loneShard = p.shard
-				} else if p.shard != loneShard {
-					oneShard = false
-				}
+				continue
+			}
+			if p.global > 0 {
+				quiet = false
+			}
+			if p.blocked {
+				continue
+			}
+			runnable++
+			if p.now < minNow {
+				minNow = p.now
+			}
+			if loneShard < 0 {
+				loneShard = p.shard
+			} else if p.shard != loneShard {
+				oneShard = false
 			}
 		}
 		if finished == len(e.procs) {
@@ -425,6 +439,7 @@ func (e *Engine) Run(body func(p *Proc)) error {
 		if runnable == 0 {
 			return e.deadlock()
 		}
+		e.quiesce(minNow, quiet, true)
 		if oneShard {
 			// Run-ahead fast path: every runnable processor is in one
 			// shard, so windowing has nothing to order. Control passes
@@ -597,8 +612,15 @@ func (e *Engine) turnover() bool {
 	runnable := 0
 	var minNow Time = maxTime
 	loneShard, oneShard := -1, true
+	quiet := true
 	for _, q := range e.procs {
-		if q.finished || q.blocked {
+		if q.finished {
+			continue
+		}
+		if q.global > 0 {
+			quiet = false
+		}
+		if q.blocked {
 			continue
 		}
 		runnable++
@@ -614,6 +636,7 @@ func (e *Engine) turnover() bool {
 	if runnable == 0 {
 		return false
 	}
+	e.quiesce(minNow, quiet, false)
 	if oneShard {
 		e.enterRunAhead(loneShard)
 		return true
@@ -780,6 +803,7 @@ func (e *Engine) Reset() {
 		p.Counters = Counters{}
 	}
 	e.window = e.windowBase
+	e.quiesSeq = 0
 	e.commitSeq = 0
 	e.windows = 0
 	e.shardChains.Store(0)

@@ -33,7 +33,19 @@ func NewTaskPool(m *core.Machine, alg LockAlgorithm) *TaskPool {
 	for i := range tp.locks {
 		tp.locks[i] = NewLock(m, alg)
 	}
+	m.RegisterStateSnap(tp.state.Base(), "taskpool", tp.snapState)
 	return tp
+}
+
+// poolState is the serializable host state of one TaskPool (checkpoint
+// proof obligation; see barrierState in synchro.go).
+type poolState struct {
+	Queues        [][]int `json:"queues"`
+	StealChunkDiv int     `json:"steal_chunk_div"`
+}
+
+func (tp *TaskPool) snapState() any {
+	return poolState{Queues: tp.queues, StealChunkDiv: tp.StealChunkDiv}
 }
 
 // Seed appends tasks to processor q's queue (done before the parallel

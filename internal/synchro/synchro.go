@@ -78,7 +78,25 @@ func NewBarrier(m *core.Machine, n int, alg BarrierAlgorithm) *Barrier {
 	for b.rounds = 0; 1<<b.rounds < n; b.rounds++ {
 	}
 	m.TraceRegisterSync(b.counter.Base(), "barrier")
+	m.RegisterStateSnap(b.counter.Base(), "barrier", b.snapState)
 	return b
+}
+
+// barrierState is the serializable host state of one Barrier: who is parked
+// waiting and the latest arrival time of the in-progress episode. It is a
+// checkpoint proof obligation (internal/snapshot), not a restore target —
+// resume replays the program, which rebuilds the barrier.
+type barrierState struct {
+	Waiters []int    `json:"waiters,omitempty"`
+	MaxArr  sim.Time `json:"max_arr,omitempty"`
+}
+
+func (b *Barrier) snapState() any {
+	s := barrierState{MaxArr: b.maxArr}
+	for _, p := range b.waiters {
+		s.Waiters = append(s.Waiters, p.ID())
+	}
+	return s
 }
 
 // N returns the number of participants.
@@ -234,7 +252,29 @@ func NewLock(m *core.Machine, alg LockAlgorithm) *Lock {
 		holder: -1,
 	}
 	l.m.TraceRegisterSync(l.ticket.Base(), "lock")
+	m.RegisterStateSnap(l.ticket.Base(), "lock", l.snapState)
 	return l
+}
+
+// lockState is the serializable host state of one Lock (checkpoint proof
+// obligation; see barrierState).
+type lockState struct {
+	Held   bool        `json:"held"`
+	Holder int         `json:"holder"`
+	Queue  []lockEntry `json:"queue,omitempty"`
+}
+
+type lockEntry struct {
+	Proc int      `json:"proc"`
+	Req  sim.Time `json:"req"`
+}
+
+func (l *Lock) snapState() any {
+	s := lockState{Held: l.held, Holder: l.holder}
+	for _, w := range l.queue {
+		s.Queue = append(s.Queue, lockEntry{Proc: w.p.ID(), Req: w.req})
+	}
+	return s
 }
 
 // Acquire obtains the lock, blocking in virtual time while it is held.
