@@ -22,12 +22,14 @@ import (
 	"path/filepath"
 	"reflect"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
 	"origin2000/internal/core"
 	"origin2000/internal/directory"
 	"origin2000/internal/experiments"
+	"origin2000/internal/hostprof"
 	"origin2000/internal/metrics"
 	"origin2000/internal/sim"
 	"origin2000/internal/snapshot"
@@ -74,6 +76,13 @@ type Result struct {
 	// (where a parallel engine can only tie or lose and the claim says
 	// nothing about multi-core behavior).
 	SpeedupClaim string `json:"speedup_claim,omitempty"`
+	// WorkerUtil, CommitHostShare and StealHitRate are the host-time
+	// profiler's aggregate engine-health columns (hostprof:on rows only):
+	// mean phase-1 lane utilization, the serialized commit phase's share
+	// of profiled host wall, and steal hits over attempts.
+	WorkerUtil      float64 `json:"worker_util,omitempty"`
+	CommitHostShare float64 `json:"commit_host_share,omitempty"`
+	StealHitRate    float64 `json:"steal_hit_rate,omitempty"`
 }
 
 // speedupClaim labels a wall-clock speedup row for the host it ran on.
@@ -90,12 +99,32 @@ type Snapshot struct {
 	// Seq is the <n> of the BENCH_<n>.json slot this snapshot was written
 	// to, so the file's position in the perf trajectory survives renames
 	// and copies. Zero when the output name carries no number.
-	Seq       int      `json:"seq,omitempty"`
-	Date      string   `json:"date"`
-	GoVersion string   `json:"go_version"`
-	CPUs      int      `json:"cpus"`
-	Note      string   `json:"note,omitempty"`
-	Results   []Result `json:"results"`
+	Seq       int    `json:"seq,omitempty"`
+	Date      string `json:"date"`
+	GoVersion string `json:"go_version"`
+	CPUs      int    `json:"cpus"`
+	// GoMaxProcs and CPUModel record the host the wall-clock rows ran on:
+	// snapshots from different hosts are not comparable, and the header
+	// should say so without archaeology.
+	GoMaxProcs int      `json:"gomaxprocs"`
+	CPUModel   string   `json:"cpu_model,omitempty"`
+	Note       string   `json:"note,omitempty"`
+	Results    []Result `json:"results"`
+}
+
+// cpuModel returns the host CPU's model name from /proc/cpuinfo, or "" on
+// hosts where that file is missing or unreadable (non-Linux).
+func cpuModel() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if k, v, ok := strings.Cut(line, ":"); ok && strings.TrimSpace(k) == "model name" {
+			return strings.TrimSpace(v)
+		}
+	}
+	return ""
 }
 
 func fromBenchmark(name string, r testing.BenchmarkResult, accessesPerOp int64) Result {
@@ -428,11 +457,52 @@ func bestBench(n int, run func() testing.BenchmarkResult) testing.BenchmarkResul
 // memory-system-bound applications at 128 processors.
 var engineSweepApps = []string{"FFT", "Ocean", "Radix"}
 
+// hostAgg accumulates host-time-profiler reports across a sweep's runs
+// (zero when the sweep ran unprofiled).
+type hostAgg struct {
+	wallNS, busyNS, commitNS int64
+	attempts, hits           int64
+	workers                  int
+}
+
+func (h *hostAgg) add(r *hostprof.Report) {
+	h.wallNS += r.WallNS
+	for _, l := range r.Lanes {
+		h.busyNS += l.BusyNS
+	}
+	h.commitNS += r.CommitNS
+	h.attempts += r.StealAttempts
+	h.hits += r.StealHits
+	h.workers = r.Workers
+}
+
+func (h hostAgg) workerUtil() float64 {
+	if h.wallNS == 0 || h.workers == 0 {
+		return 0
+	}
+	return float64(h.busyNS) / (float64(h.wallNS) * float64(h.workers))
+}
+
+func (h hostAgg) commitShare() float64 {
+	if h.wallNS == 0 {
+		return 0
+	}
+	return float64(h.commitNS) / float64(h.wallNS)
+}
+
+func (h hostAgg) stealHitRate() float64 {
+	if h.attempts == 0 {
+		return 0
+	}
+	return float64(h.hits) / float64(h.attempts)
+}
+
 // engineSweep runs the 128-processor Figure 2 sweep under the given engine,
 // worker count, and window policy, returning the total wall-clock, every
-// run's result (for the bit-identity guard against the serial engine), and
-// the aggregated schedule shape across the sweep's runs.
-func engineSweep(engine string, workers int, window string, s experiments.Scale) (wall float64, results []experiments.RunResult, shape sim.SchedShape, err error) {
+// run's result (for the bit-identity guard against the serial engine), the
+// aggregated schedule shape across the sweep's runs, and — when the scale
+// had HostProf set — the aggregated host-time profile.
+func engineSweep(engine string, workers int, window string, s experiments.Scale) (wall float64, results []experiments.RunResult, shape sim.SchedShape, host hostAgg, err error) {
 	s.Engine, s.Workers, s.Window = engine, workers, window
 	var m *core.Machine
 	s.TraceSink = func(_ string, mm *core.Machine) { m = mm }
@@ -440,12 +510,12 @@ func engineSweep(engine string, workers int, window string, s experiments.Scale)
 	for _, name := range engineSweepApps {
 		app := experiments.AppByName(name)
 		if app == nil {
-			return 0, nil, shape, fmt.Errorf("unknown app %q", name)
+			return 0, nil, shape, host, fmt.Errorf("unknown app %q", name)
 		}
 		params := workload.Params{Size: s.BasicSize(app), Seed: 42}
 		r, rerr := s.Run(app, 128, params)
 		if rerr != nil {
-			return 0, nil, shape, rerr
+			return 0, nil, shape, host, rerr
 		}
 		results = append(results, r)
 		sh := m.SchedShape()
@@ -456,9 +526,12 @@ func engineSweep(engine string, workers int, window string, s experiments.Scale)
 		shape.RunAheadSpans += sh.RunAheadSpans
 		shape.RunAheadHandoffs += sh.RunAheadHandoffs
 		shape.WindowWidthSum += sh.WindowWidthSum
+		if hp := m.HostProf(); hp != nil {
+			host.add(hp.Report())
+		}
 	}
 	wall = time.Since(start).Seconds()
-	return wall, results, shape, nil
+	return wall, results, shape, host, nil
 }
 
 // engineRow assembles one engine-sweep snapshot row from a sweep's wall
@@ -565,10 +638,12 @@ func main() {
 	snap := Snapshot{
 		Schema:    "origin-bench/v1",
 		Seq:       seq,
-		Date:      time.Now().UTC().Format(time.RFC3339),
-		GoVersion: runtime.Version(),
-		CPUs:      runtime.NumCPU(),
-		Note:      *note,
+		Date:       time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		CPUs:       runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		CPUModel:   cpuModel(),
+		Note:       *note,
 	}
 
 	add := func(r Result) {
@@ -669,13 +744,13 @@ func main() {
 	// bit-identity guard still checks every attempt).
 	const sweepAttempts = 3
 	sweepSerial := func(window string) (float64, []experiments.RunResult, sim.SchedShape) {
-		wall, res, shape, err := engineSweep("serial", 0, window, benchScale)
+		wall, res, shape, _, err := engineSweep("serial", 0, window, benchScale)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "origin-bench:", err)
 			os.Exit(1)
 		}
 		for i := 1; i < sweepAttempts; i++ {
-			w, _, _, err := engineSweep("serial", 0, window, benchScale)
+			w, _, _, _, err := engineSweep("serial", 0, window, benchScale)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "origin-bench:", err)
 				os.Exit(1)
@@ -686,30 +761,36 @@ func main() {
 		}
 		return wall, res, shape
 	}
-	sweepParallel := func(workers int, window string, ref []experiments.RunResult) (float64, sim.SchedShape) {
+	sweepParallel := func(scale experiments.Scale, workers int, window string, ref []experiments.RunResult) (float64, sim.SchedShape, hostAgg) {
 		var bestWall float64
 		var bestShape sim.SchedShape
+		var bestHost hostAgg
 		for i := 0; i < sweepAttempts; i++ {
-			wall, res, shape, err := engineSweep("parallel", workers, window, benchScale)
+			wall, res, shape, host, err := engineSweep("parallel", workers, window, scale)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "origin-bench:", err)
 				os.Exit(1)
 			}
 			if !reflect.DeepEqual(res, ref) {
-				fmt.Fprintf(os.Stderr, "origin-bench: parallel engine (workers=%d window=%q) diverged from serial results\n", workers, window)
+				fmt.Fprintf(os.Stderr, "origin-bench: parallel engine (workers=%d window=%q hostprof=%v) diverged from serial results\n", workers, window, scale.HostProf)
 				os.Exit(1)
 			}
 			if i == 0 || wall < bestWall {
-				bestWall, bestShape = wall, shape
+				bestWall, bestShape, bestHost = wall, shape, host
 			}
 		}
-		return bestWall, bestShape
+		return bestWall, bestShape, bestHost
 	}
 
 	serialWall, serialRes, serialShape := sweepSerial("")
 	add(engineRow("engine:serial fig2-128", serialWall, serialShape))
+	var wall4 float64
+	var shape4 sim.SchedShape
 	for _, w := range []int{1, 2, 4, 8} {
-		wall, shape := sweepParallel(w, "", serialRes)
+		wall, shape, _ := sweepParallel(benchScale, w, "", serialRes)
+		if w == 4 {
+			wall4, shape4 = wall, shape
+		}
 		r := engineRow(fmt.Sprintf("engine:parallel workers=%d fig2-128", w), wall, shape)
 		r.SpeedupVsSerial = serialWall / wall
 		r.SpeedupClaim = speedupClaim(runtime.NumCPU())
@@ -723,10 +804,32 @@ func main() {
 	adWall, adRes, adShape := sweepSerial("adaptive")
 	add(engineRow("engine:serial adaptive fig2-128", adWall, adShape))
 	{
-		wall, shape := sweepParallel(4, "adaptive", adRes)
+		wall, shape, _ := sweepParallel(benchScale, 4, "adaptive", adRes)
 		r := engineRow("engine:parallel workers=4 adaptive fig2-128", wall, shape)
 		r.SpeedupVsSerial = adWall / wall
 		r.SpeedupClaim = speedupClaim(runtime.NumCPU())
+		add(r)
+	}
+
+	// Hostprof overhead pair: the workers=4 fig2-128 sweep with the
+	// host-time profiler off and on. The off row reuses the workers=4
+	// measurement above (identical configuration — hostprof off IS the
+	// default; re-running it would only add noise), so the pair costs one
+	// extra sweep. The on row bounds the profiler's cost and carries the
+	// engine-health columns its report feeds; its runs stay under the
+	// serial bit-identity guard — host profiling must never perturb the
+	// schedule.
+	add(engineRow("hostprof:off workers=4 fig2-128", wall4, shape4))
+	{
+		profScale := benchScale
+		profScale.HostProf = true
+		wall, shape, host := sweepParallel(profScale, 4, "", serialRes)
+		r := engineRow("hostprof:on workers=4 fig2-128", wall, shape)
+		r.SpeedupVsSerial = serialWall / wall
+		r.SpeedupClaim = speedupClaim(runtime.NumCPU())
+		r.WorkerUtil = host.workerUtil()
+		r.CommitHostShare = host.commitShare()
+		r.StealHitRate = host.stealHitRate()
 		add(r)
 	}
 

@@ -11,6 +11,7 @@ import (
 
 	"origin2000/internal/core"
 	"origin2000/internal/experiments"
+	"origin2000/internal/hostprof"
 	"origin2000/internal/metrics"
 	"origin2000/internal/sim"
 	"origin2000/internal/workload"
@@ -33,6 +34,7 @@ type runState struct {
 
 	samples  []metrics.MachineSample
 	artifact metrics.Artifact
+	hostprof *hostprof.Report
 }
 
 // sseEvent is one Server-Sent Event: a named payload.
@@ -74,6 +76,7 @@ func (s *server) mux() *http.ServeMux {
 	mux.HandleFunc("/api/events", s.handleEvents)
 	mux.HandleFunc("/api/csv", s.handleCSV)
 	mux.HandleFunc("/api/artifact", s.handleArtifact)
+	mux.HandleFunc("/api/hostprof", s.handleHostprof)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	return mux
 }
@@ -181,6 +184,9 @@ func (s *server) sweep(wapp workload.App, ids, procCounts []int, scaleDiv int, i
 		sc := experiments.Scale{Div: scaleDiv, CacheDiv: scaleDiv,
 			Engine: s.engine, Workers: s.workers, Window: s.window}
 		sc.Trace.Enabled = true
+		// Host-time profiling is schedule-neutral, so it is always on for
+		// dashboard runs; the panel shows where the engine spends host time.
+		sc.HostProf = true
 		sc.Metrics = metrics.Options{
 			Enabled:  true,
 			Interval: interval,
@@ -199,8 +205,13 @@ func (s *server) sweep(wapp workload.App, ids, procCounts []int, scaleDiv int, i
 		params := sc.Params(wapp, wapp.BasicSize(), "")
 		sc.TraceSink = func(label string, m *core.Machine) {
 			art := experiments.BuildArtifact(label, wapp, params, m)
+			var hp *hostprof.Report
+			if p := m.HostProf(); p != nil {
+				hp = p.Report()
+			}
 			s.mu.Lock()
 			s.runs[id].artifact = art
+			s.runs[id].hostprof = hp
 			s.runs[id].Size = params.Size
 			s.mu.Unlock()
 		}
@@ -332,6 +343,25 @@ func (s *server) handleArtifact(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	art.WriteJSON(w)
+}
+
+// handleHostprof serves a finished run's aggregate host-time report: where
+// the engine spent real time (worker chains, commit, run-ahead, turnover)
+// while producing the run's virtual-time results.
+func (s *server) handleHostprof(w http.ResponseWriter, r *http.Request) {
+	rs := s.runByQuery(w, r)
+	if rs == nil {
+		return
+	}
+	s.mu.Lock()
+	hp := rs.hostprof
+	s.mu.Unlock()
+	if hp == nil {
+		http.Error(w, "run has no host profile yet", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(hp)
 }
 
 // handleMetrics serves Prometheus text exposition: per-run gauges from the

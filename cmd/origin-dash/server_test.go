@@ -2,16 +2,19 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"testing"
 	"time"
 
+	"origin2000/internal/hostprof"
 	"origin2000/internal/metrics"
 	"origin2000/internal/trace"
 )
@@ -178,10 +181,95 @@ func TestDashSmoke(t *testing.T) {
 			art.Schema, len(art.PerProc), len(art.Machine))
 	}
 
+	// Host-time profile: the engine self-observability report must be
+	// served for a finished run (dash sweeps always profile).
+	var hp hostprof.Report
+	if err := json.Unmarshal([]byte(get(t, ts.URL+"/api/hostprof?run=0")), &hp); err != nil {
+		t.Fatalf("hostprof: %v", err)
+	}
+	if hp.WallNS <= 0 || hp.Workers < 1 {
+		t.Errorf("hostprof report malformed: wall_ns=%d workers=%d", hp.WallNS, hp.Workers)
+	}
+
 	// Unknown run ids are 404s, not panics.
 	if resp, err := http.Get(ts.URL + "/api/csv?run=99"); err != nil || resp.StatusCode != http.StatusNotFound {
 		t.Errorf("csv for unknown run: %v %v", resp.Status, err)
 	}
+}
+
+// TestEventsDisconnect is the goroutine-leak regression test for the SSE
+// endpoint: a handler blocked waiting for events must exit promptly when its
+// client disconnects (it unregisters its subscription on the way out), even
+// though no event ever arrives to wake it. A leaked handler would pin its
+// subscriber channel forever and the server would slowly accumulate both.
+func TestEventsDisconnect(t *testing.T) {
+	srv := newServer(64, "", 0, "")
+	ts := httptest.NewServer(srv.mux())
+	defer ts.Close()
+
+	subsLen := func() int {
+		srv.mu.Lock()
+		defer srv.mu.Unlock()
+		return len(srv.subs)
+	}
+	waitFor := func(what string, cond func() bool) {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for !cond() {
+			if time.Now().After(deadline) {
+				t.Fatalf("timed out waiting for %s (subscribers=%d)", what, subsLen())
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	before := runtime.NumGoroutine()
+
+	// Connect several SSE clients through cancellable requests and wait for
+	// each handler to register its subscription (the preamble is written
+	// before registration, so reading it alone is not enough).
+	const clients = 4
+	var cancels []context.CancelFunc
+	var bodies []io.Closer
+	for i := 0; i < clients; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancels = append(cancels, cancel)
+		req, err := http.NewRequestWithContext(ctx, "GET", ts.URL+"/api/events", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bodies = append(bodies, resp.Body)
+	}
+	defer func() {
+		for _, c := range cancels {
+			c()
+		}
+		for _, b := range bodies {
+			b.Close()
+		}
+	}()
+	waitFor("all clients to subscribe", func() bool { return subsLen() == clients })
+
+	// Drop every client. The handlers are parked in their event select; only
+	// the request context's cancellation can free them.
+	for _, c := range cancels {
+		c()
+	}
+	for _, b := range bodies {
+		b.Close()
+	}
+	waitFor("handlers to unsubscribe after disconnect", func() bool { return subsLen() == 0 })
+
+	// The handler goroutines themselves must be gone too, not just their
+	// subscriptions. Allow slack for the test server's own pool churn.
+	waitFor("handler goroutines to exit", func() bool {
+		runtime.GC()
+		return runtime.NumGoroutine() <= before+2
+	})
 }
 
 func get(t *testing.T, url string) string {

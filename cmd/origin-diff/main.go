@@ -10,6 +10,11 @@
 //	origin-diff -app FFT -procs 32 \
 //	    -a placement=ft -b placement=rr -save-b rr.json
 //	origin-diff -a first.json -b second.json
+//	origin-diff -app Ocean -procs 32 -critpath -a placement=ft -b placement=rr
+//
+// -critpath additionally extracts each side's critical path — the longest
+// dependency chain bounding elapsed virtual time — and decomposes it
+// exactly (busy / memory / queueing / sync / release, residual zero).
 //
 // Run specs are comma-separated key[=value] pairs: placement=ft|rr,
 // migrate=<threshold>, ppn=<n>, procs=<n>, variant=<v>, prefetch,
@@ -47,12 +52,14 @@ func main() {
 		sideB    = flag.String("b", "placement=rr", "side B: artifact JSON path or run spec")
 		saveA    = flag.String("save-a", "", "write side A's artifact JSON here")
 		saveB    = flag.String("save-b", "", "write side B's artifact JSON here")
+		critF    = flag.Bool("critpath", false, "analyze each side's critical path: exact decomposition of elapsed time")
 	)
 	flag.Parse()
 
 	base := runBase{
 		appName: *appName, procs: *procs, size: *size, scale: *scale,
 		steps: *steps, seed: *seed, interval: sim.Time(*interval) * sim.Microsecond,
+		critpath: *critF,
 	}
 	a, err := resolveSide(*sideA, base)
 	if err != nil {
@@ -94,6 +101,25 @@ func main() {
 	if len(r.Syncs) > 0 {
 		fmt.Println(perf.Table(r.SyncRows(*top)))
 	}
+	if *critF {
+		printCritPath("A", r.LabelA, a, *top)
+		printCritPath("B", r.LabelB, b, *top)
+	}
+}
+
+// printCritPath analyzes and prints one side's critical path. Artifacts
+// from runs without CritPath enabled get a note instead of tables (old
+// saved artifacts stay usable).
+func printCritPath(side, label string, a metrics.Artifact, top int) {
+	p, err := metrics.CritPath(&a)
+	if err != nil {
+		fmt.Printf("critical path %s: %v\n\n", side, err)
+		return
+	}
+	fmt.Printf("critical path %s: %s — %s-bound (%d segments, elapsed %.3f ms)\n\n",
+		side, label, p.Dominant(), len(p.Segments), p.Elapsed.Milliseconds())
+	fmt.Println(perf.Table(p.ComponentRows()))
+	fmt.Println(perf.Table(p.SegmentRows(top)))
 }
 
 func fatal(format string, args ...any) {
@@ -110,6 +136,7 @@ type runBase struct {
 	steps    int
 	seed     int64
 	interval sim.Time
+	critpath bool
 }
 
 // resolveSide loads an artifact file if arg names one, otherwise runs the
@@ -134,6 +161,7 @@ func runSpec(spec string, base runBase) (metrics.Artifact, error) {
 	s := experiments.Scale{Div: base.scale, CacheDiv: base.scale, Steps: base.steps, Seed: base.seed}
 	s.Metrics = metrics.Options{Enabled: true, Interval: base.interval}
 	s.Trace.Enabled = true
+	s.CritPath = base.critpath
 
 	paperSize := base.size
 	if paperSize == 0 {

@@ -5,7 +5,7 @@
 //
 //	origin-run -app FFT [-procs 64] [-size 1048576] [-variant ""] [-prefetch]
 //	           [-scale 8] [-breakdown] [-ppn 2] [-mapping linear|random|gray|split]
-//	           [-engine serial|parallel] [-workers 0]
+//	           [-engine serial|parallel] [-workers 0] [-hostprof hostprof.json]
 //	           [-checkpoint-every 1ms] [-checkpoint-dir checkpoints]
 //	origin-run -resume checkpoints/ckpt-000002.originckpt [-engine parallel]
 //	origin-run -bisect checkpoints [-fault-drop-inval N]
@@ -56,6 +56,7 @@ func main() {
 		ppn       = flag.Int("ppn", 2, "processors per node (Section 7.2)")
 		mapping   = flag.String("mapping", "linear", "process mapping: linear, random, gray, split")
 		traceOut  = flag.String("trace", "", "trace the run and write Perfetto JSON here (see origin-trace for more control)")
+		hostprofF = flag.String("hostprof", "", "profile the engine's host time and write a Perfetto timeline here (parallel engine; schedule-neutral)")
 		engine    = flag.String("engine", "serial", "execution engine: serial, or parallel (bit-identical, faster wall clock)")
 		workers   = flag.Int("workers", 0, "host workers for -engine=parallel (0 = GOMAXPROCS)")
 		window    = flag.String("window", "fixed", "window policy: fixed, fixed:<dur>, adaptive, adaptive:<dur>")
@@ -137,6 +138,9 @@ func main() {
 	if *traceOut != "" {
 		cfg.Trace = trace.Options{Enabled: true, Lossless: true}
 	}
+	if *hostprofF != "" {
+		cfg.HostProf = true
+	}
 	if every > 0 {
 		if err := os.MkdirAll(*ckptDir, 0o755); err != nil {
 			fmt.Fprintln(os.Stderr, "checkpoint dir:", err)
@@ -205,6 +209,26 @@ func main() {
 		fmt.Println(perf.Table(tr.PageReport(10)))
 		fmt.Println(perf.Table(tr.SyncReport(10)))
 		fmt.Println(perf.Table(tr.LatencyReport()))
+	}
+	if *hostprofF != "" {
+		hp := m.HostProf()
+		f, err := os.Create(*hostprofF)
+		if err == nil {
+			err = hp.WritePerfetto(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hostprof export:", err)
+			os.Exit(1)
+		}
+		rep := hp.Report()
+		fmt.Printf("hostprof:   host timeline -> %s (open at ui.perfetto.dev)\n", *hostprofF)
+		fmt.Println()
+		fmt.Println(perf.Table(rep.Rows()))
+		fmt.Println(perf.Table(rep.LaneRows()))
+		fmt.Println(perf.Table(rep.SummaryRows()))
 	}
 	if *breakdown {
 		fmt.Println()

@@ -189,6 +189,21 @@ type Config struct {
 	// WindowMax caps the adaptive window width (0 selects 64x Quantum).
 	// Ignored under WindowPolicy "fixed".
 	WindowMax sim.Time
+	// HostProf enables the engine host-time profiler (internal/hostprof):
+	// per-worker timelines of window phases, steal attempts, serial-phase
+	// shares and turnover latency, plus Perfetto export. Gating contract as
+	// Check/Trace/Metrics — zero cost off, and schedule-neutral on: host
+	// timing is recorded but never feeds back, so simulated results are
+	// bit-identical with it on or off. Unlike Check and Metrics it does NOT
+	// force workers=1 — profiling the parallel engine is its purpose.
+	HostProf bool
+	// CritPath enables the virtual-time critical-path recorder
+	// (internal/critpath): per-processor snapshots at every full-machine
+	// barrier arrival and release, embedded in run artifacts and analyzed
+	// by origin-diff -critpath. Recording happens inside the serialized
+	// barrier protocol and reads virtual-time data only, so it is
+	// bit-identical at any worker count and perturbs nothing.
+	CritPath bool
 	// Checkpoint configures originckpt/v1 snapshots at quiescent window
 	// boundaries, replay-based resume, and time-travel bisection; see
 	// internal/snapshot and DESIGN.md §13. Zero value disables everything.

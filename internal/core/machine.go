@@ -5,7 +5,9 @@ import (
 
 	"origin2000/internal/cache"
 	"origin2000/internal/check"
+	"origin2000/internal/critpath"
 	"origin2000/internal/directory"
+	"origin2000/internal/hostprof"
 	"origin2000/internal/mempolicy"
 	"origin2000/internal/metrics"
 	"origin2000/internal/perf"
@@ -33,6 +35,8 @@ type Machine struct {
 	check    *check.Checker         // nil unless Config.Check
 	tracer   *trace.Tracer          // nil unless Config.Trace.Enabled
 	sampler  *metrics.Sampler       // nil unless Config.Metrics.Enabled
+	hprof    *hostprof.Profiler     // nil unless Config.HostProf
+	critrec  *critpath.Recorder     // nil unless Config.CritPath
 	procs    []*Proc
 	mapping  topology.Mapping
 
@@ -144,6 +148,20 @@ func New(cfg Config) *Machine {
 		}
 	}
 	m.setupShards()
+	// The host-time profiler sizes its lanes from the engine's final worker
+	// count, so it attaches after setupShards. Both it and the critical-path
+	// recorder are built even when resuming: neither can perturb the
+	// schedule (hostprof records host time one-way, critpath records
+	// virtual-time data inside the serialized barrier protocol), so — unlike
+	// the muted observers above — the replayed prefix profiles and records
+	// like any other run.
+	if cfg.HostProf {
+		m.hprof = hostprof.New(m.eng.Workers())
+		m.eng.SetHostProfiler(m.hprof)
+	}
+	if cfg.CritPath {
+		m.critrec = critpath.NewRecorder(cfg.Procs)
+	}
 	m.initCheckpoint()
 	return m
 }
@@ -238,6 +256,18 @@ func (m *Machine) checkResult() error {
 
 // Checker exposes the online invariant checker (nil unless Config.Check).
 func (m *Machine) Checker() *check.Checker { return m.check }
+
+// HostProf exposes the engine host-time profiler (nil unless
+// Config.HostProf).
+func (m *Machine) HostProf() *hostprof.Profiler { return m.hprof }
+
+// CritPath snapshots the critical-path record (nil unless Config.CritPath).
+func (m *Machine) CritPath() *critpath.Summary {
+	if m.critrec == nil {
+		return nil
+	}
+	return m.critrec.Summary()
+}
 
 // Elapsed returns the parallel completion time so far.
 func (m *Machine) Elapsed() sim.Time { return m.eng.MaxTime() }

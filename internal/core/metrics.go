@@ -1,6 +1,7 @@
 package core
 
 import (
+	"origin2000/internal/critpath"
 	"origin2000/internal/metrics"
 	"origin2000/internal/sim"
 )
@@ -106,9 +107,10 @@ func (m *Machine) machineSample(now sim.Time) metrics.MachineSample {
 }
 
 // MarkEpoch records a phase boundary — a global barrier release — with the
-// tracer and the metrics sampler (no-op when both are off). The
-// synchronization primitives call it exactly once per global release, so
-// runs of the same program produce alignable epoch sequences.
+// tracer, the metrics sampler, and the critical-path recorder (no-op when
+// all are off). The synchronization primitives call it exactly once per
+// global release, so runs of the same program produce alignable epoch
+// sequences.
 func (p *Proc) MarkEpoch(at sim.Time) {
 	if tr := p.m.tracer; tr != nil {
 		tr.EpochMark(at)
@@ -116,4 +118,32 @@ func (p *Proc) MarkEpoch(at sim.Time) {
 	if s := p.m.sampler; s != nil {
 		s.EpochMark(at)
 	}
+	if r := p.m.critrec; r != nil {
+		r.Release(at)
+	}
+}
+
+// MarkArrival records this processor's arrival at a full-machine barrier
+// with the critical-path recorder (no-op when Config.CritPath is off). The
+// barrier protocol calls it for every arriver — before the release's
+// MarkEpoch — from inside the serialized global section, so the recorder
+// sees the complete arrival set, race-free, in virtual-time order.
+func (p *Proc) MarkArrival() {
+	r := p.m.critrec
+	if r == nil {
+		return
+	}
+	sp := p.sp
+	c := &sp.Counters
+	r.Arrive(p.ID(), critpath.Snap{
+		At:           sp.Now(),
+		Busy:         sp.Stat(sim.StatBusy),
+		Memory:       sp.Stat(sim.StatMemory),
+		Sync:         sp.Stat(sim.StatSync),
+		SyncWait:     c.SyncWait,
+		SyncOverhead: c.SyncOverhead,
+		Contention:   c.ContentionStall,
+		LocalStall:   c.LocalStall,
+		RemoteStall:  c.RemoteStall,
+	})
 }

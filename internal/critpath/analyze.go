@@ -1,0 +1,221 @@
+package critpath
+
+import (
+	"fmt"
+	"sort"
+
+	"origin2000/internal/sim"
+)
+
+// Segment is one tile of the critical path: the span between two successive
+// barrier releases (or run start / run end), carried by the processor that
+// bounded it, decomposed exactly.
+type Segment struct {
+	Epoch int  // epoch index (the final open segment gets len(Epochs))
+	Final bool // the open segment after the last barrier release
+	Proc  int
+	Start sim.Time // previous release (0 for the first segment)
+	End   sim.Time // this release, or Elapsed for the final segment
+
+	// The exact decomposition: components sum to End-Start, with Residual
+	// the clock advance no bucket accounts for.
+	Busy     sim.Time
+	Memory   sim.Time // memory stall net of queueing
+	Queueing sim.Time // contention (queueing) portion of memory stall
+	Sync     sim.Time // sync time net of the wait prefix charged to the previous segment
+	Release  sim.Time // barrier-release protocol (last arrival to release stamp)
+	Residual sim.Time
+
+	// Informational sync split over the segment's raw delta (the buckets
+	// overlap the exact components; they are not a partition).
+	SyncWait     sim.Time
+	SyncOverhead sim.Time
+}
+
+// Span is the segment's length.
+func (s *Segment) Span() sim.Time { return s.End - s.Start }
+
+// Path is the analyzed critical path: segments tiling [0, Elapsed] and the
+// exact component totals.
+type Path struct {
+	Elapsed  sim.Time
+	Segments []Segment
+
+	Busy     sim.Time
+	Memory   sim.Time
+	Queueing sim.Time
+	Sync     sim.Time
+	Release  sim.Time
+	Residual sim.Time
+
+	SyncWait     sim.Time // informational
+	SyncOverhead sim.Time // informational
+}
+
+func sub(a, b Snap) Snap {
+	return Snap{
+		At:           a.At - b.At,
+		Busy:         a.Busy - b.Busy,
+		Memory:       a.Memory - b.Memory,
+		Sync:         a.Sync - b.Sync,
+		SyncWait:     a.SyncWait - b.SyncWait,
+		SyncOverhead: a.SyncOverhead - b.SyncOverhead,
+		Contention:   a.Contention - b.Contention,
+		LocalStall:   a.LocalStall - b.LocalStall,
+		RemoteStall:  a.RemoteStall - b.RemoteStall,
+	}
+}
+
+// segment decomposes one tile [start, end] carried by proc, whose snapshots
+// at its bounding arrivals are prev (previous barrier arrival; zero Snap at
+// run start) and arr (this segment's closing arrival; the final snapshot
+// for the last segment). release is the barrier-release tail (zero for the
+// final segment).
+func segment(epoch, proc int, start, end sim.Time, prev, arr Snap, release sim.Time) Segment {
+	d := sub(arr, prev)
+	// The processor's wait from its previous arrival to the previous
+	// release was charged to sync but belongs to the previous segment
+	// (it ended at start); subtract it so segments do not double count.
+	prefix := start - prev.At
+	s := Segment{
+		Epoch: epoch, Proc: proc, Start: start, End: end,
+		Busy:         d.Busy,
+		Memory:       d.Memory - d.Contention,
+		Queueing:     d.Contention,
+		Sync:         d.Sync - prefix,
+		Release:      release,
+		SyncWait:     d.SyncWait,
+		SyncOverhead: d.SyncOverhead,
+	}
+	s.Residual = (end - start) - (s.Busy + s.Memory + s.Queueing + s.Sync + s.Release)
+	return s
+}
+
+// Analyze builds the critical path from a run's recorded summary, the
+// per-processor final snapshots (cumulative stats at end of run, with At
+// the processor's accounted total), the overall critical processor
+// (Artifact.CriticalProc: largest accounted time, ties to lowest id), and
+// the elapsed virtual time. The result is exact: component totals sum to
+// elapsed.
+func Analyze(s *Summary, final []Snap, criticalProc int, elapsed sim.Time) *Path {
+	p := &Path{Elapsed: elapsed}
+	var at sim.Time // previous release
+	for i, e := range s.Epochs {
+		seg := segment(i, e.Proc, at, e.Release, e.Prev, e.Arr, e.Release-e.Arr.At)
+		p.Segments = append(p.Segments, seg)
+		at = e.Release
+	}
+	// Final open segment: from the last release to the end of the run,
+	// carried by the overall critical processor.
+	if criticalProc >= 0 && criticalProc < len(final) {
+		var prev Snap
+		if criticalProc < len(s.Last) {
+			prev = s.Last[criticalProc]
+		}
+		seg := segment(len(s.Epochs), criticalProc, at, elapsed, prev, final[criticalProc], 0)
+		seg.Final = true
+		p.Segments = append(p.Segments, seg)
+	}
+	for _, seg := range p.Segments {
+		p.Busy += seg.Busy
+		p.Memory += seg.Memory
+		p.Queueing += seg.Queueing
+		p.Sync += seg.Sync
+		p.Release += seg.Release
+		p.Residual += seg.Residual
+		p.SyncWait += seg.SyncWait
+		p.SyncOverhead += seg.SyncOverhead
+	}
+	return p
+}
+
+// Total sums the exact components; it equals Elapsed whenever the segment
+// tiling is complete (always, when Analyze received the full record).
+func (p *Path) Total() sim.Time {
+	return p.Busy + p.Memory + p.Queueing + p.Sync + p.Release + p.Residual
+}
+
+// components lists the exact components in fixed report order.
+func (p *Path) components() []struct {
+	Name string
+	T    sim.Time
+} {
+	return []struct {
+		Name string
+		T    sim.Time
+	}{
+		{"busy", p.Busy},
+		{"memory stall", p.Memory},
+		{"queueing (contention)", p.Queueing},
+		{"sync wait", p.Sync},
+		{"barrier release", p.Release},
+		{"residual", p.Residual},
+	}
+}
+
+// Dominant names the component bounding the run: the largest exact
+// component (first in report order on ties). This is the analyzer's
+// one-line verdict — "this run is memory-bound", not a guess.
+func (p *Path) Dominant() string {
+	comps := p.components()
+	best := 0
+	for i, c := range comps {
+		if c.T > comps[best].T {
+			best = i
+		}
+	}
+	return comps[best].Name
+}
+
+func ms(t sim.Time) string { return fmt.Sprintf("%.3f", t.Milliseconds()) }
+
+func (p *Path) share(t sim.Time) string {
+	if p.Elapsed == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f%%", 100*float64(t)/float64(p.Elapsed))
+}
+
+// ComponentRows renders the exact decomposition as table rows (header
+// first), closing with the total row that equals the elapsed time.
+func (p *Path) ComponentRows() [][]string {
+	rows := [][]string{{"critical-path component", "time (ms)", "share"}}
+	for _, c := range p.components() {
+		rows = append(rows, []string{c.Name, ms(c.T), p.share(c.T)})
+	}
+	rows = append(rows, []string{"TOTAL (= elapsed)", ms(p.Total()), p.share(p.Total())})
+	return rows
+}
+
+// SegmentRows renders the top-n segments by span (all when n <= 0), in
+// path order: which epochs — and which processors — bound the run.
+func (p *Path) SegmentRows(n int) [][]string {
+	rows := [][]string{{"segment", "proc", "span (ms)", "busy", "memory", "queueing", "sync", "release", "resid"}}
+	idx := make([]int, len(p.Segments))
+	for i := range idx {
+		idx[i] = i
+	}
+	if n > 0 && len(idx) > n {
+		sort.Slice(idx, func(i, j int) bool {
+			si, sj := p.Segments[idx[i]].Span(), p.Segments[idx[j]].Span()
+			if si != sj {
+				return si > sj
+			}
+			return idx[i] < idx[j]
+		})
+		idx = idx[:n]
+		sort.Ints(idx)
+	}
+	for _, i := range idx {
+		s := p.Segments[i]
+		name := fmt.Sprintf("epoch %d", s.Epoch)
+		if s.Final {
+			name = "final"
+		}
+		rows = append(rows, []string{
+			name, fmt.Sprint(s.Proc), ms(s.Span()),
+			ms(s.Busy), ms(s.Memory), ms(s.Queueing), ms(s.Sync), ms(s.Release), ms(s.Residual),
+		})
+	}
+	return rows
+}

@@ -1,0 +1,107 @@
+// Package critpath extracts and decomposes the virtual-time critical path
+// of a run: the chain of processors that bounds the elapsed virtual time,
+// and where that chain's time went.
+//
+// The machine's full-machine barriers cut a run into epochs. Within an
+// epoch the elapsed time is bounded by the last processor to arrive at the
+// closing barrier — every other processor waits for it — so the critical
+// path is: epoch 0's last arriver from time zero to its arrival, the
+// barrier-release protocol to the release stamp, then epoch 1's last
+// arriver from that release to its arrival, and so on; after the last
+// release, the overall critical processor (largest accounted time, the same
+// choice metrics.Diff makes) carries the path to the end of the run.
+//
+// Each segment is decomposed exactly — busy, memory stall net of queueing,
+// queueing (contention stall), sync wait net of the previous epoch's wait
+// prefix, barrier release, residual — with the same exactness contract as
+// metrics.Diff: the components of a segment sum to the segment's span, and
+// the segments tile [0, Elapsed], so the full decomposition sums to the
+// elapsed virtual time with the residual capturing exactly the clock
+// advance no bucket accounts for (zero when accounting is complete).
+//
+// Everything here is virtual-time data recorded inside the serialized
+// barrier protocol, so the record — like every other observable — is
+// bit-identical at any worker count and across engines.
+package critpath
+
+import "origin2000/internal/sim"
+
+// Snap is one processor's cumulative accounting snapshot at a point in
+// virtual time (a barrier arrival, or end of run). At is the processor's
+// clock; the buckets are its cumulative charged time and stall splits.
+type Snap struct {
+	At           sim.Time `json:"at"`
+	Busy         sim.Time `json:"busy"`
+	Memory       sim.Time `json:"memory"`
+	Sync         sim.Time `json:"sync"`
+	SyncWait     sim.Time `json:"sync_wait"`
+	SyncOverhead sim.Time `json:"sync_overhead"`
+	Contention   sim.Time `json:"contention"`
+	LocalStall   sim.Time `json:"local_stall"`
+	RemoteStall  sim.Time `json:"remote_stall"`
+}
+
+// Epoch records one full-machine barrier: its release stamp, the critical
+// (last-arriving) processor, and that processor's snapshots at this arrival
+// and at its previous one (zero for the first epoch).
+type Epoch struct {
+	Release sim.Time `json:"release"`
+	Proc    int      `json:"proc"`
+	Prev    Snap     `json:"prev"`
+	Arr     Snap     `json:"arr"`
+}
+
+// Summary is the recorded critical-path data of one run: the epoch chain
+// plus every processor's snapshot at its last barrier arrival (the final
+// open segment starts there). It serializes into the run artifact, so saved
+// artifacts can be analyzed offline.
+type Summary struct {
+	Epochs []Epoch `json:"epochs"`
+	Last   []Snap  `json:"last"`
+}
+
+// Recorder accumulates the critical-path record during a run. Arrive and
+// Release are called from inside the serialized barrier protocol (commit
+// chain), so the recorder needs no locks and perturbs nothing.
+type Recorder struct {
+	prev, last []Snap
+	epochs     []Epoch
+}
+
+// NewRecorder creates a recorder for n processors.
+func NewRecorder(n int) *Recorder {
+	return &Recorder{prev: make([]Snap, n), last: make([]Snap, n)}
+}
+
+// Arrive records processor id's snapshot at a full-machine barrier arrival.
+func (r *Recorder) Arrive(id int, s Snap) {
+	r.prev[id] = r.last[id]
+	r.last[id] = s
+}
+
+// Release closes the epoch at release stamp at: the critical processor is
+// the one with the largest last-arrival clock (ties to the lowest id — the
+// repo-wide deterministic tie-break).
+func (r *Recorder) Release(at sim.Time) {
+	crit := 0
+	for i := 1; i < len(r.last); i++ {
+		if r.last[i].At > r.last[crit].At {
+			crit = i
+		}
+	}
+	r.epochs = append(r.epochs, Epoch{
+		Release: at,
+		Proc:    crit,
+		Prev:    r.prev[crit],
+		Arr:     r.last[crit],
+	})
+}
+
+// Summary snapshots the record for artifact embedding.
+func (r *Recorder) Summary() *Summary {
+	s := &Summary{
+		Epochs: append([]Epoch(nil), r.epochs...),
+		Last:   append([]Snap(nil), r.last...),
+	}
+	return s
+}

@@ -1,0 +1,153 @@
+package critpath
+
+import (
+	"testing"
+
+	"origin2000/internal/sim"
+)
+
+// record replays a hand-built two-processor run through the Recorder:
+//
+//	epoch 0: proc 0 arrives at 100 (proc 1 at 80), release at 105
+//	epoch 1: proc 1 arrives at 200 (proc 0 at 190), release at 205
+//	final:   run ends at 300, overall critical processor 0
+//
+// Every snapshot is chosen so each segment decomposes with zero residual,
+// making the expected component totals checkable by hand.
+func record() (*Summary, []Snap) {
+	r := NewRecorder(2)
+	// Epoch 0 arrivals: cumulative accounting at the first barrier.
+	r.Arrive(0, Snap{At: 100, Busy: 60, Memory: 30, Sync: 10, Contention: 10})
+	r.Arrive(1, Snap{At: 80, Busy: 50, Memory: 20, Sync: 10, Contention: 5})
+	r.Release(105)
+	// Epoch 1 arrivals. Proc 1's sync grew by 40: the 25 it waited from its
+	// epoch-0 arrival (80) to the release (105) — the wait prefix the
+	// analyzer must charge to the previous segment — plus 15 in-segment.
+	r.Arrive(0, Snap{At: 190, Busy: 100, Memory: 50, Sync: 30, Contention: 15})
+	r.Arrive(1, Snap{At: 200, Busy: 110, Memory: 40, Sync: 50, Contention: 13})
+	r.Release(205)
+	// End-of-run cumulative snapshots. Proc 0 carries the final segment:
+	// its sync grew by 40 = 15 wait prefix (190 -> 205) + 25 in-segment.
+	final := []Snap{
+		{At: 300, Busy: 140, Memory: 80, Sync: 70, Contention: 25},
+		{At: 280, Busy: 150, Memory: 60, Sync: 70, Contention: 20},
+	}
+	return r.Summary(), final
+}
+
+// TestAnalyzeExact pins the analyzer's exactness contract on the hand-built
+// run: segments tile [0, Elapsed], each segment's components sum to its
+// span with zero residual, and the totals match the hand computation.
+func TestAnalyzeExact(t *testing.T) {
+	sum, final := record()
+	p := Analyze(sum, final, 0, 300)
+	if len(p.Segments) != 3 {
+		t.Fatalf("got %d segments, want 3 (two epochs + final)", len(p.Segments))
+	}
+	// The segments tile [0, Elapsed].
+	var at sim.Time
+	for i, s := range p.Segments {
+		if s.Start != at {
+			t.Errorf("segment %d starts at %v, previous ended at %v", i, s.Start, at)
+		}
+		at = s.End
+		if got := s.Busy + s.Memory + s.Queueing + s.Sync + s.Release + s.Residual; got != s.Span() {
+			t.Errorf("segment %d components sum to %v, span %v", i, got, s.Span())
+		}
+		if s.Residual != 0 {
+			t.Errorf("segment %d residual = %v, want 0", i, s.Residual)
+		}
+	}
+	if at != 300 {
+		t.Errorf("segments end at %v, elapsed 300", at)
+	}
+	// Per-epoch critical processors: last arrival wins.
+	if p.Segments[0].Proc != 0 || p.Segments[1].Proc != 1 || p.Segments[2].Proc != 0 {
+		t.Errorf("segment procs = %d,%d,%d, want 0,1,0",
+			p.Segments[0].Proc, p.Segments[1].Proc, p.Segments[2].Proc)
+	}
+	if p.Segments[2].Final != true || p.Segments[0].Final || p.Segments[1].Final {
+		t.Errorf("Final flags wrong: %+v", p.Segments)
+	}
+	// Epoch 1's sync must be net of proc 1's 25-unit wait prefix.
+	if p.Segments[1].Sync != 15 {
+		t.Errorf("epoch-1 sync = %v, want 15 (40 raw - 25 wait prefix)", p.Segments[1].Sync)
+	}
+	// Hand-computed totals.
+	want := Path{Busy: 160, Memory: 52, Queueing: 28, Sync: 50, Release: 10, Residual: 0}
+	if p.Busy != want.Busy || p.Memory != want.Memory || p.Queueing != want.Queueing ||
+		p.Sync != want.Sync || p.Release != want.Release || p.Residual != want.Residual {
+		t.Errorf("totals {busy %v mem %v que %v sync %v rel %v resid %v}, want %+v",
+			p.Busy, p.Memory, p.Queueing, p.Sync, p.Release, p.Residual, want)
+	}
+	if p.Total() != p.Elapsed {
+		t.Errorf("Total() = %v != Elapsed %v", p.Total(), p.Elapsed)
+	}
+	if got := p.Dominant(); got != "busy" {
+		t.Errorf("Dominant() = %q, want busy (160 of 300)", got)
+	}
+}
+
+// TestReleaseTieBreak pins the deterministic tie-break: equal last-arrival
+// clocks resolve to the lowest processor id.
+func TestReleaseTieBreak(t *testing.T) {
+	r := NewRecorder(3)
+	r.Arrive(0, Snap{At: 50})
+	r.Arrive(1, Snap{At: 50})
+	r.Arrive(2, Snap{At: 40})
+	r.Release(55)
+	if s := r.Summary(); s.Epochs[0].Proc != 0 {
+		t.Fatalf("tie resolved to proc %d, want 0", s.Epochs[0].Proc)
+	}
+}
+
+// TestRecorderPrevTracking pins that an epoch carries the critical
+// processor's snapshot pair (previous arrival, this arrival) — the pair the
+// per-segment delta is computed from.
+func TestRecorderPrevTracking(t *testing.T) {
+	sum, _ := record()
+	e1 := sum.Epochs[1]
+	if e1.Proc != 1 {
+		t.Fatalf("epoch 1 proc = %d, want 1", e1.Proc)
+	}
+	if e1.Prev.At != 80 || e1.Arr.At != 200 {
+		t.Errorf("epoch 1 snapshots prev.At=%v arr.At=%v, want 80, 200", e1.Prev.At, e1.Arr.At)
+	}
+}
+
+// TestDominantDisagrees pins that the verdict actually depends on the
+// decomposition: a memory-heavy path and a sync-heavy path over the same
+// span name different dominant components.
+func TestDominantDisagrees(t *testing.T) {
+	mem := &Path{Elapsed: 100, Busy: 20, Memory: 60, Sync: 20}
+	lock := &Path{Elapsed: 100, Busy: 20, Memory: 20, Sync: 60}
+	if m, l := mem.Dominant(), lock.Dominant(); m == l {
+		t.Fatalf("both paths report %q dominant", m)
+	} else if m != "memory stall" || l != "sync wait" {
+		t.Errorf("Dominant() = %q, %q; want memory stall, sync wait", m, l)
+	}
+}
+
+// TestRowsShapes pins the report-table contracts downstream formatting
+// relies on: header-first, every row the same width, and the component
+// table closing with the TOTAL row.
+func TestRowsShapes(t *testing.T) {
+	sum, final := record()
+	p := Analyze(sum, final, 0, 300)
+	comp := p.ComponentRows()
+	if len(comp) != 8 { // header + 6 components + total
+		t.Fatalf("ComponentRows: %d rows, want 8", len(comp))
+	}
+	for i, row := range comp {
+		if len(row) != len(comp[0]) {
+			t.Errorf("ComponentRows row %d width %d != header %d", i, len(row), len(comp[0]))
+		}
+	}
+	if comp[len(comp)-1][0] != "TOTAL (= elapsed)" {
+		t.Errorf("last component row = %v", comp[len(comp)-1])
+	}
+	segs := p.SegmentRows(2)
+	if len(segs) != 3 { // header + top 2
+		t.Fatalf("SegmentRows(2): %d rows, want 3", len(segs))
+	}
+}

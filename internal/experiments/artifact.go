@@ -38,6 +38,7 @@ func BuildArtifact(label string, app workload.App, params workload.Params, m *co
 		a.Machine = s.MachineSeries()
 		a.Epochs = s.Epochs()
 	}
+	a.CritPath = m.CritPath()
 	if tr := m.Tracer(); tr != nil {
 		for _, h := range tr.TopPages(artifactTopN) {
 			a.Pages = append(a.Pages, metrics.PageHeat{

@@ -71,6 +71,14 @@ type Scale struct {
 	// ("fixed", "fixed:<dur>", "adaptive", "adaptive:<dur>"; empty =
 	// fixed at the machine's default quantum). See core.ParseWindowSpec.
 	Window string
+	// HostProf enables the host-time profiler on every machine the scale
+	// builds. Unlike Check/Metrics it does NOT force workers=1: the
+	// profiler is schedule-neutral by contract.
+	HostProf bool
+	// CritPath enables critical-path recording on every machine the scale
+	// builds (barrier-arrival snapshots; bit-identical at any worker
+	// count).
+	CritPath bool
 	// OnMachine, when set, sees every machine RunConfig builds before the
 	// application runs on it — the hook fault-injection and checkpoint
 	// tests use to reach Machine-level knobs the Config does not carry.
@@ -113,6 +121,8 @@ func (s Scale) Machine(procs int) core.Config {
 	cfg.Metrics = s.Metrics
 	cfg.Engine = s.Engine
 	cfg.Workers = s.Workers
+	cfg.HostProf = s.HostProf
+	cfg.CritPath = s.CritPath
 	if s.Window != "" {
 		policy, quantum, max, err := core.ParseWindowSpec(s.Window)
 		if err != nil {

@@ -1,0 +1,276 @@
+// Package hostprof profiles the engine's host-time behavior: where the
+// wall-clock of a parallel run actually goes. It implements sim.HostProfiler
+// and records, per worker lane, the host-time spans of phase-1 shard chains
+// and steal attempts, plus a serial track for the engine's single-threaded
+// stretches (commit phase, run-ahead fast path, round turnover) and counter
+// samples taken at every window open (runnable-chain backlog, commit-queue
+// depth, window width).
+//
+// The profiler obeys the repo's observer gating contract (DESIGN.md §14):
+// with Config.HostProf off it does not exist and the engine pays one nil
+// check per hook site; with it on, the hooks only read the host clock and
+// record — nothing flows back into the virtual-time schedule, so the
+// simulated results are bit-identical with the profiler on or off, at any
+// worker count. Unlike the checker and sampler it must NOT force workers=1:
+// profiling a parallel engine is the whole point.
+//
+// Timestamps are monotonic nanoseconds since the profiler's construction.
+// Spans land in fixed-capacity per-track rings: when a ring wraps, the
+// oldest spans fall out of the exported timeline but every aggregate
+// (busy time, chain counts, steal counters, phase shares, the turnover
+// histogram) is accumulated outside the rings and stays exact.
+//
+// Concurrency: per-lane state is only touched by the engine's dispatch/
+// chain-handoff edges for that lane (see sim.HostProfiler), and the serial
+// and counter tracks only from the engine's single-threaded stretches, so
+// the profiler needs no locks.
+package hostprof
+
+import (
+	"time"
+
+	"origin2000/internal/sim"
+	"origin2000/internal/trace"
+)
+
+// DefaultRingSpans is the per-track timeline capacity. At roughly one chain
+// span per lane per window this holds the last ~64k windows of detail;
+// aggregates are exact regardless.
+const DefaultRingSpans = 1 << 16
+
+// Span is one host-time interval, in nanoseconds since the profiler start.
+type Span struct {
+	Start int64 `json:"start"`
+	End   int64 `json:"end"`
+}
+
+// serialSpan is a span on the serial track, tagged with its kind
+// (sim.SerialCommit / SerialRunAhead / SerialTurnover).
+type serialSpan struct {
+	Span
+	kind int8
+}
+
+// steal is one steal attempt instant on a lane track.
+type steal struct {
+	ts  int64
+	hit bool
+}
+
+// CounterSample is the schedule state observed at one window open.
+type CounterSample struct {
+	TS          int64    `json:"ts"`
+	Width       sim.Time `json:"width"`
+	Backlog     int32    `json:"backlog"`      // shard chains the window queued
+	CommitDepth int32    `json:"commit_depth"` // commit-queue depth at open
+}
+
+// ring is a fixed-capacity drop-oldest buffer. Aggregates live outside it,
+// so wrapping only trims the exported timeline.
+type ring[T any] struct {
+	buf   []T
+	head  int   // next write index once full
+	total int64 // items ever pushed
+	max   int
+}
+
+func newRing[T any](max int) ring[T] { return ring[T]{max: max} }
+
+func (r *ring[T]) push(v T) {
+	r.total++
+	if len(r.buf) < r.max {
+		r.buf = append(r.buf, v)
+		return
+	}
+	r.buf[r.head] = v
+	r.head++
+	if r.head == r.max {
+		r.head = 0
+	}
+}
+
+// all returns the buffered items in chronological order.
+func (r *ring[T]) all() []T {
+	if r.total <= int64(len(r.buf)) {
+		return r.buf
+	}
+	out := make([]T, 0, len(r.buf))
+	out = append(out, r.buf[r.head:]...)
+	out = append(out, r.buf[:r.head]...)
+	return out
+}
+
+// dropped reports how many items fell out of the ring.
+func (r *ring[T]) dropped() int64 { return r.total - int64(len(r.buf)) }
+
+// lane is one worker lane's state. Padded so concurrently-updated lanes do
+// not share a cache line (a host-performance concern only).
+type lane struct {
+	openAt   int64 // start of the open chain span; -1 when none
+	firstTS  int64 // first event timestamp; -1 before any
+	lastTS   int64
+	busyNS   int64 // total closed chain time (exact)
+	chains   int64
+	attempts int64
+	hits     int64
+	spans    ring[Span]
+	steals   ring[steal]
+	_        [64]byte
+}
+
+// Profiler records the engine's host-time behavior. Create with New, attach
+// with Engine.SetHostProfiler, and read results with Report or
+// WritePerfetto after the run.
+type Profiler struct {
+	start time.Time
+	lanes []lane
+
+	// Serial track: guarded by the engine's single-chain invariant.
+	serialOpen  [sim.NumSerialKinds]int64
+	serialNS    [sim.NumSerialKinds]int64
+	serialCount [sim.NumSerialKinds]int64
+	serialFirst int64
+	serialLast  int64
+	serial      ring[serialSpan]
+
+	counters ring[CounterSample]
+	turnover trace.Histogram // turnover span durations, in host ns
+}
+
+// New creates a profiler for an engine running with the given number of
+// worker lanes (Engine.Workers()).
+func New(workers int) *Profiler {
+	if workers < 1 {
+		workers = 1
+	}
+	p := &Profiler{
+		start:       time.Now(),
+		lanes:       make([]lane, workers),
+		serial:      newRing[serialSpan](DefaultRingSpans),
+		counters:    newRing[CounterSample](DefaultRingSpans),
+		serialFirst: -1,
+	}
+	for i := range p.lanes {
+		l := &p.lanes[i]
+		l.openAt = -1
+		l.firstTS = -1
+		l.spans = newRing[Span](DefaultRingSpans)
+		l.steals = newRing[steal](DefaultRingSpans)
+	}
+	for k := range p.serialOpen {
+		p.serialOpen[k] = -1
+	}
+	return p
+}
+
+// now is the profiler clock: monotonic nanoseconds since construction.
+func (p *Profiler) now() int64 { return int64(time.Since(p.start)) }
+
+func (l *lane) mark(ts int64) {
+	if l.firstTS < 0 {
+		l.firstTS = ts
+	}
+	l.lastTS = ts
+}
+
+// ChainBegin implements sim.HostProfiler.
+func (p *Profiler) ChainBegin(laneIdx int) {
+	l := &p.lanes[laneIdx]
+	ts := p.now()
+	l.mark(ts)
+	l.openAt = ts
+}
+
+// ChainEnd implements sim.HostProfiler.
+func (p *Profiler) ChainEnd(laneIdx int) {
+	l := &p.lanes[laneIdx]
+	ts := p.now()
+	l.mark(ts)
+	if l.openAt < 0 {
+		return
+	}
+	l.busyNS += ts - l.openAt
+	l.chains++
+	l.spans.push(Span{Start: l.openAt, End: ts})
+	l.openAt = -1
+}
+
+// StealAttempt implements sim.HostProfiler.
+func (p *Profiler) StealAttempt(laneIdx int, hit bool) {
+	l := &p.lanes[laneIdx]
+	ts := p.now()
+	l.mark(ts)
+	l.attempts++
+	if hit {
+		l.hits++
+	}
+	l.steals.push(steal{ts: ts, hit: hit})
+}
+
+// SerialBegin implements sim.HostProfiler.
+func (p *Profiler) SerialBegin(kind int) {
+	ts := p.now()
+	if p.serialFirst < 0 {
+		p.serialFirst = ts
+	}
+	p.serialLast = ts
+	p.serialOpen[kind] = ts
+}
+
+// SerialEnd implements sim.HostProfiler.
+func (p *Profiler) SerialEnd(kind int) {
+	ts := p.now()
+	p.serialLast = ts
+	open := p.serialOpen[kind]
+	if open < 0 {
+		return
+	}
+	p.serialOpen[kind] = -1
+	d := ts - open
+	p.serialNS[kind] += d
+	p.serialCount[kind]++
+	p.serial.push(serialSpan{Span: Span{Start: open, End: ts}, kind: int8(kind)})
+	if kind == sim.SerialTurnover {
+		// The turnover-latency histogram reuses the virtual-time HDR
+		// buckets; the values here are host nanoseconds (the histogram is
+		// unit-agnostic int64).
+		p.turnover.Record(sim.Time(d))
+	}
+}
+
+// WindowOpen implements sim.HostProfiler.
+func (p *Profiler) WindowOpen(width sim.Time, backlog, commitDepth int) {
+	ts := p.now()
+	p.serialLast = ts
+	if p.serialFirst < 0 {
+		p.serialFirst = ts
+	}
+	p.counters.push(CounterSample{
+		TS: ts, Width: width,
+		Backlog: int32(backlog), CommitDepth: int32(commitDepth),
+	})
+}
+
+// Workers reports the number of worker lanes profiled.
+func (p *Profiler) Workers() int { return len(p.lanes) }
+
+// span bounds across every track: the profiled wall interval.
+func (p *Profiler) bounds() (first, last int64) {
+	first = -1
+	add := func(f, l int64) {
+		if f >= 0 && (first < 0 || f < first) {
+			first = f
+		}
+		if l > last {
+			last = l
+		}
+	}
+	for i := range p.lanes {
+		add(p.lanes[i].firstTS, p.lanes[i].lastTS)
+	}
+	add(p.serialFirst, p.serialLast)
+	if first < 0 {
+		first = 0
+	}
+	return first, last
+}

@@ -1,0 +1,182 @@
+package hostprof
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"origin2000/internal/sim"
+)
+
+// TestRingWrap pins the drop-oldest ring: below capacity nothing drops;
+// past capacity the oldest items fall out, all() stays chronological, and
+// dropped() counts exactly what was lost.
+func TestRingWrap(t *testing.T) {
+	r := newRing[int](4)
+	for i := 0; i < 3; i++ {
+		r.push(i)
+	}
+	if got := r.all(); len(got) != 3 || got[0] != 0 || got[2] != 2 {
+		t.Fatalf("unwrapped ring all() = %v", got)
+	}
+	if r.dropped() != 0 {
+		t.Fatalf("unwrapped ring dropped() = %d", r.dropped())
+	}
+	for i := 3; i < 10; i++ {
+		r.push(i)
+	}
+	got := r.all()
+	if len(got) != 4 {
+		t.Fatalf("wrapped ring holds %d items, want 4", len(got))
+	}
+	for i, v := range got {
+		if v != 6+i {
+			t.Fatalf("wrapped ring all() = %v, want [6 7 8 9]", got)
+		}
+	}
+	if r.dropped() != 6 {
+		t.Fatalf("wrapped ring dropped() = %d, want 6", r.dropped())
+	}
+}
+
+// drive exercises every hook with a plausible engine-shaped sequence:
+// turnover+window opens, chain spans on two lanes, steals, and commit and
+// run-ahead serial spans.
+func drive(p *Profiler) {
+	for w := 0; w < 3; w++ {
+		p.SerialBegin(sim.SerialTurnover)
+		p.WindowOpen(sim.Microsecond, 2, 1)
+		p.SerialEnd(sim.SerialTurnover)
+		p.ChainBegin(0)
+		p.ChainBegin(1)
+		p.StealAttempt(0, true)
+		p.ChainEnd(0)
+		p.StealAttempt(1, false)
+		p.ChainEnd(1)
+		p.SerialBegin(sim.SerialCommit)
+		p.SerialEnd(sim.SerialCommit)
+	}
+	p.SerialBegin(sim.SerialRunAhead)
+	p.SerialEnd(sim.SerialRunAhead)
+}
+
+// TestReportMath pins the aggregate report against the recorded state: the
+// counts are exact, each lane's busy time equals the sum of its spans, and
+// the share fields are consistent with their numerators.
+func TestReportMath(t *testing.T) {
+	p := New(2)
+	drive(p)
+	r := p.Report()
+	if r.Workers != 2 {
+		t.Fatalf("Workers = %d", r.Workers)
+	}
+	if r.WallNS <= 0 {
+		t.Fatalf("WallNS = %d", r.WallNS)
+	}
+	for i, l := range r.Lanes {
+		if l.Chains != 3 {
+			t.Errorf("lane %d chains = %d, want 3", i, l.Chains)
+		}
+		var sum int64
+		for _, s := range p.lanes[i].spans.all() {
+			sum += s.End - s.Start
+		}
+		if l.BusyNS != sum {
+			t.Errorf("lane %d BusyNS = %d, span sum = %d", i, l.BusyNS, sum)
+		}
+		if l.DroppedSpans != 0 {
+			t.Errorf("lane %d dropped %d spans", i, l.DroppedSpans)
+		}
+	}
+	if r.StealAttempts != 6 || r.StealHits != 3 {
+		t.Errorf("steals = %d/%d, want 3/6", r.StealHits, r.StealAttempts)
+	}
+	if r.StealHitRate != 0.5 {
+		t.Errorf("StealHitRate = %v, want 0.5", r.StealHitRate)
+	}
+	if r.Windows != 3 {
+		t.Errorf("Windows = %d, want 3", r.Windows)
+	}
+	if r.Turnover.Count != 3 {
+		t.Errorf("Turnover.Count = %d, want 3", r.Turnover.Count)
+	}
+	wantUtil := float64(r.Lanes[0].BusyNS+r.Lanes[1].BusyNS) / (float64(r.WallNS) * 2)
+	if r.WorkerUtil != wantUtil {
+		t.Errorf("WorkerUtil = %v, want %v", r.WorkerUtil, wantUtil)
+	}
+	if want := float64(r.CommitNS) / float64(r.WallNS); r.CommitHostShare != want {
+		t.Errorf("CommitHostShare = %v, want %v", r.CommitHostShare, want)
+	}
+	if r.RunAheadNS < 0 || r.TurnoverNS <= 0 {
+		t.Errorf("serial times: run-ahead %d, turnover %d", r.RunAheadNS, r.TurnoverNS)
+	}
+}
+
+// TestUnbalancedEndsIgnored pins the hooks' tolerance: an End without a
+// matching Begin records nothing rather than corrupting aggregates.
+func TestUnbalancedEndsIgnored(t *testing.T) {
+	p := New(1)
+	p.ChainEnd(0)
+	p.SerialEnd(sim.SerialCommit)
+	r := p.Report()
+	if r.Lanes[0].Chains != 0 || r.Lanes[0].BusyNS != 0 || r.CommitNS != 0 {
+		t.Fatalf("unbalanced ends recorded state: %+v", r)
+	}
+}
+
+// TestPerfettoExport pins the timeline export: valid JSON, one thread per
+// lane plus the serial track, and every event family present.
+func TestPerfettoExport(t *testing.T) {
+	p := New(2)
+	drive(p)
+	var buf bytes.Buffer
+	if err := p.WritePerfetto(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var tr struct {
+		DisplayTimeUnit string            `json:"displayTimeUnit"`
+		OtherData       map[string]string `json:"otherData"`
+		TraceEvents     []struct {
+			Ph   string          `json:"ph"`
+			Tid  int             `json:"tid"`
+			Name string          `json:"name"`
+			Args json.RawMessage `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tr); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if tr.OtherData["workers"] != "2" {
+		t.Errorf("otherData.workers = %q", tr.OtherData["workers"])
+	}
+	threads := map[string]bool{}
+	kinds := map[string]int{}
+	for _, ev := range tr.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			if ev.Name == "thread_name" {
+				var args struct {
+					Name string `json:"name"`
+				}
+				json.Unmarshal(ev.Args, &args)
+				threads[args.Name] = true
+			}
+		case "X", "i", "C":
+			kinds[ev.Ph+":"+ev.Name]++
+		}
+	}
+	for _, want := range []string{"worker0", "worker1", "serial"} {
+		if !threads[want] {
+			t.Errorf("missing thread track %q (have %v)", want, threads)
+		}
+	}
+	for _, want := range []string{
+		"X:chain", "X:commit", "X:turnover", "X:run-ahead",
+		"i:steal hit", "i:steal miss",
+		"C:runnable chains", "C:commit depth", "C:window width (ns)",
+	} {
+		if kinds[want] == 0 {
+			t.Errorf("missing event %q (have %v)", want, kinds)
+		}
+	}
+}

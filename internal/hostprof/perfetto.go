@@ -1,0 +1,72 @@
+package hostprof
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"origin2000/internal/sim"
+)
+
+// Perfetto (Chrome trace-event JSON) export of the host-time timeline:
+// loads directly in ui.perfetto.dev. One thread track per worker lane
+// carries its chain spans and steal-attempt instants; a "serial" track
+// carries the commit / run-ahead / turnover spans; counter tracks sample
+// the runnable-chain backlog, commit-queue depth and window width at every
+// window open. Timestamps are host nanoseconds since the profiler start
+// (the trace-event "ts" unit is microseconds, written as a fixed-point
+// string at full nanosecond precision).
+
+const perfettoTool = "origin2000-hostprof/1"
+
+// pfNS renders a host-ns timestamp as the microsecond fixed-point string
+// the trace-event format expects.
+func pfNS(ns int64) string {
+	return fmt.Sprintf("%d.%03d", ns/1000, ns%1000)
+}
+
+// WritePerfetto writes the profiled timeline as Chrome trace-event JSON.
+// Call after the run.
+func (p *Profiler) WritePerfetto(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	serialTid := len(p.lanes)
+	fmt.Fprintf(bw, "{\"displayTimeUnit\":\"ns\",\"otherData\":{\"tool\":%q,\"workers\":\"%d\"},\"traceEvents\":[\n",
+		perfettoTool, len(p.lanes))
+	fmt.Fprintf(bw, "{\"ph\":\"M\",\"pid\":0,\"name\":\"process_name\",\"args\":{\"name\":\"origin2000 engine (host time)\"}}")
+	for i := range p.lanes {
+		fmt.Fprintf(bw, ",\n{\"ph\":\"M\",\"pid\":0,\"tid\":%d,\"name\":\"thread_name\",\"args\":{\"name\":\"worker%d\"}}", i, i)
+	}
+	fmt.Fprintf(bw, ",\n{\"ph\":\"M\",\"pid\":0,\"tid\":%d,\"name\":\"thread_name\",\"args\":{\"name\":\"serial\"}}", serialTid)
+	for i := range p.lanes {
+		l := &p.lanes[i]
+		for _, s := range l.spans.all() {
+			fmt.Fprintf(bw,
+				",\n{\"ph\":\"X\",\"pid\":0,\"tid\":%d,\"ts\":%s,\"dur\":%s,\"name\":\"chain\",\"cat\":\"engine\"}",
+				i, pfNS(s.Start), pfNS(s.End-s.Start))
+		}
+		for _, st := range l.steals.all() {
+			name := "steal miss"
+			if st.hit {
+				name = "steal hit"
+			}
+			fmt.Fprintf(bw,
+				",\n{\"ph\":\"i\",\"s\":\"t\",\"pid\":0,\"tid\":%d,\"ts\":%s,\"name\":%q,\"cat\":\"engine\"}",
+				i, pfNS(st.ts), name)
+		}
+	}
+	for _, s := range p.serial.all() {
+		fmt.Fprintf(bw,
+			",\n{\"ph\":\"X\",\"pid\":0,\"tid\":%d,\"ts\":%s,\"dur\":%s,\"name\":%q,\"cat\":\"engine\"}",
+			serialTid, pfNS(s.Start), pfNS(s.End-s.Start), sim.SerialKindName(int(s.kind)))
+	}
+	for _, c := range p.counters.all() {
+		fmt.Fprintf(bw, ",\n{\"ph\":\"C\",\"pid\":0,\"ts\":%s,\"name\":\"runnable chains\",\"args\":{\"v\":%d}}",
+			pfNS(c.TS), c.Backlog)
+		fmt.Fprintf(bw, ",\n{\"ph\":\"C\",\"pid\":0,\"ts\":%s,\"name\":\"commit depth\",\"args\":{\"v\":%d}}",
+			pfNS(c.TS), c.CommitDepth)
+		fmt.Fprintf(bw, ",\n{\"ph\":\"C\",\"pid\":0,\"ts\":%s,\"name\":\"window width (ns)\",\"args\":{\"v\":%d}}",
+			pfNS(c.TS), int64(c.Width)/int64(sim.Nanosecond))
+	}
+	fmt.Fprintf(bw, "\n]}\n")
+	return bw.Flush()
+}

@@ -1,0 +1,164 @@
+package hostprof
+
+import (
+	"fmt"
+
+	"origin2000/internal/sim"
+)
+
+// LaneReport aggregates one worker lane.
+type LaneReport struct {
+	Lane          int     `json:"lane"`
+	BusyNS        int64   `json:"busy_ns"` // host time inside phase-1 chain spans
+	Chains        int64   `json:"chains"`  // chain spans run on this lane
+	Util          float64 `json:"util"`    // BusyNS / wall
+	StealAttempts int64   `json:"steal_attempts"`
+	StealHits     int64   `json:"steal_hits"`
+	DroppedSpans  int64   `json:"dropped_spans"` // timeline spans lost to ring wrap
+}
+
+// TurnoverStats summarizes the window-turnover latency histogram (host ns).
+type TurnoverStats struct {
+	Count  int64 `json:"count"`
+	MeanNS int64 `json:"mean_ns"`
+	P50NS  int64 `json:"p50_ns"`
+	P99NS  int64 `json:"p99_ns"`
+	MaxNS  int64 `json:"max_ns"`
+}
+
+// Report is the aggregate host-time report of one profiled run. Every field
+// is exact (accumulated outside the timeline rings).
+type Report struct {
+	WallNS  int64 `json:"wall_ns"` // first to last profiled event
+	Workers int   `json:"workers"`
+
+	// WorkerUtil is the mean phase-1 lane utilization: total chain time
+	// across lanes divided by workers x wall. The gap to 1.0 is host time
+	// lanes spent idle or the engine spent in its serial stretches.
+	WorkerUtil float64 `json:"worker_util"`
+
+	CommitNS   int64 `json:"commit_ns"`    // serialized commit-phase host time
+	RunAheadNS int64 `json:"run_ahead_ns"` // run-ahead fast-path host time
+	TurnoverNS int64 `json:"turnover_ns"`  // round-turnover host time
+
+	// Shares are each serial phase's fraction of the profiled wall.
+	CommitHostShare float64 `json:"commit_host_share"`
+	RunAheadShare   float64 `json:"run_ahead_share"`
+	TurnoverShare   float64 `json:"turnover_share"`
+
+	StealAttempts int64   `json:"steal_attempts"`
+	StealHits     int64   `json:"steal_hits"`
+	StealHitRate  float64 `json:"steal_hit_rate"` // hits / attempts
+
+	Windows  int64         `json:"windows"` // window-open counter samples
+	Turnover TurnoverStats `json:"turnover"`
+
+	Lanes []LaneReport `json:"lanes"`
+}
+
+// Report builds the aggregate report. Call after the run (no hook may be
+// concurrently executing).
+func (p *Profiler) Report() *Report {
+	first, last := p.bounds()
+	wall := last - first
+	r := &Report{
+		WallNS:     wall,
+		Workers:    len(p.lanes),
+		CommitNS:   p.serialNS[sim.SerialCommit],
+		RunAheadNS: p.serialNS[sim.SerialRunAhead],
+		TurnoverNS: p.serialNS[sim.SerialTurnover],
+		Windows:    p.counters.total,
+		Turnover: TurnoverStats{
+			Count:  p.turnover.Count(),
+			MeanNS: int64(p.turnover.Mean()),
+			P50NS:  int64(p.turnover.Quantile(0.5)),
+			P99NS:  int64(p.turnover.Quantile(0.99)),
+			MaxNS:  int64(p.turnover.Max()),
+		},
+	}
+	var busy int64
+	for i := range p.lanes {
+		l := &p.lanes[i]
+		lr := LaneReport{
+			Lane:          i,
+			BusyNS:        l.busyNS,
+			Chains:        l.chains,
+			StealAttempts: l.attempts,
+			StealHits:     l.hits,
+			DroppedSpans:  l.spans.dropped(),
+		}
+		if wall > 0 {
+			lr.Util = float64(l.busyNS) / float64(wall)
+		}
+		busy += l.busyNS
+		r.StealAttempts += l.attempts
+		r.StealHits += l.hits
+		r.Lanes = append(r.Lanes, lr)
+	}
+	if wall > 0 {
+		r.WorkerUtil = float64(busy) / (float64(wall) * float64(len(p.lanes)))
+		r.CommitHostShare = float64(r.CommitNS) / float64(wall)
+		r.RunAheadShare = float64(r.RunAheadNS) / float64(wall)
+		r.TurnoverShare = float64(r.TurnoverNS) / float64(wall)
+	}
+	if r.StealAttempts > 0 {
+		r.StealHitRate = float64(r.StealHits) / float64(r.StealAttempts)
+	}
+	return r
+}
+
+func hostMS(ns int64) string { return fmt.Sprintf("%.3f", float64(ns)/1e6) }
+
+func pct(f float64) string { return fmt.Sprintf("%.1f%%", 100*f) }
+
+// Rows renders the aggregate report as table rows (header first) for
+// perf.Table.
+func (r *Report) Rows() [][]string {
+	rows := [][]string{
+		{"host phase", "time (ms)", "share"},
+		{"worker chains (sum)", hostMS(r.totalBusyNS()), pct(r.WorkerUtil)},
+		{"commit (serial)", hostMS(r.CommitNS), pct(r.CommitHostShare)},
+		{"run-ahead (serial)", hostMS(r.RunAheadNS), pct(r.RunAheadShare)},
+		{"turnover (serial)", hostMS(r.TurnoverNS), pct(r.TurnoverShare)},
+		{"profiled wall", hostMS(r.WallNS), "100.0%"},
+	}
+	return rows
+}
+
+func (r *Report) totalBusyNS() int64 {
+	var t int64
+	for _, l := range r.Lanes {
+		t += l.BusyNS
+	}
+	return t
+}
+
+// LaneRows renders the per-lane table (header first) for perf.Table.
+func (r *Report) LaneRows() [][]string {
+	rows := [][]string{{"lane", "busy (ms)", "chains", "util", "steal hit/att"}}
+	for _, l := range r.Lanes {
+		rows = append(rows, []string{
+			fmt.Sprint(l.Lane), hostMS(l.BusyNS), fmt.Sprint(l.Chains), pct(l.Util),
+			fmt.Sprintf("%d/%d", l.StealHits, l.StealAttempts),
+		})
+	}
+	return rows
+}
+
+// SummaryRows renders the scalar summary (header first) for perf.Table.
+func (r *Report) SummaryRows() [][]string {
+	return [][]string{
+		{"metric", "value"},
+		{"workers", fmt.Sprint(r.Workers)},
+		{"worker_util", fmt.Sprintf("%.3f", r.WorkerUtil)},
+		{"commit_host_share", fmt.Sprintf("%.3f", r.CommitHostShare)},
+		{"steal_hit_rate", fmt.Sprintf("%.3f", r.StealHitRate)},
+		{"steal attempts", fmt.Sprint(r.StealAttempts)},
+		{"windows sampled", fmt.Sprint(r.Windows)},
+		{"turnover count", fmt.Sprint(r.Turnover.Count)},
+		{"turnover mean", fmt.Sprintf("%dns", r.Turnover.MeanNS)},
+		{"turnover p50", fmt.Sprintf("%dns", r.Turnover.P50NS)},
+		{"turnover p99", fmt.Sprintf("%dns", r.Turnover.P99NS)},
+		{"turnover max", fmt.Sprintf("%dns", r.Turnover.MaxNS)},
+	}
+}

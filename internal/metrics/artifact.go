@@ -6,6 +6,7 @@ import (
 	"io"
 	"os"
 
+	"origin2000/internal/critpath"
 	"origin2000/internal/sim"
 )
 
@@ -68,6 +69,10 @@ type Artifact struct {
 	// the run had tracing off).
 	Pages []PageHeat `json:"pages,omitempty"`
 	Syncs []SyncSite `json:"syncs,omitempty"`
+
+	// CritPath is the critical-path record (nil when Config.CritPath was
+	// off): per-epoch bounding arrivals, analyzable via metrics.CritPath.
+	CritPath *critpath.Summary `json:"critpath,omitempty"`
 }
 
 // CriticalProc returns the index of the processor with the largest

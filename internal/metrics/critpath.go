@@ -1,0 +1,39 @@
+package metrics
+
+import (
+	"fmt"
+
+	"origin2000/internal/critpath"
+)
+
+// CritPath analyzes an artifact's critical-path record: the longest
+// dependency chain bounding the run's elapsed virtual time, decomposed
+// exactly (components sum to Elapsed with zero residual — the same
+// exactness contract as Diff). The artifact must come from a run with
+// Config.CritPath enabled; errors otherwise.
+func CritPath(a *Artifact) (*critpath.Path, error) {
+	if a.CritPath == nil {
+		return nil, fmt.Errorf("%s: no critical-path record (run with CritPath enabled)", a.Label)
+	}
+	final := make([]critpath.Snap, len(a.PerProc))
+	for i := range a.PerProc {
+		ps := &a.PerProc[i]
+		c := &ps.Counters
+		final[i] = critpath.Snap{
+			At:           ps.Total(),
+			Busy:         ps.Busy,
+			Memory:       ps.Memory,
+			Sync:         ps.Sync,
+			SyncWait:     c.SyncWait,
+			SyncOverhead: c.SyncOverhead,
+			Contention:   c.ContentionStall,
+			LocalStall:   c.LocalStall,
+			RemoteStall:  c.RemoteStall,
+		}
+	}
+	crit := a.CriticalProc()
+	if crit < 0 {
+		return nil, fmt.Errorf("%s: no per-proc stats", a.Label)
+	}
+	return critpath.Analyze(a.CritPath, final, crit, a.Elapsed), nil
+}

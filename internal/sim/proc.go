@@ -73,6 +73,7 @@ type Proc struct {
 	finished  bool
 	heapIndex int  // index in its shard heap or the commit heap; -1 when in neither
 	shard     int  // static shard assignment (SetShards)
+	lane      int  // host lane its phase-1 chain runs on (profiling only)
 	mode      int8 // modePhase1 or modeCommit
 	global    int  // open AwaitGlobal sections; >0 pins the proc to the commit chain
 	seq       int64
@@ -187,6 +188,9 @@ func (p *Proc) chainStep() {
 			}
 			*h = (*h)[:0]
 			e.runAhead = false
+			if e.prof != nil {
+				e.prof.SerialEnd(SerialRunAhead)
+			}
 			e.yieldCh <- yieldEvent{p: p, kind: evChainDone, shard: -1}
 			return
 		}
@@ -199,6 +203,9 @@ func (p *Proc) chainStep() {
 			return
 		}
 		e.runAhead = false
+		if e.prof != nil {
+			e.prof.SerialEnd(SerialRunAhead)
+		}
 		e.yieldCh <- yieldEvent{p: p, kind: evChainDone, shard: -1}
 		return
 	}
@@ -211,6 +218,11 @@ func (p *Proc) chainStep() {
 			q.resume <- struct{}{}
 			return
 		}
+		// The commit chain is dry: the serial span that began at its
+		// dispatch ends here, whichever goroutine carries the last commit.
+		if e.prof != nil {
+			e.prof.SerialEnd(SerialCommit)
+		}
 		if e.singleChain() && e.turnover() {
 			return
 		}
@@ -220,6 +232,7 @@ func (p *Proc) chainStep() {
 	h := &e.shardHeaps[p.shard]
 	if len(*h) > 0 {
 		q := h.pop()
+		q.lane = p.lane
 		q.mode = modePhase1
 		q.limit = e.windowEnd - 1
 		q.resume <- struct{}{}
@@ -229,7 +242,10 @@ func (p *Proc) chainStep() {
 	// executing on this host worker (work stealing). The claim order is
 	// shard order regardless of which chains claim, so the schedule is
 	// unchanged; only idle time moves.
-	if e.startNextChain() {
+	if e.prof != nil {
+		e.prof.ChainEnd(p.lane)
+	}
+	if e.startNextChain(p.lane, true) {
 		return
 	}
 	if e.singleChain() {
@@ -252,6 +268,9 @@ func (p *Proc) chainStep() {
 			q := e.commit.pop()
 			q.mode = modeCommit
 			q.limit = e.windowEnd - 1
+			if e.prof != nil {
+				e.prof.SerialBegin(SerialCommit)
+			}
 			q.resume <- struct{}{}
 			return
 		}

@@ -89,8 +89,11 @@
 package sim
 
 import (
+	"context"
 	"fmt"
+	"runtime/pprof"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -255,6 +258,10 @@ type Engine struct {
 	quiescent QuiescentHook
 	quiesSeq  int64
 
+	// Host-time profiler (SetHostProfiler): nil when profiling is off.
+	// Strictly observational — see hostprof.go for the contract.
+	prof HostProfiler
+
 	yieldCh   chan yieldEvent
 	abandoned bool // set before resuming parked goroutines to unwind them
 	wg        sync.WaitGroup
@@ -408,6 +415,9 @@ func (e *Engine) Run(body func(p *Proc)) error {
 	for {
 		// Between windows every live processor is parked: finished,
 		// blocked in Block, or runnable and waiting for its next window.
+		if e.prof != nil {
+			e.prof.SerialBegin(SerialTurnover)
+		}
 		runnable, finished := 0, 0
 		var minNow Time = maxTime
 		loneShard, oneShard := -1, true
@@ -434,9 +444,15 @@ func (e *Engine) Run(body func(p *Proc)) error {
 			}
 		}
 		if finished == len(e.procs) {
+			if e.prof != nil {
+				e.prof.SerialEnd(SerialTurnover)
+			}
 			return nil
 		}
 		if runnable == 0 {
+			if e.prof != nil {
+				e.prof.SerialEnd(SerialTurnover)
+			}
 			return e.deadlock()
 		}
 		e.quiesce(minNow, quiet, true)
@@ -445,18 +461,24 @@ func (e *Engine) Run(body func(p *Proc)) error {
 			// shard, so windowing has nothing to order. Control passes
 			// directly between the shard's processors until a cross-shard
 			// wake re-populates another shard.
+			if e.prof != nil {
+				e.prof.SerialEnd(SerialTurnover)
+			}
 			e.enterRunAhead(loneShard)
 			e.awaitChains(1)
 			continue
 		}
 
 		e.openWindow(minNow)
+		if e.prof != nil {
+			e.prof.SerialEnd(SerialTurnover)
+		}
 
 		// Phase 1: claim shard chains in index order, up to the worker
 		// bound; each dying chain claims the next itself (work stealing),
 		// so one evChainDone arrives per initial claim.
 		outstanding := 0
-		for outstanding < e.workers && e.startNextChain() {
+		for outstanding < e.workers && e.startNextChain(outstanding, false) {
 			outstanding++
 		}
 		for outstanding > 0 {
@@ -486,6 +508,9 @@ func (e *Engine) Run(body func(p *Proc)) error {
 			p := e.commit.pop()
 			p.mode = modeCommit
 			p.limit = e.windowEnd - 1
+			if e.prof != nil {
+				e.prof.SerialBegin(SerialCommit)
+			}
 			p.resume <- struct{}{}
 			e.awaitChains(1)
 		}
@@ -531,17 +556,31 @@ func (e *Engine) openWindow(minNow Time) {
 		}
 	}
 	e.stealNext.Store(0)
+	if e.prof != nil {
+		backlog := 0
+		for s := range e.shardHeaps {
+			if len(e.shardHeaps[s]) > 0 {
+				backlog++
+			}
+		}
+		e.prof.WindowOpen(e.window, backlog, len(e.commit))
+	}
 }
 
 // startNextChain claims undispatched shards in index order until it finds
 // one with queued work, dispatches that shard's chain by resuming its
-// (clock, id) minimum, and reports whether a chain was started. Safe to
-// call from concurrent chains: the claim counter hands each shard to
-// exactly one caller, and only that caller touches the shard's heap.
-func (e *Engine) startNextChain() bool {
+// (clock, id) minimum on the given lane, and reports whether a chain was
+// started. Safe to call from concurrent chains: the claim counter hands
+// each shard to exactly one caller, and only that caller touches the
+// shard's heap. steal marks calls from a dying chain (profiling only — the
+// claim semantics are identical).
+func (e *Engine) startNextChain(lane int, steal bool) bool {
 	for {
 		s := int(e.stealNext.Add(1)) - 1
 		if s >= e.numShards {
+			if e.prof != nil && steal {
+				e.prof.StealAttempt(lane, false)
+			}
 			return false
 		}
 		h := &e.shardHeaps[s]
@@ -549,9 +588,16 @@ func (e *Engine) startNextChain() bool {
 			continue
 		}
 		p := h.pop()
+		p.lane = lane
 		p.mode = modePhase1
 		p.limit = e.windowEnd - 1
 		e.shardChains.Add(1)
+		if e.prof != nil {
+			if steal {
+				e.prof.StealAttempt(lane, true)
+			}
+			e.prof.ChainBegin(lane)
+		}
 		p.resume <- struct{}{}
 		return true
 	}
@@ -572,6 +618,9 @@ func (e *Engine) enterRunAhead(s int) {
 		if !p.finished && !p.blocked {
 			h.push(p)
 		}
+	}
+	if e.prof != nil {
+		e.prof.SerialBegin(SerialRunAhead)
 	}
 	e.raResume()
 }
@@ -609,6 +658,9 @@ func (e *Engine) singleChain() bool {
 // the run is over or deadlocked: finish and deadlock reporting stay with
 // the coordinator.
 func (e *Engine) turnover() bool {
+	if e.prof != nil {
+		e.prof.SerialBegin(SerialTurnover)
+	}
 	runnable := 0
 	var minNow Time = maxTime
 	loneShard, oneShard := -1, true
@@ -634,15 +686,26 @@ func (e *Engine) turnover() bool {
 		}
 	}
 	if runnable == 0 {
+		if e.prof != nil {
+			e.prof.SerialEnd(SerialTurnover)
+		}
 		return false
 	}
 	e.quiesce(minNow, quiet, false)
 	if oneShard {
+		if e.prof != nil {
+			e.prof.SerialEnd(SerialTurnover)
+		}
 		e.enterRunAhead(loneShard)
 		return true
 	}
 	e.openWindow(minNow)
-	if e.startNextChain() {
+	if e.prof != nil {
+		e.prof.SerialEnd(SerialTurnover)
+	}
+	// Turnover runs in-chain only on singleChain engines, where at most one
+	// chain ever executes: the next chain is always lane 0.
+	if e.startNextChain(0, false) {
 		return true
 	}
 	// Every processor in the window is inside an open global section: the
@@ -651,6 +714,9 @@ func (e *Engine) turnover() bool {
 	q := e.commit.pop()
 	q.mode = modeCommit
 	q.limit = e.windowEnd - 1
+	if e.prof != nil {
+		e.prof.SerialBegin(SerialCommit)
+	}
 	q.resume <- struct{}{}
 	return true
 }
@@ -770,7 +836,16 @@ func (e *Engine) runProc(p *Proc, body func(*Proc)) {
 		}
 	}()
 	p.park()
-	body(p)
+	if e.prof != nil {
+		// With profiling on, label the goroutine so CPU profiles attribute
+		// samples to the simulated processor and its shard. Labels are
+		// host-side metadata only; the schedule cannot observe them.
+		pprof.Do(context.Background(),
+			pprof.Labels("sim_proc", strconv.Itoa(p.id), "sim_shard", strconv.Itoa(p.shard)),
+			func(context.Context) { body(p) })
+	} else {
+		body(p)
+	}
 	p.finished = true
 	p.chainStep()
 }

@@ -131,6 +131,12 @@ func (b *Barrier) Wait(p *core.Proc) {
 	if arrival > b.maxArr {
 		b.maxArr = arrival
 	}
+	if b.n == b.m.NumProcs() {
+		// Full-machine barriers bound the run's critical path: record every
+		// arrival (the releaser is the n-th, so the recorder sees the
+		// complete set before MarkEpoch closes the epoch below).
+		p.MarkArrival()
+	}
 	if len(b.waiters) < b.n-1 {
 		b.waiters = append(b.waiters, p)
 		p.Block()
