@@ -325,6 +325,34 @@ func metricsOverhead(mode string, s experiments.Scale) (Result, error) {
 	}, nil
 }
 
+// sharingOverhead measures the sharing classifier's end-to-end wall-clock
+// cost on one application run (FFT, 32 processors): classifier off and on.
+// The sharing:off entry is the regression guard for the disabled path — a
+// nil check per access — and sharing:on bounds the classifier's capture
+// cost: the hooks log packed event records and the classification fold
+// runs at report time, off the measured clock (budget: <=1.15x off).
+func sharingOverhead(mode string, s experiments.Scale) (Result, error) {
+	app := experiments.AppByName("FFT")
+	if app == nil {
+		return Result{}, fmt.Errorf("FFT app missing")
+	}
+	params := workload.Params{Size: s.BasicSize(app), Seed: 42}
+	s.Sharing = mode == "on"
+	start := time.Now()
+	r, err := s.Run(app, 32, params)
+	if err != nil {
+		return Result{}, err
+	}
+	wall := time.Since(start).Seconds()
+	accesses := r.Result.Counters.Reads + r.Result.Counters.Writes
+	return Result{
+		Name:              "sharing:" + mode,
+		NsPerOp:           wall * 1e9,
+		WallSeconds:       wall,
+		SimAccessesPerSec: float64(accesses) / wall,
+	}, nil
+}
+
 // ckptOverhead measures checkpoint capture's end-to-end wall-clock cost on
 // one application run (FFT, 32 processors): capture off, and capture on a
 // 1ms and an aggressive 100µs virtual-time grid, each snapshot fully
@@ -705,6 +733,18 @@ func main() {
 		mode := mode
 		r, err := bestOf(3, func() (Result, error) {
 			return metricsOverhead(mode, benchScale)
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "origin-bench:", err)
+			os.Exit(1)
+		}
+		add(r)
+	}
+
+	for _, mode := range []string{"off", "on"} {
+		mode := mode
+		r, err := bestOf(3, func() (Result, error) {
+			return sharingOverhead(mode, benchScale)
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "origin-bench:", err)

@@ -13,6 +13,7 @@ import (
 	"origin2000/internal/experiments"
 	"origin2000/internal/hostprof"
 	"origin2000/internal/metrics"
+	"origin2000/internal/sharing"
 	"origin2000/internal/sim"
 	"origin2000/internal/workload"
 )
@@ -35,6 +36,7 @@ type runState struct {
 	samples  []metrics.MachineSample
 	artifact metrics.Artifact
 	hostprof *hostprof.Report
+	sharing  *sharing.Report
 }
 
 // sseEvent is one Server-Sent Event: a named payload.
@@ -77,6 +79,7 @@ func (s *server) mux() *http.ServeMux {
 	mux.HandleFunc("/api/csv", s.handleCSV)
 	mux.HandleFunc("/api/artifact", s.handleArtifact)
 	mux.HandleFunc("/api/hostprof", s.handleHostprof)
+	mux.HandleFunc("/api/sharing", s.handleSharing)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	return mux
 }
@@ -187,6 +190,10 @@ func (s *server) sweep(wapp workload.App, ids, procCounts []int, scaleDiv int, i
 		// Host-time profiling is schedule-neutral, so it is always on for
 		// dashboard runs; the panel shows where the engine spends host time.
 		sc.HostProf = true
+		// Metrics already pin the run to one worker, so the sharing
+		// classifier rides along for free; its report feeds /api/sharing
+		// and the sharing panel.
+		sc.Sharing = true
 		sc.Metrics = metrics.Options{
 			Enabled:  true,
 			Interval: interval,
@@ -212,6 +219,7 @@ func (s *server) sweep(wapp workload.App, ids, procCounts []int, scaleDiv int, i
 			s.mu.Lock()
 			s.runs[id].artifact = art
 			s.runs[id].hostprof = hp
+			s.runs[id].sharing = art.Sharing
 			s.runs[id].Size = params.Size
 			s.mu.Unlock()
 		}
@@ -364,6 +372,25 @@ func (s *server) handleHostprof(w http.ResponseWriter, r *http.Request) {
 	json.NewEncoder(w).Encode(hp)
 }
 
+// handleSharing serves a finished run's sharing-classifier report: the
+// pattern census, the true/false coherence-miss split, the false-sharing
+// suspects and the home-imbalance table rendered by the sharing panel.
+func (s *server) handleSharing(w http.ResponseWriter, r *http.Request) {
+	rs := s.runByQuery(w, r)
+	if rs == nil {
+		return
+	}
+	s.mu.Lock()
+	sh := rs.sharing
+	s.mu.Unlock()
+	if sh == nil {
+		http.Error(w, "run has no sharing report yet", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(sh)
+}
+
 // handleMetrics serves Prometheus text exposition: per-run gauges from the
 // latest machine sample. Virtual-time quantities are exported in
 // milliseconds of simulated time.
@@ -443,5 +470,21 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		forLatest(func(ms *metrics.MachineSample) float64 { return ms.MemQueuedTotal().Milliseconds() }))
 	gauge("origin_hottest_hub_node", "Node id with the most cumulative Hub queueing.",
 		forLatest(func(ms *metrics.MachineSample) float64 { n, _ := ms.HottestHub(); return float64(n) }))
+	forSharing := func(f func(*sharing.Report) float64) func(snap) (float64, bool) {
+		return func(sn snap) (float64, bool) {
+			if sn.rs.sharing == nil {
+				return 0, false
+			}
+			return f(sn.rs.sharing), true
+		}
+	}
+	gauge("origin_coherence_misses", "Coherence misses classified by the sharing observer.",
+		forSharing(func(r *sharing.Report) float64 { return float64(r.Split.Coherence) }))
+	gauge("origin_true_sharing_misses", "Coherence misses on words another processor wrote.",
+		forSharing(func(r *sharing.Report) float64 { return float64(r.Split.TrueSharing) }))
+	gauge("origin_false_sharing_misses", "Coherence misses on unmodified words (incl. unsettled).",
+		forSharing(func(r *sharing.Report) float64 { return float64(r.Split.FalseTotal()) }))
+	gauge("origin_home_imbalance", "Max-over-mean remote misses served per home node.",
+		forSharing(func(r *sharing.Report) float64 { return r.Imbalance }))
 	w.Write([]byte(b.String()))
 }

@@ -101,6 +101,12 @@ func main() {
 	if len(r.Syncs) > 0 {
 		fmt.Println(perf.Table(r.SyncRows(*top)))
 	}
+	if len(r.Sharing) > 0 {
+		fmt.Println(perf.Table(r.SharingRows()))
+	}
+	if r.SharingNote != "" {
+		fmt.Printf("sharing: %s\n\n", r.SharingNote)
+	}
 	if *critF {
 		printCritPath("A", r.LabelA, a, *top)
 		printCritPath("B", r.LabelB, b, *top)
@@ -162,6 +168,9 @@ func runSpec(spec string, base runBase) (metrics.Artifact, error) {
 	s.Metrics = metrics.Options{Enabled: true, Interval: base.interval}
 	s.Trace.Enabled = true
 	s.CritPath = base.critpath
+	// Metrics already pin the run to one worker; the sharing classifier
+	// rides along so the diff can attribute deltas to pattern shifts.
+	s.Sharing = true
 
 	paperSize := base.size
 	if paperSize == 0 {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"origin2000/internal/cache"
+	"origin2000/internal/memclass"
 	"origin2000/internal/mempolicy"
 	"origin2000/internal/sim"
 	"origin2000/internal/topology"
@@ -24,6 +25,7 @@ func (p *Proc) access(addr uint64, write bool, kind sim.StatKind) {
 		if ck := p.m.check; ck != nil {
 			ck.OnHit(p.ID(), block, write, p.sp.Now())
 		}
+		p.sharingHit(block, addr, write)
 		// A prefetched line may still be in flight; wait out the rest.
 		if len(p.prefetch) > 0 {
 			if ready, ok := p.prefetch[block]; ok {
@@ -147,10 +149,16 @@ func (p *Proc) transaction(block uint64, home int, write bool) (complete sim.Tim
 			if ck := m.check; ck != nil {
 				ck.OnInvalidate(owner, block, p.sp.Now())
 			}
+			if sh := m.sharing; sh != nil {
+				sh.OnInvalidate(owner, block)
+			}
 		} else {
 			op.cache.Downgrade(block)
 			if ck := m.check; ck != nil {
 				ck.OnDowngrade(owner, block, p.sp.Now())
+			}
+			if sh := m.sharing; sh != nil {
+				sh.OnDowngrade(owner, block)
 			}
 		}
 		m.mems[home].Acquire(t, lat.WritebackOcc)
@@ -189,6 +197,9 @@ func (p *Proc) transaction(block uint64, home int, write bool) (complete sim.Tim
 			delete(sp.prefetch, block)
 			if ck := m.check; ck != nil {
 				ck.OnInvalidate(s, block, p.sp.Now())
+			}
+			if sh := m.sharing; sh != nil {
+				sh.OnInvalidate(s, block)
 			}
 			if tr != nil {
 				tr.InvalRecv(s, p.sp.Now(), block, pageOfBlock(block), p.ID())
@@ -248,6 +259,19 @@ func (p *Proc) demandMiss(block, addr uint64, write bool, kind sim.StatKind) {
 	}
 	c.ContentionStall += queued
 	m.noteMiss(addr, dirty, remote, latency, int(c.Invalidations-invalsBefore))
+	if m.sharing != nil {
+		// The classifier sees the miss after transaction's invalidations
+		// above snapshotted the victims' word versions; no yield separates
+		// the two, which is what makes the true/false split exact.
+		class := memclass.Local
+		switch {
+		case dirty:
+			class = memclass.RemoteDirty
+		case remote:
+			class = memclass.RemoteClean
+		}
+		p.sharingMiss(block, addr, write, class, home, int(c.Invalidations-invalsBefore))
+	}
 	if tr := m.tracer; tr != nil {
 		ekind := trace.EvMissLocal
 		switch {
@@ -286,6 +310,7 @@ func (p *Proc) upgrade(block, addr uint64, kind sim.StatKind) {
 
 	latency := complete - p.sp.Now()
 	c.Upgrades++
+	p.sharingUpgrade(block, addr, int(c.Invalidations-invalsBefore))
 	if home != p.node {
 		c.RemoteStall += latency
 	} else {
@@ -320,6 +345,9 @@ func (p *Proc) evictVictim(v cache.Victim, at sim.Time) {
 		if ck := m.check; ck != nil {
 			ck.OnWriteback(p.ID(), v.Block, p.sp.Now())
 		}
+		if sh := m.sharing; sh != nil {
+			sh.OnWriteback(p.ID(), v.Block)
+		}
 		if tr := m.tracer; tr != nil {
 			tr.Writeback(p.ID(), at, v.Block, vpage, vhome)
 		}
@@ -327,6 +355,9 @@ func (p *Proc) evictVictim(v cache.Victim, at sim.Time) {
 		m.dirs[vhome].Evict(v.Block, p.ID())
 		if ck := m.check; ck != nil {
 			ck.OnEvict(p.ID(), v.Block, p.sp.Now())
+		}
+		if sh := m.sharing; sh != nil {
+			sh.OnEvict(p.ID(), v.Block)
 		}
 	}
 }
@@ -450,6 +481,9 @@ func (p *Proc) Prefetch(addr uint64) {
 	if ck := m.check; ck != nil {
 		ck.OnFill(p.ID(), block, false, p.sp.Now())
 		ck.OnTxnEnd(p.ID(), block, p.sp.Now())
+	}
+	if sh := m.sharing; sh != nil {
+		sh.OnPrefetchFill(p.ID(), block)
 	}
 	if tr := m.tracer; tr != nil {
 		tr.Prefetch(p.ID(), p.sp.Now(), complete-p.sp.Now(), block, home)

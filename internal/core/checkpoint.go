@@ -10,6 +10,7 @@ import (
 
 	"origin2000/internal/check"
 	"origin2000/internal/metrics"
+	"origin2000/internal/sharing"
 	"origin2000/internal/sim"
 	"origin2000/internal/snapshot"
 	"origin2000/internal/trace"
@@ -35,9 +36,10 @@ import (
 var ErrStopped = errors.New("core: run stopped at requested quiescent point")
 
 // EffectiveWorkers reports the host-worker count a normalized configuration
-// runs with, and whether an observer forced it down to one (the checker and
-// the metrics sampler read cross-shard state from their event hooks, so
-// either forces a single worker; see setupShards).
+// runs with, and whether an observer forced it down to one (the checker,
+// the metrics sampler and the sharing classifier read cross-shard state
+// from their event hooks, so any of them forces a single worker; see
+// setupShards).
 func EffectiveWorkers(cfg *Config) (workers int, forced bool) {
 	workers = 1
 	if cfg.Engine == "parallel" {
@@ -46,7 +48,7 @@ func EffectiveWorkers(cfg *Config) (workers int, forced bool) {
 			workers = runtime.GOMAXPROCS(0)
 		}
 	}
-	if cfg.Check || cfg.Metrics.Enabled {
+	if cfg.Check || cfg.Metrics.Enabled || cfg.Sharing.Enabled {
 		return 1, true
 	}
 	return workers, false
@@ -228,6 +230,10 @@ func (m *Machine) capture(seq int64, minNow sim.Time) *snapshot.Snapshot {
 		ms := m.sampler.Snap()
 		s.Metrics = &ms
 	}
+	if m.sharing != nil {
+		ss := m.sharing.Snap()
+		s.Sharing = &ss
+	}
 	return s
 }
 
@@ -316,6 +322,10 @@ func (m *Machine) unmute(rs *snapshot.Snapshot) error {
 		return fmt.Errorf("core: resume: run has Metrics.Enabled=%v but snapshot metrics section present=%v",
 			cfg.Metrics.Enabled, rs.Metrics != nil)
 	}
+	if cfg.Sharing.Enabled != (rs.Sharing != nil) {
+		return fmt.Errorf("core: resume: run has Sharing.Enabled=%v but snapshot sharing section present=%v",
+			cfg.Sharing.Enabled, rs.Sharing != nil)
+	}
 	if cfg.Check {
 		ck := check.New(cfg.Procs, &multiDir{m: m})
 		for i, p := range m.procs {
@@ -345,6 +355,13 @@ func (m *Machine) unmute(rs *snapshot.Snapshot) error {
 			return err
 		}
 		m.sampler = sm
+	}
+	if cfg.Sharing.Enabled {
+		sh := sharing.New(cfg.Procs, m.numNodes)
+		if err := sh.Restore(*rs.Sharing); err != nil {
+			return err
+		}
+		m.sharing = sh
 	}
 	return nil
 }

@@ -17,6 +17,7 @@ import (
 	"origin2000/internal/cache"
 	"origin2000/internal/mempolicy"
 	"origin2000/internal/metrics"
+	"origin2000/internal/sharing"
 	"origin2000/internal/sim"
 	"origin2000/internal/snapshot"
 	"origin2000/internal/topology"
@@ -204,6 +205,15 @@ type Config struct {
 	// barrier protocol and reads virtual-time data only, so it is
 	// bit-identical at any worker count and perturbs nothing.
 	CritPath bool
+	// Sharing configures the per-block sharing-pattern classifier
+	// (internal/sharing): online classification of every cached block as
+	// read-only, private, migratory, producer-consumer or widely-shared,
+	// word-granularity true- vs false-sharing splits of coherence misses,
+	// and per-page/per-node home attribution of remote misses. Same
+	// contract as Check and Metrics — zero cost off, zero virtual-time
+	// perturbation on, forces one host worker, bit-identical output
+	// across runs, engines and requested worker counts.
+	Sharing sharing.Options
 	// Checkpoint configures originckpt/v1 snapshots at quiescent window
 	// boundaries, replay-based resume, and time-travel bisection; see
 	// internal/snapshot and DESIGN.md §13. Zero value disables everything.

@@ -11,6 +11,7 @@ import (
 	"origin2000/internal/mempolicy"
 	"origin2000/internal/metrics"
 	"origin2000/internal/perf"
+	"origin2000/internal/sharing"
 	"origin2000/internal/sim"
 	"origin2000/internal/topology"
 	"origin2000/internal/trace"
@@ -37,6 +38,7 @@ type Machine struct {
 	sampler  *metrics.Sampler       // nil unless Config.Metrics.Enabled
 	hprof    *hostprof.Profiler     // nil unless Config.HostProf
 	critrec  *critpath.Recorder     // nil unless Config.CritPath
+	sharing  *sharing.Observer      // nil unless Config.Sharing.Enabled
 	procs    []*Proc
 	mapping  topology.Mapping
 
@@ -130,6 +132,9 @@ func New(cfg Config) *Machine {
 	}
 	if cfg.Metrics.Enabled && !resuming {
 		m.sampler = metrics.New(cfg.Procs, cfg.Metrics)
+	}
+	if cfg.Sharing.Enabled && !resuming {
+		m.sharing = sharing.New(cfg.Procs, numNodes)
 	}
 	m.procs = make([]*Proc, cfg.Procs)
 	for i := range m.procs {

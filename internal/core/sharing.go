@@ -1,0 +1,57 @@
+package core
+
+import (
+	"origin2000/internal/memclass"
+	"origin2000/internal/sharing"
+)
+
+// Sharing-classifier glue: the machine owns an optional *sharing.Observer
+// (built when Config.Sharing.Enabled) and every observation site in the
+// access path is gated on it with a nil check, exactly like the online
+// checker. The observer only reads the access stream — it never touches
+// virtual clocks — so enabling it perturbs simulated time by zero. Like the
+// checker and the metrics sampler it forces one host worker (see
+// EffectiveWorkers): it captures events into one log whose order must match
+// the coherence-event order, and the schedule is identical at any worker
+// count, so the forced run is still the run.
+
+// The classifier's word footprint must tile a coherence block exactly.
+var _ [sharing.WordsPerBlock * sharing.WordBytes]byte = [BlockBytes]byte{}
+
+// SharingObserver exposes the sharing classifier (nil unless
+// Config.Sharing.Enabled).
+func (m *Machine) SharingObserver() *sharing.Observer { return m.sharing }
+
+// SharingReport folds the classifier's state into a report with the top n
+// blocks and pages per table (nil when sharing is off). Reporting first
+// folds the captured event log, so repeated or interleaved calls are
+// deterministic: each sees every event recorded before it.
+func (m *Machine) SharingReport(top int) *sharing.Report {
+	if m.sharing == nil {
+		return nil
+	}
+	return m.sharing.Report(top)
+}
+
+// sharingHit records a cache hit (no-op when sharing is off).
+func (p *Proc) sharingHit(block, addr uint64, write bool) {
+	if sh := p.m.sharing; sh != nil {
+		sh.OnHit(p.ID(), block, sharing.WordOf(addr), write)
+	}
+}
+
+// sharingMiss records a classified demand miss with its home attribution
+// and invalidation fanout (no-op when sharing is off).
+func (p *Proc) sharingMiss(block, addr uint64, write bool, class memclass.Class, home int, fanout int) {
+	if sh := p.m.sharing; sh != nil {
+		sh.OnMiss(p.ID(), block, sharing.WordOf(addr), write, class, home, pageOfBlock(block), fanout)
+	}
+}
+
+// sharingUpgrade records a shared-to-exclusive upgrade (no-op when sharing
+// is off).
+func (p *Proc) sharingUpgrade(block, addr uint64, fanout int) {
+	if sh := p.m.sharing; sh != nil {
+		sh.OnUpgrade(p.ID(), block, sharing.WordOf(addr), fanout)
+	}
+}

@@ -39,6 +39,7 @@ func BuildArtifact(label string, app workload.App, params workload.Params, m *co
 		a.Epochs = s.Epochs()
 	}
 	a.CritPath = m.CritPath()
+	a.Sharing = m.SharingReport(artifactTopN)
 	if tr := m.Tracer(); tr != nil {
 		for _, h := range tr.TopPages(artifactTopN) {
 			a.Pages = append(a.Pages, metrics.PageHeat{

@@ -169,11 +169,12 @@ func TestEngineEquivalenceMigration(t *testing.T) {
 	}
 }
 
-// TestEngineEquivalenceObservers pins the observer story: the checker and
-// the metrics sampler read cross-shard state at event time, so enabling
-// either forces the parallel engine down to one worker — and with that, a
-// checked and sampled run under -engine=parallel must produce exactly the
-// serial run's verdicts and sample series.
+// TestEngineEquivalenceObservers pins the observer story: the checker, the
+// metrics sampler and the sharing classifier read cross-shard state at
+// event time, so enabling any of them forces the parallel engine down to
+// one worker — and with that, a checked, sampled and classified run under
+// -engine=parallel must produce exactly the serial run's verdicts, sample
+// series and sharing report.
 func TestEngineEquivalenceObservers(t *testing.T) {
 	for _, name := range []string{"FFT", "Raytrace"} {
 		t.Run(name, func(t *testing.T) {
@@ -181,6 +182,7 @@ func TestEngineEquivalenceObservers(t *testing.T) {
 			observed := func(cfg *core.Config) {
 				cfg.Check = true
 				cfg.Metrics = metrics.Options{Enabled: true}
+				cfg.Sharing.Enabled = true
 			}
 			serial, sm := engineRun(t, name, "serial", 0, observed)
 			par, pm := engineRun(t, name, "parallel", 4, observed)
@@ -200,6 +202,13 @@ func TestEngineEquivalenceObservers(t *testing.T) {
 			}
 			if !reflect.DeepEqual(ss.Epochs(), ps.Epochs()) {
 				t.Error("epoch marks differ between engines")
+			}
+			sr, pr := sm.SharingReport(0), pm.SharingReport(0)
+			if sr == nil || pr == nil {
+				t.Fatal("sharing classifier enabled but a report is nil")
+			}
+			if !reflect.DeepEqual(sr, pr) {
+				t.Error("sharing reports differ between engines")
 			}
 		})
 	}

@@ -79,6 +79,10 @@ type Scale struct {
 	// builds (barrier-arrival snapshots; bit-identical at any worker
 	// count).
 	CritPath bool
+	// Sharing enables the per-block sharing-pattern classifier on every
+	// machine the scale builds. Like Check/Metrics it forces workers=1;
+	// the schedule is identical at any worker count, so results are too.
+	Sharing bool
 	// OnMachine, when set, sees every machine RunConfig builds before the
 	// application runs on it — the hook fault-injection and checkpoint
 	// tests use to reach Machine-level knobs the Config does not carry.
@@ -123,6 +127,7 @@ func (s Scale) Machine(procs int) core.Config {
 	cfg.Workers = s.Workers
 	cfg.HostProf = s.HostProf
 	cfg.CritPath = s.CritPath
+	cfg.Sharing.Enabled = s.Sharing
 	if s.Window != "" {
 		policy, quantum, max, err := core.ParseWindowSpec(s.Window)
 		if err != nil {

@@ -26,6 +26,9 @@ func TestEveryAppEveryVariantRunsAndVerifies(t *testing.T) {
 				t.Run(name, func(t *testing.T) {
 					_, err := s.Run(app, procs, s.Params(app, app.BasicSize(), variant))
 					if err != nil {
+						// Wrong output usually means the memory system lied
+						// somewhere; ship the sharing diagnosis with the failure.
+						saveSharingReport(t, s, app, procs, variant)
 						t.Fatal(err)
 					}
 				})

@@ -1,0 +1,70 @@
+// Package memclass is the single definition of the memory-system
+// miss-class taxonomy. The event tracer's latency histograms
+// (internal/trace), the virtual-time sampler's counter columns
+// (internal/metrics) and the sharing-pattern classifier
+// (internal/sharing) all index by this enum, so adding or renaming a
+// class propagates to every surface and the layers cannot drift apart.
+package memclass
+
+import "fmt"
+
+// Class classifies one demand memory operation by how the coherence
+// protocol satisfied it.
+type Class int
+
+// Miss classes, in the order every per-class array uses.
+const (
+	// Local is a demand miss satisfied by the local node's memory.
+	Local Class = iota
+	// RemoteClean is a 2-hop miss satisfied by a remote home memory.
+	RemoteClean
+	// RemoteDirty is a 3-hop miss requiring an intervention at the
+	// exclusive owner's cache.
+	RemoteDirty
+	// Upgrade is a write hit on a Shared line obtaining ownership.
+	Upgrade
+	// FetchOp is an uncached at-memory fetch&op.
+	FetchOp
+
+	NumClasses
+)
+
+// String is the display name used in rendered reports; tests pin these,
+// so renaming one is a format change.
+func (c Class) String() string {
+	switch c {
+	case Local:
+		return "local miss"
+	case RemoteClean:
+		return "remote clean"
+	case RemoteDirty:
+		return "remote dirty"
+	case Upgrade:
+		return "upgrade"
+	case FetchOp:
+		return "fetch&op"
+	}
+	return fmt.Sprintf("Class(%d)", int(c))
+}
+
+// CounterKey is the stable snake_case identifier used for a class's
+// cumulative counter in CSV headers and machine-readable exports.
+func (c Class) CounterKey() string {
+	switch c {
+	case Local:
+		return "local_misses"
+	case RemoteClean:
+		return "remote_clean"
+	case RemoteDirty:
+		return "remote_dirty"
+	case Upgrade:
+		return "upgrades"
+	case FetchOp:
+		return "fetchops"
+	}
+	return fmt.Sprintf("class_%d", int(c))
+}
+
+// Remote reports whether the class crosses the interconnect to another
+// node's memory or cache.
+func (c Class) Remote() bool { return c == RemoteClean || c == RemoteDirty }

@@ -7,6 +7,7 @@ import (
 	"os"
 
 	"origin2000/internal/critpath"
+	"origin2000/internal/sharing"
 	"origin2000/internal/sim"
 )
 
@@ -73,6 +74,12 @@ type Artifact struct {
 	// CritPath is the critical-path record (nil when Config.CritPath was
 	// off): per-epoch bounding arrivals, analyzable via metrics.CritPath.
 	CritPath *critpath.Summary `json:"critpath,omitempty"`
+
+	// Sharing is the sharing-classifier report (nil when Config.Sharing was
+	// off): per-block pattern classification, true/false-sharing splits of
+	// coherence misses, and home-imbalance attribution, rendered by
+	// origin-explain and diffed by origin-diff.
+	Sharing *sharing.Report `json:"sharing,omitempty"`
 }
 
 // CriticalProc returns the index of the processor with the largest

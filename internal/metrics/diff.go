@@ -71,6 +71,20 @@ type Report struct {
 	// Pages and Syncs are the top movers by stall/wait delta.
 	Pages []PageDelta
 	Syncs []SyncDelta
+	// Sharing attributes the delta to sharing-behavior shifts when both
+	// runs carried the sharing classifier: miss-cause counts (with the
+	// exact true/false coherence split) and the per-pattern block census.
+	// SharingNote carries the verdict pair, or why the section is absent.
+	Sharing     []SharingDelta
+	SharingNote string
+}
+
+// SharingDelta is one sharing-shift row: a classifier count compared
+// across the two runs.
+type SharingDelta struct {
+	Name  string
+	A, B  int64
+	Delta int64
 }
 
 // Diff attributes the virtual-time delta between two runs.
@@ -124,7 +138,44 @@ func Diff(a, b Artifact) Report {
 	r.diffEpochs(a, b)
 	r.diffPages(a, b)
 	r.diffSyncs(a, b)
+	r.diffSharing(a, b)
 	return r
+}
+
+// diffSharing attributes the delta to sharing-pattern shifts: which miss
+// causes grew, whether the coherence growth is true or false sharing, and
+// which patterns gained blocks.
+func (r *Report) diffSharing(a, b Artifact) {
+	if a.Sharing == nil || b.Sharing == nil {
+		r.SharingNote = "no sharing reports recorded (runs without the sharing classifier)"
+		return
+	}
+	sa, sb := a.Sharing, b.Sharing
+	row := func(name string, va, vb int64) SharingDelta {
+		return SharingDelta{Name: name, A: va, B: vb, Delta: vb - va}
+	}
+	r.Sharing = []SharingDelta{
+		row("cold misses", sa.Split.Cold, sb.Split.Cold),
+		row("replacement misses", sa.Split.Replacement, sb.Split.Replacement),
+		row("coherence: true sharing", sa.Split.TrueSharing, sb.Split.TrueSharing),
+		row("coherence: false sharing", sa.Split.FalseTotal(), sb.Split.FalseTotal()),
+	}
+	// Pattern census joined by pattern name (both reports enumerate every
+	// pattern in a fixed order, but join defensively anyway).
+	bByName := map[string]int64{}
+	for _, p := range sb.Patterns {
+		bByName[p.Pattern] = int64(p.Blocks)
+	}
+	for _, p := range sa.Patterns {
+		if int64(p.Blocks) != 0 || bByName[p.Pattern] != 0 {
+			r.Sharing = append(r.Sharing, row(p.Pattern+" blocks", int64(p.Blocks), bByName[p.Pattern]))
+		}
+	}
+	if sa.Verdict == sb.Verdict {
+		r.SharingNote = "verdict (both runs): " + sa.Verdict
+	} else {
+		r.SharingNote = fmt.Sprintf("verdict shifted: %q -> %q", sa.Verdict, sb.Verdict)
+	}
 }
 
 // epochSpans converts barrier-release marks into per-epoch durations (the
@@ -294,6 +345,15 @@ func (r *Report) PageRows(n int) [][]string {
 			fmt.Sprintf("%#x", p.Page), ms(p.StallA), ms(p.StallB), ms(p.Delta),
 			fmt.Sprint(p.RemoteA), fmt.Sprint(p.RemoteB),
 		})
+	}
+	return rows
+}
+
+// SharingRows renders the sharing-shift attribution.
+func (r *Report) SharingRows() [][]string {
+	rows := [][]string{{"sharing shift", "A", "B", "delta"}}
+	for _, s := range r.Sharing {
+		rows = append(rows, []string{s.Name, fmt.Sprint(s.A), fmt.Sprint(s.B), fmt.Sprint(s.Delta)})
 	}
 	return rows
 }

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"io"
 
+	"origin2000/internal/memclass"
 	"origin2000/internal/sim"
 )
 
@@ -107,6 +108,39 @@ type MachineSample struct {
 	MemBacklog []sim.Time `json:"mem_backlog"`
 	// Per-router queueing, indexed by router id.
 	RouterQueued []sim.Time `json:"router_queued"`
+}
+
+// MissCount returns the sample's cumulative counter for one shared miss
+// class (internal/memclass). FetchOp operations are uncached and not
+// counted by the sampler, so that class reports zero.
+func (ms *MachineSample) MissCount(c memclass.Class) int64 {
+	switch c {
+	case memclass.Local:
+		return ms.LocalMisses
+	case memclass.RemoteClean:
+		return ms.RemoteClean
+	case memclass.RemoteDirty:
+		return ms.RemoteDirty
+	case memclass.Upgrade:
+		return ms.Upgrades
+	}
+	return 0
+}
+
+// MissCount returns the processor sample's cumulative counter for one
+// shared miss class, like (*MachineSample).MissCount.
+func (ps *ProcSample) MissCount(c memclass.Class) int64 {
+	switch c {
+	case memclass.Local:
+		return ps.LocalMisses
+	case memclass.RemoteClean:
+		return ps.RemoteClean
+	case memclass.RemoteDirty:
+		return ps.RemoteDirty
+	case memclass.Upgrade:
+		return ps.Upgrades
+	}
+	return 0
 }
 
 // HubQueuedTotal sums the per-node Hub queueing delays.
@@ -256,10 +290,12 @@ func (s *Sampler) Samples() int {
 	return n
 }
 
-// machineCSVHeader is the column layout of WriteMachineCSV.
+// machineCSVHeader is the column layout of WriteMachineCSV. The miss-class
+// columns take their names from the shared taxonomy (internal/memclass).
 var machineCSVHeader = []string{
 	"at_ps", "epoch", "busy_ps", "memory_ps", "sync_ps",
-	"local_misses", "remote_clean", "remote_dirty", "upgrades",
+	memclass.Local.CounterKey(), memclass.RemoteClean.CounterKey(),
+	memclass.RemoteDirty.CounterKey(), memclass.Upgrade.CounterKey(),
 	"invalidations", "writebacks", "page_migrations",
 	"dir_shared", "dir_exclusive",
 	"hub_queued_ps", "mem_queued_ps", "router_queued_ps",
@@ -304,7 +340,8 @@ func (s *Sampler) WriteProcCSV(w io.Writer) error {
 		"proc", "at_ps", "epoch", "busy_ps", "memory_ps", "sync_ps",
 		"local_stall_ps", "remote_stall_ps", "contention_stall_ps",
 		"sync_wait_ps", "sync_overhead_ps",
-		"hits", "local_misses", "remote_clean", "remote_dirty", "upgrades",
+		"hits", memclass.Local.CounterKey(), memclass.RemoteClean.CounterKey(),
+		memclass.RemoteDirty.CounterKey(), memclass.Upgrade.CounterKey(),
 	}
 	if err := writeCSVRow(w, header); err != nil {
 		return err

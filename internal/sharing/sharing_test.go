@@ -1,0 +1,322 @@
+package sharing
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"origin2000/internal/memclass"
+)
+
+// findBlock returns the report entry for one block.
+func findBlock(t *testing.T, r *Report, block uint64) BlockReport {
+	t.Helper()
+	for _, b := range r.TopBlocks {
+		if b.Block == block {
+			return b
+		}
+	}
+	t.Fatalf("block %#x not in report", block)
+	return BlockReport{}
+}
+
+// TestPatternReadOnly pins that a block written once by its initializer
+// and then only read classifies read-only, and that a never-written
+// block does too.
+func TestPatternReadOnly(t *testing.T) {
+	o := New(4, 2)
+	// Block 1: pure reads from everyone.
+	for proc := 0; proc < 4; proc++ {
+		o.OnMiss(proc, 1, 0, false, memclass.RemoteClean, 1, 0, 0)
+		o.OnHit(proc, 1, 3, false)
+	}
+	// Block 2: proc 0 writes it cold (no other copies, fanout 0), then
+	// everyone reads.
+	o.OnMiss(0, 2, 0, true, memclass.Local, 0, 0, 0)
+	for proc := 1; proc < 4; proc++ {
+		o.OnMiss(proc, 2, 0, false, memclass.RemoteDirty, 0, 0, 0)
+	}
+	r := o.Report(0)
+	if p := findBlock(t, r, 1).Pattern; p != "read-only" {
+		t.Errorf("unwritten block pattern = %q, want read-only", p)
+	}
+	if p := findBlock(t, r, 2).Pattern; p != "read-only" {
+		t.Errorf("init-then-read block pattern = %q, want read-only", p)
+	}
+}
+
+// TestPatternPrivate pins that a block touched by one processor only —
+// reads and writes — classifies private.
+func TestPatternPrivate(t *testing.T) {
+	o := New(4, 2)
+	o.OnMiss(2, 7, 0, false, memclass.Local, 0, 0, 0)
+	o.OnHit(2, 7, 1, true)
+	o.OnHit(2, 7, 1, false)
+	if p := findBlock(t, o.Report(0), 7).Pattern; p != "private" {
+		t.Errorf("pattern = %q, want private", p)
+	}
+}
+
+// TestPatternMigratory pins the lock-protected-counter signature:
+// several processors read-modify-write the same word in turn, each
+// ownership transfer invalidating exactly one previous holder. The
+// block must classify migratory and its coherence misses must all be
+// TRUE sharing (every miss fetches the previous owner's update).
+func TestPatternMigratory(t *testing.T) {
+	o := New(4, 2)
+	const blk, word = 9, 5
+	// Proc 0 initializes the counter.
+	o.OnMiss(0, blk, word, true, memclass.Local, 0, 0, 0)
+	prev := 0
+	for turn := 1; turn < 8; turn++ {
+		proc := turn % 4
+		if proc == prev {
+			proc = (proc + 1) % 4
+		}
+		// Read miss: 3-hop, downgrades the previous owner (who keeps a
+		// Shared copy).
+		o.OnDowngrade(prev, blk)
+		o.OnMiss(proc, blk, word, false, memclass.RemoteDirty, 0, 0, 0)
+		// Write upgrade: invalidates exactly the previous owner's copy.
+		o.OnInvalidate(prev, blk)
+		o.OnUpgrade(proc, blk, word, 1)
+		prev = proc
+	}
+	b := findBlock(t, o.Report(0), blk)
+	if b.Pattern != "migratory" {
+		t.Errorf("pattern = %q, want migratory", b.Pattern)
+	}
+	if b.Coherence == 0 {
+		t.Fatal("no coherence misses recorded")
+	}
+	if b.TrueSharing != b.Coherence || b.FalseSharing != 0 {
+		t.Errorf("migratory counter split true=%d false=%d of %d coherence misses, want all true",
+			b.TrueSharing, b.FalseSharing, b.Coherence)
+	}
+}
+
+// TestPatternProducerConsumer pins the single-writer/many-reader flag:
+// one producer repeatedly writes, invalidating its consumers.
+func TestPatternProducerConsumer(t *testing.T) {
+	o := New(4, 2)
+	const blk = 11
+	o.OnMiss(0, blk, 0, true, memclass.Local, 0, 0, 0)
+	for round := 0; round < 3; round++ {
+		for proc := 1; proc < 4; proc++ {
+			o.OnDowngrade(0, blk)
+			o.OnMiss(proc, blk, 0, false, memclass.RemoteDirty, 0, 0, 0)
+		}
+		for proc := 1; proc < 4; proc++ {
+			o.OnInvalidate(proc, blk)
+		}
+		o.OnUpgrade(0, blk, 0, 3)
+	}
+	b := findBlock(t, o.Report(0), blk)
+	if b.Pattern != "producer-consumer" {
+		t.Errorf("pattern = %q, want producer-consumer", b.Pattern)
+	}
+	if b.MaxFanout != 3 {
+		t.Errorf("max fanout = %d, want 3", b.MaxFanout)
+	}
+}
+
+// TestPatternWidelyShared pins the multi-writer broadcast signature:
+// several writers, at least one write invalidating many copies.
+func TestPatternWidelyShared(t *testing.T) {
+	o := New(4, 2)
+	const blk = 13
+	for proc := 0; proc < 4; proc++ {
+		o.OnMiss(proc, blk, 0, false, memclass.RemoteClean, 1, 0, 0)
+	}
+	for _, victim := range []int{1, 2, 3} {
+		o.OnInvalidate(victim, blk)
+	}
+	o.OnUpgrade(0, blk, 0, 3)
+	o.OnInvalidate(0, blk)
+	o.OnMiss(1, blk, 0, true, memclass.RemoteDirty, 1, 0, 1)
+	if p := findBlock(t, o.Report(0), blk).Pattern; p != "widely-shared" {
+		t.Errorf("pattern = %q, want widely-shared", p)
+	}
+}
+
+// TestFalseSharingSplit pins the word-footprint split on the canonical
+// false-sharing microworkload: two processors ping-pong one block while
+// writing DISJOINT words. Every coherence miss must settle false, the
+// block must surface as a suspect with padding advice, and the run-wide
+// verdict must flag false sharing.
+func TestFalseSharingSplit(t *testing.T) {
+	o := New(2, 2)
+	const blk = 21
+	// Cold start: proc 0 writes word 0, proc 1 writes word 8.
+	o.OnMiss(0, blk, 0, true, memclass.Local, 0, 0, 0)
+	o.OnInvalidate(0, blk)
+	o.OnMiss(1, blk, 8, true, memclass.RemoteDirty, 0, 0, 1)
+	// Ping-pong: each write miss invalidates the other's copy first
+	// (the transaction's fan-out), then classifies — exactly the order
+	// the core hot path produces.
+	for round := 0; round < 10; round++ {
+		o.OnInvalidate(1, blk)
+		o.OnMiss(0, blk, 0, true, memclass.RemoteDirty, 0, 0, 1)
+		o.OnInvalidate(0, blk)
+		o.OnMiss(1, blk, 8, true, memclass.RemoteDirty, 0, 0, 1)
+	}
+	r := o.Report(8)
+	b := findBlock(t, r, blk)
+	if b.Coherence != 20 {
+		t.Fatalf("coherence misses = %d, want 20", b.Coherence)
+	}
+	if b.TrueSharing != 0 || b.FalseSharing != 20 {
+		t.Errorf("split true=%d false=%d, want 0/20", b.TrueSharing, b.FalseSharing)
+	}
+	if len(r.Suspects) == 0 || r.Suspects[0].Block != blk {
+		t.Fatalf("block %#x not the top false-sharing suspect: %+v", uint64(blk), r.Suspects)
+	}
+	if !strings.Contains(r.Suspects[0].Advice, "pad") {
+		t.Errorf("suspect advice %q does not suggest padding", r.Suspects[0].Advice)
+	}
+	if !strings.Contains(r.Verdict, "false-sharing-bound") {
+		t.Errorf("verdict = %q, want false-sharing-bound", r.Verdict)
+	}
+}
+
+// TestTrueSharingSplit pins the complementary case: the same ping-pong
+// on the SAME word is pure true sharing.
+func TestTrueSharingSplit(t *testing.T) {
+	o := New(2, 2)
+	const blk, word = 22, 4
+	o.OnMiss(0, blk, word, true, memclass.Local, 0, 0, 0)
+	for round := 0; round < 10; round++ {
+		o.OnInvalidate(0, blk)
+		o.OnMiss(1, blk, word, true, memclass.RemoteDirty, 0, 0, 1)
+		o.OnInvalidate(1, blk)
+		o.OnMiss(0, blk, word, true, memclass.RemoteDirty, 0, 0, 1)
+	}
+	b := findBlock(t, o.Report(0), blk)
+	if b.FalseSharing != 0 || b.TrueSharing != b.Coherence {
+		t.Errorf("split true=%d false=%d of %d, want all true", b.TrueSharing, b.FalseSharing, b.Coherence)
+	}
+}
+
+// TestPendingSettlesTrueOnLaterTouch pins the deferred settlement rule:
+// a coherence miss on an untouched word stays pending and flips to true
+// sharing the moment the processor reads a remotely-written word.
+func TestPendingSettlesTrueOnLaterTouch(t *testing.T) {
+	o := New(2, 2)
+	const blk = 23
+	o.OnMiss(0, blk, 0, true, memclass.Local, 0, 0, 0) // proc 0 writes word 0
+	o.OnInvalidate(0, blk)
+	o.OnMiss(1, blk, 8, true, memclass.RemoteDirty, 0, 0, 1) // proc 1 writes word 8
+	o.OnInvalidate(1, blk)
+	// Proc 0 re-misses on word 0 (its own word): pending.
+	o.OnMiss(0, blk, 0, false, memclass.RemoteDirty, 0, 0, 0)
+	b := findBlock(t, o.Report(0), blk)
+	if b.TrueSharing != 0 {
+		t.Fatalf("premature true verdict: %+v", b)
+	}
+	// Now proc 0 reads word 8 — the remotely-written word: true.
+	o.OnHit(0, blk, 8, false)
+	b = findBlock(t, o.Report(0), blk)
+	if b.TrueSharing != 1 {
+		t.Errorf("true = %d after touching the dirty word, want 1", b.TrueSharing)
+	}
+}
+
+// TestSplitExactness pins the accounting identity on a mixed workload:
+// every demand miss lands in exactly one cause bucket and coherence
+// misses split exactly into true + false + pending.
+func TestSplitExactness(t *testing.T) {
+	o := New(4, 2)
+	for blk := uint64(0); blk < 32; blk++ {
+		for proc := 0; proc < 4; proc++ {
+			o.OnMiss(proc, blk, int(blk%WordsPerBlock), proc%2 == 0, memclass.RemoteClean, int(blk%2), blk>>7, 0)
+		}
+		o.OnInvalidate(1, blk)
+		o.OnUpgrade(0, blk, int(blk%WordsPerBlock), 1)
+		o.OnEvict(2, blk)
+		o.OnMiss(1, blk, 0, false, memclass.RemoteDirty, int(blk%2), blk>>7, 0)
+		o.OnMiss(2, blk, 0, false, memclass.Local, int(blk%2), blk>>7, 0)
+	}
+	r := o.Report(0)
+	demand := r.Misses[memclass.Local] + r.Misses[memclass.RemoteClean] + r.Misses[memclass.RemoteDirty]
+	if got := r.Split.Cold + r.Split.Replacement + r.Split.Coherence; got != demand {
+		t.Errorf("cause buckets sum to %d, demand misses = %d", got, demand)
+	}
+	if got := r.Split.TrueSharing + r.Split.FalseSharing + r.Split.Pending; got != r.Split.Coherence {
+		t.Errorf("true+false+pending = %d, coherence = %d", got, r.Split.Coherence)
+	}
+}
+
+// TestHotspotImbalance pins the home-node attribution: when one node
+// serves every remote miss, the imbalance index is the node count and
+// the verdict calls out the hotspot.
+func TestHotspotImbalance(t *testing.T) {
+	o := New(8, 4)
+	for blk := uint64(0); blk < 16; blk++ {
+		for proc := 0; proc < 8; proc++ {
+			o.OnMiss(proc, blk, 0, false, memclass.RemoteClean, 2, blk/4, 0)
+		}
+	}
+	r := o.Report(4)
+	if r.Imbalance != 4 {
+		t.Errorf("imbalance = %g, want 4 (one of four nodes serves all)", r.Imbalance)
+	}
+	if r.NodeRemote[2] != 16*8 {
+		t.Errorf("node 2 served %d, want %d", r.NodeRemote[2], 16*8)
+	}
+	if !strings.Contains(r.Verdict, "home-hotspot") {
+		t.Errorf("verdict = %q, want home-hotspot", r.Verdict)
+	}
+	if len(r.TopPages) != 4 || r.TopPages[0].Home != 2 || r.TopPages[0].Remote != 4*8 {
+		t.Errorf("top pages malformed: %+v", r.TopPages)
+	}
+}
+
+// TestSnapRestoreRoundTrip pins that Snap → Restore reproduces the
+// observer exactly: the restored observer's snapshot and report are
+// deep-equal to the original's, through a JSON encode/decode like the
+// checkpoint codec performs.
+func TestSnapRestoreRoundTrip(t *testing.T) {
+	o := New(4, 2)
+	o.OnMiss(0, 5, 0, true, memclass.Local, 0, 0, 0)
+	o.OnInvalidate(0, 5)
+	o.OnMiss(1, 5, 8, true, memclass.RemoteDirty, 0, 0, 1)
+	o.OnInvalidate(1, 5)
+	o.OnMiss(0, 5, 0, false, memclass.RemoteDirty, 0, 0, 0) // pending
+	o.OnMiss(2, 6, 3, false, memclass.RemoteClean, 1, 0, 0)
+	o.OnEvict(2, 6)
+
+	sn := o.Snap()
+	data, err := json.Marshal(sn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded Snap
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	o2 := New(4, 2)
+	if err := o2.Restore(decoded); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(o.Snap(), o2.Snap()) {
+		t.Error("restored snapshot differs from original")
+	}
+	if !reflect.DeepEqual(o.Report(16), o2.Report(16)) {
+		t.Error("restored report differs from original")
+	}
+	// The pending miss must still settle correctly after restore.
+	o.OnHit(0, 5, 8, false)
+	o2.OnHit(0, 5, 8, false)
+	if !reflect.DeepEqual(o.Report(16), o2.Report(16)) {
+		t.Error("post-restore settlement diverged")
+	}
+
+	// Mismatched shapes are refused.
+	if err := New(8, 2).Restore(decoded); err == nil {
+		t.Error("Restore accepted a snapshot with the wrong processor count")
+	}
+	if err := New(4, 4).Restore(decoded); err == nil {
+		t.Error("Restore accepted a snapshot with the wrong node count")
+	}
+}

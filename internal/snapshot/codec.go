@@ -45,6 +45,7 @@ const (
 	secChecker     = "checker"
 	secTracer      = "tracer"
 	secMetrics     = "metrics"
+	secSharing     = "sharing"
 )
 
 const (
@@ -77,6 +78,9 @@ func (s *Snapshot) sections() []section {
 	}
 	if s.Metrics != nil {
 		out = append(out, section{secMetrics, s.Metrics})
+	}
+	if s.Sharing != nil {
+		out = append(out, section{secSharing, s.Sharing})
 	}
 	return out
 }
@@ -146,6 +150,7 @@ func Decode(data []byte) (*Snapshot, error) {
 		secChecker:     &s.Checker,
 		secTracer:      &s.Tracer,
 		secMetrics:     &s.Metrics,
+		secSharing:     &s.Sharing,
 	}
 	seen := map[string]bool{}
 	for {

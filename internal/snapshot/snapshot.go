@@ -24,6 +24,7 @@ import (
 	"origin2000/internal/directory"
 	"origin2000/internal/mempolicy"
 	"origin2000/internal/metrics"
+	"origin2000/internal/sharing"
 	"origin2000/internal/sim"
 	"origin2000/internal/trace"
 )
@@ -143,6 +144,7 @@ type Snapshot struct {
 	Checker     *check.Snap
 	Tracer      *trace.Snap
 	Metrics     *metrics.Snap
+	Sharing     *sharing.Snap
 }
 
 // FormatError reports a malformed or corrupted checkpoint, naming the
@@ -236,6 +238,7 @@ func Diff(a, b *Snapshot) (section string, ok bool) {
 		{secChecker, a.Checker, b.Checker},
 		{secTracer, a.Tracer, b.Tracer},
 		{secMetrics, a.Metrics, b.Metrics},
+		{secSharing, a.Sharing, b.Sharing},
 	}
 	as, bs := a.simSections(), b.simSections()
 	for i := range as {
@@ -325,6 +328,19 @@ func (s *Snapshot) Validate() error {
 	}
 	if s.Metrics != nil && len(s.Metrics.PerProc) != h.Procs {
 		return &FormatError{secMetrics, fmt.Sprintf("%d per-processor series, header says %d processors", len(s.Metrics.PerProc), h.Procs)}
+	}
+	if s.Sharing != nil {
+		if s.Sharing.Procs != h.Procs {
+			return &FormatError{secSharing, fmt.Sprintf("%d processors, header says %d", s.Sharing.Procs, h.Procs)}
+		}
+		if len(s.Sharing.NodeRemote) != s.Sharing.Nodes {
+			return &FormatError{secSharing, fmt.Sprintf("%d node counters, section says %d nodes", len(s.Sharing.NodeRemote), s.Sharing.Nodes)}
+		}
+		for j := 1; j < len(s.Sharing.Blocks); j++ {
+			if s.Sharing.Blocks[j].Block <= s.Sharing.Blocks[j-1].Block {
+				return &FormatError{secSharing, "blocks not sorted"}
+			}
+		}
 	}
 	return nil
 }

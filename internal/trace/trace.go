@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"sort"
 
+	"origin2000/internal/memclass"
 	"origin2000/internal/sim"
 )
 
@@ -39,34 +40,22 @@ type Options struct {
 	Lossless bool
 }
 
-// LatClass selects an access-latency histogram.
-type LatClass int
+// LatClass selects an access-latency histogram. It is an alias of the
+// shared miss-class enum (internal/memclass), so the tracer's histogram
+// classes, the sampler's counter columns and the sharing classifier's
+// miss split are one definition and cannot drift.
+type LatClass = memclass.Class
 
-// Access-latency classes.
+// Access-latency classes (the shared taxonomy, re-exported under the
+// tracer's historical names).
 const (
-	LatLocal LatClass = iota
-	LatRemoteClean
-	LatRemoteDirty
-	LatUpgrade
-	LatFetchOp
-	NumLatClasses
+	LatLocal       = memclass.Local
+	LatRemoteClean = memclass.RemoteClean
+	LatRemoteDirty = memclass.RemoteDirty
+	LatUpgrade     = memclass.Upgrade
+	LatFetchOp     = memclass.FetchOp
+	NumLatClasses  = memclass.NumClasses
 )
-
-func (c LatClass) String() string {
-	switch c {
-	case LatLocal:
-		return "local miss"
-	case LatRemoteClean:
-		return "remote clean"
-	case LatRemoteDirty:
-		return "remote dirty"
-	case LatUpgrade:
-		return "upgrade"
-	case LatFetchOp:
-		return "fetch&op"
-	}
-	return fmt.Sprintf("LatClass(%d)", int(c))
-}
 
 // QueueClass selects a queueing-delay histogram.
 type QueueClass int
