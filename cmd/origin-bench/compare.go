@@ -25,6 +25,10 @@ type Diff struct {
 	// differ between the snapshots: the numbers are not like-for-like,
 	// so the movement is reported but never counted as a regression.
 	HostChanged bool
+	// ScenarioChanged marks a name-matched pair whose scenario hashes
+	// differ: the rows simulated different machines, so the movement is
+	// a machine property, never a code regression.
+	ScenarioChanged bool
 }
 
 func (d Diff) String() string {
@@ -32,6 +36,8 @@ func (d Diff) String() string {
 	switch {
 	case d.Regressed:
 		status = "REGRESSED"
+	case d.ScenarioChanged:
+		status = "scenario changed; informational"
 	case d.HostChanged:
 		status = "host changed; informational"
 	}
@@ -81,9 +87,12 @@ func compareSnapshots(old, cur Snapshot, threshold float64) []Diff {
 			NewAllocs: r.AllocsPerOp,
 		}
 		d.HostChanged = rowCPUs(old, b) != rowCPUs(cur, r)
+		// Rows from different machines are never like-for-like, whatever
+		// their names say (an empty hash is the default Origin machine).
+		d.ScenarioChanged = b.ScenarioHash != r.ScenarioHash
 		// Multiplicative form avoids float artifacts right at the
 		// threshold (110/100-1 is not exactly 0.10).
-		d.Regressed = !d.HostChanged && r.NsPerOp > b.NsPerOp*(1+threshold)
+		d.Regressed = !d.HostChanged && !d.ScenarioChanged && r.NsPerOp > b.NsPerOp*(1+threshold)
 		diffs = append(diffs, d)
 	}
 	sort.Slice(diffs, func(i, j int) bool { return diffs[i].Ratio > diffs[j].Ratio })

@@ -192,6 +192,42 @@ func TestCompareHostChangeIsInformational(t *testing.T) {
 	}
 }
 
+func TestCompareScenarioChangeIsInformational(t *testing.T) {
+	// Same row name, but the machines differ (a scenario rename kept the
+	// name while the spec changed): a 3x shift is a machine property, not
+	// a code regression.
+	old := snap(Result{Name: "scenario:mesh fig2-128", NsPerOp: 1e9, Scenario: "mesh", ScenarioHash: "aaaaaaaaaaaa"})
+	cur := snap(Result{Name: "scenario:mesh fig2-128", NsPerOp: 3e9, Scenario: "mesh", ScenarioHash: "bbbbbbbbbbbb"})
+	diffs := compareSnapshots(old, cur, regressionThreshold)
+	if len(diffs) != 1 {
+		t.Fatalf("got %d diffs, want 1", len(diffs))
+	}
+	d := diffs[0]
+	if !d.ScenarioChanged {
+		t.Fatal("scenario-hash mismatch not marked ScenarioChanged")
+	}
+	if d.Regressed {
+		t.Fatal("cross-scenario row counted as regression")
+	}
+	if !strings.Contains(d.String(), "scenario changed") {
+		t.Fatalf("rendering does not flag the scenario change: %s", d)
+	}
+	// An empty hash is the default machine: default-vs-default still
+	// compares like-for-like and regresses normally.
+	old = snap(Result{Name: "access:hit", NsPerOp: 100})
+	cur = snap(Result{Name: "access:hit", NsPerOp: 150})
+	if bad := regressions(compareSnapshots(old, cur, regressionThreshold)); len(bad) != 1 {
+		t.Fatalf("default-machine regression not flagged: %v", bad)
+	}
+	// Default baseline vs a scenario-stamped current row: different
+	// machines, informational.
+	old = snap(Result{Name: "scenario:mesh fig2-128", NsPerOp: 1e9})
+	cur = snap(Result{Name: "scenario:mesh fig2-128", NsPerOp: 3e9, Scenario: "mesh", ScenarioHash: "cccccccccccc"})
+	if bad := regressions(compareSnapshots(old, cur, regressionThreshold)); len(bad) != 0 {
+		t.Fatalf("cross-machine pair flagged as regression: %v", bad)
+	}
+}
+
 func TestSpeedupClaim(t *testing.T) {
 	if got := speedupClaim(1); got != "unproven" {
 		t.Fatalf("speedupClaim(1) = %q", got)

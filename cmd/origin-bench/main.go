@@ -31,6 +31,7 @@ import (
 	"origin2000/internal/experiments"
 	"origin2000/internal/hostprof"
 	"origin2000/internal/metrics"
+	"origin2000/internal/scenario"
 	"origin2000/internal/sim"
 	"origin2000/internal/snapshot"
 	"origin2000/internal/trace"
@@ -83,6 +84,11 @@ type Result struct {
 	WorkerUtil      float64 `json:"worker_util,omitempty"`
 	CommitHostShare float64 `json:"commit_host_share,omitempty"`
 	StealHitRate    float64 `json:"steal_hit_rate,omitempty"`
+	// Scenario and ScenarioHash identify the machine a row simulated.
+	// Empty = the default Origin machine. -compare refuses to treat rows
+	// from different machines as the same measurement.
+	Scenario     string `json:"scenario,omitempty"`
+	ScenarioHash string `json:"scenario_hash,omitempty"`
 }
 
 // speedupClaim labels a wall-clock speedup row for the host it ran on.
@@ -870,6 +876,31 @@ func main() {
 		r.WorkerUtil = host.workerUtil()
 		r.CommitHostShare = host.commitShare()
 		r.StealHitRate = host.stealHitRate()
+		add(r)
+	}
+
+	// Scenario rows: the same fig2-128 sweep on each non-default machine —
+	// the new topologies and directory formats — under the serial engine.
+	// These sweeps are deterministic like the rest, but they exist to track
+	// each machine's cost trajectory, not to race the host, so a single
+	// attempt each keeps the suite's runtime bounded. Every row carries the
+	// scenario name and hash so -compare never diffs different machines.
+	for _, scn := range []string{"mesh", "fattree", "limited", "coarse"} {
+		spec, err := scenario.Load(scn)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "origin-bench:", err)
+			os.Exit(1)
+		}
+		scnScale := benchScale
+		scnScale.Scenario = &spec
+		wall, _, shape, _, err := engineSweep("serial", 0, "", scnScale)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "origin-bench:", err)
+			os.Exit(1)
+		}
+		r := engineRow("scenario:"+scn+" fig2-128", wall, shape)
+		r.Scenario = spec.Name
+		r.ScenarioHash = spec.Hash()
 		add(r)
 	}
 

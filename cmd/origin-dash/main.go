@@ -11,7 +11,7 @@
 // Endpoints:
 //
 //	GET /                 the dashboard
-//	GET /api/start?app=FFT&procs=4,8&scale=64[&spec=placement=rr]  start a sweep
+//	GET /api/start?app=FFT&procs=4,8&scale=64[&scenario=mesh]  start a sweep
 //	GET /api/runs         all runs as JSON
 //	GET /api/events       SSE stream: "run" and "sample" events
 //	GET /api/csv?run=N    one run's machine-sample series as CSV
@@ -27,6 +27,7 @@ import (
 	"os"
 
 	"origin2000/internal/core"
+	"origin2000/internal/scenario"
 )
 
 func main() {
@@ -36,6 +37,7 @@ func main() {
 		engine  = flag.String("engine", "serial", "execution engine for sweeps: serial or parallel")
 		workers = flag.Int("workers", 0, "host workers for -engine=parallel (0 = GOMAXPROCS)")
 		window  = flag.String("window", "fixed", "window policy: fixed, fixed:<dur>, adaptive, adaptive:<dur>")
+		scenF   = flag.String("scenario", "", "default machine scenario for sweeps (preset name or spec .json); /api/start?scenario= overrides per sweep")
 	)
 	flag.Parse()
 
@@ -47,7 +49,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	spec, err := scenario.Load(*scenF)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	srv := newServer(*scale, *engine, *workers, *window)
+	srv.scenario = spec
 	log.Printf("origin-dash listening on http://%s/", *addr)
 	if err := http.ListenAndServe(*addr, srv.mux()); err != nil {
 		fmt.Fprintln(os.Stderr, err)

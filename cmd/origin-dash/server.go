@@ -13,6 +13,7 @@ import (
 	"origin2000/internal/experiments"
 	"origin2000/internal/hostprof"
 	"origin2000/internal/metrics"
+	"origin2000/internal/scenario"
 	"origin2000/internal/sharing"
 	"origin2000/internal/sim"
 	"origin2000/internal/workload"
@@ -32,6 +33,11 @@ type runState struct {
 	Status    string  `json:"status"` // "running", "done", "failed"
 	Error     string  `json:"error,omitempty"`
 	ElapsedMs float64 `json:"elapsed_ms"`
+	// Scenario attribution: which machine this run simulated. Rows from
+	// different scenarios carry different hashes, so dashboard clients can
+	// group or separate curves per machine.
+	Scenario     string `json:"scenario,omitempty"`
+	ScenarioHash string `json:"scenario_hash,omitempty"`
 
 	samples  []metrics.MachineSample
 	artifact metrics.Artifact
@@ -51,6 +57,7 @@ type server struct {
 	engine       string
 	workers      int
 	window       string
+	scenario     scenario.Spec // default machine for sweeps; per-sweep override via ?scenario=
 
 	mu   sync.Mutex
 	runs []*runState
@@ -66,6 +73,7 @@ func newServer(defaultScale int, engine string, workers int, window string) *ser
 		engine:       engine,
 		workers:      workers,
 		window:       window,
+		scenario:     scenario.Default(),
 		subs:         make(map[chan sseEvent]struct{}),
 	}
 }
@@ -154,23 +162,44 @@ func (s *server) handleStart(w http.ResponseWriter, r *http.Request) {
 		}
 		interval = sim.Time(n) * sim.Microsecond
 	}
+	spec := s.scenario
+	if v := q.Get("scenario"); v != "" {
+		sc, err := scenario.Load(v)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		spec = sc
+	}
+	for _, procs := range procCounts {
+		if err := spec.Validate(procs); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+	}
 
 	ids := make([]int, 0, len(procCounts))
 	s.mu.Lock()
 	for _, procs := range procCounts {
+		label := fmt.Sprintf("%s p%d /%d", appName, procs, scaleDiv)
+		if !spec.IsDefault() {
+			label += " @" + spec.Name
+		}
 		rs := &runState{
-			ID:     len(s.runs),
-			Label:  fmt.Sprintf("%s p%d /%d", appName, procs, scaleDiv),
-			App:    appName,
-			Procs:  procs,
-			Status: "running",
+			ID:           len(s.runs),
+			Label:        label,
+			App:          appName,
+			Procs:        procs,
+			Status:       "running",
+			Scenario:     spec.Name,
+			ScenarioHash: spec.Hash(),
 		}
 		s.runs = append(s.runs, rs)
 		ids = append(ids, rs.ID)
 	}
 	s.mu.Unlock()
 
-	go s.sweep(app, ids, procCounts, scaleDiv, interval)
+	go s.sweep(app, spec, ids, procCounts, scaleDiv, interval)
 
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(map[string]any{"runs": ids})
@@ -178,14 +207,14 @@ func (s *server) handleStart(w http.ResponseWriter, r *http.Request) {
 
 // sweep executes the requested runs sequentially, streaming samples as the
 // simulation produces them.
-func (s *server) sweep(wapp workload.App, ids, procCounts []int, scaleDiv int, interval sim.Time) {
+func (s *server) sweep(wapp workload.App, spec scenario.Spec, ids, procCounts []int, scaleDiv int, interval sim.Time) {
 	for i, procs := range procCounts {
 		id := ids[i]
 		// Dashboard sweeps always sample metrics, which pins the parallel
 		// engine to one worker (observer policy); the flag still selects the
 		// engine so the windowed scheduler path gets exercised end to end.
 		sc := experiments.Scale{Div: scaleDiv, CacheDiv: scaleDiv,
-			Engine: s.engine, Workers: s.workers, Window: s.window}
+			Engine: s.engine, Workers: s.workers, Window: s.window, Scenario: &spec}
 		sc.Trace.Enabled = true
 		// Host-time profiling is schedule-neutral, so it is always on for
 		// dashboard runs; the panel shows where the engine spends host time.

@@ -16,6 +16,7 @@ import (
 
 	"origin2000/internal/hostprof"
 	"origin2000/internal/metrics"
+	"origin2000/internal/scenario"
 	"origin2000/internal/trace"
 )
 
@@ -194,6 +195,58 @@ func TestDashSmoke(t *testing.T) {
 	// Unknown run ids are 404s, not panics.
 	if resp, err := http.Get(ts.URL + "/api/csv?run=99"); err != nil || resp.StatusCode != http.StatusNotFound {
 		t.Errorf("csv for unknown run: %v %v", resp.Status, err)
+	}
+}
+
+// TestStartScenarioAttribution pins per-scenario attribution in the
+// dashboard: a sweep started with ?scenario= must carry the scenario's name
+// and spec hash on its run state (so two machines' curves are never
+// conflated), label the run with the machine, and still run to completion;
+// an unknown scenario must be rejected up front, not fail mid-sweep.
+func TestStartScenarioAttribution(t *testing.T) {
+	srv := newServer(64, "", 0, "")
+	ts := httptest.NewServer(srv.mux())
+	defer ts.Close()
+
+	mesh, ok := scenario.Named("mesh")
+	if !ok {
+		t.Fatal("mesh preset missing")
+	}
+	get(t, ts.URL+"/api/start?app=FFT&procs=4&scale=64&scenario=mesh")
+
+	var runs []runState
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		if err := json.Unmarshal([]byte(get(t, ts.URL+"/api/runs")), &runs); err != nil {
+			t.Fatal(err)
+		}
+		if len(runs) == 1 && runs[0].Status != "running" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("run did not finish: %+v", runs)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	rs := runs[0]
+	if rs.Status != "done" {
+		t.Fatalf("mesh run %s: %s", rs.Status, rs.Error)
+	}
+	if rs.Scenario != "mesh" || rs.ScenarioHash != mesh.Hash() {
+		t.Errorf("run attribution = %q [%s], want mesh [%s]", rs.Scenario, rs.ScenarioHash, mesh.Hash())
+	}
+	if !strings.Contains(rs.Label, "@mesh") {
+		t.Errorf("label %q does not name the machine", rs.Label)
+	}
+
+	// Unknown scenarios are a client error at start time.
+	resp, err := http.Get(ts.URL + "/api/start?app=FFT&procs=4&scenario=no-such-machine")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown scenario: %s, want 400", resp.Status)
 	}
 }
 

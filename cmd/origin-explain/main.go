@@ -24,6 +24,7 @@ import (
 	"origin2000/internal/core"
 	"origin2000/internal/experiments"
 	"origin2000/internal/perf"
+	"origin2000/internal/scenario"
 	"origin2000/internal/sharing"
 	"origin2000/internal/workload"
 )
@@ -41,6 +42,7 @@ func main() {
 		prefetch = flag.Bool("prefetch", false, "enable remote-data prefetching")
 		top      = flag.Int("top", 10, "rows per report table")
 		jsonOut  = flag.String("json", "", "also write the reports as JSON (app name -> report)")
+		scenF    = flag.String("scenario", "", "machine scenario: a preset name or a spec .json file; empty = the default Origin machine")
 	)
 	flag.Parse()
 
@@ -56,7 +58,19 @@ func main() {
 		apps = []workload.App{app}
 	}
 
-	s := experiments.Scale{Div: *scale, CacheDiv: *scale, Steps: *steps, Seed: *seed}
+	spec, err := scenario.Load(*scenF)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "origin-explain:", err)
+		os.Exit(2)
+	}
+	if err := spec.Validate(*procs); err != nil {
+		fmt.Fprintln(os.Stderr, "origin-explain:", err)
+		os.Exit(2)
+	}
+	if !spec.IsDefault() {
+		fmt.Printf("scenario %s [%s]: %s\n\n", spec.Name, spec.Hash(), spec.Describe())
+	}
+	s := experiments.Scale{Div: *scale, CacheDiv: *scale, Steps: *steps, Seed: *seed, Scenario: &spec}
 	reports := make(map[string]*sharing.Report, len(apps))
 	for _, app := range apps {
 		r, elapsed, err := explainOne(s, app, *procs, *size, *variant, *prefetch)

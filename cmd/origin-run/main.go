@@ -33,6 +33,7 @@ import (
 	"origin2000/internal/core"
 	"origin2000/internal/experiments"
 	"origin2000/internal/perf"
+	"origin2000/internal/scenario"
 	"origin2000/internal/sim"
 	"origin2000/internal/snapshot"
 	"origin2000/internal/topology"
@@ -62,6 +63,7 @@ func main() {
 		window    = flag.String("window", "fixed", "window policy: fixed, fixed:<dur>, adaptive, adaptive:<dur>")
 		ckptEvery = flag.String("checkpoint-every", "", "capture an originckpt snapshot every virtual duration (e.g. 1ms, 100us)")
 		ckptDir   = flag.String("checkpoint-dir", "checkpoints", "directory for -checkpoint-every snapshot files")
+		scenarioF = flag.String("scenario", "", "machine scenario: a preset name (origin, mesh, fattree, limited, ...) or a spec .json file; empty = the default Origin machine")
 		resumeF   = flag.String("resume", "", "resume from an originckpt file: replay to its quiescent point, prove state equality, continue")
 		bisectF   = flag.String("bisect", "", "bisect a directory of checkpoints to the first window that breaks coherence")
 		faultDrop = flag.Int("fault-drop-inval", 0, "fault injection: silently drop the Nth invalidation the directory sends (demo for -bisect)")
@@ -89,8 +91,13 @@ func main() {
 		return
 	}
 	if *resumeF != "" {
-		runResume(*resumeF, *engine, *workers, every, *ckptDir)
+		runResume(*resumeF, *scenarioF, *engine, *workers, every, *ckptDir)
 		return
+	}
+	spec, err := scenario.Load(*scenarioF)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
 	}
 	app := experiments.AppByName(*appName)
 	if app == nil {
@@ -106,7 +113,11 @@ func main() {
 		os.Exit(2)
 	}
 	s := experiments.Scale{Div: *scale, CacheDiv: *scale, Steps: *steps, Seed: *seed,
-		Engine: *engine, Workers: *workers, Window: *window}
+		Engine: *engine, Workers: *workers, Window: *window, Scenario: &spec}
+	if err := spec.Validate(*procs); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	se := experiments.NewSession(s)
 	paperSize := *size
 	if paperSize == 0 {
@@ -170,6 +181,9 @@ func main() {
 	busy, mem, sync := avg.Fractions()
 	fmt.Printf("%s size=%d variant=%q procs=%d (scale 1/%d)\n",
 		app.Name(), params.Size, params.Variant, *procs, se.Scale.Div)
+	if !spec.IsDefault() {
+		fmt.Printf("scenario:   %s [%s]  (%s)\n", spec.Name, spec.Hash(), spec.Describe())
+	}
 	fmt.Printf("sequential: %10.3f ms\n", seq.Milliseconds())
 	fmt.Printf("parallel:   %10.3f ms   speedup %.1f   efficiency %.1f%%\n",
 		m.Elapsed().Milliseconds(),
@@ -284,7 +298,7 @@ func summarize(m *core.Machine) {
 // equality, and run to completion. The window policy always comes from the
 // snapshot (the quiescent-sequence numbering depends on it); the engine and
 // worker count may be changed freely — results are bit-identical.
-func runResume(path, engine string, workers int, every sim.Time, ckptDir string) {
+func runResume(path, scenarioArg, engine string, workers int, every sim.Time, ckptDir string) {
 	sn, err := snapshot.ReadFile(path)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "resume:", err)
@@ -305,6 +319,16 @@ func runResume(path, engine string, workers int, every sim.Time, ckptDir string)
 	cfg.Checkpoint = core.CheckpointConfig{Spec: spec}
 	cfg.Engine = engine
 	cfg.Workers = workers
+	// An explicit -scenario on resume overrides the machine recorded in the
+	// header; ValidateResume refuses if it doesn't match the snapshot's.
+	if scenarioArg != "" {
+		sc, err := scenario.Load(scenarioArg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "resume:", err)
+			os.Exit(1)
+		}
+		cfg.Scenario = &sc
+	}
 	if every > 0 {
 		if err := os.MkdirAll(ckptDir, 0o755); err != nil {
 			fmt.Fprintln(os.Stderr, "checkpoint dir:", err)

@@ -28,6 +28,7 @@ import (
 
 	"origin2000/internal/experiments"
 	"origin2000/internal/perf"
+	"origin2000/internal/scenario"
 	"origin2000/internal/sim"
 	"origin2000/internal/snapshot"
 	"origin2000/internal/workload"
@@ -40,6 +41,7 @@ func main() {
 		variant   = flag.String("variant", "", "also plot this variant against the original")
 		scale     = flag.Int("scale", 8, "divide problem sizes and cache by this factor")
 		seed      = flag.Int64("seed", 42, "input seed")
+		scenarios = flag.String("scenario", "", "comma-separated machine scenarios to sweep side by side (preset names or spec .json files); empty = the default Origin machine")
 		warmDir   = flag.String("warm-start", "", "directory of per-configuration checkpoints: capture on first sweep, resume (with state proof) on later ones")
 	)
 	flag.Parse()
@@ -58,7 +60,15 @@ func main() {
 		}
 		procs = append(procs, v)
 	}
-	se := experiments.NewSession(experiments.Scale{Div: *scale, CacheDiv: *scale, Seed: *seed})
+	var specs []scenario.Spec
+	for _, tok := range strings.Split(*scenarios, ",") {
+		sc, err := scenario.Load(strings.TrimSpace(tok))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		specs = append(specs, sc)
+	}
 	var warm *warmStarter
 	if *warmDir != "" {
 		if err := os.MkdirAll(*warmDir, 0o755); err != nil {
@@ -75,37 +85,54 @@ func main() {
 	markers := []byte{'a', 'b', 'c', 'A', 'B', 'C'}
 	var series []perf.Series
 	mi := 0
-	for _, v := range variants {
-		for _, p := range procs {
-			if p > app.MaxProcs() {
-				continue
-			}
-			label := fmt.Sprintf("%d procs", p)
-			if v != "" {
-				label += " " + v
-			}
-			s := perf.Series{Label: label, Marker: markers[mi%len(markers)]}
-			mi++
-			for _, size := range app.SweepSizes() {
-				var eff float64
-				var err error
-				if warm != nil {
-					eff, err = warm.efficiency(se, app, p, size, v)
-				} else {
-					eff, _, err = se.Efficiency(app, p, size, v)
+	for si := range specs {
+		sc := specs[si]
+		se := experiments.NewSession(experiments.Scale{Div: *scale, CacheDiv: *scale, Seed: *seed, Scenario: &sc})
+		for _, v := range variants {
+			for _, p := range procs {
+				if p > app.MaxProcs() {
+					continue
 				}
-				if err != nil {
-					fmt.Fprintln(os.Stderr, "error:", err)
-					os.Exit(1)
+				if err := sc.Validate(p); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(2)
 				}
-				s.X = append(s.X, float64(se.Scale.Size(app, size)))
-				s.Y = append(s.Y, eff)
+				label := fmt.Sprintf("%d procs", p)
+				if v != "" {
+					label += " " + v
+				}
+				if len(specs) > 1 {
+					label += " @" + sc.Name
+				}
+				s := perf.Series{Label: label, Marker: markers[mi%len(markers)]}
+				mi++
+				for _, size := range app.SweepSizes() {
+					var eff float64
+					var err error
+					if warm != nil {
+						eff, err = warm.efficiency(se, app, p, size, v)
+					} else {
+						eff, _, err = se.Efficiency(app, p, size, v)
+					}
+					if err != nil {
+						fmt.Fprintln(os.Stderr, "error:", err)
+						os.Exit(1)
+					}
+					s.X = append(s.X, float64(se.Scale.Size(app, size)))
+					s.Y = append(s.Y, eff)
+				}
+				series = append(series, s)
 			}
-			series = append(series, s)
 		}
 	}
-	fmt.Printf("%s efficiency vs problem size (x = %s, scale 1/%d)\n\n",
-		app.Name(), app.Unit(), se.Scale.Div)
+	fmt.Printf("%s efficiency vs problem size (x = %s, scale 1/%d)\n",
+		app.Name(), app.Unit(), *scale)
+	for _, sc := range specs {
+		if len(specs) > 1 || !sc.IsDefault() {
+			fmt.Printf("scenario %s [%s]: %s\n", sc.Name, sc.Hash(), sc.Describe())
+		}
+	}
+	fmt.Println()
 	fmt.Println(perf.Curves(series, 64, 14, 1.2))
 	if warm != nil {
 		fmt.Printf("warm-start: %d configurations resumed with state proofs, %d captured fresh -> %s\n",
@@ -137,8 +164,15 @@ func (w *warmStarter) efficiency(se *experiments.Session, app workload.App, proc
 	if vtag == "" {
 		vtag = "orig"
 	}
-	path := filepath.Join(w.dir, fmt.Sprintf("sweep-%s-%s-p%d-s%d-d%d.originckpt",
-		app.Name(), vtag, procs, params.Size, s.Div))
+	// Scenario-scoped filename: machines never share warm-start checkpoints.
+	// (Header spec equality below would catch a collision anyway, but a
+	// shared name would make two scenarios endlessly recapture each other's.)
+	mtag := ""
+	if s.Scenario != nil && !s.Scenario.IsDefault() {
+		mtag = "-" + s.Scenario.Hash()
+	}
+	path := filepath.Join(w.dir, fmt.Sprintf("sweep-%s-%s-p%d-s%d-d%d%s.originckpt",
+		app.Name(), vtag, procs, params.Size, s.Div, mtag))
 	if sn, rerr := snapshot.ReadFile(path); rerr == nil && sn.Header.Spec == spec && sn.Header.Procs == procs {
 		r, resErr := s.ResumeRun(app, procs, params, sn)
 		if resErr == nil {

@@ -19,13 +19,8 @@ func main() {
 		cfg := origin2000.Origin2000Config(procs)
 		m := origin2000.NewMachine(cfg)
 		f := m.Fabric()
-		kind := "full hypercube"
-		if f.HasMetarouters() {
-			kind = fmt.Sprintf("%d hypercube modules + %d metarouters",
-				f.NumModules(), f.NumMetarouters())
-		}
 		fmt.Printf("%3d processors: %2d nodes, %2d routers (%s), diameter %d hops, avg %.2f\n",
-			procs, m.NumNodes(), f.NumRouters(), kind, f.MaxHops(), f.AverageHops())
+			procs, m.NumNodes(), f.NumRouters(), f.Describe(), f.MaxHops(), f.AverageHops())
 
 		// Probe a remote read from processor 0 to every other node.
 		var minL, maxL, sum sim.Time

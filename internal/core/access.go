@@ -105,11 +105,12 @@ func (p *Proc) transaction(block uint64, home int, write bool) (complete sim.Tim
 	acq(&m.mems[home], lat.MemOcc, trace.QMem, home)
 	t += lat.MemTime
 
-	var invalidate []int
+	var invalidate, extra []int
 	var owner = -1
 	if write {
 		res := m.dirs[home].Write(block, p.ID())
 		invalidate = res.Invalidate
+		extra = res.Extra
 		if res.Dirty {
 			dirty = true
 			owner = res.Owner
@@ -183,7 +184,7 @@ func (p *Proc) transaction(block uint64, home int, write bool) (complete sim.Tim
 
 	// Write-induced invalidations: the requester waits for all acks,
 	// which overlap with the data transfer.
-	if len(invalidate) > 0 {
+	if len(invalidate) > 0 || len(extra) > 0 {
 		ackT := t
 		// Home and requester routers are loop constants, so the two routes
 		// depend only on the sharer's router. Sharers cluster on few
@@ -216,7 +217,28 @@ func (p *Proc) transaction(block uint64, home int, write bool) (complete sim.Tim
 				ackT = ack
 			}
 		}
-		p.sp.Counters.Invalidations += int64(len(invalidate))
+		// Format-induced extra fan-out (limited-pointer broadcast,
+		// coarse-vector region spill): each extra target costs the same hub
+		// occupancy, hops and acknowledgement as a real invalidation and
+		// gates the write's completion, but the target holds no copy — no
+		// cache, checker or classifier state changes, which is why the
+		// default full-vector scenario (empty Extra) never enters this loop
+		// and stays bit-identical to the pre-format machine.
+		for _, s := range extra {
+			sp := m.procs[s]
+			m.hubs[home].Acquire(t, lat.InvalOcc)
+			if sp.router != memoRouter {
+				memoRouter = sp.router
+				memoOut = m.fabric.Route(homeRouter, sp.router)
+				memoBack = m.fabric.Route(sp.router, p.router)
+			}
+			arrive := t + sim.Time(memoOut.Hops)*lat.RouterTime + lat.HubTime
+			ack := arrive + sim.Time(memoBack.Hops)*lat.RouterTime + lat.HubTime
+			if ack > ackT {
+				ackT = ack
+			}
+		}
+		p.sp.Counters.Invalidations += int64(len(invalidate) + len(extra))
 		t = ackT
 	}
 	return t, dirty, queued

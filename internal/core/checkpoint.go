@@ -92,6 +92,18 @@ func (m *Machine) initCheckpoint() {
 	if ck.Every <= 0 && ck.Resume == nil && ck.StopAtSeq <= 0 {
 		return
 	}
+	// Stamp the machine's scenario into the recorded spec so resume can
+	// refuse a different machine. Stamping applies on resume too — the
+	// drivers validated hash equality first, and captures continuing past
+	// the resume point must byte-match the uninterrupted run's. (The
+	// resume proof itself compares simulation-state sections only, so
+	// snapshots written before scenario fields existed still prove equal.)
+	if ck.Spec.ScenarioHash == "" {
+		ck.Spec.ScenarioHash = m.cfg.ScenarioHash()
+		if ck.Spec.Scenario == "" {
+			ck.Spec.Scenario = m.cfg.ScenarioSpec().Name
+		}
+	}
 	m.ckpt = &ckptState{
 		every:  ck.Every,
 		next:   ck.Every,

@@ -17,6 +17,7 @@ import (
 	"origin2000/internal/cache"
 	"origin2000/internal/mempolicy"
 	"origin2000/internal/metrics"
+	"origin2000/internal/scenario"
 	"origin2000/internal/sharing"
 	"origin2000/internal/sim"
 	"origin2000/internal/snapshot"
@@ -218,6 +219,13 @@ type Config struct {
 	// boundaries, replay-based resume, and time-travel bisection; see
 	// internal/snapshot and DESIGN.md §13. Zero value disables everything.
 	Checkpoint CheckpointConfig
+	// Scenario declares the machine: interconnect topology, directory
+	// sharer-representation format and latency preset (DESIGN.md §16).
+	// nil selects the default scenario — the hard-coded Origin shape every
+	// pre-scenario run used — and stays bit-identical to it. The pointer
+	// is omitted from JSON when nil so default snapshot headers are
+	// byte-for-byte what they were before scenarios existed.
+	Scenario *scenario.Spec `json:",omitempty"`
 }
 
 // CheckpointConfig controls checkpointing and resume for one run.
@@ -326,7 +334,55 @@ func Table1Latencies(m Table1Machine) Latencies {
 	return l
 }
 
+// ScenarioSpec returns the machine's normalized scenario (the default
+// scenario when Config.Scenario is nil).
+func (c *Config) ScenarioSpec() scenario.Spec {
+	if c.Scenario != nil {
+		return c.Scenario.Normalized()
+	}
+	return scenario.Default()
+}
+
+// ScenarioHash returns the content hash of the machine's scenario. It is
+// stamped into checkpoint headers and bench snapshot rows; resume refuses
+// a snapshot whose hash differs from the requested run's.
+func (c *Config) ScenarioHash() string { return c.ScenarioSpec().Hash() }
+
+// table1ByName maps a scenario latency-preset name to its Table-1 row.
+func table1ByName(name string) (Table1Machine, bool) {
+	switch name {
+	case "", "origin2000":
+		return MachineOrigin2000, true
+	case "exemplar-x":
+		return MachineExemplarX, true
+	case "numaliine":
+		return MachineNUMALiiNE, true
+	case "hal-s1":
+		return MachineHalS1, true
+	case "numa-q":
+		return MachineNUMAQ, true
+	}
+	return 0, false
+}
+
+// Validate checks the configuration against its scenario: kinds and
+// parameters must be known, and the processor count must not exceed the
+// chosen directory format's capacity — the Sharers bit vector indexes
+// s[p>>6], so an oversized machine would corrupt sharer state instead of
+// failing loudly. New panics on the same conditions; Validate lets
+// drivers report them as errors first.
+func (c *Config) Validate() error {
+	procs := c.Procs
+	if procs < 1 {
+		procs = 1
+	}
+	return c.ScenarioSpec().Validate(procs)
+}
+
 func (c *Config) normalize() {
+	if err := c.Validate(); err != nil {
+		panic("core: " + err.Error())
+	}
 	if c.Procs < 1 {
 		c.Procs = 1
 	}
@@ -343,7 +399,10 @@ func (c *Config) normalize() {
 		c.Cache = cache.Origin2000L2
 	}
 	if c.Lat == (Latencies{}) {
-		c.Lat = Origin2000Latencies()
+		// The scenario's latency preset fills in only when the caller left
+		// Lat zero, so explicitly calibrated configs are never overridden.
+		m, _ := table1ByName(c.ScenarioSpec().Latency)
+		c.Lat = Table1Latencies(m)
 	}
 	if c.MaxPrefetch <= 0 {
 		c.MaxPrefetch = 8

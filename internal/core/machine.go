@@ -11,6 +11,7 @@ import (
 	"origin2000/internal/mempolicy"
 	"origin2000/internal/metrics"
 	"origin2000/internal/perf"
+	"origin2000/internal/scenario"
 	"origin2000/internal/sharing"
 	"origin2000/internal/sim"
 	"origin2000/internal/topology"
@@ -29,7 +30,7 @@ func BlockOf(addr uint64) uint64 { return addr >> blockShift }
 type Machine struct {
 	cfg      Config
 	eng      *sim.Engine
-	fabric   *topology.Fabric
+	fabric   topology.Network
 	pages    *mempolicy.Table
 	migrator *mempolicy.Migrator
 	dirs     []*directory.Directory // per-node home directories (shard-local)
@@ -72,10 +73,18 @@ func New(cfg Config) *Machine {
 		numNodes = cfg.ForceNodes
 	}
 	numRouters := (numNodes + cfg.NodesPerRouter - 1) / cfg.NodesPerRouter
+	// The scenario declares the interconnect and the directory's sharer
+	// format. normalize validated it; the default spec builds exactly the
+	// machine New hard-coded before scenarios existed.
+	spec := cfg.ScenarioSpec()
+	dirFormat, err := spec.Format()
+	if err != nil {
+		panic("core: " + err.Error()) // unreachable: normalize validated
+	}
 	m := &Machine{
 		cfg:        cfg,
 		eng:        sim.NewEngine(cfg.Procs, cfg.Quantum),
-		fabric:     topology.NewFabricModules(numRouters, cfg.ForceMetarouters),
+		fabric:     spec.Network(numRouters, cfg.ForceMetarouters),
 		dirs:       make([]*directory.Directory, numNodes),
 		numNodes:   numNodes,
 		numRouters: numRouters,
@@ -88,7 +97,7 @@ func New(cfg Config) *Machine {
 	for i := range m.hubs {
 		m.hubs[i].Name = fmt.Sprintf("hub%d", i)
 		m.mems[i].Name = fmt.Sprintf("mem%d", i)
-		m.dirs[i] = directory.New()
+		m.dirs[i] = directory.NewWithFormat(dirFormat, cfg.Procs)
 	}
 	for i := range m.routers {
 		m.routers[i].Name = fmt.Sprintf("router%d", i)
@@ -181,7 +190,10 @@ func (m *Machine) NumProcs() int { return m.cfg.Procs }
 func (m *Machine) NumNodes() int { return m.numNodes }
 
 // Fabric exposes the router interconnect.
-func (m *Machine) Fabric() *topology.Fabric { return m.fabric }
+func (m *Machine) Fabric() topology.Network { return m.fabric }
+
+// Scenario returns the machine's normalized scenario spec.
+func (m *Machine) Scenario() scenario.Spec { return m.cfg.ScenarioSpec() }
 
 // Cycles converts processor cycles to virtual time at the machine's clock.
 func (m *Machine) Cycles(n int64) sim.Time { return sim.Time(n) * m.cycle }

@@ -1,0 +1,57 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"origin2000/internal/scenario"
+)
+
+// TestValidateRejectsOverCapacityProcs pins the loud capacity check: a
+// processor count the directory format's backing store cannot represent
+// must fail Validate with the capacity named, and New must refuse to build
+// the machine rather than silently corrupt sharer state.
+func TestValidateRejectsOverCapacityProcs(t *testing.T) {
+	cfg := Origin2000(4)
+	cfg.Procs = 200
+	err := cfg.Validate()
+	if err == nil {
+		t.Fatal("Validate accepted 200 processors against a 128-capacity format")
+	}
+	if !strings.Contains(err.Error(), "capacity of 128") {
+		t.Fatalf("error does not name the capacity: %v", err)
+	}
+
+	defer func() {
+		p := recover()
+		if p == nil {
+			t.Fatal("New built a machine with 200 processors")
+		}
+		msg, ok := p.(string)
+		if !ok || !strings.Contains(msg, "capacity of 128") {
+			t.Fatalf("panic does not name the capacity: %v", p)
+		}
+	}()
+	New(cfg)
+}
+
+// TestValidateAcceptsEveryPresetAtFullScale is the positive side: every
+// named scenario must build a 128-processor machine, the paper's largest.
+func TestValidateAcceptsEveryPresetAtFullScale(t *testing.T) {
+	for _, name := range scenario.Names() {
+		spec, ok := scenario.Named(name)
+		if !ok {
+			t.Fatalf("Names() listed unknown scenario %q", name)
+		}
+		cfg := Origin2000(128)
+		cfg.Scenario = &spec
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("scenario %s rejects 128 processors: %v", name, err)
+			continue
+		}
+		m := New(cfg)
+		if m.NumProcs() != 128 {
+			t.Errorf("scenario %s built %d processors, want 128", name, m.NumProcs())
+		}
+	}
+}

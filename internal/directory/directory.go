@@ -109,6 +109,15 @@ type Directory struct {
 	last    *dirPage // memo of the most recently touched page
 	scratch []int    // reused invalidation list (see Write)
 
+	// format computes the extra (non-sharer) fan-out of an invalidating
+	// write under an imprecise sharer representation; nil means the
+	// precise full-bit-vector format and keeps Write's hot path exactly
+	// as it was before formats existed. procs bounds the broadcast set;
+	// scratchExtra is the reused WriteResult.Extra buffer.
+	format       Format
+	procs        int
+	scratchExtra []int
+
 	// nShared and nExclusive count entries in each active state,
 	// maintained incrementally on every transition so the metrics
 	// sampler's directory-state-mix snapshot is O(1) instead of a scan.
@@ -123,9 +132,36 @@ type Directory struct {
 	dropInval func(block uint64, proc int) bool
 }
 
-// New creates an empty directory.
+// New creates an empty directory using the precise full-bit-vector
+// sharer representation.
 func New() *Directory {
 	return &Directory{pages: make(map[uint64]*dirPage)}
+}
+
+// NewWithFormat creates an empty directory whose invalidating writes fan
+// out under the given sharer-representation format, on a machine of
+// procs processors. A nil or FullVector format is the precise default
+// and behaves exactly like New.
+func NewWithFormat(f Format, procs int) *Directory {
+	d := New()
+	if f == nil {
+		return d
+	}
+	if _, ok := f.(FullVector); ok {
+		return d // precise: keep the nil fast path
+	}
+	d.format = f
+	d.procs = procs
+	return d
+}
+
+// Format returns the directory's sharer-representation format
+// (FullVector for directories built by New).
+func (d *Directory) Format() Format {
+	if d.format == nil {
+		return FullVector{}
+	}
+	return d.format
 }
 
 // entry returns a mutable pointer to block's record, materializing its page
@@ -241,6 +277,14 @@ type WriteResult struct {
 	Dirty bool
 	// Owner is the previous exclusive owner when Dirty.
 	Owner int
+	// Extra lists the non-sharer processors the directory's format must
+	// also message (limited-pointer broadcast, coarse-vector region
+	// spill). They receive invalidation messages — and cost latency and
+	// occupancy — but hold no copy, so no cache state changes and the
+	// coherence checker does not count them. Empty under the precise
+	// full-bit-vector format. Like Invalidate, it is a scratch buffer
+	// reused by the next Write call.
+	Extra []int
 }
 
 // Write records a write miss (or an upgrade from Shared) by requester and
@@ -272,6 +316,13 @@ func (d *Directory) Write(block uint64, requester int) WriteResult {
 		d.scratch = inv
 		if len(inv) > 0 {
 			r.Invalidate = inv
+		}
+		if d.format != nil {
+			ex := d.format.ExtraTargets(d.scratchExtra[:0], &e.Sharers, requester, d.procs)
+			d.scratchExtra = ex
+			if len(ex) > 0 {
+				r.Extra = ex
+			}
 		}
 		e.Sharers.Clear()
 		d.nShared--

@@ -1,0 +1,189 @@
+// Directory sharer-representation formats. The directory's backing store
+// stays precise (the 128-bit Sharers vector, kept exact by eviction
+// hints), so protocol correctness is format-independent: every format
+// invalidates the true sharer set exactly. What a format changes is the
+// *fan-out* of an invalidating write — a representation that cannot name
+// the sharers precisely (limited pointers past overflow, coarse region
+// bits) must also message processors that never held the block. Those
+// extra targets are returned separately in WriteResult.Extra: the machine
+// charges them hub occupancy, router hops and acknowledgement latency,
+// but they touch no cache and the coherence checker ignores them, so a
+// run stays checker-clean under every format while its invalidation
+// traffic and timing become a real scenario axis.
+package directory
+
+import "fmt"
+
+// Format is the sharer-representation contract. Implementations are
+// stateless and deterministic: ExtraTargets is a pure function of the
+// precise sharer set, the requester and the machine size, which keeps
+// the serial and parallel engines bit-identical and checkpoint resume
+// proofs exact under every format.
+type Format interface {
+	// Kind names the format ("fullvec", "limited", "coarse"); it is the
+	// value a scenario spec selects by.
+	Kind() string
+	// Describe returns a one-line human description of the format.
+	Describe() string
+	// Capacity is the largest processor count the format can represent.
+	// Every format is backed by the precise Sharers store, so no format
+	// exceeds MaxProcs; scenario validation rejects machines beyond it.
+	Capacity() int
+	// ExtraTargets appends to dst the processors, in ascending order,
+	// that an invalidating write by requester must message *beyond* the
+	// true sharer set (which the caller invalidates separately), and
+	// returns the extended slice. The requester and true sharers are
+	// never included. A precise format appends nothing.
+	ExtraTargets(dst []int, s *Sharers, requester, procs int) []int
+}
+
+// FullVector is the Origin's full-bit-vector format: one presence bit
+// per processor, so the representation is exactly the precise store and
+// an invalidating write messages the true sharers only.
+type FullVector struct{}
+
+// Kind identifies the full-bit-vector format in scenario specs.
+func (FullVector) Kind() string { return "fullvec" }
+
+// Describe returns a one-line human description of the format.
+func (FullVector) Describe() string { return "full bit vector (1 presence bit per processor)" }
+
+// Capacity reports the format's processor-count ceiling.
+func (FullVector) Capacity() int { return MaxProcs }
+
+// ExtraTargets appends nothing: the full vector is precise.
+func (FullVector) ExtraTargets(dst []int, _ *Sharers, _, _ int) []int { return dst }
+
+// DefaultPointers is the pointer count of a limited-pointer format when
+// a scenario does not specify one (Dir4B, the classic DASH choice).
+const DefaultPointers = 4
+
+// LimitedPointer is the Dir_i_B format: the entry holds i processor
+// pointers; when the sharer count overflows them the entry degrades to a
+// broadcast bit and an invalidating write must message every processor.
+// The extra targets are all non-sharers except the requester.
+type LimitedPointer struct {
+	// Pointers is i, the number of sharer pointers before overflow.
+	Pointers int
+}
+
+// NewLimitedPointer returns a Dir_i_B format with i pointers
+// (DefaultPointers when i <= 0).
+func NewLimitedPointer(pointers int) LimitedPointer {
+	if pointers < 1 {
+		pointers = DefaultPointers
+	}
+	return LimitedPointer{Pointers: pointers}
+}
+
+// Kind identifies the limited-pointer format in scenario specs.
+func (f LimitedPointer) Kind() string { return "limited" }
+
+// Describe returns a one-line human description of the format.
+func (f LimitedPointer) Describe() string {
+	return fmt.Sprintf("limited pointer Dir%dB (%d pointers, broadcast on overflow)",
+		f.Pointers, f.Pointers)
+}
+
+// Capacity reports the format's processor-count ceiling (pointers name
+// any processor id the precise backing store can hold).
+func (f LimitedPointer) Capacity() int { return MaxProcs }
+
+// ExtraTargets implements broadcast-on-overflow: with the sharer count
+// within the pointer budget it appends nothing; past it, every
+// non-sharer except the requester is messaged.
+func (f LimitedPointer) ExtraTargets(dst []int, s *Sharers, requester, procs int) []int {
+	ptrs := f.Pointers
+	if ptrs < 1 {
+		ptrs = DefaultPointers
+	}
+	if s.Count() <= ptrs {
+		return dst
+	}
+	for p := 0; p < procs; p++ {
+		if p != requester && !s.Contains(p) {
+			dst = append(dst, p)
+		}
+	}
+	return dst
+}
+
+// DefaultRegion is the coarse-vector region size when a scenario does
+// not specify one.
+const DefaultRegion = 4
+
+// CoarseVector is the coarse-bit-vector format: each presence bit covers
+// a region of Region consecutive processors, so an invalidating write
+// must message every processor in every region that holds at least one
+// sharer. The extra targets are the covered non-sharers except the
+// requester.
+type CoarseVector struct {
+	// Region is the number of consecutive processors one bit covers.
+	Region int
+}
+
+// NewCoarseVector returns a coarse-vector format with the given region
+// size (DefaultRegion when region <= 0).
+func NewCoarseVector(region int) CoarseVector {
+	if region < 1 {
+		region = DefaultRegion
+	}
+	return CoarseVector{Region: region}
+}
+
+// Kind identifies the coarse-vector format in scenario specs.
+func (f CoarseVector) Kind() string { return "coarse" }
+
+// Describe returns a one-line human description of the format.
+func (f CoarseVector) Describe() string {
+	return fmt.Sprintf("coarse bit vector (1 bit per %d processors)", f.Region)
+}
+
+// Capacity reports the format's processor-count ceiling.
+func (f CoarseVector) Capacity() int { return MaxProcs }
+
+// ExtraTargets appends every processor of every sharer-holding region
+// that is not itself a sharer and not the requester.
+func (f CoarseVector) ExtraTargets(dst []int, s *Sharers, requester, procs int) []int {
+	region := f.Region
+	if region < 1 {
+		region = DefaultRegion
+	}
+	for base := 0; base < procs; base += region {
+		end := base + region
+		if end > procs {
+			end = procs
+		}
+		covered := false
+		for p := base; p < end; p++ {
+			if s.Contains(p) {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			continue
+		}
+		for p := base; p < end; p++ {
+			if p != requester && !s.Contains(p) {
+				dst = append(dst, p)
+			}
+		}
+	}
+	return dst
+}
+
+// FormatByKind builds a Format from its scenario-spec kind and
+// parameters (param is Pointers for "limited", Region for "coarse";
+// ignored otherwise). An empty kind selects the full bit vector.
+func FormatByKind(kind string, param int) (Format, error) {
+	switch kind {
+	case "", "fullvec":
+		return FullVector{}, nil
+	case "limited":
+		return NewLimitedPointer(param), nil
+	case "coarse":
+		return NewCoarseVector(param), nil
+	}
+	return nil, fmt.Errorf("directory: unknown format kind %q (want fullvec, limited or coarse)", kind)
+}

@@ -7,6 +7,7 @@ import (
 
 	"origin2000/internal/check"
 	"origin2000/internal/core"
+	"origin2000/internal/scenario"
 	"origin2000/internal/sim"
 	"origin2000/internal/snapshot"
 	"origin2000/internal/synchro"
@@ -21,7 +22,7 @@ import (
 // scale, so a decoded checkpoint names the run that produced it.
 func (s Scale) RunSpec(app workload.App, params workload.Params) snapshot.RunSpec {
 	s = s.normalize()
-	return snapshot.RunSpec{
+	spec := snapshot.RunSpec{
 		App:      app.Name(),
 		Size:     params.Size,
 		Variant:  params.Variant,
@@ -33,6 +34,11 @@ func (s Scale) RunSpec(app workload.App, params workload.Params) snapshot.RunSpe
 		Lock:     int(params.Lock),
 		Barrier:  int(params.Barrier),
 	}
+	if s.Scenario != nil {
+		spec.Scenario = s.Scenario.Name
+		spec.ScenarioHash = s.Scenario.Hash()
+	}
+	return spec
 }
 
 // SpecParams rebuilds the workload parameters a snapshot's run used from
@@ -81,6 +87,24 @@ func ValidateResume(cfg *core.Config, sn *snapshot.Snapshot) error {
 	if sn.Header.WorkersForced && cfg.Workers > 1 {
 		return fmt.Errorf("experiments: resume: snapshot's run forced workers=1 (checker or sampler enabled) "+
 			"but the resume requests %d workers; rerun with -workers 1 or unset", cfg.Workers)
+	}
+	// Cross-scenario resume refusal: the replay re-executes on the
+	// requested machine, so a snapshot from a different machine could never
+	// prove equal — refuse up front with the two scenarios named. An empty
+	// recorded hash means the snapshot predates scenario stamping and is
+	// treated as the default machine.
+	snapHash := sn.Header.Spec.ScenarioHash
+	if snapHash == "" {
+		snapHash = scenario.Default().Hash()
+	}
+	if cfgHash := cfg.ScenarioHash(); cfgHash != snapHash {
+		snapName := sn.Header.Spec.Scenario
+		if snapName == "" {
+			snapName = "origin"
+		}
+		return fmt.Errorf("experiments: resume: snapshot was captured on scenario %q (hash %s) "+
+			"but the resume requests scenario %q (hash %s); rerun with the matching -scenario",
+			snapName, snapHash, cfg.ScenarioSpec().Name, cfgHash)
 	}
 	return nil
 }

@@ -27,6 +27,7 @@ import (
 	"origin2000/internal/core"
 	"origin2000/internal/metrics"
 	"origin2000/internal/perf"
+	"origin2000/internal/scenario"
 	"origin2000/internal/sim"
 	"origin2000/internal/trace"
 	"origin2000/internal/workload"
@@ -87,6 +88,11 @@ type Scale struct {
 	// application runs on it — the hook fault-injection and checkpoint
 	// tests use to reach Machine-level knobs the Config does not carry.
 	OnMachine func(m *core.Machine)
+	// Scenario declares the machine every config this scale builds:
+	// interconnect topology, directory sharer format and latency preset
+	// (see internal/scenario and DESIGN.md §16). nil selects the default
+	// scenario, bit-identical to the pre-scenario hard-coded Origin.
+	Scenario *scenario.Spec
 }
 
 // FullScale runs the paper's actual input sizes.
@@ -128,6 +134,15 @@ func (s Scale) Machine(procs int) core.Config {
 	cfg.HostProf = s.HostProf
 	cfg.CritPath = s.CritPath
 	cfg.Sharing.Enabled = s.Sharing
+	if s.Scenario != nil {
+		sc := s.Scenario.Normalized()
+		cfg.Scenario = &sc
+		if sc.Latency != "origin2000" {
+			// Origin2000() preset the default latencies; zero them so
+			// normalize resolves the scenario's Table-1 preset instead.
+			cfg.Lat = core.Latencies{}
+		}
+	}
 	if s.Window != "" {
 		policy, quantum, max, err := core.ParseWindowSpec(s.Window)
 		if err != nil {

@@ -49,6 +49,14 @@ type RunSpec struct {
 	// the spec suffices to rebuild the run's workload.Params.
 	Lock    int `json:"lock,omitempty"`
 	Barrier int `json:"barrier,omitempty"`
+	// Scenario and ScenarioHash identify the machine the run executed on
+	// (scenario.Spec name and content hash). The capturing machine stamps
+	// the hash when the driver left it empty; resume refuses a snapshot
+	// whose hash differs from the requested machine's. Empty means the
+	// default scenario — headers written before scenarios existed stay
+	// valid and are treated as the default machine's hash.
+	Scenario     string `json:"scenario,omitempty"`
+	ScenarioHash string `json:"scenario_hash,omitempty"`
 }
 
 // Header is the snapshot's self-describing first section.

@@ -1,0 +1,80 @@
+package topology
+
+import "fmt"
+
+// DefaultGroupSize is the number of routers per dragonfly group when a
+// scenario does not specify one.
+const DefaultGroupSize = 4
+
+// Dragonfly is a dragonfly interconnect: routers are grouped into
+// fully-connected groups of groupSize (1 hop between any two routers in a
+// group) and every pair of groups is joined by a global link, so a
+// cross-group packet takes at most 3 hops (source → gateway, global link,
+// gateway → destination). The model charges the uniform worst-case 3 hops
+// for every cross-group route to stay deterministic and symmetric; global
+// links are point-to-point, so there are no shared metarouter resources.
+type Dragonfly struct {
+	numRouters int
+	groupSize  int
+	groups     int
+}
+
+var _ Network = (*Dragonfly)(nil)
+
+// NewDragonfly builds a dragonfly over the given number of routers.
+// groupSize <= 0 selects DefaultGroupSize.
+func NewDragonfly(numRouters, groupSize int) *Dragonfly {
+	if numRouters < 1 {
+		numRouters = 1
+	}
+	if groupSize < 1 {
+		groupSize = DefaultGroupSize
+	}
+	groups := (numRouters + groupSize - 1) / groupSize
+	return &Dragonfly{numRouters: numRouters, groupSize: groupSize, groups: groups}
+}
+
+// Kind identifies the dragonfly in scenario specs.
+func (d *Dragonfly) Kind() string { return "dragonfly" }
+
+// Describe returns a one-line human description of the dragonfly.
+func (d *Dragonfly) Describe() string {
+	return fmt.Sprintf("dragonfly, %d groups of %d routers", d.groups, d.groupSize)
+}
+
+// NumRouters reports the number of routers.
+func (d *Dragonfly) NumRouters() int { return d.numRouters }
+
+// NumMetarouters is always 0: dragonfly global links are point-to-point.
+func (d *Dragonfly) NumMetarouters() int { return 0 }
+
+// Route computes the deterministic route from router a to router b:
+// 0 hops to self, 1 hop within a fully-connected group, 3 hops across
+// groups (to the gateway, over the global link, to the destination).
+func (d *Dragonfly) Route(a, b int) Route {
+	if a == b {
+		return Route{Hops: 0, Meta: -1}
+	}
+	if a/d.groupSize == b/d.groupSize {
+		return Route{Hops: 1, Meta: -1}
+	}
+	return Route{Hops: 3, Meta: -1}
+}
+
+// Hops is shorthand for Route(a, b).Hops.
+func (d *Dragonfly) Hops(a, b int) int { return d.Route(a, b).Hops }
+
+// MaxHops returns the dragonfly diameter: 3 across groups, 1 within the
+// single group, 0 for a one-router network.
+func (d *Dragonfly) MaxHops() int {
+	if d.groups > 1 {
+		return 3
+	}
+	if d.numRouters > 1 {
+		return 1
+	}
+	return 0
+}
+
+// AverageHops returns the mean hop count over ordered pairs with a != b.
+func (d *Dragonfly) AverageHops() float64 { return averageHops(d) }

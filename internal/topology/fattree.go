@@ -1,0 +1,93 @@
+package topology
+
+import "fmt"
+
+// DefaultPodSize is the number of leaf routers per pod when a scenario
+// does not specify one.
+const DefaultPodSize = 4
+
+// FatTree is a two-level fat-tree (folded-Clos) interconnect: leaf
+// routers are grouped into pods of podSize, each pod is internally joined
+// through its pod switch (2 hops leaf→switch→leaf), and pods are joined
+// through podSize spine switches (4 hops leaf→pod→spine→pod→leaf). The
+// spines are shared crossing resources, so they occupy the machine's
+// metarouter resource slots exactly as the Origin's metarouters do — a
+// fat-tree trades the Origin's log-diameter hypercube for a flat,
+// uniform 4-hop cross-pod distance with contention concentrated in the
+// spine layer.
+type FatTree struct {
+	numRouters int
+	podSize    int
+	pods       int
+	spines     int // 0 when a single pod needs no spine layer
+}
+
+var _ Network = (*FatTree)(nil)
+
+// NewFatTree builds a fat-tree over the given number of leaf routers.
+// podSize <= 0 selects DefaultPodSize. With ceil(n/podSize) == 1 pod the
+// spine layer is omitted; otherwise there are podSize spines.
+func NewFatTree(numRouters, podSize int) *FatTree {
+	if numRouters < 1 {
+		numRouters = 1
+	}
+	if podSize < 1 {
+		podSize = DefaultPodSize
+	}
+	pods := (numRouters + podSize - 1) / podSize
+	spines := 0
+	if pods > 1 {
+		spines = podSize
+	}
+	return &FatTree{numRouters: numRouters, podSize: podSize, pods: pods, spines: spines}
+}
+
+// Kind identifies the fat-tree in scenario specs.
+func (t *FatTree) Kind() string { return "fattree" }
+
+// Describe returns a one-line human description of the fat-tree.
+func (t *FatTree) Describe() string {
+	if t.spines == 0 {
+		return fmt.Sprintf("fat-tree, single pod of %d routers", t.numRouters)
+	}
+	return fmt.Sprintf("fat-tree, %d pods of %d routers + %d spines",
+		t.pods, t.podSize, t.spines)
+}
+
+// NumRouters reports the number of leaf routers.
+func (t *FatTree) NumRouters() int { return t.numRouters }
+
+// NumMetarouters reports the number of spine switches; spines occupy the
+// machine's metarouter resource slots.
+func (t *FatTree) NumMetarouters() int { return t.spines }
+
+// Route computes the deterministic route from router a to router b:
+// 0 hops to self, 2 hops within a pod, 4 hops across pods through the
+// spine chosen by the source router's in-pod index (deterministic ECMP).
+func (t *FatTree) Route(a, b int) Route {
+	if a == b {
+		return Route{Hops: 0, Meta: -1}
+	}
+	if a/t.podSize == b/t.podSize {
+		return Route{Hops: 2, Meta: -1}
+	}
+	return Route{Hops: 4, Meta: a % t.podSize}
+}
+
+// Hops is shorthand for Route(a, b).Hops.
+func (t *FatTree) Hops(a, b int) int { return t.Route(a, b).Hops }
+
+// MaxHops returns the fat-tree diameter: 4 across pods, 2 within the
+// single pod, 0 for a one-router network.
+func (t *FatTree) MaxHops() int {
+	if t.spines > 0 {
+		return 4
+	}
+	if t.numRouters > 1 {
+		return 2
+	}
+	return 0
+}
+
+// AverageHops returns the mean hop count over ordered pairs with a != b.
+func (t *FatTree) AverageHops() float64 { return averageHops(t) }

@@ -1,0 +1,80 @@
+package topology
+
+import "fmt"
+
+// Mesh is a 2D mesh interconnect: routers sit on a near-square w×h grid
+// (row-major, the last row possibly partial) and packets use XY
+// dimension-order routing, so the hop count between two routers is their
+// Manhattan distance. There are no shared crossing resources — every link
+// is a point-to-point router hop — which makes the mesh the "all wire, no
+// metarouter" counterpoint to the Origin fabric: its diameter grows as
+// O(sqrt(n)) instead of O(log n), stretching the remote-latency tail that
+// the paper identifies as the machine-side scaling limiter.
+type Mesh struct {
+	numRouters int
+	w, h       int // grid width and height, w*h >= numRouters
+}
+
+var _ Network = (*Mesh)(nil)
+
+// NewMesh builds a near-square 2D mesh for the given number of routers:
+// width ceil(sqrt(n)), height ceil(n/width).
+func NewMesh(numRouters int) *Mesh {
+	if numRouters < 1 {
+		numRouters = 1
+	}
+	w := 1
+	for w*w < numRouters {
+		w++
+	}
+	h := (numRouters + w - 1) / w
+	return &Mesh{numRouters: numRouters, w: w, h: h}
+}
+
+// Kind identifies the 2D mesh in scenario specs.
+func (m *Mesh) Kind() string { return "mesh2d" }
+
+// Describe returns a one-line human description of the mesh.
+func (m *Mesh) Describe() string {
+	return fmt.Sprintf("%dx%d 2D mesh (XY routing)", m.w, m.h)
+}
+
+// NumRouters reports the number of routers in the mesh.
+func (m *Mesh) NumRouters() int { return m.numRouters }
+
+// NumMetarouters is always 0: a mesh has no shared crossing resources.
+func (m *Mesh) NumMetarouters() int { return 0 }
+
+func (m *Mesh) pos(r int) (x, y int) { return r % m.w, r / m.w }
+
+// Route computes the XY dimension-order route from router a to router b;
+// the hop count is the Manhattan distance and no metarouter is crossed.
+func (m *Mesh) Route(a, b int) Route {
+	ax, ay := m.pos(a)
+	bx, by := m.pos(b)
+	return Route{Hops: abs(ax-bx) + abs(ay-by), Meta: -1}
+}
+
+// Hops is shorthand for Route(a, b).Hops.
+func (m *Mesh) Hops(a, b int) int { return m.Route(a, b).Hops }
+
+// MaxHops returns the mesh diameter: the Manhattan distance between the
+// far corners of the occupied grid.
+func (m *Mesh) MaxHops() int {
+	if m.h == 1 {
+		return m.numRouters - 1
+	}
+	// Routers (w-1, 0) and (0, h-1) always exist when h >= 2, and no pair
+	// of occupied positions is farther apart.
+	return (m.w - 1) + (m.h - 1)
+}
+
+// AverageHops returns the mean hop count over ordered pairs with a != b.
+func (m *Mesh) AverageHops() float64 { return averageHops(m) }
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

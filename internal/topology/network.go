@@ -1,0 +1,72 @@
+package topology
+
+import "fmt"
+
+// Network is the interconnect contract every fabric implementation serves.
+// A network connects NumRouters routers (plus, optionally, NumMetarouters
+// shared crossing resources — the Origin's metarouters, a fat-tree's
+// spines) and answers deterministic routing queries between them. The
+// machine model charges per-hop wire latency for Route.Hops and occupancy
+// on the shared crossing resource when Route.Meta >= 0, so two networks
+// with the same hop counts but different crossing structure load the
+// simulated machine differently.
+//
+// Implementations must be deterministic pure functions of (a, b): the
+// engines replay routes during checkpoint resume proofs and across the
+// serial/parallel engines, and any route asymmetry in Hops would break
+// bit-identity. Meta may be asymmetric (the Origin picks the crossing by
+// the source router's index) — only hop counts must satisfy
+// Hops(a,b) == Hops(b,a) and the triangle inequality.
+type Network interface {
+	// Kind names the implementation ("origin", "mesh2d", "fattree",
+	// "dragonfly"); it is the value a scenario spec selects by.
+	Kind() string
+	// Describe returns a one-line human description of the built instance.
+	Describe() string
+	// NumRouters reports the number of routers in the fabric.
+	NumRouters() int
+	// NumMetarouters reports the number of shared crossing resources.
+	NumMetarouters() int
+	// Route computes the deterministic route from router a to router b.
+	Route(a, b int) Route
+	// Hops is shorthand for Route(a, b).Hops.
+	Hops(a, b int) int
+	// MaxHops returns the network diameter in link traversals.
+	MaxHops() int
+	// AverageHops returns the mean hop count over ordered pairs with a != b.
+	AverageHops() float64
+}
+
+// Fabric is the "origin" Network implementation.
+var _ Network = (*Fabric)(nil)
+
+// Kind identifies the hypercube+metarouter fabric in scenario specs.
+func (f *Fabric) Kind() string { return "origin" }
+
+// Describe returns a one-line human description of the fabric.
+func (f *Fabric) Describe() string {
+	if f.modules > 1 {
+		return fmt.Sprintf("%d hypercube modules + %d metarouters",
+			f.modules, f.NumMetarouters())
+	}
+	return "full hypercube"
+}
+
+// averageHops computes the mean hop count over all ordered router pairs
+// with a != b for any Network; implementations share it.
+func averageHops(n Network) float64 {
+	total, pairs := 0, 0
+	for a := 0; a < n.NumRouters(); a++ {
+		for b := 0; b < n.NumRouters(); b++ {
+			if a == b {
+				continue
+			}
+			total += n.Hops(a, b)
+			pairs++
+		}
+	}
+	if pairs == 0 {
+		return 0
+	}
+	return float64(total) / float64(pairs)
+}

@@ -1,0 +1,159 @@
+package topology
+
+import (
+	"fmt"
+	"testing"
+)
+
+// networksUnderTest builds every Network implementation at a range of
+// router counts, paired with its analytically expected diameter.
+func networksUnderTest() []struct {
+	n        Network
+	diameter int
+} {
+	var out []struct {
+		n        Network
+		diameter int
+	}
+	add := func(n Network, diameter int) {
+		out = append(out, struct {
+			n        Network
+			diameter int
+		}{n, diameter})
+	}
+	// Origin hypercube+metarouter fabric: diameter dims for a single
+	// hypercube, 2+3 with metarouter modules.
+	add(NewFabric(1), 0)
+	add(NewFabric(8), 3)
+	add(NewFabric(16), 4) // 64-processor machine: full 4-cube
+	add(NewFabric(24), 5) // 96 processors: 3 modules + metarouters
+	add(NewFabric(32), 5) // 128 processors: 4 modules + metarouters
+	add(NewFabricModules(16, true), 5)
+	// 2D mesh: Manhattan diameter of the near-square occupied grid.
+	add(NewMesh(1), 0)
+	add(NewMesh(3), 2)  // 2x2 grid, 3 occupied: (1,0)..(0,1)
+	add(NewMesh(16), 6) // 4x4
+	add(NewMesh(23), 8) // 5x5, last row partial
+	add(NewMesh(32), 10)
+	// Fat-tree: 4 hops across pods, 2 within a single pod.
+	add(NewFatTree(1, 4), 0)
+	add(NewFatTree(4, 4), 2)
+	add(NewFatTree(16, 4), 4)
+	add(NewFatTree(18, 4), 4) // partial last pod
+	add(NewFatTree(32, 8), 4)
+	// Dragonfly: 3 hops across groups, 1 within a single group.
+	add(NewDragonfly(1, 4), 0)
+	add(NewDragonfly(4, 4), 1)
+	add(NewDragonfly(32, 4), 3)
+	return out
+}
+
+// TestNetworkPropertyRouteSymmetry: hop counts must be symmetric — the
+// cost of a→b equals b→a for every implementation (Meta may differ; the
+// crossing is chosen by the source).
+func TestNetworkPropertyRouteSymmetry(t *testing.T) {
+	for _, tc := range networksUnderTest() {
+		n := tc.n
+		name := fmt.Sprintf("%s/%d", n.Kind(), n.NumRouters())
+		for a := 0; a < n.NumRouters(); a++ {
+			for b := 0; b < n.NumRouters(); b++ {
+				if n.Hops(a, b) != n.Hops(b, a) {
+					t.Fatalf("%s: Hops(%d,%d)=%d but Hops(%d,%d)=%d",
+						name, a, b, n.Hops(a, b), b, a, n.Hops(b, a))
+				}
+			}
+			if h := n.Hops(a, a); h != 0 {
+				t.Fatalf("%s: Hops(%d,%d)=%d, want 0", name, a, a, h)
+			}
+		}
+	}
+}
+
+// TestNetworkPropertyTriangleInequality: routing must be metric — going
+// through any intermediate router never beats the direct route.
+func TestNetworkPropertyTriangleInequality(t *testing.T) {
+	for _, tc := range networksUnderTest() {
+		n := tc.n
+		if n.NumRouters() > 32 {
+			continue // O(n^3); all sizes under test are <= 32
+		}
+		name := fmt.Sprintf("%s/%d", n.Kind(), n.NumRouters())
+		for a := 0; a < n.NumRouters(); a++ {
+			for b := 0; b < n.NumRouters(); b++ {
+				for c := 0; c < n.NumRouters(); c++ {
+					if n.Hops(a, c) > n.Hops(a, b)+n.Hops(b, c) {
+						t.Fatalf("%s: Hops(%d,%d)=%d > Hops(%d,%d)+Hops(%d,%d)=%d",
+							name, a, c, n.Hops(a, c), a, b, b, c,
+							n.Hops(a, b)+n.Hops(b, c))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestNetworkPropertyDiameter: MaxHops must match the analytical diameter
+// and actually be attained (and never exceeded) by some router pair.
+func TestNetworkPropertyDiameter(t *testing.T) {
+	for _, tc := range networksUnderTest() {
+		n := tc.n
+		name := fmt.Sprintf("%s/%d", n.Kind(), n.NumRouters())
+		if n.MaxHops() != tc.diameter {
+			t.Fatalf("%s: MaxHops()=%d, want analytical diameter %d",
+				name, n.MaxHops(), tc.diameter)
+		}
+		worst := 0
+		for a := 0; a < n.NumRouters(); a++ {
+			for b := 0; b < n.NumRouters(); b++ {
+				if h := n.Hops(a, b); h > worst {
+					worst = h
+				}
+			}
+		}
+		if worst != tc.diameter {
+			t.Fatalf("%s: observed max hops %d, want diameter %d",
+				name, worst, tc.diameter)
+		}
+	}
+}
+
+// TestNetworkPropertyDeclaredResources: every route must reference only
+// resources the fabric declared — a crossing index in [0, NumMetarouters)
+// or -1, and nonzero hops between distinct routers.
+func TestNetworkPropertyDeclaredResources(t *testing.T) {
+	for _, tc := range networksUnderTest() {
+		n := tc.n
+		name := fmt.Sprintf("%s/%d", n.Kind(), n.NumRouters())
+		for a := 0; a < n.NumRouters(); a++ {
+			for b := 0; b < n.NumRouters(); b++ {
+				r := n.Route(a, b)
+				if r.Meta < -1 || r.Meta >= n.NumMetarouters() {
+					t.Fatalf("%s: Route(%d,%d).Meta=%d outside declared [-1,%d)",
+						name, a, b, r.Meta, n.NumMetarouters())
+				}
+				if a != b && r.Hops < 1 {
+					t.Fatalf("%s: Route(%d,%d).Hops=%d, want >= 1", name, a, b, r.Hops)
+				}
+				if r.Hops > n.MaxHops() {
+					t.Fatalf("%s: Route(%d,%d).Hops=%d exceeds MaxHops %d",
+						name, a, b, r.Hops, n.MaxHops())
+				}
+			}
+		}
+	}
+}
+
+// TestNetworkDescribe: Describe and AverageHops are well-formed for every
+// implementation (AverageHops bounded by the diameter).
+func TestNetworkDescribe(t *testing.T) {
+	for _, tc := range networksUnderTest() {
+		n := tc.n
+		if n.Describe() == "" {
+			t.Fatalf("%s/%d: empty Describe()", n.Kind(), n.NumRouters())
+		}
+		if avg := n.AverageHops(); avg < 0 || avg > float64(n.MaxHops()) {
+			t.Fatalf("%s/%d: AverageHops()=%v outside [0,%d]",
+				n.Kind(), n.NumRouters(), avg, n.MaxHops())
+		}
+	}
+}
